@@ -1,0 +1,1 @@
+bench/ablation.ml: List Mv_core Mv_experiments Mv_relalg Mv_util Printf Sys

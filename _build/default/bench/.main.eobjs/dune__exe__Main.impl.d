@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array List Micro Mv_experiments Printf String Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance List Measure Mv_base Mv_core Mv_relalg Mv_sql Mv_tpch Mv_workload Printf Staged Test Time Toolkit

@@ -1,0 +1,103 @@
+(** Benchmark driver: regenerates every figure and in-text statistic of the
+    paper's evaluation (section 5) plus micro/ablation benches.
+
+      dune exec bench/main.exe                 # everything, default sizes
+      dune exec bench/main.exe -- --full       # paper-size (1000 queries)
+      dune exec bench/main.exe -- --figure 2   # a single figure
+      dune exec bench/main.exe -- --micro      # bechamel micro suite only
+
+    See EXPERIMENTS.md for paper-vs-measured discussion. *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
+    \       [--ablation] [--queries N] [--max-views N] [--step N]";
+  exit 1
+
+type what = { figures : int list; stats : bool; micro : bool; ablation : bool }
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let queries = ref 200 in
+  let max_views = ref 1000 in
+  let step = ref 200 in
+  let sel = ref None in
+  let add_sel w =
+    let cur =
+      match !sel with
+      | Some s -> s
+      | None -> { figures = []; stats = false; micro = false; ablation = false }
+    in
+    sel := Some (w cur)
+  in
+  let rec parse = function
+    | [] -> ()
+    | "--full" :: rest ->
+        queries := 1000;
+        max_views := 1000;
+        step := 100;
+        parse rest
+    | "--quick" :: rest ->
+        queries := 50;
+        max_views := 400;
+        step := 200;
+        parse rest
+    | "--figure" :: n :: rest ->
+        add_sel (fun s -> { s with figures = int_of_string n :: s.figures });
+        parse rest
+    | "--stats" :: rest ->
+        add_sel (fun s -> { s with stats = true });
+        parse rest
+    | "--micro" :: rest ->
+        add_sel (fun s -> { s with micro = true });
+        parse rest
+    | "--ablation" :: rest ->
+        add_sel (fun s -> { s with ablation = true });
+        parse rest
+    | "--queries" :: n :: rest ->
+        queries := int_of_string n;
+        parse rest
+    | "--max-views" :: n :: rest ->
+        max_views := int_of_string n;
+        parse rest
+    | "--step" :: n :: rest ->
+        step := int_of_string n;
+        parse rest
+    | _ -> usage ()
+  in
+  parse args;
+  let what =
+    match !sel with
+    | Some s -> s
+    | None -> { figures = [ 2; 3; 4 ]; stats = true; micro = true; ablation = true }
+  in
+  let nviews_list =
+    let rec go n acc = if n > !max_views then List.rev acc else go (n + !step) (n :: acc) in
+    go 0 []
+  in
+  let need_sweep = what.figures <> [] || what.stats || what.ablation in
+  if need_sweep then begin
+    Printf.printf
+      "Workload: %d randomly generated views, %d queries (section 5 recipe),\n\
+       TPC-H statistics at SF 0.5; view counts %s.\n"
+      !max_views !queries
+      (String.concat "," (List.map string_of_int nviews_list));
+    let w =
+      Mv_experiments.Harness.make_workload ~nviews:!max_views
+        ~nqueries:!queries ()
+    in
+    let needed_configs =
+      if what.figures = [ 3 ] || what.figures = [ 4 ] then
+        [ { Mv_experiments.Harness.alt = true; filter = true } ]
+      else Mv_experiments.Harness.all_configs
+    in
+    let ms =
+      Mv_experiments.Harness.sweep w ~nviews_list ~configs:needed_configs
+    in
+    if List.mem 2 what.figures then Mv_experiments.Report.figure2 ms nviews_list;
+    if List.mem 3 what.figures then Mv_experiments.Report.figure3 ms nviews_list;
+    if List.mem 4 what.figures then Mv_experiments.Report.figure4 ms nviews_list;
+    if what.stats then Mv_experiments.Report.stats_table ms nviews_list;
+    if what.ablation then Ablation.run w nviews_list
+  end;
+  if what.micro then Micro.run ()

@@ -1,0 +1,266 @@
+(** mvopt — command-line front end to the view-matching library.
+
+    Subcommands:
+      parse    parse a statement and print its normalized SPJG form
+      match    match a query against one or more view definitions
+      explain  optimize a query against registered views, print the plan
+      demo     a self-contained end-to-end demonstration
+      generate print a random section-5 workload
+
+    All commands run against the built-in TPC-H catalog. Statements can be
+    given inline or in files (one statement per file). *)
+
+open Cmdliner
+
+let schema = Mv_tpch.Schema.schema
+
+let read_arg s =
+  if Sys.file_exists s then (
+    let ic = open_in s in
+    let n = in_channel_length ic in
+    let b = really_input_string ic n in
+    close_in ic;
+    b)
+  else s
+
+(* ---- parse ---- *)
+
+let parse_cmd =
+  let stmt =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STATEMENT" ~doc:"SQL text or a file containing it.")
+  in
+  let run stmt =
+    let src = read_arg stmt in
+    match Mv_sql.Parser.parse_statement schema src with
+    | `Query q ->
+        Printf.printf "-- normalized query block\n%s\n" (Mv_relalg.Spjg.to_sql q)
+    | `View (name, v) ->
+        Printf.printf "-- view %s\n%s\n" name (Mv_relalg.Spjg.to_sql v);
+        (match Mv_relalg.Spjg.check_indexable v with
+        | Ok () -> print_endline "-- indexable: yes"
+        | Error e -> Printf.printf "-- indexable: no (%s)\n" e)
+    | exception Mv_sql.Parser.Parse_error e ->
+        Printf.eprintf "parse error: %s\n" e;
+        exit 1
+    | exception Mv_sql.Lexer.Lex_error e ->
+        Printf.eprintf "lex error: %s\n" e;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a statement and print its normalized form")
+    Term.(const run $ stmt)
+
+(* ---- match ---- *)
+
+let match_cmd =
+  let views =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "v"; "view" ] ~docv:"VIEW"
+          ~doc:"CREATE VIEW statement (or file). Repeatable.")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"SELECT statement (or file).")
+  in
+  let relaxed =
+    Arg.(
+      value & flag
+      & info [ "relaxed-nulls" ]
+          ~doc:"Enable the null-rejecting foreign-key relaxation (section 3.2).")
+  in
+  let backjoins =
+    Arg.(
+      value & flag
+      & info [ "backjoins" ]
+          ~doc:"Enable base-table backjoins for missing columns (section 7).")
+  in
+  let union =
+    Arg.(
+      value & flag
+      & info [ "union" ]
+          ~doc:
+            "Also look for a UNION-of-views substitute when no single view \
+             matches (section 7).")
+  in
+  let run views query relaxed backjoins union =
+    let registry =
+      Mv_core.Registry.create ~relaxed_nulls:relaxed ~backjoins schema
+    in
+    List.iter
+      (fun v ->
+        let name, spjg = Mv_sql.Parser.parse_view schema (read_arg v) in
+        ignore (Mv_core.Registry.add_view registry ~name spjg))
+      views;
+    let q = Mv_sql.Parser.parse_query schema (read_arg query) in
+    let qa = Mv_relalg.Analysis.analyze schema q in
+    let any = ref false in
+    List.iter
+      (fun view ->
+        match
+          Mv_core.Matcher.match_view ~relaxed_nulls:relaxed ~backjoins
+            ~query:qa view
+        with
+        | Ok s ->
+            any := true;
+            Printf.printf "view %s: MATCH\n%s\n\n" view.Mv_core.View.name
+              (Mv_core.Substitute.to_sql s)
+        | Error r ->
+            Printf.printf "view %s: rejected (%s)\n\n" view.Mv_core.View.name
+              (Mv_core.Reject.to_string r))
+      registry.Mv_core.Registry.views;
+    if (not !any) && union then (
+      match Mv_core.Registry.find_union_substitutes registry qa with
+      | Some u ->
+          any := true;
+          Printf.printf "UNION substitute:\n%s\n"
+            (Mv_core.Union_substitute.to_sql u)
+      | None -> ());
+    if not !any then exit 2
+  in
+  Cmd.v
+    (Cmd.info "match"
+       ~doc:"Match a query against view definitions and print substitutes")
+    Term.(const run $ views $ query $ relaxed $ backjoins $ union)
+
+(* ---- explain ---- *)
+
+let explain_cmd =
+  let views =
+    Arg.(
+      value & opt_all string []
+      & info [ "v"; "view" ] ~docv:"VIEW" ~doc:"CREATE VIEW statement (or file).")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"SELECT statement (or file).")
+  in
+  let execute =
+    Arg.(
+      value & flag
+      & info [ "execute" ]
+          ~doc:"Also generate a small database, run the plan, and verify it \
+                against direct execution.")
+  in
+  let run views query execute =
+    let registry = Mv_core.Registry.create schema in
+    let stats = Mv_tpch.Datagen.synthetic_stats () in
+    List.iter
+      (fun v ->
+        let name, spjg = Mv_sql.Parser.parse_view schema (read_arg v) in
+        ignore
+          (Mv_core.Registry.add_view registry ~name
+             ~row_count:(Mv_opt.Cost.estimate_view_rows stats spjg)
+             spjg))
+      views;
+    let q = Mv_sql.Parser.parse_query schema (read_arg query) in
+    let r = Mv_opt.Optimizer.optimize registry stats q in
+    Printf.printf "estimated cost: %.0f, estimated rows: %.0f\n"
+      r.Mv_opt.Optimizer.cost r.Mv_opt.Optimizer.rows;
+    Printf.printf "plan:\n%s" (Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan);
+    Printf.printf "uses materialized views: %b (%s)\n"
+      r.Mv_opt.Optimizer.used_views
+      (String.concat "," (Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan));
+    if execute then begin
+      let db = Mv_tpch.Datagen.generate ~seed:1 ~scale:2 () in
+      let direct = Mv_engine.Exec.execute db q in
+      let via = Mv_opt.Plan_exec.execute db q r.Mv_opt.Optimizer.plan in
+      Printf.printf "\nexecution check: %d rows, plan matches direct: %b\n"
+        (Mv_engine.Relation.cardinality direct)
+        (Mv_engine.Relation.same_bag direct via)
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Optimize a query against views; print the plan")
+    Term.(const run $ views $ query $ execute)
+
+(* ---- generate ---- *)
+
+let generate_cmd =
+  let n =
+    Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"How many statements.")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("views", `Views); ("queries", `Queries) ]) `Views
+      & info [ "kind" ] ~doc:"What to generate: views or queries.")
+  in
+  let seed =
+    Arg.(value & opt int 1001 & info [ "seed" ] ~doc:"PRNG seed.")
+  in
+  let run n kind seed =
+    let stats = Mv_tpch.Datagen.synthetic_stats () in
+    match kind with
+    | `Views ->
+        List.iter
+          (fun (name, v) ->
+            Printf.printf "create view %s with schemabinding as\n%s\n\n" name
+              (Mv_relalg.Spjg.to_sql v))
+          (Mv_workload.Generator.views ~seed schema stats n)
+    | `Queries ->
+        List.iter
+          (fun q -> Printf.printf "%s\n\n" (Mv_relalg.Spjg.to_sql q))
+          (Mv_workload.Generator.queries ~seed schema stats n)
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Print a random section-5 workload (views or queries)")
+    Term.(const run $ n $ kind $ seed)
+
+(* ---- demo ---- *)
+
+let demo_cmd =
+  let run () =
+    let db = Mv_tpch.Datagen.generate ~seed:1 ~scale:2 () in
+    let registry = Mv_core.Registry.create schema in
+    let view_sql =
+      {| create view demo_rev with schemabinding as
+         select o_custkey, count_big(*) as cnt,
+                sum(l_quantity * l_extendedprice) as revenue
+         from dbo.lineitem, dbo.orders
+         where l_orderkey = o_orderkey
+         group by o_custkey |}
+    in
+    let name, vdef = Mv_sql.Parser.parse_view schema view_sql in
+    let view = Mv_core.Registry.add_view registry ~name vdef in
+    ignore (Mv_engine.Exec.materialize db view);
+    Printf.printf "registered + materialized view:\n%s\n\n" view_sql;
+    let q =
+      Mv_sql.Parser.parse_query schema
+        {| select o_custkey, avg(l_quantity * l_extendedprice) as avg_rev
+           from lineitem, orders
+           where l_orderkey = o_orderkey and o_custkey <= 30
+           group by o_custkey |}
+    in
+    Printf.printf "query:\n%s\n\n" (Mv_relalg.Spjg.to_sql q);
+    match Mv_core.Registry.find_substitutes_spjg registry q with
+    | [] -> print_endline "no substitute found"
+    | s :: _ ->
+        Printf.printf "substitute:\n%s\n\n" (Mv_core.Substitute.to_sql s);
+        let direct = Mv_engine.Exec.execute db q in
+        let via = Mv_engine.Exec.execute_substitute db s in
+        Printf.printf "equivalent on generated data: %b (%d rows)\n"
+          (Mv_engine.Relation.same_bag direct via)
+          (Mv_engine.Relation.cardinality direct)
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Self-contained end-to-end demonstration")
+    Term.(const run $ const ())
+
+let main =
+  Cmd.group
+    (Cmd.info "mvopt" ~version:"1.0.0"
+       ~doc:
+         "View matching for materialized views (Goldstein & Larson, SIGMOD \
+          2001)")
+    [ parse_cmd; match_cmd; explain_cmd; generate_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

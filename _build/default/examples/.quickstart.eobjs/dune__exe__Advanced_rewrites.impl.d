@@ -1,0 +1,1 @@
+examples/advanced_rewrites.ml: List Mv_core Mv_engine Mv_opt Mv_relalg Mv_sql Mv_tpch Printf

@@ -1,0 +1,1 @@
+examples/query_cache.ml: Mv_core Mv_engine Mv_relalg Mv_sql Mv_tpch Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mv_core Mv_engine Mv_relalg Mv_sql Mv_tpch Printf

@@ -1,0 +1,1 @@
+examples/rollup_dashboard.ml: Mv_core Mv_engine Mv_opt Mv_sql Mv_tpch Printf

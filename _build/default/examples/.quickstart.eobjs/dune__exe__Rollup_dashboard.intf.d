@@ -1,0 +1,1 @@
+examples/rollup_dashboard.mli:

@@ -1,0 +1,1 @@
+examples/scale_demo.ml: List Mv_core Mv_opt Mv_relalg Mv_tpch Mv_workload Printf Sys

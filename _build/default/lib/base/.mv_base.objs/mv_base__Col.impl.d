@@ -1,0 +1,1 @@
+lib/base/col.ml: Fmt Map Set String

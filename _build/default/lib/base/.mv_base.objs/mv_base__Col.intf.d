@@ -1,0 +1,1 @@
+lib/base/col.mli: Format Map Set

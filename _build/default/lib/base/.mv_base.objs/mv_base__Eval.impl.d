@@ -1,0 +1,1 @@
+lib/base/eval.ml: Expr Float Fmt Like List Pred String Value

@@ -1,0 +1,1 @@
+lib/base/eval.mli: Col Expr Pred Value

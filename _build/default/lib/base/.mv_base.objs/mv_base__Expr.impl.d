@@ -1,0 +1,1 @@
+lib/base/expr.ml: Col Fmt List Option String Value

@@ -1,0 +1,1 @@
+lib/base/expr.mli: Col Format Value

@@ -1,0 +1,1 @@
+lib/base/like.ml: Hashtbl String

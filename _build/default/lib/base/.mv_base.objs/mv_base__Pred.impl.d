@@ -1,0 +1,1 @@
+lib/base/pred.ml: Col Expr Fmt List Option String

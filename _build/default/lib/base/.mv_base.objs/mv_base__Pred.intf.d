@@ -1,0 +1,1 @@
+lib/base/pred.mli: Col Expr Format

@@ -1,0 +1,1 @@
+lib/base/value.ml: Date Dtype Fmt Printf

@@ -1,0 +1,34 @@
+(** A resolved column reference: table name + column name.
+
+    After name resolution (see [Mv_sql.Parser]) every column reference is
+    qualified by the canonical table name, which is what the matching
+    algorithm keys its equivalence classes on. *)
+
+type t = { tbl : string; col : string }
+
+let make tbl col = { tbl; col }
+
+let compare a b =
+  match String.compare a.tbl b.tbl with
+  | 0 -> String.compare a.col b.col
+  | c -> c
+
+let equal a b = compare a b = 0
+
+(* A column with an empty table part renders bare; used for the "?"
+   placeholders of the paper's textual template matching. *)
+let to_string c = if c.tbl = "" then c.col else c.tbl ^ "." ^ c.col
+
+let pp ppf c = Fmt.string ppf (to_string c)
+
+module Set = Set.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)

@@ -1,0 +1,19 @@
+(** A resolved column reference: canonical table name + column name. *)
+
+type t = { tbl : string; col : string }
+
+val make : string -> string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** ["tbl.col"]; a column with an empty table part renders bare (used for
+    the "?" placeholders of textual template matching). *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t

@@ -1,0 +1,42 @@
+(** Calendar dates represented as days since 1970-01-01 (civil).
+
+    Uses Howard Hinnant's days-from-civil algorithm, which is exact for the
+    proleptic Gregorian calendar. TPC-H dates span 1992-1998 so the range is
+    tiny, but the conversion is exact for any year. *)
+
+let days_of_ymd ~year ~month ~day =
+  let y = if month <= 2 then year - 1 else year in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - era * 400 in
+  let mp = (month + 9) mod 12 in
+  let doy = ((153 * mp) + 2) / 5 + day - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let ymd_of_days days =
+  let z = days + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let day = doy - (((153 * mp) + 2) / 5) + 1 in
+  let month = if mp < 10 then mp + 3 else mp - 9 in
+  let year = if month <= 2 then y + 1 else y in
+  (year, month, day)
+
+(* Parse 'YYYY-MM-DD'. *)
+let of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d) with
+      | Some year, Some month, Some day
+        when month >= 1 && month <= 12 && day >= 1 && day <= 31 ->
+          Some (days_of_ymd ~year ~month ~day)
+      | _ -> None)
+  | _ -> None
+
+let to_string days =
+  let year, month, day = ymd_of_days days in
+  Printf.sprintf "%04d-%02d-%02d" year month day

@@ -1,0 +1,11 @@
+(** Calendar dates as days since 1970-01-01 (proleptic Gregorian). *)
+
+val days_of_ymd : year:int -> month:int -> day:int -> int
+
+val ymd_of_days : int -> int * int * int
+(** [(year, month, day)]. *)
+
+val of_string : string -> int option
+(** Parse ['YYYY-MM-DD']. *)
+
+val to_string : int -> string

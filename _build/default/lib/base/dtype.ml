@@ -1,0 +1,16 @@
+(** Column data types of the SQL subset. *)
+
+type t = Int | Float | Str | Bool | Date
+
+let equal (a : t) b = a = b
+
+let is_numeric = function Int | Float -> true | Str | Bool | Date -> false
+
+let to_string = function
+  | Int -> "integer"
+  | Float -> "float"
+  | Str -> "varchar"
+  | Bool -> "boolean"
+  | Date -> "date"
+
+let pp ppf t = Fmt.string ppf (to_string t)

@@ -1,0 +1,11 @@
+(** Column data types of the SQL subset. *)
+
+type t = Int | Float | Str | Bool | Date
+
+val equal : t -> t -> bool
+
+val is_numeric : t -> bool
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,91 @@
+(** Evaluation of scalar expressions and predicates against an environment
+    mapping column references to values. Shared by the execution engine and
+    by property tests that compare predicate transformations by truth table. *)
+
+exception Eval_error of string
+
+let eval_error fmt = Fmt.kstr (fun s -> raise (Eval_error s)) fmt
+
+let arith op a b =
+  let open Value in
+  match (a, b) with
+  | Null, _ | _, Null -> Null
+  | Int x, Int y -> (
+      match op with
+      | Expr.Add -> Int (x + y)
+      | Expr.Sub -> Int (x - y)
+      | Expr.Mul -> Int (x * y)
+      | Expr.Div -> if y = 0 then Null else Int (x / y))
+  | (Int _ | Float _), (Int _ | Float _) -> (
+      match (Value.as_float a, Value.as_float b) with
+      | Some x, Some y -> (
+          match op with
+          | Expr.Add -> Float (x +. y)
+          | Expr.Sub -> Float (x -. y)
+          | Expr.Mul -> Float (x *. y)
+          | Expr.Div -> if y = 0.0 then Null else Float (x /. y))
+      | _ -> assert false)
+  | Date d, Int i -> (
+      (* date arithmetic: shifting by days *)
+      match op with
+      | Expr.Add -> Date (d + i)
+      | Expr.Sub -> Date (d - i)
+      | Expr.Mul | Expr.Div -> eval_error "invalid date arithmetic")
+  | _ ->
+      eval_error "type error in arithmetic: %s %s %s" (Value.to_string a)
+        (Expr.binop_to_string op) (Value.to_string b)
+
+let rec expr env : Expr.t -> Value.t = function
+  | Expr.Const v -> v
+  | Expr.Col c -> env c
+  | Expr.Binop (op, l, r) -> arith op (expr env l) (expr env r)
+  | Expr.Neg e -> (
+      match expr env e with
+      | Value.Null -> Value.Null
+      | Value.Int i -> Value.Int (-i)
+      | Value.Float f -> Value.Float (-.f)
+      | v -> eval_error "cannot negate %s" (Value.to_string v))
+  | Expr.Func (f, args) -> func f (List.map (expr env) args)
+
+and func name args =
+  match (name, args) with
+  | "substring", [ Value.Str s; Value.Int start; Value.Int len ] ->
+      let start = max 1 start in
+      let avail = String.length s - (start - 1) in
+      if avail <= 0 || len <= 0 then Value.Str ""
+      else Value.Str (String.sub s (start - 1) (min len avail))
+  | "upper", [ Value.Str s ] -> Value.Str (String.uppercase_ascii s)
+  | "lower", [ Value.Str s ] -> Value.Str (String.lowercase_ascii s)
+  | "abs", [ Value.Int i ] -> Value.Int (abs i)
+  | "abs", [ Value.Float f ] -> Value.Float (Float.abs f)
+  | _, args when List.exists Value.is_null args -> Value.Null
+  | _ -> eval_error "unknown function %s/%d" name (List.length args)
+
+let cmp3_truth op a b : Pred.truth =
+  match Value.cmp3 a b with
+  | None -> Pred.Unknown
+  | Some c ->
+      Pred.truth_of_bool
+        (match op with
+        | Pred.Eq -> c = 0
+        | Pred.Ne -> c <> 0
+        | Pred.Lt -> c < 0
+        | Pred.Le -> c <= 0
+        | Pred.Gt -> c > 0
+        | Pred.Ge -> c >= 0)
+
+let rec pred env : Pred.t -> Pred.truth = function
+  | Pred.Cmp (op, l, r) -> cmp3_truth op (expr env l) (expr env r)
+  | Pred.Like (e, pat) -> (
+      match expr env e with
+      | Value.Null -> Pred.Unknown
+      | Value.Str s -> Pred.truth_of_bool (Like.matches ~pattern:pat s)
+      | v -> eval_error "LIKE on non-string %s" (Value.to_string v))
+  | Pred.Is_null e -> Pred.truth_of_bool (Value.is_null (expr env e))
+  | Pred.Not p -> Pred.truth_not (pred env p)
+  | Pred.And (l, r) -> Pred.truth_and (pred env l) (pred env r)
+  | Pred.Or (l, r) -> Pred.truth_or (pred env l) (pred env r)
+  | Pred.Bool b -> Pred.truth_of_bool b
+
+(* WHERE-clause semantics: keep only rows where the predicate is True. *)
+let pred_holds env p = pred env p = Pred.True

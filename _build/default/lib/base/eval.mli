@@ -1,0 +1,22 @@
+(** Evaluation of scalar expressions and predicates against an environment
+    mapping column references to values. *)
+
+exception Eval_error of string
+
+val arith : Expr.binop -> Value.t -> Value.t -> Value.t
+(** NULL-propagating arithmetic; integer division truncates; division by
+    zero yields NULL; Date +/- Int shifts by days.
+    @raise Eval_error on type errors. *)
+
+val expr : (Col.t -> Value.t) -> Expr.t -> Value.t
+
+val func : string -> Value.t list -> Value.t
+(** Built-in scalar functions: substring, upper, lower, abs. *)
+
+val cmp3_truth : Pred.cmp -> Value.t -> Value.t -> Pred.truth
+
+val pred : (Col.t -> Value.t) -> Pred.t -> Pred.truth
+(** Full three-valued evaluation. *)
+
+val pred_holds : (Col.t -> Value.t) -> Pred.t -> bool
+(** WHERE-clause semantics: [true] iff the predicate evaluates to True. *)

@@ -1,0 +1,98 @@
+(** Scalar expressions shared by the SQL front end, the view-matching
+    algorithm and the execution engine. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of Value.t
+  | Col of Col.t
+  | Binop of binop * t * t
+  | Neg of t
+  | Func of string * t list
+      (** uninterpreted scalar functions (e.g. substring); matched only
+          syntactically, as in the paper's shallow residual matching *)
+
+let binop_to_string = function Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+
+let rec equal a b =
+  match (a, b) with
+  | Const x, Const y -> Value.equal x y
+  | Col x, Col y -> Col.equal x y
+  | Binop (o1, l1, r1), Binop (o2, l2, r2) -> o1 = o2 && equal l1 l2 && equal r1 r2
+  | Neg x, Neg y -> equal x y
+  | Func (f, xs), Func (g, ys) ->
+      String.equal f g
+      && List.length xs = List.length ys
+      && List.for_all2 equal xs ys
+  | (Const _ | Col _ | Binop _ | Neg _ | Func _), _ -> false
+
+let rec compare_t a b =
+  let tag = function
+    | Const _ -> 0
+    | Col _ -> 1
+    | Binop _ -> 2
+    | Neg _ -> 3
+    | Func _ -> 4
+  in
+  match (a, b) with
+  | Const x, Const y -> Value.order x y
+  | Col x, Col y -> Col.compare x y
+  | Binop (o1, l1, r1), Binop (o2, l2, r2) ->
+      let c = compare o1 o2 in
+      if c <> 0 then c
+      else
+        let c = compare_t l1 l2 in
+        if c <> 0 then c else compare_t r1 r2
+  | Neg x, Neg y -> compare_t x y
+  | Func (f, xs), Func (g, ys) ->
+      let c = String.compare f g in
+      if c <> 0 then c else List.compare compare_t xs ys
+  | _ -> compare (tag a) (tag b)
+
+(* All column references, left-to-right, with duplicates (order matters for
+   the paper's shallow template matching). *)
+let rec columns = function
+  | Const _ -> []
+  | Col c -> [ c ]
+  | Binop (_, l, r) -> columns l @ columns r
+  | Neg e -> columns e
+  | Func (_, es) -> List.concat_map columns es
+
+let column_set e = Col.Set.of_list (columns e)
+
+let is_col = function Col _ -> true | _ -> false
+
+let as_col = function Col c -> Some c | _ -> None
+
+(* Rewrite every column reference through [f]; [f] must be total here
+   (use [map_cols_opt] when mapping can fail). *)
+let rec map_cols f = function
+  | Const v -> Const v
+  | Col c -> Col (f c)
+  | Binop (o, l, r) -> Binop (o, map_cols f l, map_cols f r)
+  | Neg e -> Neg (map_cols f e)
+  | Func (g, es) -> Func (g, List.map (map_cols f) es)
+
+(* Rewrite column references where [f] may fail; None if any reference
+   cannot be mapped. *)
+let rec map_cols_opt f = function
+  | Const v -> Some (Const v)
+  | Col c -> Option.map (fun c' -> Col c') (f c)
+  | Binop (o, l, r) -> (
+      match (map_cols_opt f l, map_cols_opt f r) with
+      | Some l', Some r' -> Some (Binop (o, l', r'))
+      | _ -> None)
+  | Neg e -> Option.map (fun e' -> Neg e') (map_cols_opt f e)
+  | Func (g, es) ->
+      let es' = List.filter_map (map_cols_opt f) es in
+      if List.length es' = List.length es then Some (Func (g, es')) else None
+
+let rec to_string = function
+  | Const v -> Value.to_string v
+  | Col c -> Col.to_string c
+  | Binop (o, l, r) ->
+      "(" ^ to_string l ^ " " ^ binop_to_string o ^ " " ^ to_string r ^ ")"
+  | Neg e -> "(-" ^ to_string e ^ ")"
+  | Func (f, es) -> f ^ "(" ^ String.concat ", " (List.map to_string es) ^ ")"
+
+let pp ppf e = Fmt.string ppf (to_string e)

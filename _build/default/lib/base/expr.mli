@@ -1,0 +1,41 @@
+(** Scalar expressions shared by the SQL front end, the view-matching
+    algorithm and the execution engine. *)
+
+type binop = Add | Sub | Mul | Div
+
+type t =
+  | Const of Value.t
+  | Col of Col.t
+  | Binop of binop * t * t
+  | Neg of t
+  | Func of string * t list
+      (** uninterpreted scalar functions (e.g. substring); matched only
+          syntactically, as in the paper's shallow residual matching *)
+
+val binop_to_string : binop -> string
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val compare_t : t -> t -> int
+
+val columns : t -> Col.t list
+(** All column references, left-to-right, with duplicates — the order
+    matters for the paper's shallow template matching. *)
+
+val column_set : t -> Col.Set.t
+
+val is_col : t -> bool
+
+val as_col : t -> Col.t option
+
+val map_cols : (Col.t -> Col.t) -> t -> t
+(** Rewrite every column reference. *)
+
+val map_cols_opt : (Col.t -> Col.t option) -> t -> t option
+(** Rewrite column references where mapping may fail; [None] if any
+    reference cannot be mapped. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,26 @@
+(** SQL LIKE pattern matching: '%' matches any (possibly empty) substring,
+    '_' matches exactly one character. No escape character in this subset. *)
+
+let matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized on (i, j): does pattern[i..] match s[j..]? *)
+  let memo = Hashtbl.create 16 in
+  let rec go i j =
+    match Hashtbl.find_opt memo (i, j) with
+    | Some r -> r
+    | None ->
+        let r =
+          if i = np then j = ns
+          else
+            match pattern.[i] with
+            | '%' ->
+                (* skip runs of % *)
+                let rec any k = k <= ns && (go (i + 1) k || any (k + 1)) in
+                any j
+            | '_' -> j < ns && go (i + 1) (j + 1)
+            | c -> j < ns && s.[j] = c && go (i + 1) (j + 1)
+        in
+        Hashtbl.add memo (i, j) r;
+        r
+  in
+  go 0 0

@@ -1,0 +1,4 @@
+(** SQL LIKE pattern matching: ['%'] matches any (possibly empty)
+    substring, ['_'] matches exactly one character. *)
+
+val matches : pattern:string -> string -> bool

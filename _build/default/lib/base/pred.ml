@@ -1,0 +1,116 @@
+(** Predicates (boolean expressions) with SQL three-valued logic. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of cmp * Expr.t * Expr.t
+  | Like of Expr.t * string
+  | Is_null of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Bool of bool
+
+type truth = True | False | Unknown
+
+let truth_of_bool b = if b then True else False
+
+let truth_and a b =
+  match (a, b) with
+  | False, _ | _, False -> False
+  | True, True -> True
+  | _ -> Unknown
+
+let truth_or a b =
+  match (a, b) with
+  | True, _ | _, True -> True
+  | False, False -> False
+  | _ -> Unknown
+
+let truth_not = function True -> False | False -> True | Unknown -> Unknown
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+(* (a op b) = (b (flip op) a) *)
+let flip_cmp = function Eq -> Eq | Ne -> Ne | Lt -> Gt | Le -> Ge | Gt -> Lt | Ge -> Le
+
+(* NOT (a op b) = (a (negate op) b) under 2VL; with NULLs both sides are
+   Unknown so the identity also holds in 3VL. *)
+let negate_cmp = function Eq -> Ne | Ne -> Eq | Lt -> Ge | Le -> Gt | Gt -> Le | Ge -> Lt
+
+let rec equal a b =
+  match (a, b) with
+  | Cmp (o1, l1, r1), Cmp (o2, l2, r2) ->
+      o1 = o2 && Expr.equal l1 l2 && Expr.equal r1 r2
+  | Like (e1, p1), Like (e2, p2) -> Expr.equal e1 e2 && String.equal p1 p2
+  | Is_null e1, Is_null e2 -> Expr.equal e1 e2
+  | Not p1, Not p2 -> equal p1 p2
+  | And (l1, r1), And (l2, r2) | Or (l1, r1), Or (l2, r2) ->
+      equal l1 l2 && equal r1 r2
+  | Bool b1, Bool b2 -> b1 = b2
+  | (Cmp _ | Like _ | Is_null _ | Not _ | And _ | Or _ | Bool _), _ -> false
+
+let rec columns = function
+  | Cmp (_, l, r) -> Expr.columns l @ Expr.columns r
+  | Like (e, _) | Is_null e -> Expr.columns e
+  | Not p -> columns p
+  | And (l, r) | Or (l, r) -> columns l @ columns r
+  | Bool _ -> []
+
+let column_set p = Col.Set.of_list (columns p)
+
+let conj = function
+  | [] -> Bool true
+  | p :: ps -> List.fold_left (fun acc q -> And (acc, q)) p ps
+
+let disj = function
+  | [] -> Bool false
+  | p :: ps -> List.fold_left (fun acc q -> Or (acc, q)) p ps
+
+(* Rewrite all column references, failing when any cannot be mapped. *)
+let rec map_cols_opt f p =
+  let expr e = Expr.map_cols_opt f e in
+  match p with
+  | Cmp (o, l, r) -> (
+      match (expr l, expr r) with
+      | Some l', Some r' -> Some (Cmp (o, l', r'))
+      | _ -> None)
+  | Like (e, pat) -> Option.map (fun e' -> Like (e', pat)) (expr e)
+  | Is_null e -> Option.map (fun e' -> Is_null e') (expr e)
+  | Not p -> Option.map (fun p' -> Not p') (map_cols_opt f p)
+  | And (l, r) -> (
+      match (map_cols_opt f l, map_cols_opt f r) with
+      | Some l', Some r' -> Some (And (l', r'))
+      | _ -> None)
+  | Or (l, r) -> (
+      match (map_cols_opt f l, map_cols_opt f r) with
+      | Some l', Some r' -> Some (Or (l', r'))
+      | _ -> None)
+  | Bool b -> Some (Bool b)
+
+let rec map_exprs f = function
+  | Cmp (o, l, r) -> Cmp (o, f l, f r)
+  | Like (e, pat) -> Like (f e, pat)
+  | Is_null e -> Is_null (f e)
+  | Not p -> Not (map_exprs f p)
+  | And (l, r) -> And (map_exprs f l, map_exprs f r)
+  | Or (l, r) -> Or (map_exprs f l, map_exprs f r)
+  | Bool b -> Bool b
+
+let rec to_string = function
+  | Cmp (o, l, r) ->
+      Expr.to_string l ^ " " ^ cmp_to_string o ^ " " ^ Expr.to_string r
+  | Like (e, p) -> Expr.to_string e ^ " LIKE '" ^ p ^ "'"
+  | Is_null e -> Expr.to_string e ^ " IS NULL"
+  | Not p -> "NOT (" ^ to_string p ^ ")"
+  | And (l, r) -> "(" ^ to_string l ^ " AND " ^ to_string r ^ ")"
+  | Or (l, r) -> "(" ^ to_string l ^ " OR " ^ to_string r ^ ")"
+  | Bool b -> if b then "TRUE" else "FALSE"
+
+let pp ppf p = Fmt.string ppf (to_string p)

@@ -1,0 +1,53 @@
+(** Predicates (boolean expressions) with SQL three-valued logic. *)
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type t =
+  | Cmp of cmp * Expr.t * Expr.t
+  | Like of Expr.t * string
+  | Is_null of Expr.t
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Bool of bool
+
+type truth = True | False | Unknown
+
+val truth_of_bool : bool -> truth
+
+val truth_and : truth -> truth -> truth
+
+val truth_or : truth -> truth -> truth
+
+val truth_not : truth -> truth
+
+val cmp_to_string : cmp -> string
+
+val flip_cmp : cmp -> cmp
+(** [(a op b)] = [(b (flip_cmp op) a)]. *)
+
+val negate_cmp : cmp -> cmp
+(** [NOT (a op b)] = [(a (negate_cmp op) b)], valid in 3VL because both
+    sides are Unknown exactly when a NULL is involved. *)
+
+val equal : t -> t -> bool
+(** Structural equality. *)
+
+val columns : t -> Col.t list
+
+val column_set : t -> Col.Set.t
+
+val conj : t list -> t
+(** AND of the list; [Bool true] for []. *)
+
+val disj : t list -> t
+(** OR of the list; [Bool false] for []. *)
+
+val map_cols_opt : (Col.t -> Col.t option) -> t -> t option
+(** Rewrite all column references, failing if any cannot be mapped. *)
+
+val map_exprs : (Expr.t -> Expr.t) -> t -> t
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,37 @@
+(** Runtime values with SQL NULL semantics. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days since 1970-01-01 *)
+
+exception Type_error of string
+
+val dtype_of : t -> Dtype.t option
+(** [None] for NULL. *)
+
+val is_null : t -> bool
+
+val as_float : t -> float option
+(** Numeric view of Int/Float; [None] otherwise. *)
+
+val cmp3 : t -> t -> int option
+(** SQL three-valued comparison: [None] when either side is NULL.
+    Int and Float compare numerically. @raise Type_error on incomparable
+    types. *)
+
+val order : t -> t -> int
+(** A total order used for grouping, sorting and multiset comparison:
+    NULL sorts first; mixed numerics compare numerically; otherwise values
+    order by type tag. *)
+
+val equal : t -> t -> bool
+(** Equality under {!order} (so [equal Null Null = true], unlike SQL [=]). *)
+
+val to_string : t -> string
+(** SQL literal syntax ([NULL], [42], ['text'], [DATE '1995-01-01'], ...). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/catalog/column.ml: Fmt Mv_base

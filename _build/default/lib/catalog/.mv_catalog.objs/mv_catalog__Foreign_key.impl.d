@@ -1,0 +1,1 @@
+lib/catalog/foreign_key.ml: Fmt List

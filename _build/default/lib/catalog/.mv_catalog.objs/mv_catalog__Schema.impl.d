@@ -1,0 +1,1 @@
+lib/catalog/schema.ml: Col Column Fmt Foreign_key List Mv_base String Table_def

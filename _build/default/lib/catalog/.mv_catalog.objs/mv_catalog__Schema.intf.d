@@ -1,0 +1,1 @@
+lib/catalog/schema.mli: Col Column Dtype Foreign_key Mv_base Pred Table_def

@@ -1,0 +1,1 @@
+lib/catalog/stats.ml: Col Float List Mv_base Pred Value

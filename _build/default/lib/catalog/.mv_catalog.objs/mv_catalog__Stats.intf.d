@@ -1,0 +1,1 @@
+lib/catalog/stats.mli: Col Mv_base Pred Value

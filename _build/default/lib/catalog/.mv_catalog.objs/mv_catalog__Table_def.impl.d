@@ -1,0 +1,1 @@
+lib/catalog/table_def.ml: Column Fmt List Mv_base String

@@ -1,0 +1,1 @@
+lib/catalog/table_def.mli: Column Format Mv_base

@@ -1,0 +1,9 @@
+(** A column definition: name, type and the not-null constraint. *)
+
+type t = { name : string; dtype : Mv_base.Dtype.t; nullable : bool }
+
+let make ?(nullable = false) name dtype = { name; dtype; nullable }
+
+let pp ppf c =
+  Fmt.pf ppf "%s %a%s" c.name Mv_base.Dtype.pp c.dtype
+    (if c.nullable then "" else " not null")

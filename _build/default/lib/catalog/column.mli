@@ -1,0 +1,9 @@
+(** A column definition: name, type and the not-null constraint. *)
+
+type t = { name : string; dtype : Mv_base.Dtype.t; nullable : bool }
+
+val make : ?nullable:bool -> string -> Mv_base.Dtype.t -> t
+(** Columns are NOT NULL by default (like keys in practice); pass
+    [~nullable:true] explicitly. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** A foreign-key constraint from [from_tbl].[from_cols] to
+    [to_tbl].[to_cols]. The referenced columns must form a unique key of
+    [to_tbl]; [Schema.validate] checks this. *)
+
+type t = {
+  from_tbl : string;
+  from_cols : string list;
+  to_tbl : string;
+  to_cols : string list;
+}
+
+let make ~from_tbl ~from_cols ~to_tbl ~to_cols =
+  if List.length from_cols <> List.length to_cols then
+    invalid_arg "Foreign_key.make: column list length mismatch";
+  { from_tbl; from_cols; to_tbl; to_cols }
+
+let pp ppf fk =
+  Fmt.pf ppf "fk %s(%a) -> %s(%a)" fk.from_tbl
+    Fmt.(list ~sep:(any ",") string)
+    fk.from_cols fk.to_tbl
+    Fmt.(list ~sep:(any ",") string)
+    fk.to_cols

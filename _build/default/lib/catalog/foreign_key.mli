@@ -1,0 +1,19 @@
+(** A foreign-key constraint from [from_tbl].[from_cols] to
+    [to_tbl].[to_cols] (which must form a unique key of [to_tbl]). *)
+
+type t = {
+  from_tbl : string;
+  from_cols : string list;
+  to_tbl : string;
+  to_cols : string list;
+}
+
+val make :
+  from_tbl:string ->
+  from_cols:string list ->
+  to_tbl:string ->
+  to_cols:string list ->
+  t
+(** @raise Invalid_argument when the column lists differ in length. *)
+
+val pp : Format.formatter -> t -> unit

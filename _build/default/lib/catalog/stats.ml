@@ -1,0 +1,72 @@
+(** Table and column statistics used by the cost model and by the workload
+    generator's cardinality targeting (section 5: predicates are added until
+    the estimated SPJ cardinality falls in a target band). *)
+
+open Mv_base
+
+type col_stats = {
+  min_v : Value.t;
+  max_v : Value.t;
+  ndv : int;  (** number of distinct values *)
+}
+
+type table_stats = {
+  row_count : int;
+  columns : (string * col_stats) list;
+}
+
+type t = (string * table_stats) list
+
+let empty : t = []
+
+let table t name : table_stats option = List.assoc_opt name t
+
+let row_count t name =
+  match table t name with Some ts -> ts.row_count | None -> 1000
+
+let col_stats t (c : Col.t) =
+  match table t c.Col.tbl with
+  | None -> None
+  | Some ts -> List.assoc_opt c.Col.col ts.columns
+
+(* Selectivity of [col op const] under a uniform-distribution assumption.
+   Falls back to fixed guesses when statistics are missing, like textbook
+   optimizers do. *)
+let range_selectivity t c (op : Pred.cmp) (v : Value.t) =
+  let default =
+    match op with Pred.Eq -> 0.05 | Pred.Ne -> 0.95 | _ -> 0.33
+  in
+  match col_stats t c with
+  | None -> default
+  | Some cs -> (
+      match (Value.as_float cs.min_v, Value.as_float cs.max_v, Value.as_float v) with
+      | Some lo, Some hi, Some x when hi > lo ->
+          let frac = (x -. lo) /. (hi -. lo) in
+          let frac = Float.max 0.0 (Float.min 1.0 frac) in
+          let sel =
+            match op with
+            | Pred.Eq -> 1.0 /. float_of_int (max 1 cs.ndv)
+            | Pred.Ne -> 1.0 -. (1.0 /. float_of_int (max 1 cs.ndv))
+            | Pred.Lt | Pred.Le -> frac
+            | Pred.Gt | Pred.Ge -> 1.0 -. frac
+          in
+          Float.max 0.0001 (Float.min 1.0 sel)
+      | _ -> (
+          (* dates are Value.Date, not numeric through as_float *)
+          match (cs.min_v, cs.max_v, v) with
+          | Value.Date lo, Value.Date hi, Value.Date x when hi > lo ->
+              let frac =
+                float_of_int (x - lo) /. float_of_int (hi - lo)
+              in
+              let frac = Float.max 0.0 (Float.min 1.0 frac) in
+              let sel =
+                match op with
+                | Pred.Eq -> 1.0 /. float_of_int (max 1 cs.ndv)
+                | Pred.Ne -> 1.0 -. (1.0 /. float_of_int (max 1 cs.ndv))
+                | Pred.Lt | Pred.Le -> frac
+                | Pred.Gt | Pred.Ge -> 1.0 -. frac
+              in
+              Float.max 0.0001 (Float.min 1.0 sel)
+          | _ -> default))
+
+let ndv t c = match col_stats t c with Some cs -> max 1 cs.ndv | None -> 100

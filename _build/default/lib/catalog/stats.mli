@@ -1,0 +1,32 @@
+(** Table and column statistics for the cost model and the workload
+    generator's cardinality targeting. *)
+
+open Mv_base
+
+type col_stats = {
+  min_v : Value.t;
+  max_v : Value.t;
+  ndv : int;  (** number of distinct values *)
+}
+
+type table_stats = {
+  row_count : int;
+  columns : (string * col_stats) list;
+}
+
+type t = (string * table_stats) list
+
+val empty : t
+
+val table : t -> string -> table_stats option
+
+val row_count : t -> string -> int
+(** Defaults to 1000 when unknown. *)
+
+val col_stats : t -> Col.t -> col_stats option
+
+val range_selectivity : t -> Col.t -> Pred.cmp -> Value.t -> float
+(** Selectivity of [col op const] under uniformity, with textbook fallback
+    guesses when statistics are missing. *)
+
+val ndv : t -> Col.t -> int

@@ -1,0 +1,40 @@
+(** A base-table definition: columns plus key constraints.
+
+    [unique_keys] holds every declared uniqueness constraint including the
+    primary key; the matching algorithm only needs to know whether a given
+    column list is a unique key of the table. *)
+
+type t = {
+  name : string;
+  columns : Column.t list;
+  primary_key : string list;
+  unique_keys : string list list;
+  checks : Mv_base.Pred.t list;
+      (** CHECK constraints over this table's columns; the matcher may add
+          them to the antecedent of the subsumption tests (section 3.1.2) *)
+}
+
+let make ~name ~columns ~primary_key ?(unique_keys = []) ?(checks = []) () =
+  let keys =
+    if primary_key = [] then unique_keys else primary_key :: unique_keys
+  in
+  { name; columns; primary_key; unique_keys = keys; checks }
+
+let find_column t name = List.find_opt (fun c -> c.Column.name = name) t.columns
+
+let column_names t = List.map (fun c -> c.Column.name) t.columns
+
+let has_column t name = List.exists (fun c -> c.Column.name = name) t.columns
+
+(* Set equality on column lists: a unique key constraint is order-insensitive. *)
+let same_cols a b =
+  List.sort String.compare a = List.sort String.compare b
+
+let is_unique_key t cols = List.exists (fun k -> same_cols k cols) t.unique_keys
+
+let pp ppf t =
+  Fmt.pf ppf "table %s(%a) pk(%a)" t.name
+    Fmt.(list ~sep:(any ", ") Column.pp)
+    t.columns
+    Fmt.(list ~sep:(any ", ") string)
+    t.primary_key

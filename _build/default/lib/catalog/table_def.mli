@@ -1,0 +1,32 @@
+(** A base-table definition: columns plus key and CHECK constraints. *)
+
+type t = {
+  name : string;
+  columns : Column.t list;
+  primary_key : string list;
+  unique_keys : string list list;
+      (** every uniqueness constraint, including the primary key *)
+  checks : Mv_base.Pred.t list;
+      (** CHECK constraints over this table's columns; the matcher adds
+          them to the antecedent of its subsumption tests *)
+}
+
+val make :
+  name:string ->
+  columns:Column.t list ->
+  primary_key:string list ->
+  ?unique_keys:string list list ->
+  ?checks:Mv_base.Pred.t list ->
+  unit ->
+  t
+
+val find_column : t -> string -> Column.t option
+
+val column_names : t -> string list
+
+val has_column : t -> string -> bool
+
+val is_unique_key : t -> string list -> bool
+(** Order-insensitive: is this column list a declared unique key? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/core/compensate.ml: Col Fmt List Mv_base Mv_relalg Pred Reject Result Routing Spj_match View

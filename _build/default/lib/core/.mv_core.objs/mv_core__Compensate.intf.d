@@ -1,0 +1,1 @@
+lib/core/compensate.mli: Mv_base Reject Routing Spj_match

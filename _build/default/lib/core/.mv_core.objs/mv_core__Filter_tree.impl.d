@@ -1,0 +1,1 @@
+lib/core/filter_tree.ml: Col Expr Lattice List Mv_base Mv_relalg Mv_util View

@@ -1,0 +1,1 @@
+lib/core/filter_tree.mli: Mv_relalg Mv_util View

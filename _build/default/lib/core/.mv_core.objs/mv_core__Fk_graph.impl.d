@@ -1,0 +1,1 @@
+lib/core/fk_graph.ml: Col Expr List Mv_base Mv_catalog Mv_relalg Mv_util Pred String

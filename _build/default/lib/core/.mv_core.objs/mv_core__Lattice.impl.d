@@ -1,0 +1,1 @@
+lib/core/lattice.ml: Hashtbl List Mv_util String

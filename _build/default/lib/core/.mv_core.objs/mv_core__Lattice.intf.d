@@ -1,0 +1,1 @@
+lib/core/lattice.mli: Hashtbl Mv_util

@@ -1,0 +1,1 @@
+lib/core/matcher.ml: Compensate Fmt List Mv_base Mv_relalg Option Output_match Reject Result Routing Spj_match Substitute View

@@ -1,0 +1,1 @@
+lib/core/matcher.mli: Mv_catalog Mv_relalg Reject Substitute View

@@ -1,0 +1,1 @@
+lib/core/output_match.ml: Col Expr Fmt List Mv_base Mv_relalg Option Reject Routing View

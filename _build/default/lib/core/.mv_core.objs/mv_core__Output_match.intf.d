@@ -1,0 +1,1 @@
+lib/core/output_match.mli: Expr Mv_base Mv_relalg Reject Routing View

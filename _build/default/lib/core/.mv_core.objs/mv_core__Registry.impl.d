@@ -1,0 +1,1 @@
+lib/core/registry.ml: Filter_tree List Matcher Mv_catalog Mv_relalg Mv_util Substitute Sys Union_match Union_substitute View

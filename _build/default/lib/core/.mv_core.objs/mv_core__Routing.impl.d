@@ -1,0 +1,1 @@
+lib/core/routing.ml: Col Expr List Mv_base Mv_catalog Mv_relalg Option Pred String View

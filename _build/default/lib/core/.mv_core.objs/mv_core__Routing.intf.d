@@ -1,0 +1,1 @@
+lib/core/routing.mli: Col Expr Mv_base Mv_relalg Pred View

@@ -1,0 +1,1 @@
+lib/core/spj_match.ml: Col Fk_graph Fmt List Mv_base Mv_catalog Mv_relalg Mv_util Pred Reject Result Value View

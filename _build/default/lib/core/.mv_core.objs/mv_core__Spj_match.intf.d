@@ -1,0 +1,1 @@
+lib/core/spj_match.mli: Col Mv_base Mv_relalg Pred Reject View

@@ -1,0 +1,1 @@
+lib/core/substitute.ml: Fmt Mv_relalg String View

@@ -1,0 +1,1 @@
+lib/core/substitute.mli: Format Mv_base Mv_relalg View

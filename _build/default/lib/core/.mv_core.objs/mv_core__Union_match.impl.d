@@ -1,0 +1,1 @@
+lib/core/union_match.ml: Col Expr List Matcher Mv_base Mv_catalog Mv_relalg Option Spj_match Union_substitute View

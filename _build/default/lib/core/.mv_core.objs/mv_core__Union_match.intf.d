@@ -1,0 +1,1 @@
+lib/core/union_match.mli: Mv_relalg Union_substitute View

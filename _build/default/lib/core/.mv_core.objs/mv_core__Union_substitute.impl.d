@@ -1,0 +1,1 @@
+lib/core/union_substitute.ml: Col Fmt List Mv_base Mv_relalg String Substitute

@@ -1,0 +1,1 @@
+lib/core/union_substitute.mli: Col Format Mv_base Mv_relalg Substitute View

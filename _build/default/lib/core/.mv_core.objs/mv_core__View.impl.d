@@ -1,0 +1,1 @@
+lib/core/view.ml: Col Expr Fk_graph Fmt List Mv_base Mv_catalog Mv_relalg Mv_util

@@ -1,0 +1,1 @@
+lib/core/view.mli: Col Format Mv_base Mv_catalog Mv_relalg Mv_util

@@ -1,0 +1,9 @@
+(** Routing of compensating predicates to view output columns
+    (section 3.1.3): equality compensations route through the view's own
+    classes, range and residual compensations through the query's. *)
+
+val all :
+  Routing.t -> Spj_match.ok -> (Mv_base.Pred.t list, Reject.t) result
+(** All compensating predicates, expressed over the view's output columns
+    (or backjoined base columns); [Error] when any referenced column cannot
+    be resolved. *)

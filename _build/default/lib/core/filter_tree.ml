@@ -1,0 +1,240 @@
+(** The filter tree of section 4: a stack of lattice indexes, one per
+    partitioning condition, that narrows the view population to a small
+    candidate set before the expensive per-view tests run.
+
+    Level order follows the paper's implementation: hubs, source tables,
+    output expressions, output columns, residual constraints, range
+    constraints; aggregation views then get two more levels (grouping
+    expressions, grouping columns) while SPJ views terminate in their own
+    bucket — an SPJ view can answer an aggregation query, but an
+    aggregation view can never answer an SPJ query. *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+module A = Mv_relalg.Analysis
+
+type level =
+  | Hubs
+  | Source_tables
+  | Output_exprs
+  | Output_cols
+  | Residuals
+  | Range_cols
+  | Grouping_exprs
+  | Grouping_cols
+
+let level_name = function
+  | Hubs -> "hubs"
+  | Source_tables -> "source-tables"
+  | Output_exprs -> "output-expressions"
+  | Output_cols -> "output-columns"
+  | Residuals -> "residual-predicates"
+  | Range_cols -> "range-constrained-columns"
+  | Grouping_exprs -> "grouping-expressions"
+  | Grouping_cols -> "grouping-columns"
+
+type plan = P_level of level * plan | P_split of plan * plan | P_bucket
+
+let default_plan =
+  let agg = List.fold_right (fun l p -> P_level (l, p))
+      [ Grouping_exprs; Grouping_cols ] P_bucket
+  in
+  List.fold_right (fun l p -> P_level (l, p))
+    [ Hubs; Source_tables; Output_exprs; Output_cols; Residuals; Range_cols ]
+    (P_split (P_bucket, agg))
+
+(* With base-table backjoins enabled, a view missing output columns can
+   still serve a query, so the two output conditions are no longer
+   necessary conditions and their levels must be dropped (weaker filtering,
+   still sound). *)
+let backjoin_plan =
+  let agg = List.fold_right (fun l p -> P_level (l, p))
+      [ Grouping_exprs; Grouping_cols ] P_bucket
+  in
+  List.fold_right (fun l p -> P_level (l, p))
+    [ Hubs; Source_tables; Residuals; Range_cols ]
+    (P_split (P_bucket, agg))
+
+type node =
+  | Bucket of { mutable views : View.t list }
+  | Agg_split of { spj : node; agg : node }
+  | Level of { level : level; rest : plan; lattice : node Lattice.t }
+
+let rec new_node = function
+  | P_bucket -> Bucket { views = [] }
+  | P_split (ps, pa) -> Agg_split { spj = new_node ps; agg = new_node pa }
+  | P_level (level, rest) -> Level { level; rest; lattice = Lattice.create () }
+
+type t = { root : node }
+
+let create ?(plan = default_plan) () = { root = new_node plan }
+
+(* ---- keys ---- *)
+
+let view_key level (v : View.t) : Sset.t =
+  match level with
+  | Hubs -> v.View.hub
+  | Source_tables -> v.View.source_tables
+  | Output_exprs -> v.View.output_expr_templates
+  | Output_cols -> View.cols_to_strings v.View.extended_output_cols
+  | Residuals -> v.View.residual_templates
+  | Range_cols -> v.View.reduced_range_cols
+  | Grouping_exprs -> v.View.grouping_expr_templates
+  | Grouping_cols -> View.cols_to_strings v.View.extended_grouping_cols
+
+(* Query-side search keys, computed once per view-matching invocation. *)
+type query_info = {
+  source_tables : Sset.t;
+  output_expr_templates : Sset.t;
+  output_classes : Sset.t list;
+      (** query equivalence class (as strings) of each bare-column output *)
+  residual_templates : Sset.t;
+  extended_range_cols : Sset.t;
+      (** all columns of every range-constrained query class *)
+  grouping_expr_templates : Sset.t;
+  grouping_classes : Sset.t list;
+  is_aggregate : bool;
+}
+
+let strings_of_colset s =
+  Col.Set.fold (fun c acc -> Sset.add (Col.to_string c) acc) s Sset.empty
+
+let query_info (q : A.t) : query_info =
+  let classes_of_cols cols =
+    List.map
+      (fun c -> strings_of_colset (Mv_relalg.Equiv.class_of q.A.equiv c))
+      cols
+  in
+  let output_cols =
+    List.filter_map
+      (fun (o : Mv_relalg.Spjg.out_item) ->
+        match o.Mv_relalg.Spjg.def with
+        | Mv_relalg.Spjg.Scalar (Expr.Col c) -> Some c
+        | _ -> None)
+      q.A.spjg.Mv_relalg.Spjg.out
+  in
+  let grouping_cols =
+    match q.A.spjg.Mv_relalg.Spjg.group_by with
+    | None -> []
+    | Some gs ->
+        List.filter_map (function Expr.Col c -> Some c | _ -> None) gs
+  in
+  let extended_range_cols =
+    List.fold_left
+      (fun acc cls -> Sset.union acc (strings_of_colset cls))
+      Sset.empty
+      (A.range_constrained_classes q)
+  in
+  {
+    source_tables = q.A.table_set;
+    output_expr_templates = A.output_expr_templates q;
+    output_classes = classes_of_cols output_cols;
+    residual_templates = A.residual_templates q;
+    extended_range_cols;
+    grouping_expr_templates = A.grouping_expr_templates q;
+    grouping_classes = classes_of_cols grouping_cols;
+    is_aggregate = Mv_relalg.Spjg.is_aggregate q.A.spjg;
+  }
+
+(* The search condition at each level, as (traversal direction, monotone
+   predicate on node keys). *)
+let level_search level (qi : query_info) =
+  let covers_classes classes k =
+    List.for_all (fun cls -> not (Sset.is_empty (Sset.inter k cls))) classes
+  in
+  match level with
+  | Hubs -> (`Up, fun k -> Sset.subset k qi.source_tables)
+  | Source_tables -> (`Down, fun k -> Sset.subset qi.source_tables k)
+  | Output_exprs -> (`Down, fun k -> Sset.subset qi.output_expr_templates k)
+  | Output_cols -> (`Down, covers_classes qi.output_classes)
+  | Residuals -> (`Up, fun k -> Sset.subset k qi.residual_templates)
+  | Range_cols -> (`Up, fun k -> Sset.subset k qi.extended_range_cols)
+  | Grouping_exprs ->
+      (`Down, fun k -> Sset.subset qi.grouping_expr_templates k)
+  | Grouping_cols -> (`Down, covers_classes qi.grouping_classes)
+
+(* The strong range-constraint condition (section 4.2.5) cannot be indexed
+   directly (it involves the view's full, class-aware constraint list), so
+   the tree navigates by the weak condition and this check runs once per
+   surviving candidate. *)
+let strong_range_ok (qi : query_info) (v : View.t) =
+  List.for_all
+    (fun cls ->
+      Col.Set.exists
+        (fun c -> Sset.mem (Col.to_string c) qi.extended_range_cols)
+        cls)
+    v.View.range_classes
+
+(* ---- insertion ---- *)
+
+let rec insert_node node (v : View.t) =
+  match node with
+  | Bucket b -> b.views <- v :: b.views
+  | Agg_split s ->
+      insert_node (if View.is_aggregate v then s.agg else s.spj) v
+  | Level l ->
+      let key = view_key l.level v in
+      let ln = Lattice.insert l.lattice key in
+      let child =
+        match ln.Lattice.payload with
+        | Some c -> c
+        | None ->
+            let c = new_node l.rest in
+            ln.Lattice.payload <- Some c;
+            c
+      in
+      insert_node child v
+
+let insert t v = insert_node t.root v
+
+let rec remove_node node (v : View.t) =
+  match node with
+  | Bucket b ->
+      b.views <- List.filter (fun x -> x.View.name <> v.View.name) b.views
+  | Agg_split s -> remove_node (if View.is_aggregate v then s.agg else s.spj) v
+  | Level l -> (
+      match Lattice.find_exact l.lattice (view_key l.level v) with
+      | None -> ()
+      | Some ln -> (
+          match ln.Lattice.payload with
+          | None -> ()
+          | Some child -> remove_node child v))
+
+let remove t v = remove_node t.root v
+
+(* ---- search ---- *)
+
+let rec search_node node (qi : query_info) acc =
+  match node with
+  | Bucket b -> List.rev_append b.views acc
+  | Agg_split s ->
+      let acc = search_node s.spj qi acc in
+      if qi.is_aggregate then search_node s.agg qi acc else acc
+  | Level l ->
+      let dir, pred = level_search l.level qi in
+      let hits = Lattice.search l.lattice ~dir ~pred in
+      List.fold_left
+        (fun acc (ln : node Lattice.node) ->
+          match ln.Lattice.payload with
+          | Some child -> search_node child qi acc
+          | None -> acc)
+        acc hits
+
+(* Candidate views for the analyzed query expression. *)
+let candidates t (q : A.t) : View.t list =
+  let qi = query_info q in
+  List.filter (strong_range_ok qi) (search_node t.root qi [])
+
+(* Number of lattice nodes across all levels, for diagnostics. *)
+let rec node_count = function
+  | Bucket _ -> 0
+  | Agg_split s -> node_count s.spj + node_count s.agg
+  | Level l ->
+      List.fold_left
+        (fun acc (ln : node Lattice.node) ->
+          acc
+          + match ln.Lattice.payload with Some c -> node_count c | None -> 0)
+        (Lattice.size l.lattice)
+        (Lattice.nodes l.lattice)
+
+let stats t = node_count t.root

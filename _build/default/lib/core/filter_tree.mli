@@ -1,0 +1,62 @@
+(** The filter tree of section 4: a stack of lattice indexes — one per
+    partitioning condition — that narrows the view population to a small
+    candidate set before the per-view tests run.
+
+    Level order follows the paper's implementation: hubs, source tables,
+    output expressions, output columns, residual predicates, range
+    constraints; aggregation views get two more levels (grouping
+    expressions, grouping columns) while SPJ views terminate early, since
+    an aggregation view can never answer an SPJ query. *)
+
+type level =
+  | Hubs
+  | Source_tables
+  | Output_exprs
+  | Output_cols
+  | Residuals
+  | Range_cols
+  | Grouping_exprs
+  | Grouping_cols
+
+val level_name : level -> string
+
+type plan = P_level of level * plan | P_split of plan * plan | P_bucket
+
+val default_plan : plan
+
+val backjoin_plan : plan
+(** Without the two output-column/expression levels, which stop being
+    necessary conditions once backjoins can restore missing columns. *)
+
+type t
+
+val create : ?plan:plan -> unit -> t
+
+type query_info = {
+  source_tables : Mv_util.Sset.t;
+  output_expr_templates : Mv_util.Sset.t;
+  output_classes : Mv_util.Sset.t list;
+  residual_templates : Mv_util.Sset.t;
+  extended_range_cols : Mv_util.Sset.t;
+  grouping_expr_templates : Mv_util.Sset.t;
+  grouping_classes : Mv_util.Sset.t list;
+  is_aggregate : bool;
+}
+
+val query_info : Mv_relalg.Analysis.t -> query_info
+(** The query-side search keys, computed once per invocation. *)
+
+val view_key : level -> View.t -> Mv_util.Sset.t
+
+val strong_range_ok : query_info -> View.t -> bool
+(** The full range-constraint condition of section 4.2.5, applied per
+    candidate after the tree navigates by the weak condition. *)
+
+val insert : t -> View.t -> unit
+
+val remove : t -> View.t -> unit
+
+val candidates : t -> Mv_relalg.Analysis.t -> View.t list
+
+val stats : t -> int
+(** Total lattice nodes across all levels. *)

@@ -1,0 +1,168 @@
+(** The lattice index of section 4.1: keys are sets organized in a DAG by
+    the subset partial order. Each node stores pointers to its minimal
+    supersets ([supers]) and maximal subsets ([subs]); nodes without
+    supersets are "tops", nodes without subsets are "roots".
+
+    Searching for all subsets of S starts at the roots and climbs superset
+    pointers; searching for supersets starts at the tops and descends. Both
+    searches prune whole regions: if a node fails, everything on the far
+    side of it fails too. The same traversal supports any monotone
+    predicate, which is how the filter tree's output-column and
+    grouping-column conditions (section 4.2.3/4.2.4) are evaluated. *)
+
+module Sset = Mv_util.Sset
+
+type 'a node = {
+  id : int;
+  key : Sset.t;
+  mutable payload : 'a option;
+  mutable supers : 'a node list;
+  mutable subs : 'a node list;
+}
+
+type 'a t = {
+  mutable tops : 'a node list;
+  mutable roots : 'a node list;
+  index : (string, 'a node) Hashtbl.t;  (** exact-key lookup *)
+  mutable next_id : int;
+}
+
+let key_repr k = String.concat "\x00" (Sset.elements k)
+
+let create () = { tops = []; roots = []; index = Hashtbl.create 64; next_id = 0 }
+
+let size t = Hashtbl.length t.index
+
+let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.index []
+
+let find_exact t key = Hashtbl.find_opt t.index (key_repr key)
+
+(* Generic pruned traversal. [`Down] starts at the tops and follows subset
+   pointers: correct when [pred] failing on a key implies it fails on every
+   subset (e.g. "key is a superset of S"). [`Up] starts at the roots and
+   follows superset pointers: correct when failure propagates to supersets
+   (e.g. "key is a subset of S"). Each node is visited at most once. *)
+let search t ~dir ~pred =
+  let visited = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec visit n =
+    if not (Hashtbl.mem visited n.id) then begin
+      Hashtbl.add visited n.id ();
+      if pred n.key then begin
+        acc := n :: !acc;
+        let next = match dir with `Down -> n.subs | `Up -> n.supers in
+        List.iter visit next
+      end
+    end
+  in
+  let start = match dir with `Down -> t.tops | `Up -> t.roots in
+  List.iter visit start;
+  !acc
+
+let supersets_of t key =
+  search t ~dir:`Down ~pred:(fun k -> Sset.subset key k)
+
+let subsets_of t key = search t ~dir:`Up ~pred:(fun k -> Sset.subset k key)
+
+(* Keep only keys with no strict subset among [ns]. *)
+let minimal_nodes ns =
+  List.filter
+    (fun n ->
+      not
+        (List.exists
+           (fun m -> m.id <> n.id && Sset.subset m.key n.key)
+           ns))
+    ns
+
+let maximal_nodes ns =
+  List.filter
+    (fun n ->
+      not
+        (List.exists
+           (fun m -> m.id <> n.id && Sset.subset n.key m.key)
+           ns))
+    ns
+
+let remove_node n ns = List.filter (fun m -> m.id <> n.id) ns
+
+let mem_node n ns = List.exists (fun m -> m.id = n.id) ns
+
+(* Insert [key] (or return the existing node). Links the new node between
+   its maximal existing subsets and minimal existing supersets, removing
+   the edges that become transitive. *)
+let insert t key =
+  match find_exact t key with
+  | Some n -> n
+  | None ->
+      let n =
+        { id = t.next_id; key; payload = None; supers = []; subs = [] }
+      in
+      t.next_id <- t.next_id + 1;
+      let supers = minimal_nodes (remove_node n (supersets_of t key)) in
+      let subs = maximal_nodes (remove_node n (subsets_of t key)) in
+      n.supers <- supers;
+      n.subs <- subs;
+      List.iter
+        (fun s ->
+          (* edges from our subsets straight to s are now transitive *)
+          let transitive, keep =
+            List.partition (fun b -> mem_node b subs) s.subs
+          in
+          List.iter (fun b -> b.supers <- remove_node s b.supers) transitive;
+          s.subs <- n :: keep)
+        supers;
+      List.iter (fun b -> b.supers <- n :: b.supers) subs;
+      (* maintain tops and roots: every subset of n is no longer a top,
+         every superset no longer a root *)
+      List.iter (fun b -> t.tops <- remove_node b t.tops) subs;
+      List.iter (fun s -> t.roots <- remove_node s t.roots) supers;
+      if supers = [] then t.tops <- n :: t.tops;
+      if subs = [] then t.roots <- n :: t.roots;
+      Hashtbl.add t.index (key_repr key) n;
+      n
+
+(* Remove the node with [key], reconnecting its subsets to its supersets
+   where no other path exists. *)
+let delete t key =
+  match find_exact t key with
+  | None -> ()
+  | Some n ->
+      Hashtbl.remove t.index (key_repr key);
+      List.iter (fun b -> b.supers <- remove_node n b.supers) n.subs;
+      List.iter (fun s -> s.subs <- remove_node n s.subs) n.supers;
+      List.iter
+        (fun b ->
+          List.iter
+            (fun s ->
+              (* add b -> s unless some existing superset of b is below s *)
+              let implied =
+                List.exists
+                  (fun x -> x.id = s.id || Sset.subset x.key s.key)
+                  b.supers
+              in
+              if not implied then begin
+                b.supers <- s :: b.supers;
+                (* drop s.subs entries that b now dominates *)
+                let dominated, keep =
+                  List.partition (fun x -> Sset.subset x.key b.key && x.id <> b.id) s.subs
+                in
+                List.iter
+                  (fun x -> x.supers <- remove_node s x.supers)
+                  dominated;
+                s.subs <- b :: keep
+              end)
+            n.supers)
+        n.subs;
+      t.tops <- remove_node n t.tops;
+      t.roots <- remove_node n t.roots;
+      (* former subs may have become tops; former supers may be roots *)
+      List.iter
+        (fun b ->
+          if b.supers = [] && not (mem_node b t.tops) then
+            t.tops <- b :: t.tops)
+        n.subs;
+      List.iter
+        (fun s ->
+          if s.subs = [] && not (mem_node s t.roots) then
+            t.roots <- s :: t.roots)
+        n.supers

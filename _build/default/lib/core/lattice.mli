@@ -1,0 +1,46 @@
+(** The lattice index of section 4.1: keys are sets organized in a DAG by
+    the subset partial order, supporting pruned subset/superset search and
+    any monotone predicate traversal. *)
+
+module Sset = Mv_util.Sset
+
+type 'a node = {
+  id : int;
+  key : Sset.t;
+  mutable payload : 'a option;
+  mutable supers : 'a node list;  (** minimal strict supersets *)
+  mutable subs : 'a node list;  (** maximal strict subsets *)
+}
+
+type 'a t = {
+  mutable tops : 'a node list;  (** nodes without supersets *)
+  mutable roots : 'a node list;  (** nodes without subsets *)
+  index : (string, 'a node) Hashtbl.t;
+  mutable next_id : int;
+}
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val nodes : 'a t -> 'a node list
+
+val find_exact : 'a t -> Sset.t -> 'a node option
+
+val search : 'a t -> dir:[ `Down | `Up ] -> pred:(Sset.t -> bool) -> 'a node list
+(** Pruned traversal. [`Down] starts at the tops and follows subset
+    pointers — correct when [pred] failing on a key implies it fails on
+    every subset. [`Up] starts at the roots and follows superset pointers —
+    correct when failure propagates to supersets. *)
+
+val supersets_of : 'a t -> Sset.t -> 'a node list
+
+val subsets_of : 'a t -> Sset.t -> 'a node list
+
+val insert : 'a t -> Sset.t -> 'a node
+(** Insert (or return the existing node), relinking minimal-superset /
+    maximal-subset edges and removing those made transitive. *)
+
+val delete : 'a t -> Sset.t -> unit
+(** Remove a key, reconnecting its subsets to its supersets where no other
+    path exists. *)

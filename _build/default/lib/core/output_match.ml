@@ -1,0 +1,131 @@
+(** Computing the query's output expressions from the view's output
+    (section 3.1.4) and the aggregation rewrites of section 3.3. *)
+
+open Mv_base
+module A = Mv_relalg.Analysis
+module Spjg = Mv_relalg.Spjg
+module Residual = Mv_relalg.Residual
+
+let view_col (view : View.t) name = Expr.Col (Col.make view.View.name name)
+
+(* A scalar expression of the query, rewritten over the view's output:
+   - constants are copied;
+   - a bare column is routed (via query classes) to an output column;
+   - a complex expression first looks for an identical view output
+     expression (template + positional column equivalence), then falls back
+     to computing it from routable source columns. *)
+let scalar (router : Routing.t) (q_equiv : Mv_relalg.Equiv.t) (e : Expr.t) :
+    Expr.t option =
+  let view = router.Routing.view in
+  let route c = Routing.route router q_equiv c in
+  match e with
+  | Expr.Const _ -> Some e
+  | Expr.Col c -> Option.map (fun c' -> Expr.Col c') (route c)
+  | _ -> (
+      let exact =
+        List.find_opt
+          (fun (e', _) -> Residual.exprs_match q_equiv e e')
+          (A.scalar_outputs view.View.analysis)
+      in
+      match exact with
+      | Some (_, name) -> Some (view_col view name)
+      | None -> Expr.map_cols_opt route e)
+
+(* The view's count_big( * ) output column; aggregation views always have
+   one (Spjg.check_indexable). *)
+let count_col (view : View.t) : string option =
+  List.find_map
+    (fun (a, name) ->
+      match a with Spjg.Count_star -> Some name | _ -> None)
+    (A.agg_outputs view.View.analysis)
+
+(* The view's SUM output matching expression [e] under the query classes. *)
+let sum_col (view : View.t) (q_equiv : Mv_relalg.Equiv.t) (e : Expr.t) :
+    string option =
+  List.find_map
+    (fun (a, name) ->
+      match a with
+      | Spjg.Sum e' when Residual.exprs_match q_equiv e e' -> Some name
+      | _ -> None)
+    (A.agg_outputs view.View.analysis)
+
+(* Rewrite one query output item over the view for the three aggregation
+   situations:
+   [`Plain]            SPJ query over SPJ view (or the SPJ part mapping);
+   [`Agg_over_spj]     aggregation query over an SPJ view: the substitute
+                       carries the query's group-by, aggregates keep their
+                       shape with rewritten arguments;
+   [`Agg_same]         aggregation query over an aggregation view with the
+                       same grouping: no further aggregation, aggregates map
+                       to the view's sum/count columns;
+   [`Agg_regroup]      aggregation query over a less aggregated view:
+                       count -> SUM(cnt), SUM(E) -> SUM(sum_E),
+                       AVG(E) -> SUM(sum_E)/SUM(cnt). *)
+let out_item (router : Routing.t) (q_equiv : Mv_relalg.Equiv.t) ~situation
+    (o : Spjg.out_item) : (Spjg.out_item, Reject.t) result =
+  let view = router.Routing.view in
+  let fail fmt =
+    Fmt.kstr (fun s -> Error (Reject.Output_not_computable s)) fmt
+  in
+  let need_scalar e k =
+    match scalar router q_equiv e with
+    | Some e' -> k e'
+    | None -> fail "expression %s" (Expr.to_string e)
+  in
+  let need_count k =
+    match count_col view with
+    | Some c -> k c
+    | None -> fail "view has no count column"
+  in
+  let need_sum e k =
+    match sum_col view q_equiv e with
+    | Some c -> k c
+    | None -> fail "no view column for sum(%s)" (Expr.to_string e)
+  in
+  let name = o.Spjg.name in
+  match (o.Spjg.def, situation) with
+  | Spjg.Scalar e, _ -> need_scalar e (fun e' -> Ok (Spjg.scalar name e'))
+  | Spjg.Aggregate Spjg.Count_star, `Agg_over_spj ->
+      Ok (Spjg.aggregate name Spjg.Count_star)
+  | Spjg.Aggregate Spjg.Count_star, `Agg_same ->
+      need_count (fun c -> Ok (Spjg.scalar name (view_col view c)))
+  | Spjg.Aggregate Spjg.Count_star, `Agg_regroup ->
+      (* COALESCE(SUM(cnt), 0): a scalar-aggregate count over an empty
+         selection must be 0, which a plain SUM would turn into NULL *)
+      need_count (fun c -> Ok (Spjg.aggregate name (Spjg.Sum0 (view_col view c))))
+  | Spjg.Aggregate (Spjg.Sum e), `Agg_over_spj ->
+      need_scalar e (fun e' -> Ok (Spjg.aggregate name (Spjg.Sum e')))
+  | Spjg.Aggregate (Spjg.Sum e), `Agg_same ->
+      need_sum e (fun c -> Ok (Spjg.scalar name (view_col view c)))
+  | Spjg.Aggregate (Spjg.Sum e), `Agg_regroup ->
+      need_sum e (fun c -> Ok (Spjg.aggregate name (Spjg.Sum (view_col view c))))
+  | Spjg.Aggregate (Spjg.Avg e), `Agg_over_spj ->
+      need_scalar e (fun e' -> Ok (Spjg.aggregate name (Spjg.Avg e')))
+  | Spjg.Aggregate (Spjg.Avg e), `Agg_same ->
+      need_sum e (fun s ->
+          need_count (fun c ->
+              Ok
+                (Spjg.scalar name
+                   (Expr.Binop (Expr.Div, view_col view s, view_col view c)))))
+  | Spjg.Aggregate (Spjg.Avg e), `Agg_regroup ->
+      need_sum e (fun s ->
+          need_count (fun c ->
+              Ok
+                (Spjg.aggregate name
+                   (Spjg.Sum_div_sum (view_col view s, view_col view c)))))
+  | Spjg.Aggregate (Spjg.Sum_div_sum _ | Spjg.Sum0 _), _ ->
+      fail "SUM/SUM and coalesced SUM are internal to substitutes"
+  | Spjg.Aggregate _, `Plain ->
+      (* Spjg.make forbids aggregates without GROUP BY *)
+      assert false
+
+let out_items router q_equiv ~situation (items : Spjg.out_item list) :
+    (Spjg.out_item list, Reject.t) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | o :: rest -> (
+        match out_item router q_equiv ~situation o with
+        | Ok o' -> go (o' :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] items

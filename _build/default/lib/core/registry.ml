@@ -1,0 +1,137 @@
+(** The view registry: all materialized views, indexed by a filter tree,
+    with the counters the paper's evaluation reports (candidate fraction,
+    pass rate, substitutes per invocation). This is the entry point the
+    optimizer's view-matching rule calls. *)
+
+module A = Mv_relalg.Analysis
+
+type stats = {
+  mutable invocations : int;
+  mutable candidates : int;  (** views surviving the filter tree *)
+  mutable matched : int;  (** candidates that produced a substitute *)
+  mutable substitutes : int;
+  mutable rule_time : float;
+      (** cumulative CPU seconds spent inside the view-matching rule
+          (filtering + per-view tests + substitute construction) *)
+}
+
+let empty_stats () =
+  {
+    invocations = 0;
+    candidates = 0;
+    matched = 0;
+    substitutes = 0;
+    rule_time = 0.0;
+  }
+
+type t = {
+  schema : Mv_catalog.Schema.t;
+  relaxed_nulls : bool;
+  backjoins : bool;
+  mutable use_filter : bool;
+  mutable views : View.t list;  (** insertion order *)
+  tree : Filter_tree.t;
+  stats : stats;
+}
+
+exception Duplicate_view of string
+
+let create ?(relaxed_nulls = false) ?(backjoins = false) ?(use_filter = true)
+    schema =
+  {
+    schema;
+    relaxed_nulls;
+    backjoins;
+    use_filter;
+    views = [];
+    tree =
+      Filter_tree.create
+        ~plan:
+          (if backjoins then Filter_tree.backjoin_plan
+           else Filter_tree.default_plan)
+        ();
+    stats = empty_stats ();
+  }
+
+let view_count t = List.length t.views
+
+let find_view t name = List.find_opt (fun v -> v.View.name = name) t.views
+
+(* Define (and index) a materialized view. *)
+let add_view t ?(row_count = 0) ?(indexes = []) ~name spjg : View.t =
+  if find_view t name <> None then raise (Duplicate_view name);
+  let view =
+    View.create ~relaxed_nulls:t.relaxed_nulls ~row_count ~indexes t.schema
+      ~name spjg
+  in
+  t.views <- t.views @ [ view ];
+  Filter_tree.insert t.tree view;
+  view
+
+(* Register an already-created view descriptor (lets experiment sweeps
+   share one descriptor across many registries instead of re-analyzing). *)
+let add_prebuilt t (view : View.t) =
+  if find_view t view.View.name <> None then
+    raise (Duplicate_view view.View.name);
+  t.views <- t.views @ [ view ];
+  Filter_tree.insert t.tree view
+
+let remove_view t name =
+  match find_view t name with
+  | None -> ()
+  | Some v ->
+      t.views <- List.filter (fun x -> x.View.name <> name) t.views;
+      Filter_tree.remove t.tree v
+
+(* Candidate views for a query expression: via the filter tree, or a
+   linear scan when the tree is disabled (the paper's "No Filter"
+   configuration). *)
+let candidates t (q : A.t) =
+  if t.use_filter then Filter_tree.candidates t.tree q else t.views
+
+(* The view-matching rule body: find all views that can compute [q] and
+   build one substitute per view. *)
+let find_substitutes t (q : A.t) : Substitute.t list =
+  let t0 = Sys.time () in
+  t.stats.invocations <- t.stats.invocations + 1;
+  let cands = candidates t q in
+  t.stats.candidates <- t.stats.candidates + List.length cands;
+  let subs =
+    List.filter_map
+      (fun v ->
+        match
+          Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
+            ~backjoins:t.backjoins ~query:q v
+        with
+        | Ok s -> Some s
+        | Error _ -> None)
+      cands
+  in
+  t.stats.matched <- t.stats.matched + List.length subs;
+  t.stats.substitutes <- t.stats.substitutes + List.length subs;
+  t.stats.rule_time <- t.stats.rule_time +. (Sys.time () -. t0);
+  subs
+
+let find_substitutes_spjg t (spjg : Mv_relalg.Spjg.t) =
+  find_substitutes t (A.analyze t.schema spjg)
+
+(* Union substitutes (section 7) over the filtered... no: views that fail
+   the range test are pruned by the filter tree's range level, so the
+   union finder scans the full population restricted by the cheap table
+   condition. *)
+let find_union_substitutes t (q : A.t) : Union_substitute.t option =
+  let coarse =
+    List.filter
+      (fun v ->
+        Mv_util.Sset.subset q.A.table_set v.View.source_tables)
+      t.views
+  in
+  Union_match.find ~relaxed_nulls:t.relaxed_nulls ~backjoins:t.backjoins q
+    coarse
+
+let reset_stats t =
+  t.stats.invocations <- 0;
+  t.stats.candidates <- 0;
+  t.stats.matched <- 0;
+  t.stats.substitutes <- 0;
+  t.stats.rule_time <- 0.0

@@ -1,0 +1,72 @@
+(** The view registry: all materialized views, indexed by a filter tree,
+    with the counters the paper's evaluation reports. This is the entry
+    point the optimizer's view-matching rule calls. *)
+
+type stats = {
+  mutable invocations : int;
+  mutable candidates : int;  (** views surviving the filter tree *)
+  mutable matched : int;  (** candidates that produced a substitute *)
+  mutable substitutes : int;
+  mutable rule_time : float;
+      (** cumulative CPU seconds spent inside the view-matching rule *)
+}
+
+type t = {
+  schema : Mv_catalog.Schema.t;
+  relaxed_nulls : bool;
+  backjoins : bool;
+      (** enable the section 7 base-table backjoin extension; also switches
+          the filter tree to {!Filter_tree.backjoin_plan} *)
+  mutable use_filter : bool;
+      (** [false] = the paper's "No Filter" configuration: candidates are
+          all views, tested linearly *)
+  mutable views : View.t list;
+  tree : Filter_tree.t;
+  stats : stats;
+}
+
+exception Duplicate_view of string
+
+val create :
+  ?relaxed_nulls:bool ->
+  ?backjoins:bool ->
+  ?use_filter:bool ->
+  Mv_catalog.Schema.t ->
+  t
+
+val view_count : t -> int
+
+val find_view : t -> string -> View.t option
+
+val add_view :
+  t ->
+  ?row_count:int ->
+  ?indexes:string list list ->
+  name:string ->
+  Mv_relalg.Spjg.t ->
+  View.t
+(** Define and index a materialized view.
+    @raise Duplicate_view on name collision.
+    @raise View.Rejected when the definition is not indexable. *)
+
+val add_prebuilt : t -> View.t -> unit
+(** Register an already-created descriptor (shared across registries by
+    the experiment sweeps). *)
+
+val remove_view : t -> string -> unit
+
+val candidates : t -> Mv_relalg.Analysis.t -> View.t list
+
+val find_substitutes : t -> Mv_relalg.Analysis.t -> Substitute.t list
+(** The view-matching rule body: filter, test every candidate, build one
+    substitute per matching view. Updates {!stats}. *)
+
+val find_substitutes_spjg : t -> Mv_relalg.Spjg.t -> Substitute.t list
+
+val find_union_substitutes : t -> Mv_relalg.Analysis.t -> Union_substitute.t option
+(** The section 7 union-substitute extension: views that individually fail
+    only the range test, composed over disjoint slices of one class. Views
+    are pre-filtered by the source-table condition only (the filter tree's
+    range level would prune exactly the views a union needs). *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,29 @@
+(** Why a view was rejected for a given query expression. Carried through
+    the pipeline for diagnostics, the CLI's EXPLAIN output and tests. *)
+
+type t =
+  | Missing_tables
+  | Extra_tables_not_eliminable
+  | Equijoin_subsumption_failed
+  | Range_subsumption_failed of string
+  | Residual_subsumption_failed of string
+  | Compensation_not_computable of string
+  | Output_not_computable of string
+  | Grouping_incompatible of string
+  | View_more_aggregated
+
+let to_string = function
+  | Missing_tables -> "view lacks tables required by the query"
+  | Extra_tables_not_eliminable ->
+      "extra view tables cannot be removed by cardinality-preserving joins"
+  | Equijoin_subsumption_failed -> "equijoin subsumption test failed"
+  | Range_subsumption_failed s -> "range subsumption test failed: " ^ s
+  | Residual_subsumption_failed s -> "residual subsumption test failed: " ^ s
+  | Compensation_not_computable s ->
+      "compensating predicate not computable from view output: " ^ s
+  | Output_not_computable s ->
+      "query output not computable from view output: " ^ s
+  | Grouping_incompatible s -> "grouping lists incompatible: " ^ s
+  | View_more_aggregated -> "view is more aggregated than the query"
+
+let pp ppf t = Fmt.string ppf (to_string t)

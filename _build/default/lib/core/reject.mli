@@ -1,0 +1,16 @@
+(** Why a view was rejected for a given query expression. *)
+
+type t =
+  | Missing_tables
+  | Extra_tables_not_eliminable
+  | Equijoin_subsumption_failed
+  | Range_subsumption_failed of string
+  | Residual_subsumption_failed of string
+  | Compensation_not_computable of string
+  | Output_not_computable of string
+  | Grouping_incompatible of string
+  | View_more_aggregated
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,252 @@
+(** The SPJ-part tests of section 3.1-3.2: does the view contain every row
+    the query needs, and which compensating predicates reduce it to exactly
+    the query's rows?
+
+    CHECK constraints are exploited exactly as the paper prescribes: they
+    hold on every base-table row, so they can be added to the query side
+    (the antecedent of the implication Wq => Wv) for the subsumption tests
+    — but they never need compensation, because the view's rows satisfy
+    them anyway.
+
+    On success this produces raw compensation data; [Compensate] then
+    routes the column references to view output columns (and can still
+    reject). *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+module A = Mv_relalg.Analysis
+module Equiv = Mv_relalg.Equiv
+module Interval = Mv_relalg.Interval
+module Range = Mv_relalg.Range
+module Residual = Mv_relalg.Residual
+module Classify = Mv_relalg.Classify
+
+type ok = {
+  q_equiv : Equiv.t;
+      (** query equivalence classes, extended with the view's extra tables,
+          the FK join conditions used to eliminate them, and check-derived
+          column equalities *)
+  comp_equalities : (Col.t * Col.t) list;
+  comp_ranges : (Col.t * Interval.t) list;
+      (** (class member, bounds still to enforce) *)
+  comp_range_sets : (Col.t * Mv_relalg.Rset.t) list;
+      (** disjunctive compensations: enforce membership of the whole set *)
+  comp_residuals : Pred.t list;
+}
+
+(* Step 1+2: table-set containment and extra-table elimination. On success,
+   the returned equivalence structure is the query's, conceptually extended
+   to the view's table set (section 3.2). *)
+let align_tables ~relaxed_nulls (query : A.t) (view : View.t) :
+    (Equiv.t, Reject.t) result =
+  if not (Sset.subset query.A.table_set view.View.source_tables) then
+    Error Reject.Missing_tables
+  else
+    let extras = Sset.diff view.View.source_tables query.A.table_set in
+    if Sset.is_empty extras then Ok (Equiv.copy query.A.equiv)
+    else
+      let mode = if relaxed_nulls then `Query query else `Strict in
+      let edges = Fk_graph.edges ~mode view.View.analysis in
+      match Fk_graph.eliminate_extras ~extras edges with
+      | None -> Error Reject.Extra_tables_not_eliminable
+      | Some used ->
+          let q_equiv = Equiv.copy query.A.equiv in
+          Equiv.add_tables query.A.schema q_equiv (Sset.to_list extras);
+          List.iter
+            (fun (e : Fk_graph.edge) ->
+              List.iter
+                (fun (f, c) -> Equiv.merge q_equiv f c)
+                e.Fk_graph.join_cols)
+            used;
+          Ok q_equiv
+
+(* The classified CHECK constraints of the view's tables (queries
+   conceptually include the extra tables after alignment, so all of the
+   view's tables contribute). *)
+let check_components (query : A.t) (view : View.t) : Classify.classified =
+  let checks =
+    Mv_catalog.Schema.checks_for query.A.schema
+      (View.spjg view).Mv_relalg.Spjg.tables
+  in
+  Classify.classify (List.concat_map Mv_relalg.Cnf.conjuncts checks)
+
+(* Step 3, equijoin subsumption: every nontrivial view class must lie
+   within one (extended) query class. The compensating column-equality
+   predicates link, within each query class, the view classes it is split
+   into (section 3.1.2). *)
+let equijoin_test (q_equiv : Equiv.t) (view : View.t) :
+    ((Col.t * Col.t) list, Reject.t) result =
+  let v_equiv = view.View.analysis.A.equiv in
+  let subsumed =
+    List.for_all (Equiv.class_within q_equiv) (Equiv.nontrivial_classes v_equiv)
+  in
+  if not subsumed then Error Reject.Equijoin_subsumption_failed
+  else
+    let comp =
+      List.concat_map
+        (fun qcls ->
+          if Col.Set.cardinal qcls < 2 then []
+          else
+            (* partition the query class by view class *)
+            let parts =
+              Col.Set.fold
+                (fun c acc ->
+                  let r = Equiv.repr v_equiv c in
+                  let cur =
+                    match Col.Map.find_opt r acc with
+                    | Some cs -> cs
+                    | None -> []
+                  in
+                  Col.Map.add r (c :: cur) acc)
+                qcls Col.Map.empty
+            in
+            let reps =
+              Col.Map.fold (fun _ cs acc -> List.hd (List.rev cs) :: acc) parts []
+              |> List.sort Col.compare
+            in
+            let rec pair = function
+              | a :: (b :: _ as rest) -> (a, b) :: pair rest
+              | [ _ ] | [] -> []
+            in
+            pair reps)
+        (Equiv.classes q_equiv)
+    in
+    Ok comp
+
+(* Step 4, range subsumption: per (extended) query class, the intersection
+   of the view's ranges over the class must contain the query's range —
+   with check-constraint ranges strengthening the query side. The
+   compensation enforces the bounds of the query's OWN range that are
+   strictly stronger than the view's effective bound; check-derived bounds
+   hold on the view's rows already and are never enforced. *)
+let range_test (q_equiv : Equiv.t)
+    ~(check_ranges : (Col.t * Pred.cmp * Value.t) list)
+    ~(check_disj : (Col.t * Interval.t list) list) (query : A.t)
+    (view : View.t) :
+    ((Col.t * Interval.t) list * (Col.t * Mv_relalg.Rset.t) list, Reject.t)
+    result =
+  let module Rset = Mv_relalg.Rset in
+  let own = query.A.classified.Classify.ranges in
+  let own_disj = query.A.classified.Classify.disj_ranges in
+  let q_own = Range.build q_equiv own own_disj in
+  let q_full =
+    Range.build q_equiv (own @ check_ranges) (own_disj @ check_disj)
+  in
+  let v_equiv = view.View.analysis.A.equiv in
+  let v_ranges = view.View.analysis.A.ranges in
+  let view_tables = (View.spjg view).Mv_relalg.Spjg.tables in
+  let exception Fail of string in
+  try
+    let comps =
+      List.filter_map
+        (fun qcls ->
+          let members = Col.Set.elements qcls in
+          let rep = List.hd members in
+          let q_test = Range.find q_equiv q_full rep in
+          let q_comp = Range.find q_equiv q_own rep in
+          (* intersection of the view range sets of all view classes
+             inside this query class *)
+          let v_set =
+            List.fold_left
+              (fun acc c ->
+                if List.mem c.Col.tbl view_tables then
+                  Rset.inter acc (Range.find v_equiv v_ranges c)
+                else acc)
+              Rset.full members
+          in
+          if not (Rset.contains ~outer:v_set ~inner:q_test) then
+            raise
+              (Fail
+                 (Fmt.str "%s: view %s does not contain query %s"
+                    (Col.to_string rep) (Rset.to_string v_set)
+                    (Rset.to_string q_test)));
+          match (v_set, q_comp) with
+          | [ v_int ], [ q_int ] ->
+              (* the single-interval fast path of section 3.1.2: enforce
+                 only the bounds that differ *)
+              let delta =
+                {
+                  Interval.lo =
+                    (if Interval.cmp_lower v_int.Interval.lo q_int.Interval.lo < 0
+                     then q_int.Interval.lo
+                     else Interval.Unbounded);
+                  Interval.hi =
+                    (if Interval.cmp_upper q_int.Interval.hi v_int.Interval.hi < 0
+                     then q_int.Interval.hi
+                     else Interval.Unbounded);
+                }
+              in
+              if Interval.is_full delta then None else Some (rep, `Delta delta)
+          | _ ->
+              (* disjunctions involved: enforce the query's own set unless
+                 the view already restricts to exactly it *)
+              if Rset.is_full q_comp || Rset.equal v_set q_comp then None
+              else Some (rep, `Set q_comp))
+        (Equiv.classes q_equiv)
+    in
+    Ok
+      ( List.filter_map
+          (function c, `Delta d -> Some (c, d) | _, `Set _ -> None)
+          comps,
+        List.filter_map
+          (function c, `Set s -> Some (c, s) | _, `Delta _ -> None)
+          comps )
+  with Fail msg -> Error (Reject.Range_subsumption_failed msg)
+
+(* Step 5, residual subsumption: every view residual must match a distinct
+   query residual — or a check-constraint residual, which holds on the
+   view's rows by definition. Unmatched residuals of the query itself
+   become compensations. *)
+let residual_test (q_equiv : Equiv.t) ~(check_residuals : Pred.t list)
+    (query : A.t) (view : View.t) : (Pred.t list, Reject.t) result =
+  let pool =
+    List.map (fun r -> (`Own, r)) query.A.residuals
+    @ List.map
+        (fun p -> (`Check, Residual.of_pred p))
+        check_residuals
+  in
+  let rec consume pool = function
+    | [] -> Ok pool
+    | (vr : Residual.t) :: rest -> (
+        let rec take seen = function
+          | [] -> None
+          | ((_, qr) as entry) :: qrest ->
+              if Residual.matches q_equiv vr qr then
+                Some (List.rev_append seen qrest)
+              else take (entry :: seen) qrest
+        in
+        match take [] pool with
+        | None ->
+            Error
+              (Reject.Residual_subsumption_failed
+                 (Fmt.str "view predicate %s has no match" vr.Residual.template))
+        | Some pool' -> consume pool' rest)
+  in
+  match consume pool view.View.analysis.A.residuals with
+  | Error _ as e -> e
+  | Ok remaining ->
+      Ok
+        (List.filter_map
+           (fun (src, r) ->
+             match src with
+             | `Own -> Some r.Residual.pred
+             | `Check -> None)
+           remaining)
+
+let run ?(relaxed_nulls = false) (query : A.t) (view : View.t) :
+    (ok, Reject.t) result =
+  let ( let* ) = Result.bind in
+  let* q_equiv = align_tables ~relaxed_nulls query view in
+  let checks = check_components query view in
+  List.iter
+    (fun (a, b) -> Equiv.merge q_equiv a b)
+    checks.Classify.col_eqs;
+  let* comp_equalities = equijoin_test q_equiv view in
+  let* comp_ranges, comp_range_sets =
+    range_test q_equiv ~check_ranges:checks.Classify.ranges
+      ~check_disj:checks.Classify.disj_ranges query view
+  in
+  let* comp_residuals =
+    residual_test q_equiv ~check_residuals:checks.Classify.residuals query view
+  in
+  Ok { q_equiv; comp_equalities; comp_ranges; comp_range_sets; comp_residuals }

@@ -1,0 +1,58 @@
+(** The SPJ-part tests of sections 3.1-3.2: table alignment (including
+    extra-table elimination), the three subsumption tests, and the raw
+    compensation data they produce. CHECK constraints strengthen the query
+    side of every implication, as section 3.1.2 prescribes. *)
+
+open Mv_base
+
+type ok = {
+  q_equiv : Mv_relalg.Equiv.t;
+      (** query classes extended with the view's extra tables, the FK join
+          conditions used to eliminate them, and check-derived equalities *)
+  comp_equalities : (Col.t * Col.t) list;
+  comp_ranges : (Col.t * Mv_relalg.Interval.t) list;
+      (** (class member, bounds still to enforce) *)
+  comp_range_sets : (Col.t * Mv_relalg.Rset.t) list;
+      (** disjunctive compensations: enforce membership of the whole set *)
+  comp_residuals : Pred.t list;
+}
+
+val align_tables :
+  relaxed_nulls:bool ->
+  Mv_relalg.Analysis.t ->
+  View.t ->
+  (Mv_relalg.Equiv.t, Reject.t) result
+(** Steps 1-2: table-set containment and extra-table elimination; on
+    success the query's equivalence classes extended to the view's table
+    set. *)
+
+val check_components :
+  Mv_relalg.Analysis.t -> View.t -> Mv_relalg.Classify.classified
+(** The classified CHECK constraints of the view's tables. *)
+
+val equijoin_test :
+  Mv_relalg.Equiv.t -> View.t -> ((Col.t * Col.t) list, Reject.t) result
+
+val range_test :
+  Mv_relalg.Equiv.t ->
+  check_ranges:(Col.t * Pred.cmp * Mv_base.Value.t) list ->
+  check_disj:(Col.t * Mv_relalg.Interval.t list) list ->
+  Mv_relalg.Analysis.t ->
+  View.t ->
+  ( (Col.t * Mv_relalg.Interval.t) list
+    * (Col.t * Mv_relalg.Rset.t) list,
+    Reject.t )
+  result
+
+val residual_test :
+  Mv_relalg.Equiv.t ->
+  check_residuals:Pred.t list ->
+  Mv_relalg.Analysis.t ->
+  View.t ->
+  (Pred.t list, Reject.t) result
+
+val run :
+  ?relaxed_nulls:bool ->
+  Mv_relalg.Analysis.t ->
+  View.t ->
+  (ok, Reject.t) result

@@ -1,0 +1,34 @@
+(** A substitute: an SPJG block over a materialized view — plus, when the
+    backjoin extension is active, the base tables joined back to the view
+    on unique keys to restore missing columns. *)
+
+module Spjg = Mv_relalg.Spjg
+
+type t = {
+  view : View.t;
+  block : Spjg.t;
+      (** references [view.name] and any backjoined base tables *)
+  backjoins : string list;
+}
+
+let make ?(backjoins = []) ?(backjoin_preds = []) view ~preds ~group_by ~out =
+  {
+    view;
+    block =
+      Spjg.make
+        ~tables:(view.View.name :: backjoins)
+        ~where:(backjoin_preds @ preds) ~group_by ~out;
+    backjoins;
+  }
+
+let to_sql t = Spjg.to_sql t.block
+
+let uses_regrouping t = Spjg.is_aggregate t.block
+
+let uses_backjoin t = t.backjoins <> []
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>-- substitute over view %s%s@,%s@]" t.view.View.name
+    (if t.backjoins = [] then ""
+     else " (backjoining " ^ String.concat ", " t.backjoins ^ ")")
+    (to_sql t)

@@ -1,0 +1,29 @@
+(** A substitute: an SPJG block over a single materialized view, equivalent
+    to the query expression it replaces — possibly joined back to base
+    tables on unique keys when the backjoin extension restored missing
+    columns (section 7). *)
+
+type t = {
+  view : View.t;
+  block : Mv_relalg.Spjg.t;
+      (** references [view.name] and any backjoined base tables *)
+  backjoins : string list;
+}
+
+val make :
+  ?backjoins:string list ->
+  ?backjoin_preds:Mv_base.Pred.t list ->
+  View.t ->
+  preds:Mv_base.Pred.t list ->
+  group_by:Mv_base.Expr.t list option ->
+  out:Mv_relalg.Spjg.out_item list ->
+  t
+
+val to_sql : t -> string
+
+val uses_regrouping : t -> bool
+(** Does the substitute aggregate the view further? *)
+
+val uses_backjoin : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,27 @@
+(** Union substitutes (section 7): when no single view contains all the
+    rows a query needs, several views can contribute disjoint slices of a
+    range and be combined with UNION ALL.
+
+    The duplication-factor pitfall the paper warns about ("if the same rows
+    can be obtained from multiple views, we have to make sure that they
+    appear in the result with the right duplication factor") is avoided by
+    construction: the slices partition the query's range on one column
+    equivalence class, and every row has exactly one value there, so each
+    query row comes from exactly one slice. *)
+
+open Mv_base
+
+type t = {
+  parts : Substitute.t list;  (** ≥ 2, disjoint slices in range order *)
+  sliced_on : Col.t;  (** the column whose range was partitioned *)
+  slices : Mv_relalg.Interval.t list;  (** the slice each part serves *)
+}
+
+let views t = List.map (fun (s : Substitute.t) -> s.Substitute.view) t.parts
+
+let to_sql t =
+  String.concat "\nUNION ALL\n" (List.map Substitute.to_sql t.parts)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>-- union substitute sliced on %a@,%s@]" Col.pp t.sliced_on
+    (to_sql t)

@@ -1,0 +1,18 @@
+(** A union substitute (section 7): disjoint range slices of one column
+    equivalence class, each served by a different view, combined with
+    UNION ALL. Disjointness makes the duplication factor exact by
+    construction. *)
+
+open Mv_base
+
+type t = {
+  parts : Substitute.t list;  (** >= 2, disjoint slices in range order *)
+  sliced_on : Col.t;
+  slices : Mv_relalg.Interval.t list;
+}
+
+val views : t -> View.t list
+
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit

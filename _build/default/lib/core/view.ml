@@ -1,0 +1,122 @@
+(** A materialized view: its SPJG definition plus the precomputed in-memory
+    description the paper keeps for fast filtering (section 4) — hub,
+    extended output/grouping column sets, residual and expression templates,
+    and range-constraint lists. *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+
+type t = {
+  name : string;
+  analysis : Mv_relalg.Analysis.t;
+  hub : Sset.t;
+  source_tables : Sset.t;
+  output_expr_templates : Sset.t;
+  extended_output_cols : Col.Set.t;
+  residual_templates : Sset.t;
+  reduced_range_cols : Sset.t;
+      (** range-constrained columns in trivial equivalence classes,
+          rendered as strings — the weak range condition key *)
+  range_classes : Col.Set.t list;
+      (** full range-constraint list: one class per constrained range *)
+  grouping_expr_templates : Sset.t;
+  extended_grouping_cols : Col.Set.t;
+  mutable row_count : int;  (** statistics for the cost model *)
+  mutable indexes : string list list;
+      (** secondary indexes over output columns (Example 1 creates one on
+          (gross_revenue, p_name)); considered automatically by the cost
+          model and built at materialization time *)
+}
+
+let cols_to_strings (s : Col.Set.t) =
+  Col.Set.fold (fun c acc -> Sset.add (Col.to_string c) acc) s Sset.empty
+
+exception Rejected of string
+
+(* [relaxed_nulls] enables the null-rejecting FK relaxation of section 3.2;
+   it makes hub computation optimistic so the hub condition never prunes a
+   view the relaxed matcher could use. *)
+let create ?(relaxed_nulls = false) ?(row_count = 0) ?(indexes = []) schema
+    ~name spjg : t =
+  (match Mv_relalg.Spjg.check_indexable spjg with
+  | Ok () -> ()
+  | Error msg -> raise (Rejected (Fmt.str "view %s is not indexable: %s" name msg)));
+  List.iter
+    (fun ix ->
+      List.iter
+        (fun c ->
+          if Mv_relalg.Spjg.find_out spjg c = None then
+            raise
+              (Rejected
+                 (Fmt.str "index column %s is not an output of view %s" c name)))
+        ix)
+    indexes;
+  let analysis = Mv_relalg.Analysis.analyze schema spjg in
+  let mode = if relaxed_nulls then `Optimistic else `Strict in
+  let trivial c =
+    Col.Set.cardinal (Mv_relalg.Equiv.class_of analysis.Mv_relalg.Analysis.equiv c) = 1
+  in
+  let reduced_range_cols =
+    List.fold_left
+      (fun acc cls ->
+        match Col.Set.elements cls with
+        | [ c ] when trivial c -> Sset.add (Col.to_string c) acc
+        | _ -> acc)
+      Sset.empty
+      (Mv_relalg.Analysis.range_constrained_classes analysis)
+  in
+  {
+    name;
+    analysis;
+    hub = Fk_graph.hub ~mode analysis;
+    source_tables = analysis.Mv_relalg.Analysis.table_set;
+    output_expr_templates = Mv_relalg.Analysis.output_expr_templates analysis;
+    extended_output_cols = Mv_relalg.Analysis.extended_output_cols analysis;
+    residual_templates = Mv_relalg.Analysis.residual_templates analysis;
+    reduced_range_cols;
+    range_classes = Mv_relalg.Analysis.range_constrained_classes analysis;
+    grouping_expr_templates = Mv_relalg.Analysis.grouping_expr_templates analysis;
+    extended_grouping_cols = Mv_relalg.Analysis.extended_grouping_cols analysis;
+    row_count;
+    indexes;
+  }
+
+let spjg t = t.analysis.Mv_relalg.Analysis.spjg
+
+let is_aggregate t = Mv_relalg.Spjg.is_aggregate (spjg t)
+
+(* Output column of the view for a plain column reference [c], looked up
+   through [equiv] (the query's classes for range/residual/output routing,
+   the view's own classes for compensating equality predicates). *)
+let output_for_col t equiv c =
+  Mv_relalg.Analysis.output_for_col t.analysis equiv c
+
+(* The view exposed as a table definition so substitutes can be parsed,
+   executed and costed like any base table. Output columns are nullable
+   unless they are bare references to non-null base columns. *)
+let as_table_def schema t : Mv_catalog.Table_def.t =
+  let sp = spjg t in
+  let columns =
+    List.map
+      (fun (o : Mv_relalg.Spjg.out_item) ->
+        match o.Mv_relalg.Spjg.def with
+        | Mv_relalg.Spjg.Scalar (Expr.Col c) ->
+            let cd = Mv_catalog.Schema.column_def_exn schema c in
+            Mv_catalog.Column.make ~nullable:cd.Mv_catalog.Column.nullable
+              o.Mv_relalg.Spjg.name cd.Mv_catalog.Column.dtype
+        | Mv_relalg.Spjg.Scalar _ ->
+            Mv_catalog.Column.make ~nullable:true o.Mv_relalg.Spjg.name
+              Mv_base.Dtype.Float
+        | Mv_relalg.Spjg.Aggregate Mv_relalg.Spjg.Count_star ->
+            Mv_catalog.Column.make ~nullable:false o.Mv_relalg.Spjg.name
+              Mv_base.Dtype.Int
+        | Mv_relalg.Spjg.Aggregate _ ->
+            Mv_catalog.Column.make ~nullable:true o.Mv_relalg.Spjg.name
+              Mv_base.Dtype.Float)
+      sp.Mv_relalg.Spjg.out
+  in
+  Mv_catalog.Table_def.make ~name:t.name ~columns ~primary_key:[] ()
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>view %s:@,%a@,hub: %a@]" t.name Mv_relalg.Spjg.pp (spjg t)
+    Sset.pp t.hub

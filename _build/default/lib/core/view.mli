@@ -1,0 +1,53 @@
+(** A materialized view: its SPJG definition plus the precomputed
+    description the paper keeps in memory for fast filtering (section 4). *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+
+type t = {
+  name : string;
+  analysis : Mv_relalg.Analysis.t;
+  hub : Sset.t;
+  source_tables : Sset.t;
+  output_expr_templates : Sset.t;
+  extended_output_cols : Col.Set.t;
+  residual_templates : Sset.t;
+  reduced_range_cols : Sset.t;
+      (** range-constrained columns in trivial equivalence classes — the
+          weak range condition key (section 4.2.5) *)
+  range_classes : Col.Set.t list;
+      (** full range-constraint list: one class per constrained range *)
+  grouping_expr_templates : Sset.t;
+  extended_grouping_cols : Col.Set.t;
+  mutable row_count : int;  (** statistics for the cost model *)
+  mutable indexes : string list list;
+      (** secondary indexes over output columns; considered automatically
+          by the cost model and built at materialization time *)
+}
+
+exception Rejected of string
+
+val cols_to_strings : Col.Set.t -> Sset.t
+
+val create :
+  ?relaxed_nulls:bool ->
+  ?row_count:int ->
+  ?indexes:string list list ->
+  Mv_catalog.Schema.t ->
+  name:string ->
+  Mv_relalg.Spjg.t ->
+  t
+(** Validates indexability and precomputes the descriptor.
+    @raise Rejected when the definition is not indexable. *)
+
+val spjg : t -> Mv_relalg.Spjg.t
+
+val is_aggregate : t -> bool
+
+val output_for_col : t -> Mv_relalg.Equiv.t -> Col.t -> string option
+
+val as_table_def : Mv_catalog.Schema.t -> t -> Mv_catalog.Table_def.t
+(** The view exposed as a table definition, so substitutes execute and
+    cost like base-table scans. *)
+
+val pp : Format.formatter -> t -> unit

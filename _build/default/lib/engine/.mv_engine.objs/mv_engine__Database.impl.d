@@ -1,0 +1,1 @@
+lib/engine/database.ml: Array Hashtbl Index List Mv_base Mv_catalog Table Value

@@ -1,0 +1,1 @@
+lib/engine/database.mli: Hashtbl Index Mv_base Mv_catalog Table

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Col Database Mv_base Mv_core Mv_relalg Relation Table Value

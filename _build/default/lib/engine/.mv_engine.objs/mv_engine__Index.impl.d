@@ -1,0 +1,1 @@
+lib/engine/index.ml: Array List Mv_base Mv_relalg Table Value

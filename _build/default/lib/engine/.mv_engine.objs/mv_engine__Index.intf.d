@@ -1,0 +1,1 @@
+lib/engine/index.mli: Mv_base Mv_relalg Table Value

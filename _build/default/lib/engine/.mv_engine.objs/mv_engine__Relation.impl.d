@@ -1,0 +1,1 @@
+lib/engine/relation.ml: Array Fmt List Mv_base Printf String Value

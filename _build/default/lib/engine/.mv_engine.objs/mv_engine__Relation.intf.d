@@ -1,0 +1,1 @@
+lib/engine/relation.mli: Format Mv_base Value

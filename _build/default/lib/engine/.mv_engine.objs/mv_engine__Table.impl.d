@@ -1,0 +1,1 @@
+lib/engine/table.ml: Array List Mv_base Mv_catalog Printf Value

@@ -1,0 +1,1 @@
+lib/engine/table.mli: Mv_base Mv_catalog Pred Value

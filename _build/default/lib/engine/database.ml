@@ -1,0 +1,111 @@
+(** A database instance: the catalog plus table contents (base tables and
+    materialized views alike). *)
+
+open Mv_base
+
+type t = {
+  schema : Mv_catalog.Schema.t;
+  tables : (string, Table.t) Hashtbl.t;
+  declared_indexes : (string, string list list) Hashtbl.t;
+      (** table -> declared index column lists *)
+  index_cache : (string * string list, Index.t) Hashtbl.t;
+      (** built lazily; invalidated on insert *)
+}
+
+let create schema =
+  let db =
+    {
+      schema;
+      tables = Hashtbl.create 16;
+      declared_indexes = Hashtbl.create 8;
+      index_cache = Hashtbl.create 8;
+    }
+  in
+  List.iter
+    (fun (td : Mv_catalog.Table_def.t) ->
+      Hashtbl.replace db.tables td.Mv_catalog.Table_def.name (Table.create td))
+    schema.Mv_catalog.Schema.tables;
+  db
+
+let table t name : Table.t option = Hashtbl.find_opt t.tables name
+
+let table_exn t name =
+  match table t name with
+  | Some tbl -> tbl
+  | None -> invalid_arg ("Database.table: unknown table " ^ name)
+
+(* Register a derived table (e.g. a materialized view's contents). *)
+let add_table t (tbl : Table.t) = Hashtbl.replace t.tables (Table.name tbl) tbl
+
+let insert t name row =
+  Table.insert (table_exn t name) row;
+  (* built indexes over this table are stale now *)
+  Hashtbl.iter
+    (fun (tbl, cols) _ ->
+      if tbl = name then Hashtbl.remove t.index_cache (tbl, cols))
+    (Hashtbl.copy t.index_cache)
+
+(* Declare a (secondary) index; it is built lazily on first use. *)
+let declare_index t ~table ~cols =
+  let td = Table.def_of (table_exn t table) in
+  List.iter
+    (fun c ->
+      if not (Mv_catalog.Table_def.has_column td c) then
+        invalid_arg ("Database.declare_index: no column " ^ c))
+    cols;
+  let cur =
+    match Hashtbl.find_opt t.declared_indexes table with
+    | Some l -> l
+    | None -> []
+  in
+  if not (List.mem cols cur) then
+    Hashtbl.replace t.declared_indexes table (cols :: cur)
+
+let declared_indexes t table =
+  match Hashtbl.find_opt t.declared_indexes table with
+  | Some l -> l
+  | None -> []
+
+(* Fetch (building if needed) the index on (table, cols). *)
+let index t ~table ~cols : Index.t option =
+  if not (List.mem cols (declared_indexes t table)) then None
+  else
+    match Hashtbl.find_opt t.index_cache (table, cols) with
+    | Some ix -> Some ix
+    | None ->
+        let ix = Index.build (table_exn t table) cols in
+        Hashtbl.replace t.index_cache (table, cols) ix;
+        Some ix
+
+let row_count t name = Table.row_count (table_exn t name)
+
+(* Compute per-table, per-column statistics from the actual contents. *)
+let stats (t : t) : Mv_catalog.Stats.t =
+  Hashtbl.fold
+    (fun name (tbl : Table.t) acc ->
+      let cols = tbl.Table.def.Mv_catalog.Table_def.columns in
+      let col_stats =
+        List.mapi
+          (fun i (c : Mv_catalog.Column.t) ->
+            let values =
+              List.filter_map
+                (fun row ->
+                  if Value.is_null row.(i) then None else Some row.(i))
+                tbl.Table.rows
+            in
+            let distinct =
+              List.sort_uniq Value.order values |> List.length
+            in
+            let min_v, max_v =
+              match List.sort Value.order values with
+              | [] -> (Value.Null, Value.Null)
+              | sorted -> (List.hd sorted, List.nth sorted (List.length sorted - 1))
+            in
+            (c.Mv_catalog.Column.name,
+             { Mv_catalog.Stats.min_v; max_v; ndv = distinct }))
+          cols
+      in
+      (name,
+       { Mv_catalog.Stats.row_count = Table.row_count tbl; columns = col_stats })
+      :: acc)
+    t.tables []

@@ -1,0 +1,36 @@
+(** A database instance: the catalog plus table contents (base tables and
+    materialized views alike). *)
+
+type t = {
+  schema : Mv_catalog.Schema.t;
+  tables : (string, Table.t) Hashtbl.t;
+  declared_indexes : (string, string list list) Hashtbl.t;
+  index_cache : (string * string list, Index.t) Hashtbl.t;
+}
+
+val create : Mv_catalog.Schema.t -> t
+(** Empty tables for every catalog table. *)
+
+val table : t -> string -> Table.t option
+
+val table_exn : t -> string -> Table.t
+
+val add_table : t -> Table.t -> unit
+(** Register a derived table (e.g. materialized view contents). *)
+
+val insert : t -> string -> Mv_base.Value.t array -> unit
+(** Also invalidates any built index over the table. *)
+
+val declare_index : t -> table:string -> cols:string list -> unit
+(** Declare a secondary index (on a base table or a materialized view);
+    built lazily on first use. *)
+
+val declared_indexes : t -> string -> string list list
+
+val index : t -> table:string -> cols:string list -> Index.t option
+(** The built index, if declared (building it on first call). *)
+
+val row_count : t -> string -> int
+
+val stats : t -> Mv_catalog.Stats.t
+(** Per-table, per-column statistics computed from the actual contents. *)

@@ -1,0 +1,331 @@
+(** Direct execution of SPJG blocks with SQL bag semantics.
+
+    The executor joins tables greedily along column-equality predicates
+    (hash join when an equijoin key is available, filtered nested loop
+    otherwise), applies each conjunct as soon as all its columns are bound,
+    then groups and projects. It is deliberately simple: it exists to give
+    ground truth for the matching algorithm's rewrites and to run the
+    examples, not to be fast. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+type bindings = Value.t Col.Map.t
+
+let env_of (b : bindings) (c : Col.t) =
+  match Col.Map.find_opt c b with
+  | Some v -> v
+  | None ->
+      raise
+        (Eval.Eval_error ("unbound column " ^ Col.to_string c))
+
+(* Bindings for one row of one table. *)
+let bind_row (tbl : Table.t) (row : Value.t array) : bindings =
+  let tname = Table.name tbl in
+  List.fold_left
+    (fun (i, acc) (c : Mv_catalog.Column.t) ->
+      (i + 1, Col.Map.add (Col.make tname c.Mv_catalog.Column.name) row.(i) acc))
+    (0, Col.Map.empty)
+    tbl.Table.def.Mv_catalog.Table_def.columns
+  |> snd
+
+(* A conjunct is applicable once every column it references is bound. *)
+let applicable bound_tables p =
+  List.for_all (fun (c : Col.t) -> List.mem c.Col.tbl bound_tables)
+    (Pred.columns p)
+
+let apply_preds preds (rows : bindings list) =
+  List.filter (fun b -> List.for_all (Eval.pred_holds (env_of b)) preds) rows
+
+(* Equijoin keys between the next table and the already-bound tables. *)
+let join_keys conjuncts ~bound ~next =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
+          if a.Col.tbl = next && List.mem b.Col.tbl bound then Some (a, b)
+          else if b.Col.tbl = next && List.mem a.Col.tbl bound then
+            Some (b, a)
+          else None
+      | _ -> None)
+    conjuncts
+
+let key_repr (vs : Value.t list) =
+  String.concat "\x01" (List.map Value.to_string vs)
+
+(* Candidate rows of [tname], narrowed through a declared index when one
+   matches the table-local predicates: equality on an index prefix, or a
+   range on the leading index column. All local predicates are re-applied
+   by the caller, so the index only has to return a superset filtered by
+   the conditions it used. *)
+let table_source db conjuncts tname : Value.t array list =
+  let tbl = Database.table_exn db tname in
+  let local =
+    List.filter
+      (fun p ->
+        let cols = Pred.columns p in
+        cols <> []
+        && List.for_all (fun (c : Col.t) -> c.Col.tbl = tname) cols)
+      conjuncts
+  in
+  let classified = Mv_relalg.Classify.classify local in
+  let eq_cols, range_cols =
+    List.fold_left
+      (fun (eqs, rngs) (c, op, _) ->
+        match op with
+        | Pred.Eq -> (c.Col.col :: eqs, rngs)
+        | _ -> (eqs, c.Col.col :: rngs))
+      ([], [])
+      classified.Mv_relalg.Classify.ranges
+  in
+  let eq_value col =
+    List.find_map
+      (fun (c, op, v) ->
+        if c.Col.col = col && op = Pred.Eq then Some v else None)
+      classified.Mv_relalg.Classify.ranges
+  in
+  let interval_of col =
+    List.fold_left
+      (fun acc (c, op, v) ->
+        if c.Col.col = col && op <> Pred.Eq then
+          Mv_relalg.Interval.intersect acc (Mv_relalg.Interval.of_cmp op v)
+        else acc)
+      Mv_relalg.Interval.full
+      classified.Mv_relalg.Classify.ranges
+  in
+  let try_index cols =
+    match Database.index db ~table:tname ~cols with
+    | None -> None
+    | Some ix -> (
+        match Index.usable_for ix ~eq_cols ~range_cols with
+        | Some (`Prefix n) ->
+            let key =
+              List.filteri (fun i _ -> i < n) cols
+              |> List.map (fun c -> Option.get (eq_value c))
+            in
+            Some (Index.prefix_lookup ix key)
+        | Some `Range ->
+            Some (Index.range_scan ix (interval_of (List.hd cols)))
+        | None -> None)
+  in
+  let best =
+    List.find_map try_index (Database.declared_indexes db tname)
+  in
+  match best with Some rows -> rows | None -> tbl.Table.rows
+
+(* Join [tbl] into the current tuples. *)
+let join_table db conjuncts ~bound (tuples : bindings list) tname :
+    string list * bindings list =
+  let tbl = Database.table_exn db tname in
+  let source_rows = table_source db conjuncts tname in
+  let keys = join_keys conjuncts ~bound ~next:tname in
+  let bound' = tname :: bound in
+  let joined =
+    if keys <> [] && tuples <> [] then begin
+      (* hash join: build on the new table, probe with current tuples *)
+      let build = Hashtbl.create 256 in
+      List.iter
+        (fun row ->
+          let b = bind_row tbl row in
+          let kv = List.map (fun (tc, _) -> Col.Map.find tc b) keys in
+          if not (List.exists Value.is_null kv) then
+            Hashtbl.add build (key_repr kv) b)
+        source_rows;
+      List.concat_map
+        (fun tup ->
+          let kv = List.map (fun (_, oc) -> Col.Map.find oc tup) keys in
+          if List.exists Value.is_null kv then []
+          else
+            List.map
+              (fun b ->
+                Col.Map.union (fun _ x _ -> Some x) tup b)
+              (Hashtbl.find_all build (key_repr kv)))
+        tuples
+    end
+    else
+      (* cross product (filtered immediately below) *)
+      List.concat_map
+        (fun tup ->
+          List.map
+            (fun row ->
+              Col.Map.union (fun _ x _ -> Some x) tup (bind_row tbl row))
+            source_rows)
+        tuples
+  in
+  (bound', joined)
+
+(* Greedy join order: start anywhere, prefer tables connected to the bound
+   set by a column-equality predicate. *)
+let order_tables conjuncts tables =
+  let connected bound t =
+    List.exists
+      (fun p ->
+        match p with
+        | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
+            (a.Col.tbl = t && List.mem b.Col.tbl bound)
+            || (b.Col.tbl = t && List.mem a.Col.tbl bound)
+        | _ -> false)
+      conjuncts
+  in
+  let rec go bound remaining acc =
+    match remaining with
+    | [] -> List.rev acc
+    | _ ->
+        let next =
+          match List.find_opt (connected bound) remaining with
+          | Some t -> t
+          | None -> List.hd remaining
+        in
+        go (next :: bound) (List.filter (( <> ) next) remaining) (next :: acc)
+  in
+  go [] tables []
+
+(* The SPJ part: the bag of fully-joined, fully-filtered tuples. *)
+let spj_tuples db (block : Spjg.t) : bindings list =
+  let conjuncts = block.Spjg.where in
+  let order = order_tables conjuncts block.Spjg.tables in
+  let rec go bound applied tuples = function
+    | [] ->
+        (* any conjunct never applied (e.g. constant-only) runs here *)
+        let rest = List.filter (fun p -> not (List.memq p applied)) conjuncts in
+        apply_preds rest tuples
+    | t :: rest ->
+        let bound', tuples' = join_table db conjuncts ~bound tuples t in
+        let ready =
+          List.filter
+            (fun p -> (not (List.memq p applied)) && applicable bound' p)
+            conjuncts
+        in
+        go bound' (ready @ applied) (apply_preds ready tuples') rest
+  in
+  go [] [] [ Col.Map.empty ] order
+
+(* ---- aggregation ---- *)
+
+let add_value a b =
+  match (a, b) with
+  | Value.Null, v | v, Value.Null -> v
+  | Value.Int x, Value.Int y -> Value.Int (x + y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) -> (
+      match (Value.as_float a, Value.as_float b) with
+      | Some x, Some y -> Value.Float (x +. y)
+      | _ -> assert false)
+  | _ -> raise (Eval.Eval_error "sum of non-numeric values")
+
+(* Aggregate evaluation per output item over the rows of one group. *)
+let eval_agg (rows : bindings list) (a : Spjg.agg) : Value.t =
+  let sum_of e =
+    List.fold_left
+      (fun acc b ->
+        match Eval.expr (env_of b) e with
+        | Value.Null -> acc
+        | v -> add_value acc v)
+      Value.Null rows
+  in
+  match a with
+  | Spjg.Count_star -> Value.Int (List.length rows)
+  | Spjg.Sum e -> sum_of e
+  | Spjg.Sum0 e -> (
+      match sum_of e with Value.Null -> Value.Int 0 | v -> v)
+  | Spjg.Avg e ->
+      let non_null =
+        List.filter
+          (fun b -> not (Value.is_null (Eval.expr (env_of b) e)))
+          rows
+      in
+      if non_null = [] then Value.Null
+      else Eval.arith Expr.Div (sum_of e) (Value.Int (List.length non_null))
+  | Spjg.Sum_div_sum (num, den) -> Eval.arith Expr.Div (sum_of num) (sum_of den)
+
+let group_key gexprs (b : bindings) =
+  List.map (fun g -> Eval.expr (env_of b) g) gexprs
+
+let execute db (block : Spjg.t) : Relation.t =
+  let tuples = spj_tuples db block in
+  let cols = Spjg.out_names block in
+  match block.Spjg.group_by with
+  | None ->
+      let rows =
+        List.map
+          (fun b ->
+            Array.of_list
+              (List.map
+                 (fun (o : Spjg.out_item) ->
+                   match o.Spjg.def with
+                   | Spjg.Scalar e -> Eval.expr (env_of b) e
+                   | Spjg.Aggregate _ -> assert false)
+                 block.Spjg.out))
+          tuples
+      in
+      { Relation.cols; rows }
+  | Some gexprs ->
+      let groups = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun b ->
+          let k = key_repr (group_key gexprs b) in
+          match Hashtbl.find_opt groups k with
+          | Some rows -> Hashtbl.replace groups k (b :: rows)
+          | None ->
+              order := k :: !order;
+              Hashtbl.add groups k [ b ])
+        tuples;
+      (* SQL: zero input rows with an empty grouping list yields one row
+         (count = 0, sums NULL); with a non-empty grouping list it yields
+         none. *)
+      let keys =
+        if tuples = [] && gexprs = [] then [ `Empty ]
+        else List.rev_map (fun k -> `Group k) !order
+      in
+      let rows =
+        List.map
+          (fun key ->
+            let group_rows =
+              match key with
+              | `Empty -> []
+              | `Group k -> Hashtbl.find groups k
+            in
+            let witness =
+              match group_rows with b :: _ -> Some b | [] -> None
+            in
+            Array.of_list
+              (List.map
+                 (fun (o : Spjg.out_item) ->
+                   match (o.Spjg.def, witness) with
+                   | Spjg.Scalar e, Some b -> Eval.expr (env_of b) e
+                   | Spjg.Scalar _, None -> Value.Null
+                   | Spjg.Aggregate a, _ -> eval_agg group_rows a)
+                 block.Spjg.out))
+          keys
+      in
+      { Relation.cols; rows }
+
+(* Materialize a view's contents as a table registered in the database. *)
+let materialize db (view : Mv_core.View.t) : Table.t =
+  let rel = execute db (Mv_core.View.spjg view) in
+  let def = Mv_core.View.as_table_def db.Database.schema view in
+  let tbl = Table.of_rows def rel.Relation.rows in
+  Database.add_table db tbl;
+  view.Mv_core.View.row_count <- List.length rel.Relation.rows;
+  List.iter
+    (fun cols ->
+      Database.declare_index db ~table:view.Mv_core.View.name ~cols)
+    view.Mv_core.View.indexes;
+  tbl
+
+(* Execute a substitute: its block references the view's materialized
+   table, which must exist in [db] (see [materialize]). *)
+let execute_substitute db (s : Mv_core.Substitute.t) : Relation.t =
+  execute db s.Mv_core.Substitute.block
+
+(* UNION ALL of a union substitute's parts (all views materialized). *)
+let execute_union db (u : Mv_core.Union_substitute.t) : Relation.t =
+  match u.Mv_core.Union_substitute.parts with
+  | [] -> invalid_arg "Exec.execute_union: empty union"
+  | first :: rest ->
+      let r0 = execute_substitute db first in
+      List.fold_left
+        (fun (acc : Relation.t) part ->
+          let r = execute_substitute db part in
+          { acc with Relation.rows = acc.Relation.rows @ r.Relation.rows })
+        r0 rest

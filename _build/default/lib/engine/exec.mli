@@ -1,0 +1,30 @@
+(** Direct execution of SPJG blocks with SQL bag semantics: greedy hash
+    joins along column-equality predicates, each conjunct applied as soon
+    as its columns are bound, then grouping and projection. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+type bindings = Value.t Col.Map.t
+
+val env_of : bindings -> Col.t -> Value.t
+(** @raise Eval.Eval_error on unbound columns. *)
+
+val eval_agg : bindings list -> Spjg.agg -> Value.t
+(** Aggregate over one group's rows; NULLs are skipped, empty sums are
+    NULL (except [Sum0], which coalesces to 0). *)
+
+val spj_tuples : Database.t -> Spjg.t -> bindings list
+(** The fully-joined, fully-filtered bag of tuples of the SPJ part. *)
+
+val execute : Database.t -> Spjg.t -> Relation.t
+
+val materialize : Database.t -> Mv_core.View.t -> Table.t
+(** Compute the view's contents, register them as a table in the database,
+    and record the row count on the view descriptor. *)
+
+val execute_substitute : Database.t -> Mv_core.Substitute.t -> Relation.t
+(** The substitute's view must have been materialized first. *)
+
+val execute_union : Database.t -> Mv_core.Union_substitute.t -> Relation.t
+(** UNION ALL of the parts; every part's view must be materialized. *)

@@ -1,0 +1,103 @@
+(** Secondary indexes over in-memory tables: a sorted array over a column
+    list, supporting equality lookup on a key prefix and range scans on the
+    first column. Materialized views get these exactly like base tables
+    (the paper's Example 1 creates one on (gross_revenue, p_name)). *)
+
+open Mv_base
+
+type t = {
+  cols : string list;  (** indexed columns, significant order *)
+  positions : int array;  (** column positions in the table's rows *)
+  entries : Value.t array array;  (** table rows sorted by the key *)
+}
+
+let key_order (positions : int array) (a : Value.t array) (b : Value.t array) =
+  let rec go i =
+    if i >= Array.length positions then 0
+    else
+      let c = Value.order a.(positions.(i)) b.(positions.(i)) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let build (tbl : Table.t) (cols : string list) : t =
+  let positions =
+    Array.of_list (List.map (Table.col_index_exn tbl) cols)
+  in
+  let entries = Array.of_list tbl.Table.rows in
+  Array.sort (key_order positions) entries;
+  { cols; positions; entries }
+
+(* first index whose entry satisfies [pred] (entries are sorted so pred
+   must be monotone: false... false true... true) *)
+let lower_bound t pred =
+  let lo = ref 0 and hi = ref (Array.length t.entries) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if pred t.entries.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+(* Rows whose first indexed column lies within [interval]. *)
+let range_scan (t : t) (interval : Mv_relalg.Interval.t) : Value.t array list =
+  let p = t.positions.(0) in
+  let lo_idx =
+    match interval.Mv_relalg.Interval.lo with
+    | Mv_relalg.Interval.Unbounded -> 0
+    | Mv_relalg.Interval.Incl v ->
+        lower_bound t (fun row -> Value.order row.(p) v >= 0)
+    | Mv_relalg.Interval.Excl v ->
+        lower_bound t (fun row -> Value.order row.(p) v > 0)
+  in
+  let hi_idx =
+    match interval.Mv_relalg.Interval.hi with
+    | Mv_relalg.Interval.Unbounded -> Array.length t.entries
+    | Mv_relalg.Interval.Incl v ->
+        lower_bound t (fun row -> Value.order row.(p) v > 0)
+    | Mv_relalg.Interval.Excl v ->
+        lower_bound t (fun row -> Value.order row.(p) v >= 0)
+  in
+  let acc = ref [] in
+  for i = hi_idx - 1 downto lo_idx do
+    (* NULLs sort first and never satisfy range predicates *)
+    if not (Value.is_null t.entries.(i).(p)) then
+      acc := t.entries.(i) :: !acc
+  done;
+  !acc
+
+(* Rows matching equality on a prefix of the indexed columns. *)
+let prefix_lookup (t : t) (key : Value.t list) : Value.t array list =
+  let k = Array.of_list key in
+  let nk = Array.length k in
+  if nk = 0 || nk > Array.length t.positions then
+    invalid_arg "Index.prefix_lookup: bad key length";
+  let cmp_prefix row =
+    let rec go i =
+      if i >= nk then 0
+      else
+        let c = Value.order row.(t.positions.(i)) k.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  in
+  let lo = lower_bound t (fun row -> cmp_prefix row >= 0) in
+  let hi = lower_bound t (fun row -> cmp_prefix row > 0) in
+  let acc = ref [] in
+  for i = hi - 1 downto lo do
+    acc := t.entries.(i) :: !acc
+  done;
+  !acc
+
+(* Can this index serve a predicate set? [`Prefix n] = equality on the
+   first n columns; [`Range] = a range on the first column. *)
+let usable_for (t : t) ~(eq_cols : string list) ~(range_cols : string list) =
+  let rec prefix n = function
+    | [] -> n
+    | c :: rest -> if List.mem c eq_cols then prefix (n + 1) rest else n
+  in
+  let n = prefix 0 t.cols in
+  if n > 0 then Some (`Prefix n)
+  else
+    match t.cols with
+    | c :: _ when List.mem c range_cols -> Some `Range
+    | _ -> None

@@ -1,0 +1,27 @@
+(** Secondary indexes over in-memory tables: a sorted array over a column
+    list, supporting equality lookup on a key prefix and range scans on the
+    first column. *)
+
+open Mv_base
+
+type t
+
+val build : Table.t -> string list -> t
+(** Sort the table's current rows by the column list. *)
+
+val range_scan : t -> Mv_relalg.Interval.t -> Value.t array list
+(** Rows whose first indexed column lies in the interval (NULLs never
+    qualify). *)
+
+val prefix_lookup : t -> Value.t list -> Value.t array list
+(** Rows matching equality on a prefix of the indexed columns.
+    @raise Invalid_argument on empty or over-long keys. *)
+
+val usable_for :
+  t ->
+  eq_cols:string list ->
+  range_cols:string list ->
+  [ `Prefix of int | `Range ] option
+(** Can this index serve the given predicate columns? [`Prefix n] =
+    equality on the first n index columns; [`Range] = a range on the
+    leading column. *)

@@ -1,0 +1,55 @@
+(** A query result: named columns and a bag of rows. Comparison is
+    multiset-based, which is what SQL equivalence of rewrites means. *)
+
+open Mv_base
+
+type t = { cols : string list; rows : Value.t array list }
+
+let empty cols = { cols; rows = [] }
+
+let cardinality t = List.length t.rows
+
+let row_order (a : Value.t array) (b : Value.t array) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i = n then compare (Array.length a) (Array.length b)
+    else
+      let c = Value.order a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+(* Multiset equality of the row bags; column order must agree. *)
+let same_bag a b =
+  List.length a.rows = List.length b.rows
+  && List.equal
+       (fun x y -> row_order x y = 0)
+       (List.sort row_order a.rows)
+       (List.sort row_order b.rows)
+
+let pp ppf t =
+  Fmt.pf ppf "%a@." Fmt.(list ~sep:(any " | ") string) t.cols;
+  List.iter
+    (fun row ->
+      Fmt.pf ppf "%a@."
+        Fmt.(list ~sep:(any " | ") Value.pp)
+        (Array.to_list row))
+    t.rows
+
+let to_string ?(max_rows = 20) t =
+  let header = String.concat " | " t.cols in
+  let sep = String.make (String.length header) '-' in
+  let shown = List.filteri (fun i _ -> i < max_rows) t.rows in
+  let body =
+    List.map
+      (fun row ->
+        String.concat " | "
+          (List.map Value.to_string (Array.to_list row)))
+      shown
+  in
+  let extra =
+    if List.length t.rows > max_rows then
+      [ Printf.sprintf "... (%d rows total)" (List.length t.rows) ]
+    else []
+  in
+  String.concat "\n" ((header :: sep :: body) @ extra)

@@ -1,0 +1,19 @@
+(** A query result: named columns and a bag of rows. *)
+
+open Mv_base
+
+type t = { cols : string list; rows : Value.t array list }
+
+val empty : string list -> t
+
+val cardinality : t -> int
+
+val row_order : Value.t array -> Value.t array -> int
+
+val same_bag : t -> t -> bool
+(** Multiset equality of the row bags — what SQL equivalence of rewrites
+    means. Column order must agree. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : ?max_rows:int -> t -> string

@@ -1,0 +1,32 @@
+(** An in-memory base table: definition plus rows (value arrays ordered
+    like the definition's column list). *)
+
+open Mv_base
+
+type t = {
+  def : Mv_catalog.Table_def.t;
+  mutable rows : Value.t array list;
+}
+
+val create : Mv_catalog.Table_def.t -> t
+
+val of_rows : Mv_catalog.Table_def.t -> Value.t array list -> t
+
+val name : t -> string
+
+val def_of : t -> Mv_catalog.Table_def.t
+
+val row_count : t -> int
+
+val col_index : t -> string -> int option
+
+val col_index_exn : t -> string -> int
+
+val insert : t -> Value.t array -> unit
+(** @raise Invalid_argument on arity mismatch. *)
+
+val check_violations : t -> Pred.t list
+(** CHECK constraints some row violates. *)
+
+val null_violations : t -> string list
+(** Not-null columns containing a NULL. *)

@@ -1,0 +1,1 @@
+lib/experiments/harness.mli: Mv_catalog Mv_core Mv_relalg

@@ -1,0 +1,98 @@
+(** The measurement harness behind section 5's experiments: optimize a
+    fixed query batch against the first N of a fixed view population, under
+    the four configurations (substitutes on/off x filter tree on/off), and
+    collect the counters the paper reports. *)
+
+module Spjg = Mv_relalg.Spjg
+
+type config = { alt : bool; filter : bool }
+
+let config_name c =
+  (if c.alt then "Alt" else "NoAlt")
+  ^ "&" ^ if c.filter then "Filter" else "NoFilter"
+
+let all_configs =
+  [
+    { alt = true; filter = true };
+    { alt = false; filter = true };
+    { alt = true; filter = false };
+    { alt = false; filter = false };
+  ]
+
+type measurement = {
+  nviews : int;
+  config : config;
+  queries : int;
+  total_time : float;  (** CPU seconds for the whole query batch *)
+  rule_time : float;  (** CPU seconds inside the view-matching rule *)
+  invocations : int;
+  candidates : int;
+  matched : int;
+  substitutes : int;
+  plans_using_views : int;
+}
+
+type workload = {
+  schema : Mv_catalog.Schema.t;
+  stats : Mv_catalog.Stats.t;
+  views : Mv_core.View.t list;  (** the full population, in order *)
+  queries : Spjg.t list;
+}
+
+(* Build the fixed workload once; view descriptors are shared across all
+   runs. *)
+let make_workload ?(view_seed = 1001) ?(query_seed = 2002) ?(nviews = 1000)
+    ?(nqueries = 200) () : workload =
+  let schema = Mv_tpch.Schema.schema in
+  let stats = Mv_tpch.Datagen.synthetic_stats () in
+  let views =
+    List.map
+      (fun (name, spjg) ->
+        let row_count = Mv_opt.Cost.estimate_view_rows stats spjg in
+        Mv_core.View.create ~row_count schema ~name spjg)
+      (Mv_workload.Generator.views ~seed:view_seed schema stats nviews)
+  in
+  let queries = Mv_workload.Generator.queries ~seed:query_seed schema stats nqueries in
+  { schema; stats; views; queries }
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+(* One measurement: first [nviews] views, one configuration. *)
+let run (w : workload) ~nviews ~(config : config) : measurement =
+  let registry = Mv_core.Registry.create ~use_filter:config.filter w.schema in
+  List.iter (Mv_core.Registry.add_prebuilt registry) (take nviews w.views);
+  let opt_config =
+    { Mv_opt.Optimizer.produce_substitutes = config.alt }
+  in
+  let plans_using_views = ref 0 in
+  let t0 = Sys.time () in
+  List.iter
+    (fun q ->
+      let r = Mv_opt.Optimizer.optimize ~config:opt_config registry w.stats q in
+      if r.Mv_opt.Optimizer.used_views then incr plans_using_views)
+    w.queries;
+  let total_time = Sys.time () -. t0 in
+  let s = registry.Mv_core.Registry.stats in
+  {
+    nviews;
+    config;
+    queries = List.length w.queries;
+    total_time;
+    rule_time = s.Mv_core.Registry.rule_time;
+    invocations = s.Mv_core.Registry.invocations;
+    candidates = s.Mv_core.Registry.candidates;
+    matched = s.Mv_core.Registry.matched;
+    substitutes = s.Mv_core.Registry.substitutes;
+    plans_using_views = !plans_using_views;
+  }
+
+(* The full grid for the figures. A discarded warmup run first: the very
+   first measurement otherwise pays one-time allocation/GC costs. *)
+let sweep (w : workload) ~nviews_list ~configs : measurement list =
+  (match configs with
+  | c :: _ -> ignore (run w ~nviews:0 ~config:c)
+  | [] -> ());
+  List.concat_map
+    (fun nviews ->
+      List.map (fun config -> run w ~nviews ~config) configs)
+    nviews_list

@@ -1,0 +1,47 @@
+(** The measurement harness behind section 5's experiments: optimize a
+    fixed query batch against the first N of a fixed view population under
+    the four configurations, collecting the paper's counters. *)
+
+module Spjg = Mv_relalg.Spjg
+
+type config = { alt : bool; filter : bool }
+
+val config_name : config -> string
+
+val all_configs : config list
+
+type measurement = {
+  nviews : int;
+  config : config;
+  queries : int;
+  total_time : float;
+  rule_time : float;
+  invocations : int;
+  candidates : int;
+  matched : int;
+  substitutes : int;
+  plans_using_views : int;
+}
+
+type workload = {
+  schema : Mv_catalog.Schema.t;
+  stats : Mv_catalog.Stats.t;
+  views : Mv_core.View.t list;
+  queries : Spjg.t list;
+}
+
+val make_workload :
+  ?view_seed:int ->
+  ?query_seed:int ->
+  ?nviews:int ->
+  ?nqueries:int ->
+  unit ->
+  workload
+
+val take : int -> 'a list -> 'a list
+
+val run : workload -> nviews:int -> config:config -> measurement
+
+val sweep :
+  workload -> nviews_list:int list -> configs:config list -> measurement list
+(** The full grid, with one discarded warmup run first. *)

@@ -1,0 +1,121 @@
+(** Formatting of the paper's figures and in-text statistics from sweep
+    measurements. Every printer states what the paper reported so the
+    output reads as paper-vs-measured. *)
+
+let pr fmt = Printf.printf fmt
+
+let find ms ~nviews ~config =
+  List.find_opt
+    (fun (m : Harness.measurement) ->
+      m.Harness.nviews = nviews && m.Harness.config = config)
+    ms
+
+let configs_ordered =
+  [
+    { Harness.alt = true; filter = true };
+    { Harness.alt = false; filter = true };
+    { Harness.alt = true; filter = false };
+    { Harness.alt = false; filter = false };
+  ]
+
+(* Figure 2: total optimization time vs number of views, four curves. *)
+let figure2 (ms : Harness.measurement list) nviews_list =
+  pr "\n== Figure 2: optimization time vs number of views ==\n";
+  pr "paper: optimization time grows linearly; with the filter tree the\n";
+  pr "increase at 1000 views is ~60%%, without it ~110%%.\n\n";
+  pr "%8s" "views";
+  List.iter
+    (fun c -> pr " %14s" (Harness.config_name c))
+    configs_ordered;
+  pr "\n";
+  List.iter
+    (fun n ->
+      pr "%8d" n;
+      List.iter
+        (fun c ->
+          match find ms ~nviews:n ~config:c with
+          | Some m -> pr " %13.3fs" m.Harness.total_time
+          | None -> pr " %14s" "-")
+        configs_ordered;
+      pr "\n")
+    nviews_list;
+  (* headline ratios *)
+  let base c = find ms ~nviews:0 ~config:c in
+  let last c = find ms ~nviews:(List.fold_left max 0 nviews_list) ~config:c in
+  let incr c =
+    match (base c, last c) with
+    | Some b, Some l when b.Harness.total_time > 0.0 ->
+        Some
+          ((l.Harness.total_time -. b.Harness.total_time)
+           /. b.Harness.total_time *. 100.0)
+    | _ -> None
+  in
+  (match incr { Harness.alt = true; filter = true } with
+  | Some pct -> pr "\nincrease with filter tree: %+.0f%% (paper: ~+60%%)\n" pct
+  | None -> ());
+  match incr { Harness.alt = true; filter = false } with
+  | Some pct -> pr "increase without filter tree: %+.0f%% (paper: ~+110%%)\n" pct
+  | None -> ()
+
+(* Figure 3: total increase in optimization time vs time spent inside the
+   view-matching rule (filter tree enabled, substitutes produced). *)
+let figure3 (ms : Harness.measurement list) nviews_list =
+  pr "\n== Figure 3: increase in optimization time vs view-matching time ==\n";
+  pr "paper: at 1000 views about half of the increase is spent inside the\n";
+  pr "view-matching rule; with few views almost all of it is.\n\n";
+  let cfg = { Harness.alt = true; filter = true } in
+  let base = find ms ~nviews:0 ~config:cfg in
+  pr "%8s %16s %18s\n" "views" "total increase" "view-matching time";
+  List.iter
+    (fun n ->
+      match (find ms ~nviews:n ~config:cfg, base) with
+      | Some m, Some b ->
+          pr "%8d %15.3fs %17.3fs\n" n
+            (m.Harness.total_time -. b.Harness.total_time)
+            m.Harness.rule_time
+      | _ -> ())
+    nviews_list
+
+(* Figure 4: number of final plans using materialized views. *)
+let figure4 (ms : Harness.measurement list) nviews_list =
+  pr "\n== Figure 4: final plans using materialized views ==\n";
+  pr "paper: ~60%% of queries use a view at 200 views, ~87%% at 1000.\n\n";
+  let cfg = { Harness.alt = true; filter = true } in
+  pr "%8s %12s %10s\n" "views" "plans w/view" "fraction";
+  List.iter
+    (fun n ->
+      match find ms ~nviews:n ~config:cfg with
+      | Some m ->
+          pr "%8d %12d %9.0f%%\n" n m.Harness.plans_using_views
+            (100.0 *. float_of_int m.Harness.plans_using_views
+             /. float_of_int (max 1 m.Harness.queries))
+      | None -> ())
+    nviews_list
+
+(* The in-text statistics of section 5 (T1-T5 in DESIGN.md). *)
+let stats_table (ms : Harness.measurement list) nviews_list =
+  pr "\n== In-text statistics (section 5) ==\n";
+  pr "paper: candidate set < 0.4%% of views (0.29%% @100, 0.36%% @1000);\n";
+  pr "15-20%% of candidates pass full matching; substitutes/invocation\n";
+  pr "0.04 @100 -> 0.59 @1000; ~17.8 invocations/query; substitutes/query\n";
+  pr "0.7 @100 -> 10.5 @1000.\n\n";
+  let cfg = { Harness.alt = true; filter = true } in
+  pr "%8s %10s %12s %10s %12s %12s\n" "views" "cand/view" "pass-rate"
+    "subs/inv" "inv/query" "subs/query";
+  List.iter
+    (fun n ->
+      if n > 0 then
+        match find ms ~nviews:n ~config:cfg with
+        | Some m ->
+            let fi = float_of_int in
+            pr "%8d %9.2f%% %11.1f%% %10.2f %12.1f %12.2f\n" n
+              (100.0 *. fi m.Harness.candidates
+               /. fi (max 1 m.Harness.invocations)
+               /. fi n)
+              (100.0 *. fi m.Harness.matched
+               /. fi (max 1 m.Harness.candidates))
+              (fi m.Harness.substitutes /. fi (max 1 m.Harness.invocations))
+              (fi m.Harness.invocations /. fi (max 1 m.Harness.queries))
+              (fi m.Harness.substitutes /. fi (max 1 m.Harness.queries))
+        | None -> ())
+    nviews_list

@@ -1,0 +1,1 @@
+lib/opt/block.ml: Col Expr List Mv_base Mv_relalg Pred Printf String Value

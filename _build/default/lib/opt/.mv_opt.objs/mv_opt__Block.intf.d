@@ -1,0 +1,1 @@
+lib/opt/block.mli: Col Mv_base Mv_relalg Pred

@@ -1,0 +1,1 @@
+lib/opt/cost.ml: Expr Float List Mv_base Mv_catalog Mv_relalg Pred

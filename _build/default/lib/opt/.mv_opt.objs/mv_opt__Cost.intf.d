@@ -1,0 +1,1 @@
+lib/opt/cost.mli: Expr Mv_base Mv_catalog Mv_relalg Pred

@@ -1,0 +1,1 @@
+lib/opt/optimizer.mli: Mv_catalog Mv_core Mv_relalg Plan

@@ -1,0 +1,1 @@
+lib/opt/plan.ml: Col Expr Fmt List Mv_base Mv_core Mv_relalg Pred String

@@ -1,0 +1,1 @@
+lib/opt/plan.mli: Col Expr Format Mv_base Mv_core Mv_relalg Pred

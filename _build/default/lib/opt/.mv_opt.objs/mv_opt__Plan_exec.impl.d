@@ -1,0 +1,1 @@
+lib/opt/plan_exec.ml: Array Col Eval Hashtbl List Mv_base Mv_core Mv_engine Mv_relalg Plan String Value

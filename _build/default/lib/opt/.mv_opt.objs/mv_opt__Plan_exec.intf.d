@@ -1,0 +1,1 @@
+lib/opt/plan_exec.mli: Mv_engine Mv_relalg Plan

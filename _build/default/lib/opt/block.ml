@@ -1,0 +1,154 @@
+(** Construction of the SPJG subexpression blocks on which the
+    view-matching rule is invoked: the block of a table subset, and the
+    preaggregated inner blocks of section 3.3's Example 4. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+(* Conjuncts of [query] that only reference tables in [subset]. *)
+let local_preds (query : Spjg.t) (subset : string list) =
+  List.filter
+    (fun p ->
+      List.for_all (fun (c : Col.t) -> List.mem c.Col.tbl subset)
+        (Pred.columns p))
+    query.Spjg.where
+
+(* Columns of [subset] tables the rest of the query still needs: referenced
+   by crossing conjuncts, by the output list, or by the grouping list. *)
+let needed_cols (query : Spjg.t) (subset : string list) : Col.t list =
+  let local = local_preds query subset in
+  let crossing =
+    List.filter (fun p -> not (List.memq p local)) query.Spjg.where
+  in
+  let all =
+    List.concat_map Pred.columns crossing
+    @ Col.Set.elements (Spjg.referenced_columns query)
+  in
+  List.sort_uniq Col.compare
+    (List.filter (fun (c : Col.t) -> List.mem c.Col.tbl subset) all)
+
+let out_of_cols cols : Spjg.out_item list =
+  (* TPC-H column names are globally unique; fall back to tbl_col when a
+     name collides across tables *)
+  let dup name cols =
+    List.length (List.filter (fun (c : Col.t) -> c.Col.col = name) cols) > 1
+  in
+  List.map
+    (fun (c : Col.t) ->
+      let name = if dup c.Col.col cols then c.Col.tbl ^ "_" ^ c.Col.col else c.Col.col in
+      Spjg.scalar name (Expr.Col c))
+    cols
+
+(* SPJ block for a subset of the query's tables. *)
+let sub_block (query : Spjg.t) (subset : string list) : Spjg.t =
+  if List.sort String.compare subset = query.Spjg.tables && query.Spjg.group_by = None
+  then query
+  else
+    Spjg.make ~tables:subset ~where:(local_preds query subset) ~group_by:None
+      ~out:(out_of_cols (needed_cols query subset))
+
+(* The SPJ part of the whole query (aggregation stripped): outputs every
+   column the grouping and aggregation still need. *)
+let spj_part (query : Spjg.t) : Spjg.t =
+  match query.Spjg.group_by with
+  | None -> query
+  | Some _ ->
+      let cols = Col.Set.elements (Spjg.referenced_columns query) in
+      Spjg.make ~tables:query.Spjg.tables ~where:query.Spjg.where
+        ~group_by:None ~out:(out_of_cols cols)
+
+(* A preaggregated inner block over [subset] (Example 4): group the subset
+   by (query grouping expressions local to the subset) + (crossing join
+   columns), output those plus count_big and the query's SUM/AVG inputs.
+   Returns the block plus the binding spec of its aggregate outputs. *)
+type preagg = {
+  block : Spjg.t;
+  agg_binds : (string * Spjg.agg) list;
+      (** inner output name -> the query aggregate it serves *)
+}
+
+let preagg_block (query : Spjg.t) (subset : string list) : preagg option =
+  match query.Spjg.group_by with
+  | None -> None
+  | Some gq ->
+      let in_subset (c : Col.t) = List.mem c.Col.tbl subset in
+      let agg_args =
+        List.filter_map
+          (fun (o : Spjg.out_item) ->
+            match o.Spjg.def with
+            | Spjg.Aggregate (Spjg.Sum e | Spjg.Avg e) -> Some e
+            | Spjg.Aggregate (Spjg.Sum_div_sum _) -> Some (Expr.Const Value.Null)
+            | _ -> None)
+          query.Spjg.out
+      in
+      (* every aggregate argument must be computable inside the subset *)
+      if
+        not
+          (List.for_all
+             (fun e -> List.for_all in_subset (Expr.columns e))
+             agg_args)
+      then None
+      else
+        let local_group =
+          List.filter (fun g -> List.for_all in_subset (Expr.columns g)) gq
+        in
+        (* subset columns the outside still needs: crossing conjuncts and
+           scalar (non-aggregate) outputs — NOT aggregate arguments (the
+           inner sums consume them) and NOT purely local predicates *)
+        let local = local_preds query subset in
+        let crossing_conjunct_cols =
+          List.concat_map Pred.columns
+            (List.filter (fun p -> not (List.memq p local)) query.Spjg.where)
+        in
+        let scalar_out_cols =
+          List.concat_map
+            (fun (o : Spjg.out_item) ->
+              match o.Spjg.def with
+              | Spjg.Scalar e -> Expr.columns e
+              | Spjg.Aggregate _ -> [])
+            query.Spjg.out
+        in
+        let crossing_cols =
+          List.sort_uniq Col.compare
+            (List.filter in_subset (crossing_conjunct_cols @ scalar_out_cols))
+        in
+        let grouping =
+          (* grouping expressions, then any crossing column not already
+             grouped (as bare columns) *)
+          local_group
+          @ List.filter_map
+              (fun c ->
+                let e = Expr.Col c in
+                if List.exists (Expr.equal e) local_group then None
+                else Some e)
+              crossing_cols
+        in
+        let group_outs =
+          List.mapi
+            (fun i g ->
+              match g with
+              | Expr.Col c -> Spjg.scalar c.Col.col (Expr.Col c)
+              | e -> Spjg.scalar (Printf.sprintf "g_%d" i) e)
+            grouping
+        in
+        let sum_outs, agg_binds =
+          List.fold_left
+            (fun (outs, binds) (o : Spjg.out_item) ->
+              match o.Spjg.def with
+              | Spjg.Aggregate ((Spjg.Sum e | Spjg.Avg e) as a) ->
+                  let name = "s_" ^ o.Spjg.name in
+                  if List.mem_assoc name binds then (outs, binds)
+                  else
+                    ( outs @ [ Spjg.aggregate name (Spjg.Sum e) ],
+                      binds @ [ (name, a) ] )
+              | _ -> (outs, binds))
+            ([], []) query.Spjg.out
+        in
+        let out = group_outs @ [ Spjg.aggregate "cnt" Spjg.Count_star ] @ sum_outs in
+        match
+          Spjg.make ~tables:subset
+            ~where:(local_preds query subset)
+            ~group_by:(Some grouping) ~out
+        with
+        | block -> Some { block; agg_binds }
+        | exception Spjg.Invalid _ -> None

@@ -1,0 +1,32 @@
+(** Construction of the SPJG subexpression blocks the view-matching rule
+    is invoked on: per-table-subset blocks and the preaggregated inner
+    blocks of section 3.3 (Example 4). *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+val local_preds : Spjg.t -> string list -> Pred.t list
+(** Conjuncts referencing only the subset's tables. *)
+
+val needed_cols : Spjg.t -> string list -> Col.t list
+(** Subset columns the rest of the query still needs. *)
+
+val out_of_cols : Col.t list -> Spjg.out_item list
+
+val sub_block : Spjg.t -> string list -> Spjg.t
+(** The SPJ block of a table subset (the query itself on the full set). *)
+
+val spj_part : Spjg.t -> Spjg.t
+(** The query with its aggregation stripped, outputting every column the
+    grouping and aggregates need. *)
+
+type preagg = {
+  block : Spjg.t;
+  agg_binds : (string * Spjg.agg) list;
+      (** inner output name -> the query aggregate it serves *)
+}
+
+val preagg_block : Spjg.t -> string list -> preagg option
+(** Group the subset by local grouping expressions + crossing columns,
+    producing count and partial sums; [None] when an aggregate argument
+    crosses the boundary or the query is not aggregated. *)

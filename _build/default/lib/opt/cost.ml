@@ -1,0 +1,84 @@
+(** Cardinality and cost estimation: a deliberately textbook model
+    (uniformity + independence) — the experiments measure optimizer
+    behaviour, not estimation quality, and the workload generator of
+    section 5 needs the same estimates to target its cardinality bands. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+module Stats = Mv_catalog.Stats
+
+(* Selectivity of a single conjunct. *)
+let conjunct_selectivity (stats : Stats.t) (p : Pred.t) : float =
+  match Mv_relalg.Classify.classify_one p with
+  | `Col_eq (a, b) ->
+      (* equijoin: 1/max(ndv) — also reasonable for same-table equality *)
+      1.0 /. float_of_int (max (Stats.ndv stats a) (Stats.ndv stats b))
+  | `Range (c, op, v) -> Stats.range_selectivity stats c op v
+  | `Disj_range (c, intervals) ->
+      (* sum the interval fractions, assuming disjointness after
+         normalization *)
+      let interval_sel (i : Mv_relalg.Interval.t) =
+        let upper =
+          match i.Mv_relalg.Interval.hi with
+          | Mv_relalg.Interval.Unbounded -> 1.0
+          | Mv_relalg.Interval.Incl v | Mv_relalg.Interval.Excl v ->
+              Stats.range_selectivity stats c Pred.Le v
+        in
+        let below =
+          match i.Mv_relalg.Interval.lo with
+          | Mv_relalg.Interval.Unbounded -> 0.0
+          | Mv_relalg.Interval.Incl v | Mv_relalg.Interval.Excl v ->
+              Stats.range_selectivity stats c Pred.Lt v
+        in
+        Float.max 0.0005 (upper -. below)
+      in
+      Float.min 1.0
+        (List.fold_left
+           (fun acc i -> acc +. interval_sel i)
+           0.0
+           (Mv_relalg.Rset.normalize intervals))
+  | `Residual p -> (
+      match p with
+      | Pred.Like _ -> 0.1
+      | Pred.Is_null _ -> 0.02
+      | Pred.Not _ -> 0.9
+      | Pred.Or _ -> 0.5
+      | _ -> 0.25)
+
+(* Estimated rows of an SPJ part: product of table cardinalities times all
+   conjunct selectivities. *)
+let spj_rows (stats : Stats.t) ~tables ~(where : Pred.t list) : float =
+  let base =
+    List.fold_left
+      (fun acc t -> acc *. float_of_int (max 1 (Stats.row_count stats t)))
+      1.0 tables
+  in
+  let sel =
+    List.fold_left (fun acc p -> acc *. conjunct_selectivity stats p) 1.0 where
+  in
+  Float.max 1.0 (base *. sel)
+
+(* Distinct groups of a grouping list, capped by input rows. *)
+let group_rows (stats : Stats.t) ~(input : float) (gexprs : Expr.t list) :
+    float =
+  if gexprs = [] then 1.0
+  else
+    let ndv_of g =
+      match g with
+      | Expr.Col c -> float_of_int (Stats.ndv stats c)
+      | _ -> 100.0
+    in
+    let prod = List.fold_left (fun acc g -> acc *. ndv_of g) 1.0 gexprs in
+    (* groups cannot exceed input rows; dampen the independence blowup *)
+    Float.max 1.0 (Float.min prod (input /. 2.0 +. 1.0))
+
+let block_rows (stats : Stats.t) (b : Spjg.t) : float =
+  let spj = spj_rows stats ~tables:b.Spjg.tables ~where:b.Spjg.where in
+  match b.Spjg.group_by with
+  | None -> spj
+  | Some gs -> group_rows stats ~input:spj gs
+
+(* Estimated row count used when registering a view without materializing
+   it (the benches run against statistics only). *)
+let estimate_view_rows stats (spjg : Spjg.t) : int =
+  int_of_float (block_rows stats spjg)

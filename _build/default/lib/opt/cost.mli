@@ -1,0 +1,17 @@
+(** Cardinality and cost estimation: a textbook uniformity/independence
+    model, shared by the optimizer and the workload generator's
+    cardinality targeting. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+module Stats = Mv_catalog.Stats
+
+val conjunct_selectivity : Stats.t -> Pred.t -> float
+
+val spj_rows : Stats.t -> tables:string list -> where:Pred.t list -> float
+
+val group_rows : Stats.t -> input:float -> Expr.t list -> float
+
+val block_rows : Stats.t -> Spjg.t -> float
+
+val estimate_view_rows : Stats.t -> Spjg.t -> int

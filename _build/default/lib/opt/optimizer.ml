@@ -1,0 +1,498 @@
+(** Memo-based transformation optimizer.
+
+    Conceptually a scaled-down Cascades: the query's SPJ core is explored
+    bottom-up over connected table subsets; every enumerated subset is an
+    SPJG subexpression on which the view-matching rule (Registry) is
+    invoked, exactly like SQL Server invokes the rule on every SPJG
+    expression the memo generates. Substitutes become leaf plans and
+    compete on cost with join plans. Aggregation queries additionally
+    explore preaggregated alternatives (Example 4's group-by pushdown), so
+    a view like v4 can serve a query that also joins tables the view does
+    not contain.
+
+    Two switches reproduce the paper's four measurement configurations:
+    [produce_substitutes] ("Alt") keeps/discards the rule's output, and the
+    registry's [use_filter] enables/disables the filter tree. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+module A = Mv_relalg.Analysis
+
+type config = { produce_substitutes : bool }
+
+let default_config = { produce_substitutes = true }
+
+type result = {
+  plan : Plan.t;
+  cost : float;
+  rows : float;
+  used_views : bool;
+}
+
+(* binding spec of a leaf: bare-column outputs rebind to their base column,
+   everything else to a synthetic #agg column *)
+let leaf_binds (block : Spjg.t) =
+  List.map
+    (fun (o : Spjg.out_item) ->
+      match o.Spjg.def with
+      | Spjg.Scalar (Expr.Col c) -> (o.Spjg.name, c)
+      | _ -> (o.Spjg.name, Col.make "#agg" o.Spjg.name))
+    block.Spjg.out
+
+let scan_leaf stats (block : Spjg.t) =
+  let rows = Cost.block_rows stats block in
+  let base =
+    List.fold_left
+      (fun acc t ->
+        acc +. float_of_int (max 1 (Mv_catalog.Stats.row_count stats t)))
+      0.0 block.Spjg.tables
+  in
+  Plan.Leaf
+    {
+      source = Plan.Computed block;
+      binds = leaf_binds block;
+      est_rows = rows;
+      est_cost = base +. rows;
+    }
+
+let view_leaf schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) =
+  let view = s.Mv_core.Substitute.view in
+  let rows = Cost.block_rows stats block in
+  let vrows = float_of_int (max 1 view.Mv_core.View.row_count) in
+  (* cost unit = rows x relative row width: the view projects a subset of
+     its tables' columns, so scanning it moves proportionally less data
+     than scanning the base tables *)
+  let width =
+    let out = List.length (Mv_core.View.spjg view).Spjg.out in
+    let total =
+      List.fold_left
+        (fun acc t ->
+          acc
+          + List.length
+              (Mv_catalog.Table_def.column_names
+                 (Mv_catalog.Schema.table_exn schema t)))
+        0
+        (Mv_core.View.spjg view).Spjg.tables
+    in
+    Float.max 0.15 (float_of_int out /. float_of_int (max 1 total))
+  in
+  (* secondary indexes on the view are considered automatically: a
+     compensating equality on an index prefix (or a range on its leading
+     column) turns the full view scan into an index lookup *)
+  let scan_cost =
+    let cl =
+      Mv_relalg.Classify.classify
+        (List.filter
+           (fun p ->
+             List.for_all
+               (fun (c : Col.t) -> c.Col.tbl = view.Mv_core.View.name)
+               (Pred.columns p))
+           s.Mv_core.Substitute.block.Spjg.where)
+    in
+    let eq_cols, range_cols =
+      List.fold_left
+        (fun (eqs, rngs) (c, op, _) ->
+          match op with
+          | Pred.Eq -> (c.Col.col :: eqs, rngs)
+          | _ -> (eqs, c.Col.col :: rngs))
+        ([], []) cl.Mv_relalg.Classify.ranges
+    in
+    let indexed =
+      List.exists
+        (fun ix ->
+          match ix with
+          | [] -> false
+          | first :: _ -> List.mem first eq_cols || List.mem first range_cols)
+        view.Mv_core.View.indexes
+    in
+    if indexed then
+      (* log-time positioning plus the qualifying fraction of the view *)
+      (Float.log2 (vrows +. 2.0) +. Float.min vrows (rows *. 2.0)) *. width
+    else vrows *. width
+  in
+  let group_extra =
+    if Mv_core.Substitute.uses_regrouping s then scan_cost else 0.0
+  in
+  (* backjoined base tables are re-scanned *)
+  let backjoin_extra =
+    List.fold_left
+      (fun acc t ->
+        acc +. float_of_int (max 1 (Mv_catalog.Stats.row_count stats t)))
+      0.0 s.Mv_core.Substitute.backjoins
+  in
+  Plan.Leaf
+    {
+      source = Plan.Via s;
+      binds = leaf_binds block;
+      est_rows = rows;
+      est_cost = scan_cost +. group_extra +. backjoin_extra +. rows;
+    }
+
+(* ---- join graph over the query's tables ---- *)
+
+let table_edges (query : Spjg.t) =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b)
+        when a.Col.tbl <> b.Col.tbl ->
+          Some (a.Col.tbl, b.Col.tbl)
+      | _ -> None)
+    query.Spjg.where
+
+let connected edges tables =
+  match tables with
+  | [] -> false
+  | first :: _ ->
+      let rec grow seen =
+        let next =
+          List.filter
+            (fun t ->
+              (not (List.mem t seen))
+              && List.exists
+                   (fun (a, b) ->
+                     (a = t && List.mem b seen) || (b = t && List.mem a seen))
+                   edges)
+            tables
+        in
+        match next with [] -> seen | _ -> grow (next @ seen)
+      in
+      List.length (grow [ first ]) = List.length tables
+
+(* ---- the memo ---- *)
+
+type entry = { plan : Plan.t; rows : float; block : Spjg.t }
+
+let popcount m =
+  let rec go m acc = if m = 0 then acc else go (m lsr 1) (acc + (m land 1)) in
+  go m 0
+
+let tables_of_mask tables mask =
+  List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list tables)
+
+(* crossing column-equality conjuncts between two table sets *)
+let cross_keys (query : Spjg.t) left_tables right_tables =
+  List.filter_map
+    (fun p ->
+      match p with
+      | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
+          if List.mem a.Col.tbl left_tables && List.mem b.Col.tbl right_tables
+          then Some (a, b)
+          else if
+            List.mem b.Col.tbl left_tables && List.mem a.Col.tbl right_tables
+          then Some (b, a)
+          else None
+      | _ -> None)
+    query.Spjg.where
+
+let cheaper a b = if Plan.est_cost a <= Plan.est_cost b then a else b
+
+(* Is pushing the group-by below the join boundary safe for [remaining]
+   tables? Each must be joined on a full unique key (see DESIGN.md):
+   then every preaggregated row matches at most one row per remaining
+   table, so sums are never duplicated. *)
+let safe_preagg (qa : A.t) schema remaining =
+  List.for_all
+    (fun r ->
+      let td = Mv_catalog.Schema.table_exn schema r in
+      let keys =
+        td.Mv_catalog.Table_def.primary_key :: td.Mv_catalog.Table_def.unique_keys
+      in
+      List.exists
+        (fun key ->
+          key <> []
+          && List.for_all
+               (fun k ->
+                 let c = Col.make r k in
+                 Col.Set.exists
+                   (fun c' -> c'.Col.tbl <> r)
+                   (Mv_relalg.Equiv.class_of qa.A.equiv c))
+               key)
+        keys)
+    remaining
+
+let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
+    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
+  let schema = registry.Mv_core.Registry.schema in
+  let spj = Block.spj_part query in
+  let tables = Array.of_list spj.Spjg.tables in
+  let n = Array.length tables in
+  let edges = table_edges query in
+  let memo : (int, entry) Hashtbl.t = Hashtbl.create 64 in
+  let full = (1 lsl n) - 1 in
+  let query_connected = n = 1 || connected edges (Array.to_list tables) in
+  (* invoke the view-matching rule on a block; returns leaf plans *)
+  let rule_leaves block =
+    let subs =
+      Mv_core.Registry.find_substitutes registry (A.analyze schema block)
+    in
+    if config.produce_substitutes then
+      List.map (view_leaf schema stats block) subs
+    else []
+  in
+  for mask = 1 to full do
+    let ts = tables_of_mask tables mask in
+    let is_conn = connected edges ts || popcount mask = 1 in
+    (* disconnected queries (no workload generates them, but users can
+       write them) fall back to exhaustive enumeration with cartesian
+       joins *)
+    if is_conn || not query_connected then begin
+      let block = Block.sub_block spj ts in
+      let rows = Cost.block_rows stats block in
+      let best = ref None in
+      let consider p =
+        best := Some (match !best with None -> p | Some q -> cheaper p q)
+      in
+      if popcount mask = 1 then consider (scan_leaf stats block)
+      else begin
+        (* join splits *)
+        let sub = ref ((mask - 1) land mask) in
+        while !sub > 0 do
+          let a = !sub and b = mask land lnot !sub in
+          if a < b then begin
+            match (Hashtbl.find_opt memo a, Hashtbl.find_opt memo b) with
+            | Some ea, Some eb ->
+                let lt = tables_of_mask tables a
+                and rt = tables_of_mask tables b in
+                let keys = cross_keys spj lt rt in
+                if keys <> [] || not is_conn then begin
+                  let local = Block.local_preds spj ts in
+                  let post =
+                    List.filter
+                      (fun p ->
+                        (not (List.memq p (Block.local_preds spj lt)))
+                        && (not (List.memq p (Block.local_preds spj rt)))
+                        && not
+                             (List.exists
+                                (fun (x, y) ->
+                                  Pred.equal p
+                                    (Pred.Cmp (Pred.Eq, Expr.Col x, Expr.Col y))
+                                  || Pred.equal p
+                                       (Pred.Cmp
+                                          (Pred.Eq, Expr.Col y, Expr.Col x)))
+                                keys))
+                      local
+                  in
+                  let cost =
+                    Plan.est_cost ea.plan +. Plan.est_cost eb.plan
+                    +. ea.rows +. eb.rows +. rows
+                  in
+                  (* build both orders conceptually; cost model is symmetric
+                     so one suffices *)
+                  consider
+                    (Plan.Join
+                       {
+                         left = ea.plan;
+                         right = eb.plan;
+                         keys;
+                         post;
+                         est_rows = rows;
+                         est_cost = cost;
+                       })
+                end
+            | _ -> ()
+          end;
+          sub := (!sub - 1) land mask
+        done
+      end;
+      if is_conn then List.iter consider (rule_leaves block);
+      match !best with
+      | Some plan -> Hashtbl.replace memo mask { plan; rows; block }
+      | None -> ()
+    end
+  done;
+  let spj_entry =
+    match Hashtbl.find_opt memo full with
+    | Some e -> e
+    | None -> failwith "optimizer: no plan for the full table set"
+  in
+  match query.Spjg.group_by with
+  | None ->
+      let plan = spj_entry.plan in
+      {
+        plan;
+        cost = Plan.est_cost plan;
+        rows = Plan.est_rows plan;
+        used_views = Plan.uses_view plan;
+      }
+  | Some gq ->
+      let qa = A.analyze schema query in
+      let agg_over input =
+        let in_rows = Plan.est_rows input in
+        let rows = Cost.group_rows stats ~input:in_rows gq in
+        Plan.Aggregate
+          {
+            input;
+            group_by = gq;
+            out = query.Spjg.out;
+            est_rows = rows;
+            est_cost = Plan.est_cost input +. in_rows;
+          }
+      in
+      let best = ref (agg_over spj_entry.plan) in
+      let consider p = if Plan.est_cost p < Plan.est_cost !best then best := p in
+      (* whole-query substitutes *)
+      List.iter consider
+        (let subs = Mv_core.Registry.find_substitutes registry qa in
+         if config.produce_substitutes then
+           List.map (view_leaf schema stats query) subs
+         else []);
+      (* preaggregated alternatives *)
+      for mask = 1 to full - 1 do
+        let ts = tables_of_mask tables mask in
+        if connected edges ts || popcount mask = 1 then begin
+          let remaining = tables_of_mask tables (full land lnot mask) in
+          match Block.preagg_block query ts with
+          | Some pa
+            when safe_preagg qa schema remaining
+                 && List.for_all
+                      (function Expr.Col _ -> true | _ -> false)
+                      (Option.value ~default:[]
+                         pa.Block.block.Spjg.group_by) ->
+              let inner_rows = Cost.block_rows stats pa.Block.block in
+              let inner_scan =
+                let base =
+                  List.fold_left
+                    (fun acc t ->
+                      acc
+                      +. float_of_int
+                           (max 1 (Mv_catalog.Stats.row_count stats t)))
+                    0.0 ts
+                in
+                Plan.Leaf
+                  {
+                    source = Plan.Computed pa.Block.block;
+                    binds = leaf_binds pa.Block.block;
+                    est_rows = inner_rows;
+                    est_cost = base +. inner_rows;
+                  }
+              in
+              let inner_views = rule_leaves pa.Block.block in
+              List.iter
+                (fun inner ->
+                  (* join the preaggregated result with the remaining
+                     tables, greedily *)
+                  let rec attach plan joined = function
+                    | [] -> Some plan
+                    | rest ->
+                        let avail = ts @ joined in
+                        let next =
+                          List.find_opt
+                            (fun r -> cross_keys query avail [ r ] <> [])
+                            rest
+                        in
+                        let next =
+                          match next with
+                          | Some r -> Some r
+                          | None -> (
+                              match rest with [] -> None | r :: _ -> Some r)
+                        in
+                        (match next with
+                        | None -> None
+                        | Some r ->
+                            let avail_after = r :: avail in
+                            let keys = cross_keys query avail [ r ] in
+                            let rblock = Block.sub_block spj [ r ] in
+                            let rplan = scan_leaf stats rblock in
+                            (* non-equality conjuncts that become fully
+                               bound once r joins (and were not already
+                               applied below) *)
+                            let post =
+                              List.filter
+                                (fun p ->
+                                  let cols = Pred.columns p in
+                                  List.exists
+                                    (fun (c : Col.t) -> c.Col.tbl = r)
+                                    cols
+                                  && List.exists
+                                       (fun (c : Col.t) -> c.Col.tbl <> r)
+                                       cols
+                                  && List.for_all
+                                       (fun (c : Col.t) ->
+                                         List.mem c.Col.tbl avail_after)
+                                       cols
+                                  && not
+                                       (List.exists
+                                          (fun (x, y) ->
+                                            Pred.equal p
+                                              (Pred.Cmp
+                                                 (Pred.Eq, Expr.Col x, Expr.Col y))
+                                            || Pred.equal p
+                                                 (Pred.Cmp
+                                                    (Pred.Eq, Expr.Col y,
+                                                     Expr.Col x)))
+                                          keys))
+                                query.Spjg.where
+                            in
+                            (* remaining tables join on unique keys, so the
+                               result cardinality stays at the inner side's *)
+                            let rows = Plan.est_rows plan in
+                            let j =
+                              Plan.Join
+                                {
+                                  left = plan;
+                                  right = rplan;
+                                  keys;
+                                  post;
+                                  est_rows = rows;
+                                  est_cost =
+                                    Plan.est_cost plan +. Plan.est_cost rplan
+                                    +. Plan.est_rows plan
+                                    +. Plan.est_rows rplan +. rows;
+                                }
+                            in
+                            attach j (r :: joined)
+                              (List.filter (( <> ) r) rest))
+                  in
+                  match attach inner [] remaining with
+                  | None -> ()
+                  | Some joined_plan ->
+                      (* outer aggregation rewritten over the
+                         preaggregated bindings *)
+                      let cnt = Expr.Col (Col.make "#agg" "cnt") in
+                      let outer_out =
+                        List.map
+                          (fun (o : Spjg.out_item) ->
+                            match o.Spjg.def with
+                            | Spjg.Scalar e -> Spjg.scalar o.Spjg.name e
+                            | Spjg.Aggregate Spjg.Count_star ->
+                                Spjg.aggregate o.Spjg.name (Spjg.Sum0 cnt)
+                            | Spjg.Aggregate (Spjg.Sum _) ->
+                                Spjg.aggregate o.Spjg.name
+                                  (Spjg.Sum
+                                     (Expr.Col
+                                        (Col.make "#agg" ("s_" ^ o.Spjg.name))))
+                            | Spjg.Aggregate (Spjg.Avg _) ->
+                                Spjg.aggregate o.Spjg.name
+                                  (Spjg.Sum_div_sum
+                                     ( Expr.Col
+                                         (Col.make "#agg" ("s_" ^ o.Spjg.name)),
+                                       cnt ))
+                            | Spjg.Aggregate (Spjg.Sum_div_sum _ | Spjg.Sum0 _)
+                              ->
+                                (* never present in user queries *)
+                                assert false)
+                          query.Spjg.out
+                      in
+                      let in_rows = Plan.est_rows joined_plan in
+                      let rows = Cost.group_rows stats ~input:in_rows gq in
+                      consider
+                        (Plan.Aggregate
+                           {
+                             input = joined_plan;
+                             group_by = gq;
+                             out = outer_out;
+                             est_rows = rows;
+                             est_cost = Plan.est_cost joined_plan +. in_rows;
+                           }))
+                (inner_scan :: inner_views)
+          | _ -> ()
+        end
+      done;
+      let plan = !best in
+      {
+        plan;
+        cost = Plan.est_cost plan;
+        rows = Plan.est_rows plan;
+        used_views = Plan.uses_view plan;
+      }

@@ -1,0 +1,26 @@
+(** Memo-based transformation optimizer: bottom-up exploration of
+    connected table subsets, the view-matching rule invoked on every
+    enumerated SPJG subexpression, substitutes competing on cost, plus the
+    preaggregation alternative of section 3.3 (Example 4).
+
+    [produce_substitutes] = the paper's "Alt" switch (the rule still runs
+    when off, for the NoAlt measurement mode); the registry's [use_filter]
+    is the "Filter" switch. *)
+
+type config = { produce_substitutes : bool }
+
+val default_config : config
+
+type result = {
+  plan : Plan.t;
+  cost : float;
+  rows : float;
+  used_views : bool;
+}
+
+val optimize :
+  ?config:config ->
+  Mv_core.Registry.t ->
+  Mv_catalog.Stats.t ->
+  Mv_relalg.Spjg.t ->
+  result

@@ -1,0 +1,141 @@
+(** Execution of optimizer plans against an in-memory database, for
+    validating that every plan the optimizer emits (with or without views)
+    computes the same relation as direct execution of the query. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+type bindings = Value.t Col.Map.t
+
+let env_of (b : bindings) (c : Col.t) =
+  match Col.Map.find_opt c b with
+  | Some v -> v
+  | None -> raise (Eval.Eval_error ("unbound column " ^ Col.to_string c))
+
+(* Views used by the plan must be materialized in [db] beforehand. *)
+let rec run db (plan : Plan.t) : bindings list =
+  match plan with
+  | Plan.Leaf { source; binds; _ } ->
+      let rel =
+        match source with
+        | Plan.Computed b -> Mv_engine.Exec.execute db b
+        | Plan.Via s -> Mv_engine.Exec.execute_substitute db s
+      in
+      let keys =
+        List.map
+          (fun name ->
+            match List.assoc_opt name binds with
+            | Some c -> c
+            | None -> Col.make "#agg" name)
+          rel.Mv_engine.Relation.cols
+      in
+      List.map
+        (fun row ->
+          List.fold_left2
+            (fun acc c v -> Col.Map.add c v acc)
+            Col.Map.empty keys (Array.to_list row))
+        rel.Mv_engine.Relation.rows
+  | Plan.Join { left; right; keys; post; _ } ->
+      let ls = run db left and rs = run db right in
+      let joined =
+        if keys = [] then
+          List.concat_map
+            (fun l ->
+              List.map (fun r -> Col.Map.union (fun _ x _ -> Some x) l r) rs)
+            ls
+        else begin
+          let repr vs = String.concat "\x01" (List.map Value.to_string vs) in
+          let build = Hashtbl.create 256 in
+          List.iter
+            (fun r ->
+              let kv = List.map (fun (_, rc) -> env_of r rc) keys in
+              if not (List.exists Value.is_null kv) then
+                Hashtbl.add build (repr kv) r)
+            rs;
+          List.concat_map
+            (fun l ->
+              let kv = List.map (fun (lc, _) -> env_of l lc) keys in
+              if List.exists Value.is_null kv then []
+              else
+                List.map
+                  (fun r -> Col.Map.union (fun _ x _ -> Some x) l r)
+                  (Hashtbl.find_all build (repr kv)))
+            ls
+        end
+      in
+      List.filter
+        (fun b -> List.for_all (Eval.pred_holds (env_of b)) post)
+        joined
+  | Plan.Aggregate { input; group_by; out; _ } ->
+      let rows = run db input in
+      let repr vs = String.concat "\x01" (List.map Value.to_string vs) in
+      let groups = Hashtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun b ->
+          let k = repr (List.map (fun g -> Eval.expr (env_of b) g) group_by) in
+          match Hashtbl.find_opt groups k with
+          | Some gr -> Hashtbl.replace groups k (b :: gr)
+          | None ->
+              order := k :: !order;
+              Hashtbl.add groups k [ b ])
+        rows;
+      let keys =
+        if rows = [] && group_by = [] then [ `Empty ]
+        else List.rev_map (fun k -> `Group k) !order
+      in
+      List.map
+        (fun key ->
+          let grp =
+            match key with `Empty -> [] | `Group k -> Hashtbl.find groups k
+          in
+          let witness = match grp with b :: _ -> Some b | [] -> None in
+          List.fold_left
+            (fun acc (o : Spjg.out_item) ->
+              let v =
+                match (o.Spjg.def, witness) with
+                | Spjg.Scalar e, Some b -> Eval.expr (env_of b) e
+                | Spjg.Scalar _, None -> Value.Null
+                | Spjg.Aggregate a, _ -> Mv_engine.Exec.eval_agg grp a
+              in
+              Col.Map.add (Col.make "#out" o.Spjg.name) v acc)
+            Col.Map.empty out)
+        keys
+
+(* Materialize every view the plan reads. *)
+let prepare db (plan : Plan.t) =
+  let rec views = function
+    | Plan.Leaf { source = Plan.Via s; _ } -> [ s.Mv_core.Substitute.view ]
+    | Plan.Leaf _ -> []
+    | Plan.Join { left; right; _ } -> views left @ views right
+    | Plan.Aggregate { input; _ } -> views input
+  in
+  List.iter
+    (fun v ->
+      if Mv_engine.Database.table db v.Mv_core.View.name = None then
+        ignore (Mv_engine.Exec.materialize db v))
+    (views plan)
+
+(* Produce the final relation with the query's output names. *)
+let execute db (query : Spjg.t) (plan : Plan.t) : Mv_engine.Relation.t =
+  prepare db plan;
+  let cols = Spjg.out_names query in
+  let rows = run db plan in
+  let final b (o : Spjg.out_item) : Value.t =
+    (* aggregation plans bind final outputs to #out; leaf-only plans bind
+       computed outputs to #agg; otherwise evaluate over base columns *)
+    match Col.Map.find_opt (Col.make "#out" o.Spjg.name) b with
+    | Some v -> v
+    | None -> (
+        match Col.Map.find_opt (Col.make "#agg" o.Spjg.name) b with
+        | Some v -> v
+        | None -> (
+            match o.Spjg.def with
+            | Spjg.Scalar e -> Eval.expr (env_of b) e
+            | Spjg.Aggregate _ ->
+                raise (Eval.Eval_error "unbound aggregate output")))
+  in
+  {
+    Mv_engine.Relation.cols;
+    rows = List.map (fun b -> Array.of_list (List.map (final b) query.Spjg.out)) rows;
+  }

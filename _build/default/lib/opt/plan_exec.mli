@@ -1,0 +1,10 @@
+(** Execution of optimizer plans against an in-memory database — the test
+    bridge proving every emitted plan computes the query's relation. *)
+
+val prepare : Mv_engine.Database.t -> Plan.t -> unit
+(** Materialize every view the plan reads (idempotent). *)
+
+val execute :
+  Mv_engine.Database.t -> Mv_relalg.Spjg.t -> Plan.t -> Mv_engine.Relation.t
+(** Run the plan (materializing views first) and produce the final
+    relation with the query's output names. *)

@@ -1,0 +1,1 @@
+lib/relalg/analysis.ml: Classify Col Equiv Expr List Mv_base Mv_catalog Mv_util Range Residual Spjg

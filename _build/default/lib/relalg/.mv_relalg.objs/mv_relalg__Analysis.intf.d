@@ -1,0 +1,1 @@
+lib/relalg/analysis.mli: Classify Col Equiv Expr Mv_base Mv_catalog Mv_util Range Residual Spjg

@@ -1,0 +1,1 @@
+lib/relalg/classify.ml: Col Expr Interval List Mv_base Option Pred Value

@@ -1,0 +1,1 @@
+lib/relalg/classify.mli: Col Interval Mv_base Pred Value

@@ -1,0 +1,1 @@
+lib/relalg/cnf.ml: List Mv_base Pred

@@ -1,0 +1,1 @@
+lib/relalg/cnf.mli: Mv_base Pred

@@ -1,0 +1,1 @@
+lib/relalg/equiv.ml: Col Fmt List Mv_base Mv_catalog Mv_util

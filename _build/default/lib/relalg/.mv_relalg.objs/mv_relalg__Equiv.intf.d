@@ -1,0 +1,1 @@
+lib/relalg/equiv.mli: Col Format Mv_base Mv_catalog

@@ -1,0 +1,1 @@
+lib/relalg/interval.ml: Expr Fmt Mv_base Pred Value

@@ -1,0 +1,1 @@
+lib/relalg/interval.mli: Expr Format Mv_base Pred Value

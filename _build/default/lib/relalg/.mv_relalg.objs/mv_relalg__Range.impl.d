@@ -1,0 +1,1 @@
+lib/relalg/range.ml: Col Equiv Fmt Interval List Mv_base Pred Rset Value

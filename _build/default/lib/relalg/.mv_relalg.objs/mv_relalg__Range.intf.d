@@ -1,0 +1,1 @@
+lib/relalg/range.mli: Col Equiv Format Interval Mv_base Pred Rset Value

@@ -1,0 +1,1 @@
+lib/relalg/residual.ml: Col Equiv Expr Fmt List Mv_base Pred String

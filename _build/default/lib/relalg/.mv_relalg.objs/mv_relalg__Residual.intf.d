@@ -1,0 +1,1 @@
+lib/relalg/residual.mli: Col Equiv Expr Format Mv_base Pred

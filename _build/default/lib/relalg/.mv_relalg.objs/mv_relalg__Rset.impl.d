@@ -1,0 +1,1 @@
+lib/relalg/rset.ml: Expr Fmt Interval List Mv_base Pred String Value

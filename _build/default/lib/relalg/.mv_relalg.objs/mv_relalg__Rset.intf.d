@@ -1,0 +1,1 @@
+lib/relalg/rset.mli: Expr Format Interval Mv_base Pred Value

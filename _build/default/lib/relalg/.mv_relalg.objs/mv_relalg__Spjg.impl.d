@@ -1,0 +1,1 @@
+lib/relalg/spjg.ml: Cnf Col Expr Fmt List Mv_base Pred String

@@ -1,0 +1,1 @@
+lib/relalg/spjg.mli: Col Expr Format Mv_base Pred

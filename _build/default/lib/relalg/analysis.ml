@@ -1,0 +1,130 @@
+(** Derived information about an SPJG block: the classified predicate
+    components, column equivalence classes, per-class ranges and residual
+    templates. This is computed once per query subexpression and once per
+    view (the paper's in-memory "view description"). *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+
+type t = {
+  spjg : Spjg.t;
+  schema : Mv_catalog.Schema.t;
+  table_set : Sset.t;
+  classified : Classify.classified;
+  equiv : Equiv.t;
+  ranges : Range.map;
+  residuals : Residual.t list;
+}
+
+let analyze (schema : Mv_catalog.Schema.t) (spjg : Spjg.t) : t =
+  let classified = Classify.classify spjg.Spjg.where in
+  let equiv =
+    Equiv.build schema ~tables:spjg.Spjg.tables
+      ~col_eqs:classified.Classify.col_eqs
+  in
+  let ranges =
+    Range.build equiv classified.Classify.ranges
+      classified.Classify.disj_ranges
+  in
+  let residuals = List.map Residual.of_pred classified.Classify.residuals in
+  {
+    spjg;
+    schema;
+    table_set = Sset.of_list spjg.Spjg.tables;
+    classified;
+    equiv;
+    ranges;
+    residuals;
+  }
+
+(* Outputs that are bare column references: column -> output name. *)
+let col_outputs (t : t) : (Col.t * string) list =
+  List.filter_map
+    (fun (o : Spjg.out_item) ->
+      match o.Spjg.def with
+      | Spjg.Scalar (Expr.Col c) -> Some (c, o.Spjg.name)
+      | _ -> None)
+    t.spjg.Spjg.out
+
+(* All scalar outputs: expression -> output name (includes bare columns). *)
+let scalar_outputs (t : t) : (Expr.t * string) list =
+  List.filter_map
+    (fun (o : Spjg.out_item) ->
+      match o.Spjg.def with
+      | Spjg.Scalar e -> Some (e, o.Spjg.name)
+      | Spjg.Aggregate _ -> None)
+    t.spjg.Spjg.out
+
+let agg_outputs (t : t) : (Spjg.agg * string) list =
+  List.filter_map
+    (fun (o : Spjg.out_item) ->
+      match o.Spjg.def with
+      | Spjg.Aggregate a -> Some (a, o.Spjg.name)
+      | Spjg.Scalar _ -> None)
+    t.spjg.Spjg.out
+
+(* Find a view output column for column [c], looking through the given
+   equivalence structure: any column equivalent to [c] that the block
+   outputs as a bare column qualifies (section 3.1.3). *)
+let output_for_col (t : t) (equiv : Equiv.t) (c : Col.t) : string option =
+  let outs = col_outputs t in
+  let rec go = function
+    | [] -> None
+    | (c', name) :: rest -> if Equiv.same equiv c c' then Some name else go rest
+  in
+  (* prefer an exact match for stable, readable substitutes *)
+  match List.assoc_opt c (List.map (fun (a, b) -> (a, b)) outs) with
+  | Some name -> Some name
+  | None -> go outs
+
+(* Extended output column list (section 4.2.3): every column equivalent to
+   some bare-column output of the block, under the block's own classes. *)
+let extended_output_cols (t : t) : Col.Set.t =
+  List.fold_left
+    (fun acc (c, _) -> Col.Set.union acc (Equiv.class_of t.equiv c))
+    Col.Set.empty (col_outputs t)
+
+(* Grouping expressions that are bare columns, extended by equivalence
+   (section 4.2.4). *)
+let extended_grouping_cols (t : t) : Col.Set.t =
+  match t.spjg.Spjg.group_by with
+  | None -> Col.Set.empty
+  | Some gs ->
+      List.fold_left
+        (fun acc g ->
+          match g with
+          | Expr.Col c -> Col.Set.union acc (Equiv.class_of t.equiv c)
+          | _ -> acc)
+        Col.Set.empty gs
+
+(* Textual templates of non-column output expressions / grouping
+   expressions / residual predicates, for the filter-tree set conditions
+   (sections 4.2.6-4.2.8). *)
+let output_expr_templates (t : t) : Sset.t =
+  List.fold_left
+    (fun acc (e, _) ->
+      match e with
+      | Expr.Col _ | Expr.Const _ -> acc
+      | _ -> Sset.add (fst (Residual.expr_template e)) acc)
+    Sset.empty (scalar_outputs t)
+
+let grouping_expr_templates (t : t) : Sset.t =
+  match t.spjg.Spjg.group_by with
+  | None -> Sset.empty
+  | Some gs ->
+      List.fold_left
+        (fun acc g ->
+          match g with
+          | Expr.Col _ | Expr.Const _ -> acc
+          | _ -> Sset.add (fst (Residual.expr_template g)) acc)
+        Sset.empty gs
+
+let residual_templates (t : t) : Sset.t =
+  List.fold_left
+    (fun acc (r : Residual.t) -> Sset.add r.Residual.template acc)
+    Sset.empty t.residuals
+
+(* Equivalence-class representatives with a constrained range, rendered as
+   column sets (section 4.2.5). *)
+let range_constrained_classes (t : t) : Col.Set.t list =
+  List.map (Equiv.class_of t.equiv) (Range.constrained_reprs t.ranges)

@@ -1,0 +1,46 @@
+(** Derived information about an SPJG block: classified predicate
+    components, column equivalence classes, per-class ranges and residual
+    templates — computed once per query subexpression and once per view
+    (the paper's in-memory "view description"). *)
+
+open Mv_base
+module Sset = Mv_util.Sset
+
+type t = {
+  spjg : Spjg.t;
+  schema : Mv_catalog.Schema.t;
+  table_set : Sset.t;
+  classified : Classify.classified;
+  equiv : Equiv.t;
+  ranges : Range.map;
+  residuals : Residual.t list;
+}
+
+val analyze : Mv_catalog.Schema.t -> Spjg.t -> t
+
+val col_outputs : t -> (Col.t * string) list
+(** Outputs that are bare column references: column -> output name. *)
+
+val scalar_outputs : t -> (Expr.t * string) list
+
+val agg_outputs : t -> (Spjg.agg * string) list
+
+val output_for_col : t -> Equiv.t -> Col.t -> string option
+(** An output column for [c], looked up through the given equivalence
+    structure (section 3.1.3's routing). *)
+
+val extended_output_cols : t -> Col.Set.t
+(** Every column equivalent to some bare-column output, under the block's
+    own classes (section 4.2.3). *)
+
+val extended_grouping_cols : t -> Col.Set.t
+
+val output_expr_templates : t -> Sset.t
+(** Textual templates of non-column output expressions (section 4.2.7). *)
+
+val grouping_expr_templates : t -> Sset.t
+
+val residual_templates : t -> Sset.t
+
+val range_constrained_classes : t -> Col.Set.t list
+(** One class (as a column set) per constrained range (section 4.2.5). *)

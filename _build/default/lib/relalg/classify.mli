@@ -1,0 +1,25 @@
+(** Classification of CNF conjuncts into the paper's groups
+    (section 3.1.2): column equalities (PE), ranges (PR) — including
+    disjunctions of ranges on a single column, the paper's extension — and
+    residuals (PU). *)
+
+open Mv_base
+
+type classified = {
+  col_eqs : (Col.t * Col.t) list;
+  ranges : (Col.t * Pred.cmp * Value.t) list;
+      (** normalized to column-op-constant; flipped comparisons are
+          reoriented *)
+  disj_ranges : (Col.t * Interval.t list) list;
+      (** one entry per OR-of-ranges conjunct *)
+  residuals : Pred.t list;
+}
+
+val classify_one :
+  Pred.t ->
+  [ `Col_eq of Col.t * Col.t
+  | `Range of Col.t * Pred.cmp * Value.t
+  | `Disj_range of Col.t * Interval.t list
+  | `Residual of Pred.t ]
+
+val classify : Pred.t list -> classified

@@ -1,0 +1,66 @@
+(** Conversion of predicates to conjunctive normal form.
+
+    The matching algorithm assumes selection predicates are conjunct lists
+    (section 3). We first push negations to the atoms (flipping comparison
+    operators), then distribute OR over AND. Predicates in this subset are
+    small, so the potential exponential blowup of distribution is a
+    non-issue; a safety valve caps the conjunct count anyway. *)
+
+open Mv_base
+
+exception Too_large
+
+let max_conjuncts = 4096
+
+(* Negation-normal form: negations pushed to atoms. NOT over a comparison
+   becomes the complementary comparison (sound in 3VL for WHERE-clause
+   filtering only when the original query already had the negation, which is
+   the only way we produce one). NOT LIKE / NOT IS NULL stay as negated
+   atoms. *)
+let rec nnf = function
+  | Pred.Not p -> nnf_neg p
+  | Pred.And (l, r) -> Pred.And (nnf l, nnf r)
+  | Pred.Or (l, r) -> Pred.Or (nnf l, nnf r)
+  | (Pred.Cmp _ | Pred.Like _ | Pred.Is_null _ | Pred.Bool _) as p -> p
+
+and nnf_neg = function
+  | Pred.Not p -> nnf p
+  | Pred.And (l, r) -> Pred.Or (nnf_neg l, nnf_neg r)
+  | Pred.Or (l, r) -> Pred.And (nnf_neg l, nnf_neg r)
+  | Pred.Cmp (op, l, r) -> Pred.Cmp (Pred.negate_cmp op, l, r)
+  | Pred.Bool b -> Pred.Bool (not b)
+  | (Pred.Like _ | Pred.Is_null _) as p -> Pred.Not p
+
+(* Cartesian distribution of OR over AND on conjunct lists of disjunct
+   lists. *)
+let rec to_clauses p : Pred.t list list =
+  match p with
+  | Pred.And (l, r) ->
+      let cs = to_clauses l @ to_clauses r in
+      if List.length cs > max_conjuncts then raise Too_large else cs
+  | Pred.Or (l, r) ->
+      let ls = to_clauses l and rs = to_clauses r in
+      if List.length ls * List.length rs > max_conjuncts then raise Too_large;
+      List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) rs) ls
+  | Pred.Bool true -> []
+  | Pred.Bool false -> [ [] ]
+  | (Pred.Cmp _ | Pred.Like _ | Pred.Is_null _ | Pred.Not _) as atom ->
+      [ [ atom ] ]
+
+let clause_to_pred = function
+  | [] -> Pred.Bool false
+  | [ a ] -> a
+  | atoms -> Pred.disj atoms
+
+(* CNF as a list of conjuncts. Single-atom clauses come out as bare atoms;
+   multi-atom clauses as OR chains. Duplicate conjuncts are removed
+   (structural equality), matching the paper's assumption that predicates
+   contain no redundant repeated conjuncts. *)
+let conjuncts p =
+  let clauses = to_clauses (nnf p) in
+  let preds = List.map clause_to_pred clauses in
+  List.fold_left
+    (fun acc c -> if List.exists (Pred.equal c) acc then acc else acc @ [ c ])
+    [] preds
+
+let of_conjuncts = Pred.conj

@@ -1,0 +1,19 @@
+(** Conversion of predicates to conjunctive normal form. *)
+
+open Mv_base
+
+exception Too_large
+(** Raised when distribution would exceed {!max_conjuncts} clauses. *)
+
+val max_conjuncts : int
+
+val nnf : Pred.t -> Pred.t
+(** Negation-normal form: negations pushed onto atoms, comparisons
+    complemented. *)
+
+val conjuncts : Pred.t -> Pred.t list
+(** CNF as a duplicate-free list of conjuncts; single-atom clauses come out
+    as bare atoms, multi-atom clauses as OR chains. [Bool true] yields [],
+    [Bool false] yields [[Bool false]]. *)
+
+val of_conjuncts : Pred.t list -> Pred.t

@@ -1,0 +1,75 @@
+(** Column equivalence classes (section 3.1.1).
+
+    Every column of every referenced table starts in its own (trivial)
+    class; each column-equality predicate merges two classes. The matcher
+    asks for class membership, class-of-column, and the full partition. *)
+
+open Mv_base
+
+module UF = Mv_util.Union_find.Make (struct
+  type t = Col.t
+
+  let compare = Col.compare
+end)
+
+type t = UF.t
+
+(* Register all columns of [tables] as trivial classes, then merge by the
+   column-equality predicates. *)
+let build (schema : Mv_catalog.Schema.t) ~tables
+    ~(col_eqs : (Col.t * Col.t) list) : t =
+  let uf = UF.create () in
+  List.iter
+    (fun tbl ->
+      let td = Mv_catalog.Schema.table_exn schema tbl in
+      List.iter
+        (fun cname -> UF.add uf (Col.make tbl cname))
+        (Mv_catalog.Table_def.column_names td))
+    tables;
+  List.iter (fun (a, b) -> UF.union uf a b) col_eqs;
+  uf
+
+let copy = UF.copy
+
+(* Register every column of [tables] as a trivial class (used when the
+   matcher conceptually adds a view's extra tables to the query,
+   section 3.2). *)
+let add_tables (schema : Mv_catalog.Schema.t) t tables =
+  List.iter
+    (fun tbl ->
+      let td = Mv_catalog.Schema.table_exn schema tbl in
+      List.iter
+        (fun cname -> UF.add t (Col.make tbl cname))
+        (Mv_catalog.Table_def.column_names td))
+    tables
+
+let merge t a b = UF.union t a b
+
+let same t a b = UF.same t a b
+
+let repr t c = UF.find t c
+
+(* The class containing [c], as a set. *)
+let class_of t c =
+  let r = UF.find t c in
+  List.fold_left
+    (fun acc x -> if Col.compare (UF.find t x) r = 0 then Col.Set.add x acc else acc)
+    Col.Set.empty (UF.members t)
+
+let classes t = List.map Col.Set.of_list (UF.classes t)
+
+let nontrivial_classes t =
+  List.filter (fun s -> Col.Set.cardinal s > 1) (classes t)
+
+(* Is every member of [cls] in the same class of [t]? (Used for the
+   equijoin subsumption test: view class subset of a query class.) *)
+let class_within t (cls : Col.Set.t) =
+  match Col.Set.elements cls with
+  | [] -> true
+  | c :: rest -> List.for_all (fun x -> same t c x) rest
+
+let pp ppf t =
+  let pp_class ppf s =
+    Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") Col.pp) (Col.Set.elements s)
+  in
+  Fmt.pf ppf "%a" Fmt.(list ~sep:(any " ") pp_class) (nontrivial_classes t)

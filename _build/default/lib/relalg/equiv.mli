@@ -1,0 +1,40 @@
+(** Column equivalence classes (section 3.1.1): every column of every
+    referenced table starts in its own class; each column-equality
+    predicate merges two classes. *)
+
+open Mv_base
+
+type t
+
+val build :
+  Mv_catalog.Schema.t ->
+  tables:string list ->
+  col_eqs:(Col.t * Col.t) list ->
+  t
+
+val copy : t -> t
+(** An independent copy: merges on the copy do not affect the original. *)
+
+val add_tables : Mv_catalog.Schema.t -> t -> string list -> unit
+(** Register every column of the tables as trivial classes (used when the
+    matcher conceptually adds a view's extra tables to the query). *)
+
+val merge : t -> Col.t -> Col.t -> unit
+
+val same : t -> Col.t -> Col.t -> bool
+
+val repr : t -> Col.t -> Col.t
+(** Canonical representative of the class containing the column. *)
+
+val class_of : t -> Col.t -> Col.Set.t
+
+val classes : t -> Col.Set.t list
+(** The full partition, including trivial singleton classes. *)
+
+val nontrivial_classes : t -> Col.Set.t list
+
+val class_within : t -> Col.Set.t -> bool
+(** Is every member of the given set in one class of [t]? (The equijoin
+    subsumption test applies this to each view class.) *)
+
+val pp : Format.formatter -> t -> unit

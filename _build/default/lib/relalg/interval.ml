@@ -1,0 +1,127 @@
+(** Typed value intervals with open/closed/unbounded endpoints.
+
+    Section 3.1.2 associates a range with each equivalence class:
+    [col < c] contributes an open upper bound, [col <= c] a closed one,
+    [col = c] the point interval, and conjuncts intersect. *)
+
+open Mv_base
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+type t = { lo : bound; hi : bound }
+
+let full = { lo = Unbounded; hi = Unbounded }
+
+let is_full i = i.lo = Unbounded && i.hi = Unbounded
+
+let point v = { lo = Incl v; hi = Incl v }
+
+let of_cmp (op : Pred.cmp) v =
+  match op with
+  | Pred.Eq -> point v
+  | Pred.Lt -> { lo = Unbounded; hi = Excl v }
+  | Pred.Le -> { lo = Unbounded; hi = Incl v }
+  | Pred.Gt -> { lo = Excl v; hi = Unbounded }
+  | Pred.Ge -> { lo = Incl v; hi = Unbounded }
+  | Pred.Ne -> invalid_arg "Interval.of_cmp: <> is not a range operator"
+
+(* Compare two bounds in their role as LOWER bounds: smaller = weaker
+   (admits more values). Unbounded < Incl v < Excl v for equal v. *)
+let cmp_lower a b =
+  match (a, b) with
+  | Unbounded, Unbounded -> 0
+  | Unbounded, _ -> -1
+  | _, Unbounded -> 1
+  | Incl x, Incl y | Excl x, Excl y -> Value.order x y
+  | Incl x, Excl y ->
+      let c = Value.order x y in
+      if c = 0 then -1 else c
+  | Excl x, Incl y ->
+      let c = Value.order x y in
+      if c = 0 then 1 else c
+
+(* Compare two bounds as UPPER bounds: larger = weaker.
+   Excl v < Incl v for equal v < Unbounded. *)
+let cmp_upper a b =
+  match (a, b) with
+  | Unbounded, Unbounded -> 0
+  | Unbounded, _ -> 1
+  | _, Unbounded -> -1
+  | Incl x, Incl y | Excl x, Excl y -> Value.order x y
+  | Incl x, Excl y ->
+      let c = Value.order x y in
+      if c = 0 then 1 else c
+  | Excl x, Incl y ->
+      let c = Value.order x y in
+      if c = 0 then -1 else c
+
+(* Conjunction of two range constraints on the same class. *)
+let intersect a b =
+  {
+    lo = (if cmp_lower a.lo b.lo >= 0 then a.lo else b.lo);
+    hi = (if cmp_upper a.hi b.hi <= 0 then a.hi else b.hi);
+  }
+
+(* inner subseteq outer: the containment check of the range subsumption
+   test. *)
+let contains ~outer ~inner =
+  cmp_lower outer.lo inner.lo <= 0 && cmp_upper inner.hi outer.hi <= 0
+
+let bound_equal a b =
+  match (a, b) with
+  | Unbounded, Unbounded -> true
+  | Incl x, Incl y | Excl x, Excl y -> Value.order x y = 0
+  | _ -> false
+
+(* Is the interval definitely empty? (lo > hi, or lo = hi with an open
+   end.) Used only for sanity checks; the matcher treats empty query ranges
+   like any other. *)
+let is_empty i =
+  match (i.lo, i.hi) with
+  | Unbounded, _ | _, Unbounded -> false
+  | (Incl x | Excl x), (Incl y | Excl y) -> (
+      let c = Value.order x y in
+      if c > 0 then true
+      else if c < 0 then false
+      else match (i.lo, i.hi) with Incl _, Incl _ -> false | _ -> true)
+
+(* Membership, for property tests. *)
+let mem v i =
+  (match i.lo with
+  | Unbounded -> true
+  | Incl x -> Value.order v x >= 0
+  | Excl x -> Value.order v x > 0)
+  && match i.hi with
+     | Unbounded -> true
+     | Incl x -> Value.order v x <= 0
+     | Excl x -> Value.order v x < 0
+
+(* Predicates enforcing the bounds of [i] on expression [e]. *)
+let to_preds e i =
+  let lo =
+    match i.lo with
+    | Unbounded -> []
+    | Incl v -> [ Pred.Cmp (Pred.Ge, e, Expr.Const v) ]
+    | Excl v -> [ Pred.Cmp (Pred.Gt, e, Expr.Const v) ]
+  in
+  let hi =
+    match i.hi with
+    | Unbounded -> []
+    | Incl v -> [ Pred.Cmp (Pred.Le, e, Expr.Const v) ]
+    | Excl v -> [ Pred.Cmp (Pred.Lt, e, Expr.Const v) ]
+  in
+  (* a point interval renders as equality *)
+  match (i.lo, i.hi) with
+  | Incl a, Incl b when Value.order a b = 0 ->
+      [ Pred.Cmp (Pred.Eq, e, Expr.Const a) ]
+  | _ -> lo @ hi
+
+let bound_to_string side = function
+  | Unbounded -> (match side with `Lo -> "-inf" | `Hi -> "+inf")
+  | Incl v -> "[" ^ Value.to_string v ^ "]"
+  | Excl v -> "(" ^ Value.to_string v ^ ")"
+
+let to_string i =
+  bound_to_string `Lo i.lo ^ " .. " ^ bound_to_string `Hi i.hi
+
+let pp ppf i = Fmt.string ppf (to_string i)

@@ -1,0 +1,41 @@
+(** Typed value intervals with open/closed/unbounded endpoints — the
+    per-class ranges of section 3.1.2. *)
+
+open Mv_base
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+type t = { lo : bound; hi : bound }
+
+val full : t
+
+val is_full : t -> bool
+
+val point : Value.t -> t
+
+val of_cmp : Pred.cmp -> Value.t -> t
+(** @raise Invalid_argument on [Ne]. *)
+
+val cmp_lower : bound -> bound -> int
+(** Compare in the role of lower bounds: smaller admits more values. *)
+
+val cmp_upper : bound -> bound -> int
+(** Compare in the role of upper bounds: larger admits more values. *)
+
+val intersect : t -> t -> t
+
+val contains : outer:t -> inner:t -> bool
+
+val bound_equal : bound -> bound -> bool
+
+val is_empty : t -> bool
+
+val mem : Value.t -> t -> bool
+
+val to_preds : Expr.t -> t -> Pred.t list
+(** Predicates enforcing the interval's bounds on an expression; a point
+    interval renders as a single equality. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+(** Range extraction (section 3.1.2, plus the paper's disjunction
+    extension): one range *set* per column equivalence class, keyed by the
+    class representative. Conjunctive range predicates intersect as single
+    intervals; each OR-of-ranges conjunct contributes its interval union,
+    and conjuncts intersect — so e.g. (a BETWEEN 1 AND 5 OR a = 7), after
+    CNF, reassembles into exactly [1,5] u [7,7]. *)
+
+open Mv_base
+
+type map = Rset.t Col.Map.t
+
+let add_constraint equiv (m : map) c (set : Rset.t) : map =
+  let r = Equiv.repr equiv c in
+  let cur = match Col.Map.find_opt r m with Some x -> x | None -> Rset.full in
+  Col.Map.add r (Rset.inter cur set) m
+
+let build (equiv : Equiv.t) (ranges : (Col.t * Pred.cmp * Value.t) list)
+    (disj : (Col.t * Interval.t list) list) : map =
+  let m =
+    List.fold_left
+      (fun m (c, op, v) ->
+        add_constraint equiv m c (Rset.of_interval (Interval.of_cmp op v)))
+      Col.Map.empty ranges
+  in
+  List.fold_left
+    (fun m (c, intervals) ->
+      add_constraint equiv m c (Rset.of_intervals intervals))
+    m disj
+
+(* Range set for the class containing [c] (full when unconstrained). *)
+let find (equiv : Equiv.t) (m : map) c : Rset.t =
+  match Col.Map.find_opt (Equiv.repr equiv c) m with
+  | Some s -> s
+  | None -> Rset.full
+
+let constrained_reprs (m : map) =
+  Col.Map.fold
+    (fun r s acc -> if Rset.is_full s then acc else r :: acc)
+    m []
+
+let pp equiv ppf (m : map) =
+  Col.Map.iter
+    (fun r s ->
+      if not (Rset.is_full s) then
+        Fmt.pf ppf "{%a} in %a; "
+          Fmt.(list ~sep:(any ", ") Col.pp)
+          (Col.Set.elements (Equiv.class_of equiv r))
+          Rset.pp s)
+    m

@@ -1,0 +1,21 @@
+(** Range extraction: one range set per column equivalence class, keyed by
+    class representative. Handles both conjunctive range predicates and
+    the disjunction extension (OR of ranges on one column). *)
+
+open Mv_base
+
+type map = Rset.t Col.Map.t
+
+val build :
+  Equiv.t ->
+  (Col.t * Pred.cmp * Value.t) list ->
+  (Col.t * Interval.t list) list ->
+  map
+
+val find : Equiv.t -> map -> Col.t -> Rset.t
+(** Range set for the class containing the column; [Rset.full] when
+    unconstrained. *)
+
+val constrained_reprs : map -> Col.t list
+
+val pp : Equiv.t -> Format.formatter -> map -> unit

@@ -1,0 +1,35 @@
+(** The paper's shallow expression-matching representation (section 3.1.2,
+    residual subsumption): an expression or predicate is rendered as a text
+    template with every column reference replaced by "?", plus the ordered
+    list of the column references themselves. Two residual conjuncts match
+    when the templates are equal and the columns in matching positions fall
+    in the same (query) equivalence class. *)
+
+open Mv_base
+
+let placeholder = Col.make "" "?"
+
+type t = { template : string; cols : Col.t list; pred : Pred.t }
+
+let of_pred (p : Pred.t) : t =
+  let cols = Pred.columns p in
+  let hollow = Pred.map_exprs (Expr.map_cols (fun _ -> placeholder)) p in
+  { template = Pred.to_string hollow; cols; pred = p }
+
+let expr_template (e : Expr.t) : string * Col.t list =
+  let cols = Expr.columns e in
+  (Expr.to_string (Expr.map_cols (fun _ -> placeholder) e), cols)
+
+(* Template equality + positional column equivalence under [equiv]. *)
+let matches (equiv : Equiv.t) (a : t) (b : t) =
+  String.equal a.template b.template
+  && List.length a.cols = List.length b.cols
+  && List.for_all2 (fun c1 c2 -> Equiv.same equiv c1 c2) a.cols b.cols
+
+let exprs_match (equiv : Equiv.t) (e1 : Expr.t) (e2 : Expr.t) =
+  let t1, c1 = expr_template e1 and t2, c2 = expr_template e2 in
+  String.equal t1 t2
+  && List.length c1 = List.length c2
+  && List.for_all2 (fun a b -> Equiv.same equiv a b) c1 c2
+
+let pp ppf t = Fmt.pf ppf "%s" t.template

@@ -1,0 +1,18 @@
+(** The paper's shallow expression-matching representation: a text template
+    with column references hollowed out plus the ordered column list; two
+    conjuncts match when templates are equal and columns in matching
+    positions fall in the same (query) equivalence class. *)
+
+open Mv_base
+
+type t = { template : string; cols : Col.t list; pred : Pred.t }
+
+val of_pred : Pred.t -> t
+
+val expr_template : Expr.t -> string * Col.t list
+
+val matches : Equiv.t -> t -> t -> bool
+
+val exprs_match : Equiv.t -> Expr.t -> Expr.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,190 @@
+(** The SPJG block: the class of expressions (and views) the paper's
+    algorithm handles — selections, inner joins, and an optional final
+    group-by with SUM/COUNT aggregates. *)
+
+open Mv_base
+
+type agg =
+  | Count_star  (** covers both count( * ) and count_big( * ) *)
+  | Sum of Expr.t
+  | Avg of Expr.t  (** queries only; rewritten to SUM/COUNT by the matcher *)
+  | Sum_div_sum of Expr.t * Expr.t
+      (** SUM(a)/SUM(b): produced only by the matcher when re-aggregating a
+          query AVG over a view's sum and count columns (section 3.3) *)
+  | Sum0 of Expr.t
+      (** SUM coalesced to 0 on empty input — what COALESCE(SUM(x),0) is in
+          SQL. Produced only by the matcher when rolling a count( * ) up as
+          the sum of the view's count column: a scalar-aggregate count over
+          zero rows is 0, not NULL. *)
+
+type out_def = Scalar of Expr.t | Aggregate of agg
+
+type out_item = { name : string; def : out_def }
+
+type t = {
+  tables : string list;  (** canonical table names, sorted, no duplicates *)
+  where : Pred.t list;  (** CNF conjuncts *)
+  group_by : Expr.t list option;
+      (** [None] = SPJ block; [Some []] = scalar aggregate (empty grouping) *)
+  out : out_item list;
+}
+
+exception Invalid of string
+
+let invalid fmt = Fmt.kstr (fun s -> raise (Invalid s)) fmt
+
+let scalar name e = { name; def = Scalar e }
+
+let aggregate name a = { name; def = Aggregate a }
+
+let agg_equal a b =
+  match (a, b) with
+  | Count_star, Count_star -> true
+  | Sum x, Sum y | Avg x, Avg y -> Expr.equal x y
+  | Sum_div_sum (a1, b1), Sum_div_sum (a2, b2) ->
+      Expr.equal a1 a2 && Expr.equal b1 b2
+  | Sum0 x, Sum0 y -> Expr.equal x y
+  | (Count_star | Sum _ | Avg _ | Sum_div_sum _ | Sum0 _), _ -> false
+
+let make ~tables ~where ~group_by ~out =
+  let tables = List.sort_uniq String.compare tables in
+  if tables = [] then invalid "SPJG block must reference at least one table";
+  let names = List.map (fun o -> o.name) out in
+  if List.length (List.sort_uniq String.compare names) <> List.length names
+  then invalid "duplicate output column names";
+  (match group_by with
+  | None ->
+      List.iter
+        (fun o ->
+          match o.def with
+          | Aggregate _ -> invalid "aggregate output without GROUP BY"
+          | Scalar _ -> ())
+        out
+  | Some gexprs ->
+      (* Scalar outputs of an aggregated block must be grouping
+         expressions; this is the SQL validity rule and it is what lets
+         compensating predicates routed to view outputs commute with
+         aggregation. *)
+      List.iter
+        (fun o ->
+          match o.def with
+          | Scalar e ->
+              if not (List.exists (Expr.equal e) gexprs) then
+                invalid "scalar output %s is not a grouping expression"
+                  (Expr.to_string e)
+          | Aggregate _ -> ())
+        out);
+  { tables; where; group_by; out }
+
+let of_pred_where ~tables ~pred ~group_by ~out =
+  make ~tables ~where:(Cnf.conjuncts pred) ~group_by ~out
+
+let is_aggregate t = t.group_by <> None
+
+let out_names t = List.map (fun o -> o.name) t.out
+
+let find_out t name = List.find_opt (fun o -> o.name = name) t.out
+
+(* Validity conditions for a materializable ("indexable") view,
+   section 2: aggregation views must output every grouping expression and a
+   count_big( * ) column; AVG is not allowed in views. *)
+let check_indexable t =
+  match t.group_by with
+  | None -> Ok ()
+  | Some gexprs ->
+      let has_count =
+        List.exists
+          (fun o -> match o.def with Aggregate Count_star -> true | _ -> false)
+          t.out
+      in
+      if not has_count then Error "aggregation view lacks a count_big(*) column"
+      else if
+        List.exists
+          (fun o ->
+            match o.def with
+            | Aggregate (Avg _ | Sum_div_sum _ | Sum0 _) -> true
+            | _ -> false)
+          t.out
+      then Error "AVG is not allowed in a materialized view"
+      else
+        let missing =
+          List.filter
+            (fun g ->
+              not
+                (List.exists
+                   (fun o ->
+                     match o.def with
+                     | Scalar e -> Expr.equal e g
+                     | Aggregate _ -> false)
+                   t.out))
+            gexprs
+        in
+        if missing = [] then Ok ()
+        else
+          Error
+            (Fmt.str "grouping expression %s missing from view output"
+               (Expr.to_string (List.hd missing)))
+
+let agg_to_string = function
+  | Count_star -> "count_big(*)"
+  | Sum e -> "sum(" ^ Expr.to_string e ^ ")"
+  | Avg e -> "avg(" ^ Expr.to_string e ^ ")"
+  | Sum_div_sum (a, b) ->
+      "sum(" ^ Expr.to_string a ^ ") / sum(" ^ Expr.to_string b ^ ")"
+  | Sum0 e -> "coalesce(sum(" ^ Expr.to_string e ^ "), 0)"
+
+let out_def_to_string = function
+  | Scalar e -> Expr.to_string e
+  | Aggregate a -> agg_to_string a
+
+(* Render as SQL text (used by examples, the CLI and error messages). *)
+let to_sql t =
+  let out =
+    String.concat ", "
+      (List.map
+         (fun o ->
+           let d = out_def_to_string o.def in
+           (* avoid "x AS x" noise for plain column outputs *)
+           match o.def with
+           | Scalar (Expr.Col c) when c.Col.col = o.name -> d
+           | _ -> d ^ " AS " ^ o.name)
+         t.out)
+  in
+  let base =
+    "SELECT " ^ out ^ "\nFROM " ^ String.concat ", " t.tables
+  in
+  let base =
+    match t.where with
+    | [] -> base
+    | ps ->
+        base ^ "\nWHERE "
+        ^ String.concat "\n  AND " (List.map Pred.to_string ps)
+  in
+  match t.group_by with
+  | None -> base
+  | Some [] -> base (* scalar aggregate: no GROUP BY clause *)
+  | Some gs ->
+      base ^ "\nGROUP BY " ^ String.concat ", " (List.map Expr.to_string gs)
+
+let pp ppf t = Fmt.string ppf (to_sql t)
+
+(* Every column referenced anywhere in the block. *)
+let referenced_columns t =
+  let out_cols =
+    List.concat_map
+      (fun o ->
+        match o.def with
+        | Scalar e -> Expr.columns e
+        | Aggregate Count_star -> []
+        | Aggregate (Sum e) | Aggregate (Avg e) | Aggregate (Sum0 e) ->
+            Expr.columns e
+        | Aggregate (Sum_div_sum (a, b)) -> Expr.columns a @ Expr.columns b)
+      t.out
+  in
+  let where_cols = List.concat_map Pred.columns t.where in
+  let group_cols =
+    match t.group_by with
+    | None -> []
+    | Some gs -> List.concat_map Expr.columns gs
+  in
+  Col.Set.of_list (out_cols @ where_cols @ group_cols)

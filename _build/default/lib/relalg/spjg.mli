@@ -1,0 +1,75 @@
+(** The SPJG block: selections, inner joins, and an optional final group-by
+    with SUM/COUNT aggregates — the class of expressions and views the
+    paper's algorithm handles (section 2). *)
+
+open Mv_base
+
+type agg =
+  | Count_star  (** both count( * ) and count_big( * ) *)
+  | Sum of Expr.t
+  | Avg of Expr.t  (** queries only; rewritten to SUM/COUNT by the matcher *)
+  | Sum_div_sum of Expr.t * Expr.t
+      (** SUM(a)/SUM(b); produced only by the matcher when re-aggregating
+          an AVG over a view's sum and count columns *)
+  | Sum0 of Expr.t
+      (** SUM coalesced to 0 on empty input (COALESCE(SUM(x),0)); produced
+          only by the matcher when rolling a count up as a sum of counts *)
+
+type out_def = Scalar of Expr.t | Aggregate of agg
+
+type out_item = { name : string; def : out_def }
+
+type t = private {
+  tables : string list;  (** canonical table names, sorted, no duplicates *)
+  where : Pred.t list;  (** CNF conjuncts *)
+  group_by : Expr.t list option;
+      (** [None] = SPJ block; [Some []] = scalar aggregate *)
+  out : out_item list;
+}
+
+exception Invalid of string
+
+val scalar : string -> Expr.t -> out_item
+
+val aggregate : string -> agg -> out_item
+
+val agg_equal : agg -> agg -> bool
+
+val make :
+  tables:string list ->
+  where:Pred.t list ->
+  group_by:Expr.t list option ->
+  out:out_item list ->
+  t
+(** Validates: at least one table, unique output names, aggregates only
+    under a group-by, scalar outputs of aggregated blocks must be grouping
+    expressions. @raise Invalid otherwise. *)
+
+val of_pred_where :
+  tables:string list ->
+  pred:Pred.t ->
+  group_by:Expr.t list option ->
+  out:out_item list ->
+  t
+(** Like {!make} but converts a single predicate to CNF first. *)
+
+val is_aggregate : t -> bool
+
+val out_names : t -> string list
+
+val find_out : t -> string -> out_item option
+
+val check_indexable : t -> (unit, string) result
+(** Can this block be materialized as an indexed view (section 2)?
+    Aggregation views must output every grouping expression and a
+    count_big( * ) column; AVG is not allowed. *)
+
+val agg_to_string : agg -> string
+
+val out_def_to_string : out_def -> string
+
+val to_sql : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+val referenced_columns : t -> Col.Set.t

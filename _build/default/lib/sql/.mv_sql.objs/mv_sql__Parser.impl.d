@@ -1,0 +1,1 @@
+lib/sql/parser.ml: Col Date Expr Fmt Lexer List Mv_base Mv_catalog Mv_relalg Option Pred Token Value

@@ -1,0 +1,1 @@
+lib/sql/parser.mli: Mv_catalog Mv_relalg

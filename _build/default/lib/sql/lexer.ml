@@ -1,0 +1,83 @@
+(** Hand-written lexer for the SQL subset. *)
+
+exception Lex_error of string
+
+let lex_error fmt = Fmt.kstr (fun s -> raise (Lex_error s)) fmt
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : Token.t list =
+  let n = String.length src in
+  let rec go i acc =
+    if i >= n then List.rev (Token.Eof :: acc)
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1) acc
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then
+        (* line comment *)
+        let rec skip j = if j < n && src.[j] <> '\n' then skip (j + 1) else j in
+        go (skip i) acc
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then begin
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done;
+          let s = String.sub src i (!j - i) in
+          go !j (Token.Float_lit (float_of_string s) :: acc)
+        end
+        else
+          let s = String.sub src i (!j - i) in
+          go !j (Token.Int_lit (int_of_string s) :: acc)
+      end
+      else if is_ident_start c then begin
+        let j = ref i in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        let upper = String.uppercase_ascii word in
+        let tok =
+          if List.mem upper Token.keywords then Token.Kw upper
+          else Token.Ident (String.lowercase_ascii word)
+        in
+        go !j (tok :: acc)
+      end
+      else if c = '\'' then begin
+        (* string literal; '' escapes a quote *)
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= n then lex_error "unterminated string literal"
+          else if src.[j] = '\'' then
+            if j + 1 < n && src.[j + 1] = '\'' then begin
+              Buffer.add_char buf '\'';
+              scan (j + 2)
+            end
+            else j + 1
+          else begin
+            Buffer.add_char buf src.[j];
+            scan (j + 1)
+          end
+        in
+        let j = scan (i + 1) in
+        go j (Token.Str_lit (Buffer.contents buf) :: acc)
+      end
+      else
+        let two =
+          if i + 1 < n then Some (String.sub src i 2) else None
+        in
+        match two with
+        | Some (("<>" | "<=" | ">=" | "!=") as s) ->
+            let s = if s = "!=" then "<>" else s in
+            go (i + 2) (Token.Sym s :: acc)
+        | _ -> (
+            match c with
+            | '(' | ')' | ',' | '.' | '*' | '+' | '-' | '/' | '=' | '<' | '>'
+              ->
+                go (i + 1) (Token.Sym (String.make 1 c) :: acc)
+            | _ -> lex_error "unexpected character %c at offset %d" c i)
+  in
+  go 0 []

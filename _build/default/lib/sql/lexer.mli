@@ -1,0 +1,7 @@
+(** Hand-written lexer for the SQL subset: case-insensitive keywords,
+    ['']-escaped string literals, [--] line comments. *)
+
+exception Lex_error of string
+
+val tokenize : string -> Token.t list
+(** Ends with {!Token.Eof}. @raise Lex_error on invalid input. *)

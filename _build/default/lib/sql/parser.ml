@@ -1,0 +1,431 @@
+(** Recursive-descent parser for the SQL subset, lowering directly to
+    [Mv_relalg.Spjg] blocks with columns resolved against the catalog.
+
+    Supported statements:
+    - SELECT out, ... FROM t1 [a1], t2 [a2], ... [WHERE pred] [GROUP BY es]
+    - CREATE VIEW name [WITH SCHEMABINDING] AS select
+
+    Table references may carry a "dbo." prefix (ignored) and an alias.
+    Each base table may be referenced at most once (the matching algorithm
+    operates on canonical table names); self-joins are rejected with a
+    clear error. *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+exception Parse_error of string
+
+let parse_error fmt = Fmt.kstr (fun s -> raise (Parse_error s)) fmt
+
+type state = {
+  schema : Mv_catalog.Schema.t;
+  mutable toks : Token.t list;
+  (* alias (or table name) -> canonical table name *)
+  mutable scope : (string * string) list;
+}
+
+let peek st = match st.toks with [] -> Token.Eof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect_kw st kw =
+  match peek st with
+  | Token.Kw k when k = kw -> advance st
+  | t -> parse_error "expected %s, found %s" kw (Token.to_string t)
+
+let expect_sym st s =
+  match peek st with
+  | Token.Sym x when x = s -> advance st
+  | t -> parse_error "expected '%s', found %s" s (Token.to_string t)
+
+let accept_kw st kw =
+  match peek st with
+  | Token.Kw k when k = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let accept_sym st s =
+  match peek st with
+  | Token.Sym x when x = s ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match peek st with
+  | Token.Ident s ->
+      advance st;
+      s
+  | t -> parse_error "expected identifier, found %s" (Token.to_string t)
+
+(* ---- column resolution ---- *)
+
+let resolve_qualified st tbl col =
+  match List.assoc_opt tbl st.scope with
+  | Some canonical ->
+      if
+        Mv_catalog.Table_def.has_column
+          (Mv_catalog.Schema.table_exn st.schema canonical)
+          col
+      then Col.make canonical col
+      else parse_error "no column %s in table %s" col canonical
+  | None -> parse_error "unknown table or alias %s" tbl
+
+let resolve_bare st name =
+  let tables = List.map snd st.scope in
+  match Mv_catalog.Schema.resolve_column st.schema ~tables name with
+  | Some c -> c
+  | None -> parse_error "unknown column %s" name
+
+(* ---- expressions ---- *)
+
+let rec expr st : Expr.t =
+  let rec add_chain acc =
+    if accept_sym st "+" then add_chain (Expr.Binop (Expr.Add, acc, term st))
+    else if accept_sym st "-" then
+      add_chain (Expr.Binop (Expr.Sub, acc, term st))
+    else acc
+  in
+  add_chain (term st)
+
+and term st : Expr.t =
+  let rec mul_chain acc =
+    if accept_sym st "*" then mul_chain (Expr.Binop (Expr.Mul, acc, factor st))
+    else if accept_sym st "/" then
+      mul_chain (Expr.Binop (Expr.Div, acc, factor st))
+    else acc
+  in
+  mul_chain (factor st)
+
+and factor st : Expr.t =
+  match peek st with
+  | Token.Int_lit i ->
+      advance st;
+      Expr.Const (Value.Int i)
+  | Token.Float_lit f ->
+      advance st;
+      Expr.Const (Value.Float f)
+  | Token.Str_lit s ->
+      advance st;
+      Expr.Const (Value.Str s)
+  | Token.Kw "NULL" ->
+      advance st;
+      Expr.Const Value.Null
+  | Token.Kw "TRUE" ->
+      advance st;
+      Expr.Const (Value.Bool true)
+  | Token.Kw "FALSE" ->
+      advance st;
+      Expr.Const (Value.Bool false)
+  | Token.Kw "DATE" -> (
+      advance st;
+      match peek st with
+      | Token.Str_lit s -> (
+          advance st;
+          match Date.of_string s with
+          | Some d -> Expr.Const (Value.Date d)
+          | None -> parse_error "invalid date literal '%s'" s)
+      | t -> parse_error "expected date string, found %s" (Token.to_string t))
+  | Token.Sym "-" -> (
+      advance st;
+      (* fold negated literals so "-5" is a constant (and classifies as a
+         range bound), not a Neg node *)
+      match factor st with
+      | Expr.Const (Value.Int i) -> Expr.Const (Value.Int (-i))
+      | Expr.Const (Value.Float f) -> Expr.Const (Value.Float (-.f))
+      | e -> Expr.Neg e)
+  | Token.Sym "(" ->
+      advance st;
+      let e = expr st in
+      expect_sym st ")";
+      e
+  | Token.Ident name -> (
+      advance st;
+      match peek st with
+      | Token.Sym "." ->
+          advance st;
+          let col = ident st in
+          Expr.Col (resolve_qualified st name col)
+      | Token.Sym "(" ->
+          (* scalar function call *)
+          advance st;
+          let rec args acc =
+            let a = expr st in
+            if accept_sym st "," then args (a :: acc)
+            else begin
+              expect_sym st ")";
+              List.rev (a :: acc)
+            end
+          in
+          Expr.Func (name, args [])
+      | _ -> Expr.Col (resolve_bare st name))
+  | t -> parse_error "unexpected token %s in expression" (Token.to_string t)
+
+(* ---- predicates ---- *)
+
+let cmp_of_sym = function
+  | "=" -> Some Pred.Eq
+  | "<>" -> Some Pred.Ne
+  | "<" -> Some Pred.Lt
+  | "<=" -> Some Pred.Le
+  | ">" -> Some Pred.Gt
+  | ">=" -> Some Pred.Ge
+  | _ -> None
+
+let rec pred st : Pred.t =
+  let rec or_chain acc =
+    if accept_kw st "OR" then or_chain (Pred.Or (acc, and_pred st)) else acc
+  in
+  or_chain (and_pred st)
+
+and and_pred st : Pred.t =
+  let rec and_chain acc =
+    if accept_kw st "AND" then and_chain (Pred.And (acc, not_pred st)) else acc
+  in
+  and_chain (not_pred st)
+
+and not_pred st : Pred.t =
+  if accept_kw st "NOT" then Pred.Not (not_pred st) else atom st
+
+and atom st : Pred.t =
+  (* a parenthesis can open either a nested predicate or a scalar
+     expression; try the predicate first and fall back *)
+  (match peek st with
+  | Token.Sym "(" -> (
+      let saved = st.toks in
+      advance st;
+      match
+        try
+          let p = pred st in
+          expect_sym st ")";
+          (* must be followed by a boolean context, not a comparison *)
+          (match peek st with
+          | Token.Sym ("=" | "<>" | "<" | "<=" | ">" | ">=" | "+" | "-" | "*" | "/")
+            ->
+              None
+          | _ -> Some p)
+        with Parse_error _ -> None
+      with
+      | Some p -> `Done p
+      | None ->
+          st.toks <- saved;
+          `Fallthrough)
+  | _ -> `Fallthrough)
+  |> function
+  | `Done p -> p
+  | `Fallthrough -> (
+      let lhs = expr st in
+      match peek st with
+      | Token.Sym s when cmp_of_sym s <> None ->
+          advance st;
+          let rhs = expr st in
+          Pred.Cmp (Option.get (cmp_of_sym s), lhs, rhs)
+      | Token.Kw "BETWEEN" ->
+          advance st;
+          let lo = expr st in
+          expect_kw st "AND";
+          let hi = expr st in
+          Pred.And (Pred.Cmp (Pred.Ge, lhs, lo), Pred.Cmp (Pred.Le, lhs, hi))
+      | Token.Kw "LIKE" -> (
+          advance st;
+          match peek st with
+          | Token.Str_lit pat ->
+              advance st;
+              Pred.Like (lhs, pat)
+          | t -> parse_error "expected pattern string, found %s" (Token.to_string t))
+      | Token.Kw "IS" ->
+          advance st;
+          if accept_kw st "NOT" then begin
+            expect_kw st "NULL";
+            Pred.Not (Pred.Is_null lhs)
+          end
+          else begin
+            expect_kw st "NULL";
+            Pred.Is_null lhs
+          end
+      | t -> parse_error "expected comparison, found %s" (Token.to_string t))
+
+(* ---- select statements ---- *)
+
+type raw_out = { out_def : Spjg.out_def; alias : string option }
+
+let aggregate st : Spjg.agg option =
+  match peek st with
+  | Token.Kw ("COUNT" | "COUNT_BIG") ->
+      advance st;
+      expect_sym st "(";
+      expect_sym st "*";
+      expect_sym st ")";
+      Some Spjg.Count_star
+  | Token.Kw "SUM" ->
+      advance st;
+      expect_sym st "(";
+      let e = expr st in
+      expect_sym st ")";
+      Some (Spjg.Sum e)
+  | Token.Kw "AVG" ->
+      advance st;
+      expect_sym st "(";
+      let e = expr st in
+      expect_sym st ")";
+      Some (Spjg.Avg e)
+  | _ -> None
+
+let select_item st : raw_out =
+  let def =
+    match aggregate st with
+    | Some a -> Spjg.Aggregate a
+    | None -> Spjg.Scalar (expr st)
+  in
+  let alias =
+    if accept_kw st "AS" then Some (ident st)
+    else
+      (* implicit alias: "expr name" — safe because in the output list an
+         item is always followed by ',' or end of list otherwise *)
+      match peek st with
+      | Token.Ident a ->
+          advance st;
+          Some a
+      | _ -> None
+  in
+  { out_def = def; alias }
+
+(* FROM item: [dbo.]table [alias] *)
+let from_item st =
+  let first = ident st in
+  let tbl =
+    if first = "dbo" && accept_sym st "." then ident st else first
+  in
+  if Mv_catalog.Schema.find_table st.schema tbl = None then
+    parse_error "unknown table %s" tbl;
+  let alias =
+    match peek st with
+    | Token.Ident a ->
+        advance st;
+        Some a
+    | _ -> None
+  in
+  (tbl, alias)
+
+let name_outputs (items : raw_out list) : Spjg.out_item list =
+  List.map
+    (fun r ->
+      match (r.alias, r.out_def) with
+      | Some name, d -> { Spjg.name; def = d }
+      | None, Spjg.Scalar (Expr.Col c) -> { Spjg.name = c.Col.col; def = r.out_def }
+      | None, Spjg.Aggregate Spjg.Count_star ->
+          parse_error "count(*) output must be named with AS"
+      | None, _ -> parse_error "computed output columns must be named with AS")
+    items
+
+let select st : Spjg.t =
+  expect_kw st "SELECT";
+  (* parse output list AFTER the scope is known; collect raw tokens by
+     scanning ahead to FROM, then re-parse. Simpler: parse FROM first by
+     splitting the token list. *)
+  let rec split_at_from depth acc = function
+    | [] -> parse_error "missing FROM clause"
+    | Token.Kw "FROM" :: rest when depth = 0 -> (List.rev acc, rest)
+    | (Token.Sym "(" as t) :: rest -> split_at_from (depth + 1) (t :: acc) rest
+    | (Token.Sym ")" as t) :: rest -> split_at_from (depth - 1) (t :: acc) rest
+    | t :: rest -> split_at_from depth (t :: acc) rest
+  in
+  let out_toks, rest = split_at_from 0 [] st.toks in
+  st.toks <- rest;
+  (* FROM list *)
+  let rec from_list acc =
+    let tbl, alias = from_item st in
+    let acc = (tbl, alias) :: acc in
+    if accept_sym st "," then from_list acc else List.rev acc
+  in
+  let items = from_list [] in
+  let tables = List.map fst items in
+  let dup =
+    List.filter
+      (fun t -> List.length (List.filter (( = ) t) tables) > 1)
+      tables
+  in
+  if dup <> [] then
+    parse_error "table %s referenced twice: self-joins are not supported"
+      (List.hd dup);
+  st.scope <-
+    List.concat_map
+      (fun (tbl, alias) ->
+        (tbl, tbl) :: (match alias with Some a -> [ (a, tbl) ] | None -> []))
+      items;
+  (* WHERE *)
+  let where = if accept_kw st "WHERE" then Some (pred st) else None in
+  (* GROUP BY *)
+  let group_by =
+    if accept_kw st "GROUP" then begin
+      expect_kw st "BY";
+      let rec exprs acc =
+        let e = expr st in
+        if accept_sym st "," then exprs (e :: acc) else List.rev (e :: acc)
+      in
+      Some (exprs [])
+    end
+    else None
+  in
+  (* now parse the saved output tokens with the scope in place *)
+  let tail = st.toks in
+  st.toks <- out_toks @ [ Token.Eof ];
+  let rec out_list acc =
+    let item = select_item st in
+    if accept_sym st "," then out_list (item :: acc) else List.rev (item :: acc)
+  in
+  let raw = out_list [] in
+  (match peek st with
+  | Token.Eof -> ()
+  | t -> parse_error "unexpected %s in output list" (Token.to_string t));
+  st.toks <- tail;
+  let out = name_outputs raw in
+  (* aggregates without a GROUP BY clause form a scalar aggregate (an
+     empty grouping list) *)
+  let group_by =
+    match group_by with
+    | Some _ -> group_by
+    | None ->
+        if
+          List.exists
+            (fun (o : Spjg.out_item) ->
+              match o.Spjg.def with Spjg.Aggregate _ -> true | _ -> false)
+            out
+        then Some []
+        else None
+  in
+  Spjg.of_pred_where ~tables
+    ~pred:(match where with Some p -> p | None -> Pred.Bool true)
+    ~group_by ~out
+
+let finish st =
+  match peek st with
+  | Token.Eof -> ()
+  | t -> parse_error "trailing input: %s" (Token.to_string t)
+
+let parse_query schema (src : string) : Spjg.t =
+  let st = { schema; toks = Lexer.tokenize src; scope = [] } in
+  let q = select st in
+  finish st;
+  q
+
+(* CREATE VIEW name [WITH SCHEMABINDING] AS select *)
+let parse_view schema (src : string) : string * Spjg.t =
+  let st = { schema; toks = Lexer.tokenize src; scope = [] } in
+  expect_kw st "CREATE";
+  expect_kw st "VIEW";
+  let name = ident st in
+  if accept_kw st "WITH" then expect_kw st "SCHEMABINDING";
+  expect_kw st "AS";
+  let q = select st in
+  finish st;
+  (name, q)
+
+(* Either a query or a view definition. *)
+let parse_statement schema (src : string) =
+  let toks = Lexer.tokenize src in
+  match toks with
+  | Token.Kw "CREATE" :: _ -> `View (parse_view schema src)
+  | _ -> `Query (parse_query schema src)

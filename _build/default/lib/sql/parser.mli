@@ -1,0 +1,23 @@
+(** Recursive-descent parser for the SQL subset, lowering directly to
+    normalized SPJG blocks with columns resolved against the catalog.
+
+    Supported statements:
+    - [SELECT outs FROM t1 [a1], ... [WHERE pred] [GROUP BY exprs]]
+    - [CREATE VIEW name [WITH SCHEMABINDING] AS select]
+
+    Table references may carry a "dbo." prefix (ignored) and an alias;
+    each base table may appear at most once (self-joins are rejected).
+    Aggregates without GROUP BY parse as a scalar aggregate. BETWEEN
+    expands to two conjuncts; predicates are converted to CNF. *)
+
+exception Parse_error of string
+
+val parse_query : Mv_catalog.Schema.t -> string -> Mv_relalg.Spjg.t
+
+val parse_view : Mv_catalog.Schema.t -> string -> string * Mv_relalg.Spjg.t
+(** [(view name, definition)]. *)
+
+val parse_statement :
+  Mv_catalog.Schema.t ->
+  string ->
+  [ `Query of Mv_relalg.Spjg.t | `View of string * Mv_relalg.Spjg.t ]

@@ -1,0 +1,27 @@
+(** Tokens of the SQL subset. Keywords are recognized case-insensitively by
+    the lexer and carried as [Kw]. *)
+
+type t =
+  | Kw of string  (** uppercased keyword: SELECT, FROM, WHERE, ... *)
+  | Ident of string  (** identifier, lowercased *)
+  | Int_lit of int
+  | Float_lit of float
+  | Str_lit of string
+  | Sym of string  (** punctuation and operators: ( ) , . * + - / = <> <= >= < > *)
+  | Eof
+
+let keywords =
+  [
+    "SELECT"; "FROM"; "WHERE"; "GROUP"; "BY"; "AND"; "OR"; "NOT"; "AS";
+    "LIKE"; "BETWEEN"; "IS"; "NULL"; "TRUE"; "FALSE"; "DATE"; "CREATE";
+    "VIEW"; "WITH"; "SCHEMABINDING"; "SUM"; "AVG"; "COUNT"; "COUNT_BIG";
+  ]
+
+let to_string = function
+  | Kw k -> k
+  | Ident s -> s
+  | Int_lit i -> string_of_int i
+  | Float_lit f -> string_of_float f
+  | Str_lit s -> "'" ^ s ^ "'"
+  | Sym s -> s
+  | Eof -> "<eof>"

@@ -1,0 +1,1 @@
+lib/tpch/datagen.ml: Array Date List Mv_base Mv_catalog Mv_engine Mv_util Option Printf Schema Value

@@ -1,0 +1,1 @@
+lib/tpch/datagen.mli: Mv_catalog Mv_engine

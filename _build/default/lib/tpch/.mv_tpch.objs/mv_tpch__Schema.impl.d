@@ -1,0 +1,1 @@
+lib/tpch/schema.ml: Column Foreign_key List Mv_base Mv_catalog Schema Table_def

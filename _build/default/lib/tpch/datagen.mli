@@ -1,0 +1,20 @@
+(** Deterministic TPC-H-style data generator and the analytic statistics
+    used by statistics-only experiments. *)
+
+type counts = {
+  suppliers : int;
+  parts : int;
+  customers : int;
+  orders : int;
+}
+
+val counts_of_scale : int -> counts
+
+val generate : ?seed:int -> ?scale:int -> unit -> Mv_engine.Database.t
+(** A fully populated database; all foreign keys hold by construction,
+    comments embed searchable substrings, monetary columns are integer
+    cents. Scale 1 is a few hundred lineitem rows. *)
+
+val synthetic_stats : ?sf:float -> unit -> Mv_catalog.Stats.t
+(** TPC-H cardinalities and column distributions at scale factor [sf]
+    (default 0.5, the paper's setting) without materializing any data. *)

@@ -1,0 +1,191 @@
+(** The TPC-H schema (all eight tables) with primary keys, not-null
+    constraints and every foreign key of the specification — including the
+    composite (l_partkey, l_suppkey) -> partsupp key, which exercises
+    multi-column cardinality-preserving joins.
+
+    Monetary columns are integers (cents): exact arithmetic keeps bag
+    comparison of rewrites deterministic regardless of evaluation order. *)
+
+open Mv_catalog
+
+let col = Column.make
+let coln = Column.make ~nullable:true
+
+let _ = coln (* nullable columns appear only in test schemas *)
+
+let region =
+  Table_def.make ~name:"region"
+    ~columns:
+      [
+        col "r_regionkey" Mv_base.Dtype.Int;
+        col "r_name" Mv_base.Dtype.Str;
+        col "r_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "r_regionkey" ] ()
+
+let nation =
+  Table_def.make ~name:"nation"
+    ~columns:
+      [
+        col "n_nationkey" Mv_base.Dtype.Int;
+        col "n_name" Mv_base.Dtype.Str;
+        col "n_regionkey" Mv_base.Dtype.Int;
+        col "n_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "n_nationkey" ] ()
+
+let supplier =
+  Table_def.make ~name:"supplier"
+    ~columns:
+      [
+        col "s_suppkey" Mv_base.Dtype.Int;
+        col "s_name" Mv_base.Dtype.Str;
+        col "s_address" Mv_base.Dtype.Str;
+        col "s_nationkey" Mv_base.Dtype.Int;
+        col "s_phone" Mv_base.Dtype.Str;
+        col "s_acctbal" Mv_base.Dtype.Int;
+        col "s_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "s_suppkey" ] ()
+
+let customer =
+  Table_def.make ~name:"customer"
+    ~columns:
+      [
+        col "c_custkey" Mv_base.Dtype.Int;
+        col "c_name" Mv_base.Dtype.Str;
+        col "c_address" Mv_base.Dtype.Str;
+        col "c_nationkey" Mv_base.Dtype.Int;
+        col "c_phone" Mv_base.Dtype.Str;
+        col "c_acctbal" Mv_base.Dtype.Int;
+        col "c_mktsegment" Mv_base.Dtype.Str;
+        col "c_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "c_custkey" ] ()
+
+let part =
+  Table_def.make ~name:"part"
+    ~columns:
+      [
+        col "p_partkey" Mv_base.Dtype.Int;
+        col "p_name" Mv_base.Dtype.Str;
+        col "p_mfgr" Mv_base.Dtype.Str;
+        col "p_brand" Mv_base.Dtype.Str;
+        col "p_type" Mv_base.Dtype.Str;
+        col "p_size" Mv_base.Dtype.Int;
+        col "p_container" Mv_base.Dtype.Str;
+        col "p_retailprice" Mv_base.Dtype.Int;
+        col "p_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "p_partkey" ] ()
+
+let partsupp =
+  Table_def.make ~name:"partsupp"
+    ~columns:
+      [
+        col "ps_partkey" Mv_base.Dtype.Int;
+        col "ps_suppkey" Mv_base.Dtype.Int;
+        col "ps_availqty" Mv_base.Dtype.Int;
+        col "ps_supplycost" Mv_base.Dtype.Int;
+        col "ps_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "ps_partkey"; "ps_suppkey" ] ()
+
+let orders =
+  Table_def.make ~name:"orders"
+    ~columns:
+      [
+        col "o_orderkey" Mv_base.Dtype.Int;
+        col "o_custkey" Mv_base.Dtype.Int;
+        col "o_orderstatus" Mv_base.Dtype.Str;
+        col "o_totalprice" Mv_base.Dtype.Int;
+        col "o_orderdate" Mv_base.Dtype.Date;
+        col "o_orderpriority" Mv_base.Dtype.Str;
+        col "o_clerk" Mv_base.Dtype.Str;
+        col "o_shippriority" Mv_base.Dtype.Int;
+        col "o_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "o_orderkey" ] ()
+
+(* CHECK constraints mirroring the TPC-H data characteristics the
+   generator guarantees; the matcher exploits them in its subsumption
+   tests (section 3.1.2). *)
+let check col_name op v =
+  Mv_base.Pred.Cmp
+    ( op,
+      Mv_base.Expr.Col (Mv_base.Col.make "" col_name),
+      Mv_base.Expr.Const (Mv_base.Value.Int v) )
+
+let on_table tbl p =
+  Mv_base.Pred.map_exprs
+    (Mv_base.Expr.map_cols (fun c -> Mv_base.Col.make tbl c.Mv_base.Col.col))
+    p
+
+let lineitem_checks =
+  List.map (on_table "lineitem")
+    [
+      check "l_quantity" Mv_base.Pred.Ge 1;
+      check "l_quantity" Mv_base.Pred.Le 50;
+      check "l_discount" Mv_base.Pred.Ge 0;
+      check "l_discount" Mv_base.Pred.Le 10;
+      check "l_tax" Mv_base.Pred.Ge 0;
+      check "l_tax" Mv_base.Pred.Le 8;
+      check "l_extendedprice" Mv_base.Pred.Ge 0;
+    ]
+
+let lineitem =
+  Table_def.make ~name:"lineitem" ~checks:lineitem_checks
+    ~columns:
+      [
+        col "l_orderkey" Mv_base.Dtype.Int;
+        col "l_partkey" Mv_base.Dtype.Int;
+        col "l_suppkey" Mv_base.Dtype.Int;
+        col "l_linenumber" Mv_base.Dtype.Int;
+        col "l_quantity" Mv_base.Dtype.Int;
+        col "l_extendedprice" Mv_base.Dtype.Int;
+        col "l_discount" Mv_base.Dtype.Int;
+        col "l_tax" Mv_base.Dtype.Int;
+        col "l_returnflag" Mv_base.Dtype.Str;
+        col "l_linestatus" Mv_base.Dtype.Str;
+        col "l_shipdate" Mv_base.Dtype.Date;
+        col "l_commitdate" Mv_base.Dtype.Date;
+        col "l_receiptdate" Mv_base.Dtype.Date;
+        col "l_shipinstruct" Mv_base.Dtype.Str;
+        col "l_shipmode" Mv_base.Dtype.Str;
+        col "l_comment" Mv_base.Dtype.Str;
+      ]
+    ~primary_key:[ "l_orderkey"; "l_linenumber" ] ()
+
+let fk = Foreign_key.make
+
+let schema =
+  Schema.make
+    ~tables:
+      [ region; nation; supplier; customer; part; partsupp; orders; lineitem ]
+    ~foreign_keys:
+      [
+        fk ~from_tbl:"nation" ~from_cols:[ "n_regionkey" ] ~to_tbl:"region"
+          ~to_cols:[ "r_regionkey" ];
+        fk ~from_tbl:"supplier" ~from_cols:[ "s_nationkey" ] ~to_tbl:"nation"
+          ~to_cols:[ "n_nationkey" ];
+        fk ~from_tbl:"customer" ~from_cols:[ "c_nationkey" ] ~to_tbl:"nation"
+          ~to_cols:[ "n_nationkey" ];
+        fk ~from_tbl:"partsupp" ~from_cols:[ "ps_partkey" ] ~to_tbl:"part"
+          ~to_cols:[ "p_partkey" ];
+        fk ~from_tbl:"partsupp" ~from_cols:[ "ps_suppkey" ] ~to_tbl:"supplier"
+          ~to_cols:[ "s_suppkey" ];
+        fk ~from_tbl:"orders" ~from_cols:[ "o_custkey" ] ~to_tbl:"customer"
+          ~to_cols:[ "c_custkey" ];
+        fk ~from_tbl:"lineitem" ~from_cols:[ "l_orderkey" ] ~to_tbl:"orders"
+          ~to_cols:[ "o_orderkey" ];
+        fk ~from_tbl:"lineitem" ~from_cols:[ "l_partkey" ] ~to_tbl:"part"
+          ~to_cols:[ "p_partkey" ];
+        fk ~from_tbl:"lineitem" ~from_cols:[ "l_suppkey" ] ~to_tbl:"supplier"
+          ~to_cols:[ "s_suppkey" ];
+        fk ~from_tbl:"lineitem"
+          ~from_cols:[ "l_partkey"; "l_suppkey" ]
+          ~to_tbl:"partsupp"
+          ~to_cols:[ "ps_partkey"; "ps_suppkey" ];
+      ]
+
+let () = Schema.validate schema

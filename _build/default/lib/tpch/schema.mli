@@ -1,0 +1,16 @@
+(** The TPC-H schema: all eight tables with primary keys, not-null
+    columns, every foreign key of the specification (including the
+    composite lineitem -> partsupp key), and CHECK constraints mirroring
+    the data characteristics the generator guarantees. *)
+
+val region : Mv_catalog.Table_def.t
+val nation : Mv_catalog.Table_def.t
+val supplier : Mv_catalog.Table_def.t
+val customer : Mv_catalog.Table_def.t
+val part : Mv_catalog.Table_def.t
+val partsupp : Mv_catalog.Table_def.t
+val orders : Mv_catalog.Table_def.t
+val lineitem : Mv_catalog.Table_def.t
+
+val schema : Mv_catalog.Schema.t
+(** Validated at module initialization. *)

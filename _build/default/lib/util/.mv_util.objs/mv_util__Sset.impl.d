@@ -1,0 +1,1 @@
+lib/util/sset.ml: Fmt Set String

@@ -1,0 +1,1 @@
+lib/util/sset.mli: Format Set

@@ -1,0 +1,70 @@
+(** Deterministic splitmix64 PRNG.
+
+    All data generation and workload generation in this repository is seeded
+    explicitly so experiments are reproducible bit-for-bit. We avoid
+    [Random] from the stdlib to keep the stream independent of OCaml
+    versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Uniform int in [0, bound). The land keeps the value non-negative after
+   the 64->63 bit truncation of Int64.to_int. *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(* Uniform int in [lo, hi] inclusive. *)
+let int_range t lo hi =
+  if hi < lo then invalid_arg "Prng.int_range: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let r = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  r /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = int t 2 = 0
+
+(* Bernoulli with probability [p]. *)
+let chance t p = float t < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Prng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc +. w) 0.0 weighted in
+  if total <= 0.0 then invalid_arg "Prng.pick_weighted: non-positive total";
+  let r = float t *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Prng.pick_weighted: empty"
+    | [ (_, x) ] -> x
+    | (w, x) :: rest -> if r < acc +. w then x else go (acc +. w) rest
+  in
+  go 0.0 weighted
+
+(* Shuffle a list (Fisher-Yates over an array copy). *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let n = Array.length a in
+  for i = n - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* Split off an independent stream, e.g. one per generated view. *)
+let split t = { state = next_int64 t }

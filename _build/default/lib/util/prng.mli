@@ -1,0 +1,31 @@
+(** Deterministic splitmix64 PRNG: all data and workload generation is
+    seeded explicitly so experiments reproduce bit-for-bit. *)
+
+type t
+
+val create : int -> t
+
+val next_int64 : t -> int64
+
+val int : t -> int -> int
+(** Uniform in [0, bound). @raise Invalid_argument on bound <= 0. *)
+
+val int_range : t -> int -> int -> int
+(** Uniform in [lo, hi] inclusive. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** Bernoulli with the given probability. *)
+
+val pick : t -> 'a list -> 'a
+
+val pick_weighted : t -> (float * 'a) list -> 'a
+
+val shuffle : t -> 'a list -> 'a list
+
+val split : t -> t
+(** An independent stream. *)

@@ -1,0 +1,12 @@
+(** String sets with a few helpers used by filter-tree keys. *)
+
+include Set.Make (String)
+
+let of_list' = of_list
+
+let to_list t = elements t
+
+let pp ppf t =
+  Fmt.pf ppf "{%a}" Fmt.(list ~sep:(any ", ") string) (elements t)
+
+let to_string t = Fmt.str "%a" pp t

@@ -1,0 +1,11 @@
+(** String sets with printing helpers (filter-tree keys). *)
+
+include Set.S with type elt = string
+
+val of_list' : string list -> t
+
+val to_list : t -> string list
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

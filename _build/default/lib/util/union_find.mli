@@ -1,0 +1,26 @@
+(** Union-find (disjoint sets) over an arbitrary ordered key type, with
+    path compression and union by rank. *)
+
+module Make (Ord : Map.OrderedType) : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> Ord.t -> unit
+  (** Register as a singleton class (no-op if present). *)
+
+  val find : t -> Ord.t -> Ord.t
+  (** Class representative; registers unknown keys on the fly. *)
+
+  val union : t -> Ord.t -> Ord.t -> unit
+
+  val same : t -> Ord.t -> Ord.t -> bool
+
+  val members : t -> Ord.t list
+
+  val classes : t -> Ord.t list list
+  (** The full partition, singletons included. *)
+
+  val copy : t -> t
+  (** An independent copy: later unions do not affect the original. *)
+end

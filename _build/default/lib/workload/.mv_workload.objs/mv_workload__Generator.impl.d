@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Col Expr List Mv_base Mv_catalog Mv_opt Mv_relalg Mv_util Option Pred Printf Value

@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Col Mv_base Mv_catalog Mv_relalg Mv_util Pred

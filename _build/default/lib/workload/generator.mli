@@ -1,0 +1,52 @@
+(** The randomized view/query generator of the paper's section 5: FK-walk
+    table selection, range predicates added until the estimated SPJ
+    cardinality hits a band (views 25-75%, queries 8-12% of the largest
+    table), random output columns, ~75% aggregation blocks, and the
+    paper's query table-count distribution (40/20/17/13/8/2% for 2..7). *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+
+type config = {
+  agg_fraction : float;
+  card_band : float * float;
+  out_col_prob : float;
+  group_col_prob : float;
+  join_continue_prob : float;
+  max_tables : int;
+  max_range_preds : int;
+  table_count_dist : (float * int) list option;
+  count_output_prob : float;
+}
+
+val view_config : config
+
+val query_config : config
+
+val rangeable_cols : Mv_catalog.Schema.t -> string list -> Col.t list
+(** Int/Date columns of the tables — candidates for range predicates. *)
+
+val range_pred :
+  Mv_catalog.Stats.t -> Mv_util.Prng.t -> Col.t -> float -> Pred.t option
+(** A predicate on the column with roughly the given selectivity, bounds
+    interpolated from the column statistics. *)
+
+val generate_block :
+  Mv_catalog.Schema.t -> Mv_catalog.Stats.t -> Mv_util.Prng.t -> config -> Spjg.t
+
+val generate_view :
+  Mv_catalog.Schema.t -> Mv_catalog.Stats.t -> Mv_util.Prng.t -> Spjg.t
+
+val generate_query :
+  Mv_catalog.Schema.t -> Mv_catalog.Stats.t -> Mv_util.Prng.t -> Spjg.t
+
+val views :
+  ?seed:int ->
+  Mv_catalog.Schema.t ->
+  Mv_catalog.Stats.t ->
+  int ->
+  (string * Spjg.t) list
+(** A reproducible batch of named views. *)
+
+val queries :
+  ?seed:int -> Mv_catalog.Schema.t -> Mv_catalog.Stats.t -> int -> Spjg.t list

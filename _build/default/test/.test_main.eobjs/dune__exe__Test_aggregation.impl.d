@@ -1,0 +1,1 @@
+test/test_aggregation.ml: Alcotest Helpers Mv_base Mv_core Mv_relalg

@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Col Date Eval Expr Gen Helpers Like List Mv_base Option Pred Printf QCheck String Value

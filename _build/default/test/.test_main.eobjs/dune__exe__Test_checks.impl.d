@@ -1,0 +1,1 @@
+test/test_checks.ml: Alcotest Helpers List Mv_base Mv_catalog Mv_core Mv_engine Mv_relalg Mv_tpch

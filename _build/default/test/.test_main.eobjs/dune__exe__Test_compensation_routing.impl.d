@@ -1,0 +1,1 @@
+test/test_compensation_routing.ml: Alcotest Helpers List Mv_base Mv_core Mv_relalg

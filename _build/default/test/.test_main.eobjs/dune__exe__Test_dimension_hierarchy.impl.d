@@ -1,0 +1,1 @@
+test/test_dimension_hierarchy.ml: Alcotest Dtype Mv_base Mv_catalog Mv_core Mv_engine Mv_opt Mv_sql Mv_util Printf Value

@@ -1,0 +1,1 @@
+test/test_disjunction.ml: Alcotest Col Eval Expr Gen Helpers Lazy List Mv_base Mv_core Mv_engine Mv_relalg Mv_tpch Mv_util Printf QCheck Value

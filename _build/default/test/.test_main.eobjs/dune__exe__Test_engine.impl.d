@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Dtype Expr Helpers List Mv_base Mv_catalog Mv_core Mv_engine Mv_relalg Mv_tpch Pred Value

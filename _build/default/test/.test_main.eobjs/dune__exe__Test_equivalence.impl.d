@@ -1,0 +1,1 @@
+test/test_equivalence.ml: Alcotest Helpers Lazy List Mv_base Mv_core Mv_engine Mv_relalg Mv_tpch Mv_util Mv_workload Printf QCheck

@@ -1,0 +1,1 @@
+test/test_eval_funcs.ml: Alcotest Col Eval Expr Helpers List Mv_base Mv_core Mv_relalg Value

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Mv_experiments Printf

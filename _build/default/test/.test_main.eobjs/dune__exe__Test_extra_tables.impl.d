@@ -1,0 +1,1 @@
+test/test_extra_tables.ml: Alcotest Helpers List Mv_core Mv_relalg Mv_util

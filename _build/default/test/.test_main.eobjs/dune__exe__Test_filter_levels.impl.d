@@ -1,0 +1,1 @@
+test/test_filter_levels.ml: Alcotest Helpers List Mv_core Mv_relalg

@@ -1,0 +1,1 @@
+test/test_filter_tree.ml: Alcotest Helpers List Mv_core Mv_relalg Mv_sql Mv_tpch Mv_util Mv_workload QCheck String

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Helpers Lazy List Mv_base Mv_core Mv_engine Mv_opt Mv_relalg Mv_tpch Printf QCheck Value

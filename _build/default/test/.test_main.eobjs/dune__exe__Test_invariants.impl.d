@@ -1,0 +1,1 @@
+test/test_invariants.ml: Helpers List Mv_base Mv_core Mv_relalg Mv_sql Mv_tpch Mv_util Mv_workload Printf QCheck

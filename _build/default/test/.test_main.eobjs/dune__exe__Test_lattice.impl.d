@@ -1,0 +1,1 @@
+test/test_lattice.ml: Alcotest Char Helpers List Mv_core Mv_util QCheck String

@@ -1,0 +1,1 @@
+test/test_opt_internals.ml: Alcotest Col Expr Helpers List Mv_base Mv_catalog Mv_core Mv_opt Mv_relalg Mv_tpch Printf String

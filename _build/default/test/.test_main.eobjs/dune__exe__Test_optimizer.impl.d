@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Helpers Lazy List Mv_core Mv_engine Mv_opt Mv_relalg Mv_sql Mv_tpch Mv_util Mv_workload QCheck

@@ -1,0 +1,1 @@
+test/test_relalg.ml: Alcotest Array Col Eval Expr Helpers List Mv_base Mv_relalg Mv_tpch Pred QCheck Result Value

@@ -1,0 +1,1 @@
+test/test_relaxed_nulls.ml: Alcotest Col Dtype Expr List Mv_base Mv_catalog Mv_core Mv_engine Mv_relalg Mv_util Pred Value

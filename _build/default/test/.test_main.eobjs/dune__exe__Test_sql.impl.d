@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Helpers List Mv_base Mv_catalog Mv_relalg Mv_sql Mv_tpch Mv_util Mv_workload QCheck Result String

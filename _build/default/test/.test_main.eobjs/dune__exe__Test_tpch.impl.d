@@ -1,0 +1,1 @@
+test/test_tpch.ml: Alcotest Array Col Fmt Hashtbl List Mv_base Mv_catalog Mv_engine Mv_tpch String Value

@@ -1,0 +1,1 @@
+test/test_union.ml: Alcotest Helpers Lazy List Mv_core Mv_engine Mv_relalg Mv_tpch Mv_util Printf QCheck

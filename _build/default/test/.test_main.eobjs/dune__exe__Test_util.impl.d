@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Helpers Int List Mv_util QCheck

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lazy List Mv_base Mv_catalog Mv_core Mv_opt Mv_relalg Mv_sql Mv_tpch Mv_workload Printexc

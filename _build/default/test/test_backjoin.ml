@@ -1,0 +1,183 @@
+(** The base-table backjoin extension (section 7 of the paper): a view that
+    contains all the tables and rows a query needs but lacks some output
+    columns can still be used, by joining it back to a base table on a
+    unique key the view outputs. *)
+
+open Helpers
+module Spjg = Mv_relalg.Spjg
+
+let match_bj ~view_sql ~query_sql () =
+  let view = view_of_sql view_sql in
+  Mv_core.Matcher.match_spjg ~backjoins:true schema
+    ~query:(parse_q query_sql) view
+
+let check_bj ~view_sql ~query_sql () =
+  match match_bj ~view_sql ~query_sql () with
+  | Ok s -> s
+  | Error r ->
+      Alcotest.failf "expected backjoin match, got: %s"
+        (Mv_core.Reject.to_string r)
+
+(* the view outputs the lineitem PK but not l_tax; the query needs l_tax *)
+let narrow_view =
+  {| create view bj_v1 with schemabinding as
+     select l_orderkey, l_linenumber, l_quantity from dbo.lineitem
+     where l_quantity >= 5 |}
+
+let test_missing_output_restored () =
+  let query_sql =
+    {| select l_orderkey, l_tax from lineitem where l_quantity >= 5 |}
+  in
+  (* without backjoins: rejected *)
+  (match match_sql ~view_sql:narrow_view ~query_sql () with
+  | Error (Mv_core.Reject.Output_not_computable _) -> ()
+  | Error r -> Alcotest.failf "unexpected: %s" (Mv_core.Reject.to_string r)
+  | Ok _ -> Alcotest.fail "plain matching must reject");
+  (* with backjoins: matched, block joins lineitem back in *)
+  let s = check_bj ~view_sql:narrow_view ~query_sql () in
+  Alcotest.(check bool) "uses backjoin" true (Mv_core.Substitute.uses_backjoin s);
+  Alcotest.(check (list string))
+    "joins back to lineitem"
+    [ "bj_v1"; "lineitem" ]
+    s.Mv_core.Substitute.block.Spjg.tables;
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_backjoin_compensating_predicate () =
+  (* the compensation itself needs the missing column *)
+  let query_sql =
+    {| select l_orderkey from lineitem
+       where l_quantity >= 5 and l_tax <= 4 |}
+  in
+  let s = check_bj ~view_sql:narrow_view ~query_sql () in
+  Alcotest.(check bool) "uses backjoin" true (Mv_core.Substitute.uses_backjoin s);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_no_key_no_backjoin () =
+  (* the view outputs no unique key of lineitem: backjoin impossible *)
+  let view_sql =
+    {| create view bj_v2 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 5 |}
+  in
+  let query_sql =
+    {| select l_orderkey, l_tax from lineitem where l_quantity >= 5 |}
+  in
+  match match_bj ~view_sql ~query_sql () with
+  | Error (Mv_core.Reject.Output_not_computable _) -> ()
+  | Error r -> Alcotest.failf "unexpected: %s" (Mv_core.Reject.to_string r)
+  | Ok s ->
+      Alcotest.failf "must reject without a routable key, got:\n%s"
+        (Mv_core.Substitute.to_sql s)
+
+let test_backjoin_through_aggregation () =
+  (* an aggregation view grouped on the orders PK: order attributes can be
+     restored through a backjoin, compensations on them included *)
+  let view_sql =
+    {| create view bj_v3 with schemabinding as
+       select o_orderkey, count_big(*) as cnt, sum(l_quantity) as qty
+       from dbo.lineitem, dbo.orders
+       where l_orderkey = o_orderkey
+       group by o_orderkey |}
+  in
+  let query_sql =
+    {| select o_orderkey, sum(l_quantity) as qty
+       from lineitem, orders
+       where l_orderkey = o_orderkey and o_totalprice >= 200000
+       group by o_orderkey |}
+  in
+  let s = check_bj ~view_sql ~query_sql () in
+  Alcotest.(check bool) "uses backjoin" true (Mv_core.Substitute.uses_backjoin s);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_backjoin_multiple_tables () =
+  let view_sql =
+    {| create view bj_v4 with schemabinding as
+       select l_orderkey, l_linenumber, o_orderkey, l_quantity
+       from dbo.lineitem, dbo.orders
+       where l_orderkey = o_orderkey |}
+  in
+  let query_sql =
+    {| select l_tax, o_totalprice from lineitem, orders
+       where l_orderkey = o_orderkey |}
+  in
+  let s = check_bj ~view_sql ~query_sql () in
+  Alcotest.(check int) "two backjoined tables" 2
+    (List.length s.Mv_core.Substitute.backjoins);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_registry_backjoin_end_to_end () =
+  let r = Mv_core.Registry.create ~backjoins:true schema in
+  let _, spjg = parse_v narrow_view in
+  ignore (Mv_core.Registry.add_view r ~name:"bj_v1" spjg);
+  let q =
+    parse_q {| select l_orderkey, l_tax from lineitem where l_quantity >= 5 |}
+  in
+  (* the backjoin filter-tree plan must not prune on output columns *)
+  Alcotest.(check int) "found through the backjoin tree" 1
+    (List.length (Mv_core.Registry.find_substitutes_spjg r q))
+
+let test_plain_registry_prunes_same_case () =
+  (* sanity: the default tree prunes this view for the same query (output
+     column condition), so plain mode loses the rewrite — this is exactly
+     the conservatism the paper accepts in 4.2.7 *)
+  let r = Mv_core.Registry.create ~backjoins:false schema in
+  let _, spjg = parse_v narrow_view in
+  ignore (Mv_core.Registry.add_view r ~name:"bj_v1" spjg);
+  let q =
+    parse_q {| select l_orderkey, l_tax from lineitem where l_quantity >= 5 |}
+  in
+  Alcotest.(check int) "plain mode finds nothing" 0
+    (List.length (Mv_core.Registry.find_substitutes_spjg r q))
+
+(* property: backjoin substitutes over random workload pairs stay
+   equivalent *)
+let backjoin_equivalence_prop =
+  let db = lazy (Mv_tpch.Datagen.generate ~seed:61 ~scale:2 ()) in
+  let stats = lazy (Mv_engine.Database.stats (Lazy.force db)) in
+  let counter = ref 0 in
+  QCheck.Test.make ~name:"backjoin: substitutes compute the same bag"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Mv_util.Prng.create (seed + 55001) in
+      let stats = Lazy.force stats in
+      let view_def = Mv_workload.Generator.generate_view schema stats rng in
+      let query = Mv_workload.Generator.generate_query schema stats rng in
+      incr counter;
+      let name = Printf.sprintf "bjp%d_%d" seed !counter in
+      let view = Mv_core.View.create schema ~name view_def in
+      match Mv_core.Matcher.match_spjg ~backjoins:true schema ~query view with
+      | Error _ -> true
+      | Ok s ->
+          let db = Lazy.force db in
+          let direct = Mv_engine.Exec.execute db query in
+          (match Mv_engine.Database.table db name with
+          | Some _ -> ()
+          | None -> ignore (Mv_engine.Exec.materialize db view));
+          let via = Mv_engine.Exec.execute_substitute db s in
+          if not (Mv_engine.Relation.same_bag direct via) then
+            QCheck.Test.fail_reportf
+              "backjoin mismatch!\nview:\n%s\nquery:\n%s\nsubstitute:\n%s"
+              (Spjg.to_sql view_def) (Spjg.to_sql query)
+              (Mv_core.Substitute.to_sql s)
+          else true)
+
+let suite =
+  [
+    ( "backjoin",
+      [
+        Alcotest.test_case "missing output restored" `Quick
+          test_missing_output_restored;
+        Alcotest.test_case "compensating predicate via backjoin" `Quick
+          test_backjoin_compensating_predicate;
+        Alcotest.test_case "no key, no backjoin" `Quick test_no_key_no_backjoin;
+        Alcotest.test_case "backjoin through aggregation" `Quick
+          test_backjoin_through_aggregation;
+        Alcotest.test_case "multiple backjoined tables" `Quick
+          test_backjoin_multiple_tables;
+        Alcotest.test_case "registry end to end" `Quick
+          test_registry_backjoin_end_to_end;
+        Alcotest.test_case "plain tree prunes the same case" `Quick
+          test_plain_registry_prunes_same_case;
+        Helpers.qtest backjoin_equivalence_prop;
+      ] );
+  ]

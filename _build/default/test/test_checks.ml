@@ -1,0 +1,139 @@
+(** CHECK-constraint exploitation (section 3.1.2): constraints on the
+    query's tables join the antecedent of the implication tests, so a view
+    whose predicate is implied by a constraint still qualifies — and the
+    check-derived bounds are never (incorrectly) compensated. *)
+
+open Helpers
+module Spjg = Mv_relalg.Spjg
+
+(* lineitem carries CHECK (l_quantity between 1 and 50) in the TPC-H
+   catalog. *)
+
+let test_view_range_implied_by_check () =
+  (* the view keeps only l_quantity >= 1: implied by the check, so ANY
+     query over lineitem finds all its rows in the view *)
+  let view_sql =
+    {| create view chk_v1 with schemabinding as
+       select l_orderkey, l_partkey from dbo.lineitem
+       where l_quantity >= 1 |}
+  in
+  let query_sql = {| select l_orderkey, l_partkey from lineitem |} in
+  let s = check_matches ~view_sql ~query_sql () in
+  (* no compensation: the check guarantees the rows are all there, and
+     l_quantity is not even in the view output *)
+  Alcotest.(check int) "no compensating predicates" 0
+    (List.length s.Mv_core.Substitute.block.Spjg.where);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_view_range_wider_than_check () =
+  let view_sql =
+    {| create view chk_v2 with schemabinding as
+       select l_orderkey, l_partkey, l_quantity from dbo.lineitem
+       where l_quantity >= 0 and l_quantity <= 100 |}
+  in
+  let query_sql = {| select l_orderkey from lineitem |} in
+  let s = check_matches ~view_sql ~query_sql () in
+  Alcotest.(check int) "no compensating predicates" 0
+    (List.length s.Mv_core.Substitute.block.Spjg.where);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_check_does_not_mask_real_gap () =
+  (* view requires l_quantity >= 10: NOT implied by the check; a query
+     without that predicate must still be rejected *)
+  let view_sql =
+    {| create view chk_v3 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 10 |}
+  in
+  let query_sql = {| select l_orderkey from lineitem |} in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Range_subsumption_failed _ -> ()
+  | r -> Alcotest.failf "expected range failure, got %s" (Mv_core.Reject.to_string r)
+
+let test_own_predicate_still_compensated () =
+  (* query's own stronger bound is enforced even when a check also exists *)
+  let view_sql =
+    {| create view chk_v4 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 1 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem where l_quantity >= 30 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  Alcotest.(check int) "one compensating predicate" 1
+    (List.length s.Mv_core.Substitute.block.Spjg.where);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_weaker_own_predicate_not_compensated () =
+  (* the query writes l_quantity >= 0 (weaker than the check); the view
+     filters l_quantity >= 1. The full query range (with the check) is
+     within the view's, and the view's bound already covers the query's
+     own bound, so no compensation — and critically, no rejection even
+     though l_quantity is in the output. *)
+  let view_sql =
+    {| create view chk_v5 with schemabinding as
+       select l_orderkey, l_partkey from dbo.lineitem
+       where l_quantity >= 1 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem where l_quantity >= 0 |}
+  in
+  (* note: l_quantity is NOT a view output; any needed compensation would
+     be inexpressible, so this only matches because none is needed *)
+  let s = check_matches ~view_sql ~query_sql () in
+  Alcotest.(check int) "no compensating predicates" 0
+    (List.length s.Mv_core.Substitute.block.Spjg.where);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_datagen_respects_checks () =
+  let db = Mv_tpch.Datagen.generate ~seed:21 ~scale:1 () in
+  let tbl = Mv_engine.Database.table_exn db "lineitem" in
+  Alcotest.(check int) "no check violations" 0
+    (List.length (Mv_engine.Table.check_violations tbl))
+
+let test_schema_rejects_bad_check () =
+  let bad =
+    Mv_catalog.Schema.make
+      ~tables:
+        [
+          Mv_catalog.Table_def.make ~name:"t"
+            ~columns:[ Mv_catalog.Column.make "a" Mv_base.Dtype.Int ]
+            ~primary_key:[ "a" ]
+            ~checks:
+              [
+                Mv_base.Pred.Cmp
+                  ( Mv_base.Pred.Ge,
+                    Mv_base.Expr.Col (Mv_base.Col.make "t" "nope"),
+                    Mv_base.Expr.Const (Mv_base.Value.Int 0) );
+              ]
+            ();
+        ]
+      ~foreign_keys:[]
+  in
+  Alcotest.(check bool) "validation fails" true
+    (try
+       Mv_catalog.Schema.validate bad;
+       false
+     with Mv_catalog.Schema.Schema_error _ -> true)
+
+let suite =
+  [
+    ( "check-constraints",
+      [
+        Alcotest.test_case "view range implied by check" `Quick
+          test_view_range_implied_by_check;
+        Alcotest.test_case "view range wider than check" `Quick
+          test_view_range_wider_than_check;
+        Alcotest.test_case "check does not mask a real gap" `Quick
+          test_check_does_not_mask_real_gap;
+        Alcotest.test_case "own predicate still compensated" `Quick
+          test_own_predicate_still_compensated;
+        Alcotest.test_case "weaker own predicate not compensated" `Quick
+          test_weaker_own_predicate_not_compensated;
+        Alcotest.test_case "datagen respects checks" `Quick
+          test_datagen_respects_checks;
+        Alcotest.test_case "schema rejects bad check" `Quick
+          test_schema_rejects_bad_check;
+      ] );
+  ]

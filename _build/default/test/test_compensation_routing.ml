@@ -1,0 +1,148 @@
+(** The routing subtlety of section 3.1.3: compensating column-equality
+    predicates must be routed through the VIEW's equivalence classes, and
+    everything else through the QUERY's. Routing an equality through the
+    query's classes would collapse both sides to the same column and turn
+    the predicate into a tautology. *)
+
+open Helpers
+module Spjg = Mv_relalg.Spjg
+
+let test_equality_not_tautological () =
+  (* the view knows nothing about o_orderdate = l_shipdate; the query
+     enforces it. Both columns are view outputs, so the compensating
+     predicate must compare them — not route one into the other. *)
+  let view_sql =
+    {| create view rt_v with schemabinding as
+       select l_orderkey, o_orderdate, l_shipdate
+       from dbo.lineitem, dbo.orders
+       where l_orderkey = o_orderkey |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem, orders
+       where l_orderkey = o_orderkey and o_orderdate = l_shipdate |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  let preds = s.Mv_core.Substitute.block.Spjg.where in
+  Alcotest.(check int) "one compensating predicate" 1 (List.length preds);
+  (match preds with
+  | [ Mv_base.Pred.Cmp (Mv_base.Pred.Eq, Mv_base.Expr.Col a, Mv_base.Expr.Col b) ] ->
+      Alcotest.(check bool) "two distinct view columns" true
+        (not (Mv_base.Col.equal a b))
+  | _ -> Alcotest.fail "expected a single equality");
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_equality_via_view_class_alias () =
+  (* neither query column is an output, but each has a view-equivalent
+     column that is: the equality routes through the VIEW's classes *)
+  let view_sql =
+    {| create view rt_v2 with schemabinding as
+       select o_orderkey, p_partkey, l_quantity
+       from dbo.lineitem, dbo.orders, dbo.part
+       where l_orderkey = o_orderkey and l_partkey = p_partkey |}
+  in
+  (* query equates l_orderkey with l_partkey (odd but legal); the view
+     outputs their class aliases o_orderkey and p_partkey *)
+  let query_sql =
+    {| select l_quantity from lineitem, orders, part
+       where l_orderkey = o_orderkey and l_partkey = p_partkey
+         and l_orderkey = l_partkey |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_equality_unroutable_rejects () =
+  (* the view outputs only ONE side of the needed equality *)
+  let view_sql =
+    {| create view rt_v3 with schemabinding as
+       select l_orderkey, o_orderdate
+       from dbo.lineitem, dbo.orders
+       where l_orderkey = o_orderkey |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem, orders
+       where l_orderkey = o_orderkey and o_orderdate = l_shipdate |}
+  in
+  match match_sql ~view_sql ~query_sql () with
+  | Error (Mv_core.Reject.Compensation_not_computable _) -> ()
+  | Error r -> Alcotest.failf "unexpected: %s" (Mv_core.Reject.to_string r)
+  | Ok s ->
+      Alcotest.failf "must reject, got:\n%s" (Mv_core.Substitute.to_sql s)
+
+let test_range_routes_through_query_class () =
+  (* the range compensation lands on ANY column of the query class: here
+     the view outputs p_partkey while the query constrains l_partkey *)
+  let view_sql =
+    {| create view rt_v4 with schemabinding as
+       select l_orderkey, p_partkey
+       from dbo.lineitem, dbo.part
+       where l_partkey = p_partkey |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem, part
+       where l_partkey = p_partkey and l_partkey <= 30 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  (* the compensating range references the view's p_partkey output *)
+  let mentions_partkey =
+    List.exists
+      (fun p ->
+        List.exists
+          (fun (c : Mv_base.Col.t) -> c.Mv_base.Col.col = "p_partkey")
+          (Mv_base.Pred.columns p))
+      s.Mv_core.Substitute.block.Spjg.where
+  in
+  Alcotest.(check bool) "routed to p_partkey" true mentions_partkey;
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_residual_routes_through_query_class () =
+  let view_sql =
+    {| create view rt_v5 with schemabinding as
+       select l_orderkey, p_partkey, l_quantity
+       from dbo.lineitem, dbo.part
+       where l_partkey = p_partkey |}
+  in
+  (* the residual references l_partkey, which is not an output; its query
+     class member p_partkey is *)
+  let query_sql =
+    {| select l_orderkey from lineitem, part
+       where l_partkey = p_partkey
+         and l_partkey * l_quantity > 100 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_merged_view_classes_count_once () =
+  (* three view classes collapsing into one query class need exactly two
+     linking equalities, not three *)
+  let view_sql =
+    {| create view rt_v6 with schemabinding as
+       select l_orderkey, l_partkey, l_suppkey, l_quantity
+       from dbo.lineitem |}
+  in
+  let query_sql =
+    {| select l_quantity from lineitem
+       where l_orderkey = l_partkey and l_partkey = l_suppkey |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  Alcotest.(check int) "two linking equalities" 2
+    (List.length s.Mv_core.Substitute.block.Spjg.where);
+  check_equivalent ~query:(parse_q query_sql) s
+
+let suite =
+  [
+    ( "compensation-routing",
+      [
+        Alcotest.test_case "equality is not tautological" `Quick
+          test_equality_not_tautological;
+        Alcotest.test_case "equality via view-class alias" `Quick
+          test_equality_via_view_class_alias;
+        Alcotest.test_case "unroutable equality rejects" `Quick
+          test_equality_unroutable_rejects;
+        Alcotest.test_case "range routes through query class" `Quick
+          test_range_routes_through_query_class;
+        Alcotest.test_case "residual routes through query class" `Quick
+          test_residual_routes_through_query_class;
+        Alcotest.test_case "merged classes linked once" `Quick
+          test_merged_view_classes_count_once;
+      ] );
+  ]

@@ -1,0 +1,294 @@
+(** Disjunctive range subsumption — the extension the paper sketches at
+    the end of section 3.1.2 ("This range coverage algorithm can be
+    extended to support disjunctions (OR) of range predicates"). Range
+    sets (unions of disjoint intervals) replace single intervals per
+    class; CNF distribution plus per-conjunct sets plus intersection
+    reassembles predicates like (a BETWEEN 1 AND 5 OR a = 7) exactly. *)
+
+open Mv_base
+open Helpers
+module Interval = Mv_relalg.Interval
+module Rset = Mv_relalg.Rset
+
+(* ---- Rset algebra properties ---- *)
+
+let interval_gen =
+  QCheck.Gen.(
+    let bound =
+      frequency
+        [
+          (1, return Interval.Unbounded);
+          (3, map (fun x -> Interval.Incl (Value.Int x)) (int_range (-10) 10));
+          (3, map (fun x -> Interval.Excl (Value.Int x)) (int_range (-10) 10));
+        ]
+    in
+    map2 (fun lo hi -> { Interval.lo; hi }) bound bound)
+
+let rset_gen = QCheck.Gen.(map Rset.normalize (list_size (int_range 0 4) interval_gen))
+
+let rset_arb = QCheck.make ~print:Rset.to_string rset_gen
+
+let sample = List.init 45 (fun k -> Value.Int (k - 22))
+
+let member_vector s = List.map (fun v -> Rset.mem v s) sample
+
+let normalize_preserves_membership =
+  QCheck.Test.make ~name:"rset: normalize preserves membership" ~count:500
+    QCheck.(make Gen.(list_size (int_range 0 5) interval_gen))
+    (fun intervals ->
+      let s = Rset.normalize intervals in
+      List.for_all
+        (fun v ->
+          Rset.mem v s = List.exists (fun i -> Interval.mem v i) intervals)
+        sample)
+
+let normalize_disjoint =
+  QCheck.Test.make ~name:"rset: normalized intervals are disjoint, sorted"
+    ~count:500 rset_arb
+    (fun s ->
+      let rec ok = function
+        | a :: (b :: _ as rest) ->
+            Interval.cmp_lower a.Interval.lo b.Interval.lo <= 0
+            && (not
+                  (List.exists
+                     (fun v -> Interval.mem v a && Interval.mem v b)
+                     sample))
+            && ok rest
+        | _ -> true
+      in
+      ok s)
+
+let inter_pointwise =
+  QCheck.Test.make ~name:"rset: intersection is pointwise and" ~count:500
+    QCheck.(pair rset_arb rset_arb)
+    (fun (a, b) ->
+      let i = Rset.inter a b in
+      List.for_all2
+        (fun x (y, z) -> x = (y && z))
+        (member_vector i)
+        (List.combine (member_vector a) (member_vector b)))
+
+let union_pointwise =
+  QCheck.Test.make ~name:"rset: union is pointwise or" ~count:500
+    QCheck.(pair rset_arb rset_arb)
+    (fun (a, b) ->
+      let u = Rset.union a b in
+      List.for_all2
+        (fun x (y, z) -> x = (y || z))
+        (member_vector u)
+        (List.combine (member_vector a) (member_vector b)))
+
+let contains_agrees =
+  QCheck.Test.make ~name:"rset: contains agrees with sampled membership"
+    ~count:500
+    QCheck.(pair rset_arb rset_arb)
+    (fun (outer, inner) ->
+      if Rset.contains ~outer ~inner then
+        List.for_all2
+          (fun o i -> (not i) || o)
+          (member_vector outer) (member_vector inner)
+      else true)
+
+let to_pred_encodes =
+  QCheck.Test.make ~name:"rset: to_pred encodes membership" ~count:500
+    rset_arb
+    (fun s ->
+      let c = col "lineitem" "l_quantity" in
+      match Rset.to_pred (Expr.Col c) s with
+      | None -> Rset.is_full s
+      | Some p ->
+          List.for_all
+            (fun v ->
+              let env x = if Col.equal x c then v else Value.Null in
+              Eval.pred_holds env p = Rset.mem v s)
+            sample)
+
+(* ---- classification ---- *)
+
+let test_classify_disjunction () =
+  let q =
+    parse_q
+      "select l_orderkey from lineitem where (l_quantity between 10 and 20) or l_quantity = 35"
+  in
+  let cl = Mv_relalg.Classify.classify q.Mv_relalg.Spjg.where in
+  (* CNF gives two disjunctive conjuncts; no residuals *)
+  Alcotest.(check int) "no residuals" 0 (List.length cl.Mv_relalg.Classify.residuals);
+  Alcotest.(check int) "two disjunctive conjuncts" 2
+    (List.length cl.Mv_relalg.Classify.disj_ranges)
+
+let test_cnf_reassembles_exact_set () =
+  let q =
+    parse_q
+      "select l_orderkey from lineitem where (l_quantity between 10 and 20) or l_quantity = 35"
+  in
+  let a = Mv_relalg.Analysis.analyze schema q in
+  let set =
+    Mv_relalg.Range.find a.Mv_relalg.Analysis.equiv a.Mv_relalg.Analysis.ranges
+      (col "lineitem" "l_quantity")
+  in
+  (* exactly [10,20] u [35,35] *)
+  List.iter
+    (fun (v, expected) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "membership of %d" v)
+        expected
+        (Rset.mem (Value.Int v) set))
+    [ (9, false); (10, true); (20, true); (21, false); (34, false); (35, true); (36, false) ]
+
+let test_mixed_columns_is_residual () =
+  let q =
+    parse_q
+      "select l_orderkey from lineitem where l_quantity <= 5 or l_discount >= 8"
+  in
+  let cl = Mv_relalg.Classify.classify q.Mv_relalg.Spjg.where in
+  Alcotest.(check int) "stays residual" 1
+    (List.length cl.Mv_relalg.Classify.residuals);
+  Alcotest.(check int) "no disj ranges" 0
+    (List.length cl.Mv_relalg.Classify.disj_ranges)
+
+(* ---- matching ---- *)
+
+let test_disjunctive_query_in_wider_view () =
+  (* a view with a single wide range serves a query with a disjunctive
+     range inside it — the old residual-based treatment could never match
+     this (the view has no matching residual) *)
+  let view_sql =
+    {| create view dj_v1 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 5 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem
+       where (l_quantity between 10 and 20) or l_quantity = 35 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_disjunctive_view_contains_query () =
+  (* the view itself is disjunctive; the query fits in one arm *)
+  let view_sql =
+    {| create view dj_v2 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity <= 20 or l_quantity >= 40 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem where l_quantity between 5 and 15 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_disjunctive_view_vs_disjunctive_query () =
+  let view_sql =
+    {| create view dj_v3 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity <= 20 or l_quantity >= 40 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem
+       where l_quantity <= 10 or l_quantity >= 45 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_disjunctive_gap_rejected () =
+  (* the query needs rows in the view's gap *)
+  let view_sql =
+    {| create view dj_v4 with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity <= 20 or l_quantity >= 40 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem where l_quantity between 15 and 45 |}
+  in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Range_subsumption_failed _ -> ()
+  | r -> Alcotest.failf "expected range failure, got %s" (Mv_core.Reject.to_string r)
+
+let test_disjunctive_compensation_unroutable_rejects () =
+  (* compensation needs the column in the output *)
+  let view_sql =
+    {| create view dj_v5 with schemabinding as
+       select l_orderkey from dbo.lineitem
+       where l_quantity >= 5 |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem
+       where (l_quantity between 10 and 20) or l_quantity = 35 |}
+  in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Compensation_not_computable _ -> ()
+  | r ->
+      Alcotest.failf "expected compensation failure, got %s"
+        (Mv_core.Reject.to_string r)
+
+(* randomized: disjunctive queries against single- or double-arm views *)
+let disjunctive_equivalence_prop =
+  let db = lazy (Mv_tpch.Datagen.generate ~seed:111 ~scale:2 ()) in
+  let counter = ref 0 in
+  QCheck.Test.make ~name:"disjunction: rewrites compute the same bag"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Mv_util.Prng.create (seed + 31415) in
+      incr counter;
+      let r a b = (min a b, max a b) in
+      let a1, b1 = r (1 + Mv_util.Prng.int rng 50) (1 + Mv_util.Prng.int rng 50) in
+      let a2, b2 = r (1 + Mv_util.Prng.int rng 50) (1 + Mv_util.Prng.int rng 50) in
+      let va, vb = r (1 + Mv_util.Prng.int rng 50) (1 + Mv_util.Prng.int rng 50) in
+      let view_sql =
+        Printf.sprintf
+          "create view djp%d with schemabinding as select l_orderkey, \
+           l_quantity from dbo.lineitem where l_quantity <= %d or \
+           l_quantity >= %d"
+          !counter va vb
+      in
+      let query_sql =
+        Printf.sprintf
+          "select l_orderkey from lineitem where (l_quantity between %d and \
+           %d) or (l_quantity between %d and %d)"
+          a1 b1 a2 b2
+      in
+      match match_sql ~view_sql ~query_sql () with
+      | Error _ -> true
+      | Ok s ->
+          let db = Lazy.force db in
+          (match Mv_engine.Database.table db s.Mv_core.Substitute.view.Mv_core.View.name with
+          | Some _ -> ()
+          | None -> ignore (Mv_engine.Exec.materialize db s.Mv_core.Substitute.view));
+          let q = parse_q query_sql in
+          let direct = Mv_engine.Exec.execute db q in
+          let via = Mv_engine.Exec.execute_substitute db s in
+          if not (Mv_engine.Relation.same_bag direct via) then
+            QCheck.Test.fail_reportf "disjunction mismatch:\nview: %s\nquery: %s\nsubst:\n%s"
+              view_sql query_sql
+              (Mv_core.Substitute.to_sql s)
+          else true)
+
+let suite =
+  [
+    ( "disjunction",
+      [
+        Helpers.qtest normalize_preserves_membership;
+        Helpers.qtest normalize_disjoint;
+        Helpers.qtest inter_pointwise;
+        Helpers.qtest union_pointwise;
+        Helpers.qtest contains_agrees;
+        Helpers.qtest to_pred_encodes;
+        Alcotest.test_case "classification of OR-of-ranges" `Quick
+          test_classify_disjunction;
+        Alcotest.test_case "CNF reassembles the exact set" `Quick
+          test_cnf_reassembles_exact_set;
+        Alcotest.test_case "mixed columns stay residual" `Quick
+          test_mixed_columns_is_residual;
+        Alcotest.test_case "disjunctive query in wider view" `Quick
+          test_disjunctive_query_in_wider_view;
+        Alcotest.test_case "disjunctive view contains query" `Quick
+          test_disjunctive_view_contains_query;
+        Alcotest.test_case "disjunctive view vs disjunctive query" `Quick
+          test_disjunctive_view_vs_disjunctive_query;
+        Alcotest.test_case "gap in the view rejects" `Quick
+          test_disjunctive_gap_rejected;
+        Alcotest.test_case "unroutable disjunctive compensation rejects" `Quick
+          test_disjunctive_compensation_unroutable_rejects;
+        Helpers.qtest disjunctive_equivalence_prop;
+      ] );
+  ]

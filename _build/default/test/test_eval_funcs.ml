@@ -1,0 +1,111 @@
+(** Scalar function evaluation, parser support for function calls, and the
+    matcher's shallow treatment of function expressions. *)
+
+open Mv_base
+open Helpers
+
+let env_empty (_ : Col.t) = Value.Null
+
+let v = Eval.func
+
+let test_substring () =
+  Alcotest.(check bool) "basic" true
+    (Value.equal
+       (v "substring" [ Value.Str "materialized"; Value.Int 1; Value.Int 8 ])
+       (Value.Str "material"));
+  Alcotest.(check bool) "offset" true
+    (Value.equal
+       (v "substring" [ Value.Str "abcdef"; Value.Int 3; Value.Int 2 ])
+       (Value.Str "cd"));
+  Alcotest.(check bool) "past end clamps" true
+    (Value.equal
+       (v "substring" [ Value.Str "abc"; Value.Int 2; Value.Int 99 ])
+       (Value.Str "bc"));
+  Alcotest.(check bool) "zero length" true
+    (Value.equal
+       (v "substring" [ Value.Str "abc"; Value.Int 1; Value.Int 0 ])
+       (Value.Str ""))
+
+let test_case_functions () =
+  Alcotest.(check bool) "upper" true
+    (Value.equal (v "upper" [ Value.Str "TpC-h" ]) (Value.Str "TPC-H"));
+  Alcotest.(check bool) "lower" true
+    (Value.equal (v "lower" [ Value.Str "TpC-h" ]) (Value.Str "tpc-h"));
+  Alcotest.(check bool) "abs int" true
+    (Value.equal (v "abs" [ Value.Int (-3) ]) (Value.Int 3));
+  Alcotest.(check bool) "abs float" true
+    (Value.equal (v "abs" [ Value.Float (-1.5) ]) (Value.Float 1.5))
+
+let test_null_propagation_and_unknown () =
+  Alcotest.(check bool) "null arg" true
+    (Value.is_null (v "upper" [ Value.Null ]));
+  Alcotest.(check bool) "unknown function raises" true
+    (try
+       ignore (v "frobnicate" [ Value.Int 1 ]);
+       false
+     with Eval.Eval_error _ -> true)
+
+let test_parser_function_call () =
+  let q = parse_q "select substring(p_name, 1, 3) as prefix from part" in
+  match (List.hd q.Mv_relalg.Spjg.out).Mv_relalg.Spjg.def with
+  | Mv_relalg.Spjg.Scalar (Expr.Func ("substring", [ _; _; _ ])) -> ()
+  | _ -> Alcotest.fail "expected a parsed function call"
+
+let test_function_in_view_matching () =
+  (* function expressions match via templates, like any other expression *)
+  let view_sql =
+    {| create view fn_v with schemabinding as
+       select l_orderkey, substring(l_comment, 1, 4) as tag
+       from dbo.lineitem where l_quantity >= 5 |}
+  in
+  let query_sql =
+    {| select substring(l_comment, 1, 4) as t from lineitem
+       where l_quantity >= 5 and l_orderkey <= 50 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_function_argument_mismatch_no_match () =
+  (* different constant arguments -> different templates -> and the source
+     column is not exported either, so the view is rejected *)
+  let view_sql =
+    {| create view fn_v2 with schemabinding as
+       select l_orderkey, substring(l_comment, 1, 4) as tag
+       from dbo.lineitem |}
+  in
+  let query_sql =
+    {| select substring(l_comment, 2, 4) as t from lineitem |}
+  in
+  match match_sql ~view_sql ~query_sql () with
+  | Error (Mv_core.Reject.Output_not_computable _) -> ()
+  | Error r -> Alcotest.failf "unexpected: %s" (Mv_core.Reject.to_string r)
+  | Ok _ -> Alcotest.fail "templates with different constants must not match"
+
+let test_function_computed_from_source_column () =
+  (* when the view exports the source column, the expression is computed
+     from scratch instead *)
+  let view_sql =
+    {| create view fn_v3 with schemabinding as
+       select l_orderkey, l_comment from dbo.lineitem |}
+  in
+  let query_sql = {| select substring(l_comment, 2, 4) as t from lineitem |} in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let suite =
+  [
+    ( "eval-functions",
+      [
+        Alcotest.test_case "substring" `Quick test_substring;
+        Alcotest.test_case "upper/lower/abs" `Quick test_case_functions;
+        Alcotest.test_case "null propagation + unknown fn" `Quick
+          test_null_propagation_and_unknown;
+        Alcotest.test_case "parser function call" `Quick test_parser_function_call;
+        Alcotest.test_case "function matched by template" `Quick
+          test_function_in_view_matching;
+        Alcotest.test_case "different constants do not match" `Quick
+          test_function_argument_mismatch_no_match;
+        Alcotest.test_case "function computed from source column" `Quick
+          test_function_computed_from_source_column;
+      ] );
+  ]

@@ -1,0 +1,91 @@
+(** Experiment-harness tests: the sweep machinery itself (counters,
+    configurations) and loose shape assertions on a miniature version of
+    the paper's Figures 2-4 — loose enough to be timing-robust, tight
+    enough to catch a broken filter tree or a dead view-matching rule. *)
+
+module H = Mv_experiments.Harness
+
+let mini =
+  lazy (H.make_workload ~nviews:150 ~nqueries:25 ())
+
+let test_workload_shape () =
+  let w = Lazy.force mini in
+  Alcotest.(check int) "views" 150 (List.length w.H.views);
+  Alcotest.(check int) "queries" 25 (List.length w.H.queries)
+
+let test_counters_consistent () =
+  let w = Lazy.force mini in
+  let m = H.run w ~nviews:150 ~config:{ H.alt = true; filter = true } in
+  Alcotest.(check bool) "invocations happen" true (m.H.invocations > 0);
+  Alcotest.(check bool) "invocations >= queries" true
+    (m.H.invocations >= m.H.queries);
+  Alcotest.(check bool) "matched <= candidates" true
+    (m.H.matched <= m.H.candidates);
+  Alcotest.(check bool) "substitutes = matched (one per view)" true
+    (m.H.substitutes = m.H.matched);
+  Alcotest.(check bool) "rule time positive" true (m.H.rule_time > 0.0);
+  Alcotest.(check bool) "rule time <= total" true
+    (m.H.rule_time <= m.H.total_time +. 0.05)
+
+let test_noalt_same_invocations_no_plans () =
+  let w = Lazy.force mini in
+  let alt = H.run w ~nviews:150 ~config:{ H.alt = true; filter = true } in
+  let noalt = H.run w ~nviews:150 ~config:{ H.alt = false; filter = true } in
+  (* the rule runs either way; only plan usage differs *)
+  Alcotest.(check bool) "noalt never uses views" true
+    (noalt.H.plans_using_views = 0);
+  Alcotest.(check bool) "alt uses some views" true (alt.H.plans_using_views > 0);
+  (* NoAlt skips the exploration of substitute-derived alternatives, so it
+     can only have fewer or equal invocations *)
+  Alcotest.(check bool) "invocation counts comparable" true
+    (abs (alt.H.invocations - noalt.H.invocations)
+    <= alt.H.invocations / 2)
+
+let test_filter_reduces_candidates () =
+  let w = Lazy.force mini in
+  let filtered = H.run w ~nviews:150 ~config:{ H.alt = true; filter = true } in
+  let linear = H.run w ~nviews:150 ~config:{ H.alt = true; filter = false } in
+  (* identical matches... *)
+  Alcotest.(check int) "same substitutes" linear.H.substitutes
+    filtered.H.substitutes;
+  Alcotest.(check int) "same plans" linear.H.plans_using_views
+    filtered.H.plans_using_views;
+  (* ...from far fewer candidates *)
+  Alcotest.(check bool)
+    (Printf.sprintf "filtered %d << linear %d" filtered.H.candidates
+       linear.H.candidates)
+    true
+    (filtered.H.candidates * 5 < linear.H.candidates)
+
+let test_more_views_more_plans () =
+  let w = Lazy.force mini in
+  let at n = H.run w ~nviews:n ~config:{ H.alt = true; filter = true } in
+  let m0 = at 0 and m150 = at 150 in
+  Alcotest.(check int) "no views, no view plans" 0 m0.H.plans_using_views;
+  Alcotest.(check bool) "views get used" true (m150.H.plans_using_views > 0);
+  Alcotest.(check bool) "candidate counts grow" true
+    (m150.H.candidates >= m0.H.candidates)
+
+let test_sweep_covers_grid () =
+  let w = Lazy.force mini in
+  let ms =
+    H.sweep w ~nviews_list:[ 0; 150 ]
+      ~configs:[ { H.alt = true; filter = true }; { H.alt = true; filter = false } ]
+  in
+  Alcotest.(check int) "grid size" 4 (List.length ms)
+
+let suite =
+  [
+    ( "experiments",
+      [
+        Alcotest.test_case "workload shape" `Quick test_workload_shape;
+        Alcotest.test_case "counters consistent" `Quick test_counters_consistent;
+        Alcotest.test_case "NoAlt runs the rule, uses no plans" `Quick
+          test_noalt_same_invocations_no_plans;
+        Alcotest.test_case "filter tree: same result, fewer candidates" `Quick
+          test_filter_reduces_candidates;
+        Alcotest.test_case "more views, more view plans" `Quick
+          test_more_views_more_plans;
+        Alcotest.test_case "sweep covers the grid" `Quick test_sweep_covers_grid;
+      ] );
+  ]

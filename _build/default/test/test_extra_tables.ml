@@ -1,0 +1,195 @@
+(** Views with extra tables (section 3.2): the paper's Example 3, hub
+    computation, and the null-rejecting relaxation. *)
+
+open Helpers
+module Sset = Mv_util.Sset
+
+(* Example 3: view joins lineitem-orders-customer; the query only needs
+   lineitem. Both extra tables fall away through cardinality-preserving FK
+   joins. *)
+let example3_view =
+  {| create view v3 with schemabinding as
+     select c_custkey, c_name, l_orderkey, l_partkey, l_quantity
+     from dbo.lineitem, dbo.orders, dbo.customer
+     where l_orderkey = o_orderkey
+       and o_custkey = c_custkey
+       and o_orderkey >= 500 |}
+
+let example3_query =
+  {| select l_orderkey, l_partkey, l_quantity
+     from lineitem
+     where l_orderkey between 1000 and 1500
+       and l_shipdate = l_commitdate |}
+
+let test_example3 () =
+  (* smaller constants so the scaled-down data still has matching rows *)
+  let query_sql =
+    {| select l_orderkey, l_partkey, l_quantity
+       from lineitem
+       where l_orderkey between 10 and 60
+         and l_shipdate = l_commitdate |}
+  in
+  let view_sql =
+    {| create view v3 with schemabinding as
+       select c_custkey, c_name, l_orderkey, l_partkey, l_quantity,
+              l_shipdate, l_commitdate
+       from dbo.lineitem, dbo.orders, dbo.customer
+       where l_orderkey = o_orderkey
+         and o_custkey = c_custkey
+         and o_orderkey >= 5 |}
+  in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_example3_structure () =
+  (* the original constants: check the match succeeds and the compensating
+     predicates enforce the narrower range *)
+  let view_sql =
+    {| create view v3 with schemabinding as
+       select c_custkey, c_name, l_orderkey, l_partkey, l_quantity,
+              l_shipdate, l_commitdate
+       from dbo.lineitem, dbo.orders, dbo.customer
+       where l_orderkey = o_orderkey
+         and o_custkey = c_custkey
+         and o_orderkey >= 500 |}
+  in
+  let s = check_matches ~view_sql ~query_sql:example3_query () in
+  let preds = s.Mv_core.Substitute.block.Mv_relalg.Spjg.where in
+  (* expected: l_shipdate = l_commitdate, l_orderkey >= 1000,
+     l_orderkey <= 1500 *)
+  Alcotest.(check int) "three compensating predicates" 3 (List.length preds)
+
+let test_no_fk_path_rejects () =
+  (* part is an extra table but nothing joins it with an FK equijoin *)
+  let view_sql =
+    {| create view v_nofk with schemabinding as
+       select l_orderkey, l_quantity
+       from dbo.lineitem, dbo.part
+       where l_quantity = p_size |}
+  in
+  let query_sql = {| select l_orderkey, l_quantity from lineitem |} in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Extra_tables_not_eliminable -> ()
+  | r ->
+      Alcotest.failf "expected elimination failure, got %s"
+        (Mv_core.Reject.to_string r)
+
+let test_extra_table_with_predicate_rejects () =
+  (* the extra table carries a range predicate: the join is no longer
+     cardinality preserving for the query's purposes; the range subsumption
+     test must reject (the query has no constraint on o_totalprice) *)
+  let view_sql =
+    {| create view v_pred with schemabinding as
+       select l_orderkey, l_quantity
+       from dbo.lineitem, dbo.orders
+       where l_orderkey = o_orderkey and o_totalprice >= 100000 |}
+  in
+  let query_sql = {| select l_orderkey, l_quantity from lineitem |} in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Range_subsumption_failed _ -> ()
+  | r ->
+      Alcotest.failf "expected range failure, got %s"
+        (Mv_core.Reject.to_string r)
+
+let test_composite_fk_elimination () =
+  (* partsupp is eliminated through the composite
+     (l_partkey, l_suppkey) -> (ps_partkey, ps_suppkey) key *)
+  let view_sql =
+    {| create view v_ps with schemabinding as
+       select l_orderkey, l_quantity, ps_availqty
+       from dbo.lineitem, dbo.partsupp
+       where l_partkey = ps_partkey and l_suppkey = ps_suppkey |}
+  in
+  let query_sql = {| select l_orderkey, l_quantity from lineitem |} in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_composite_fk_partial_join_rejects () =
+  (* only one of the two composite-key columns is equated *)
+  let view_sql =
+    {| create view v_ps2 with schemabinding as
+       select l_orderkey, l_quantity
+       from dbo.lineitem, dbo.partsupp
+       where l_partkey = ps_partkey |}
+  in
+  let query_sql = {| select l_orderkey, l_quantity from lineitem |} in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Extra_tables_not_eliminable -> ()
+  | r ->
+      Alcotest.failf "expected elimination failure, got %s"
+        (Mv_core.Reject.to_string r)
+
+let test_chain_elimination_order () =
+  (* customer can only go after orders (example 3's deletion order) —
+     exercise a three-level chain lineitem -> orders -> customer -> nation *)
+  let view_sql =
+    {| create view v_chain with schemabinding as
+       select l_orderkey, l_quantity
+       from dbo.lineitem, dbo.orders, dbo.customer, dbo.nation
+       where l_orderkey = o_orderkey and o_custkey = c_custkey
+         and c_nationkey = n_nationkey |}
+  in
+  let query_sql = {| select l_orderkey, l_quantity from lineitem |} in
+  let s = check_matches ~view_sql ~query_sql () in
+  check_equivalent ~query:(parse_q query_sql) s
+
+let test_hub_of_pure_fk_view () =
+  let view =
+    view_of_sql
+      {| create view v_hub with schemabinding as
+         select l_orderkey, l_quantity
+         from dbo.lineitem, dbo.orders, dbo.customer
+         where l_orderkey = o_orderkey and o_custkey = c_custkey |}
+  in
+  Alcotest.(check (list string))
+    "hub reduces to lineitem" [ "lineitem" ]
+    (Sset.to_list view.Mv_core.View.hub)
+
+let test_hub_keeps_predicate_table () =
+  (* orders carries a range predicate on a trivial-class column, so the
+     refinement of section 4.2.2 keeps it in the hub *)
+  let view =
+    view_of_sql
+      {| create view v_hub2 with schemabinding as
+         select l_orderkey, l_quantity
+         from dbo.lineitem, dbo.orders
+         where l_orderkey = o_orderkey and o_totalprice >= 100000 |}
+  in
+  Alcotest.(check (list string))
+    "hub keeps orders" [ "lineitem"; "orders" ]
+    (Sset.to_list view.Mv_core.View.hub)
+
+let test_query_larger_than_view_rejects () =
+  let view_sql =
+    {| create view v_small with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem |}
+  in
+  let query_sql =
+    {| select l_orderkey from lineitem, orders where l_orderkey = o_orderkey |}
+  in
+  match check_rejects ~view_sql ~query_sql () with
+  | Mv_core.Reject.Missing_tables -> ()
+  | r -> Alcotest.failf "expected missing tables, got %s" (Mv_core.Reject.to_string r)
+
+let suite =
+  [
+    ( "extra-tables",
+      [
+        Alcotest.test_case "paper example 3 end-to-end" `Quick test_example3;
+        Alcotest.test_case "example 3 compensating predicates" `Quick
+          test_example3_structure;
+        Alcotest.test_case "reject without FK path" `Quick test_no_fk_path_rejects;
+        Alcotest.test_case "reject when extra table filtered" `Quick
+          test_extra_table_with_predicate_rejects;
+        Alcotest.test_case "composite FK eliminates partsupp" `Quick
+          test_composite_fk_elimination;
+        Alcotest.test_case "partial composite join rejects" `Quick
+          test_composite_fk_partial_join_rejects;
+        Alcotest.test_case "chained elimination" `Quick test_chain_elimination_order;
+        Alcotest.test_case "hub of pure FK view" `Quick test_hub_of_pure_fk_view;
+        Alcotest.test_case "hub keeps predicate-bearing table" `Quick
+          test_hub_keeps_predicate_table;
+        Alcotest.test_case "reject when query has more tables" `Quick
+          test_query_larger_than_view_rejects;
+      ] );
+  ]

@@ -1,0 +1,173 @@
+(** Property tests for the lattice index of section 4.1: searches must
+    agree with brute force over random families of sets, through arbitrary
+    interleavings of insertions and deletions. *)
+
+module Sset = Mv_util.Sset
+module Lattice = Mv_core.Lattice
+
+let set_of_int n =
+  (* sets over a universe of 6 elements, encoded in 6 bits *)
+  let rec go i acc =
+    if i >= 6 then acc
+    else
+      go (i + 1)
+        (if n land (1 lsl i) <> 0 then Sset.add (String.make 1 (Char.chr (97 + i))) acc
+         else acc)
+  in
+  go 0 Sset.empty
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (pair (frequency [ (4, return `Insert); (1, return `Delete) ])
+         (int_range 0 63)))
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun ops ->
+      String.concat ";"
+        (List.map
+           (fun (op, n) ->
+             (match op with `Insert -> "+" | `Delete -> "-")
+             ^ string_of_int n)
+           ops))
+    ops_gen
+
+(* apply ops to both the lattice and a reference list *)
+let build ops =
+  let t = Lattice.create () in
+  let reference = ref [] in
+  List.iter
+    (fun (op, n) ->
+      let key = set_of_int n in
+      match op with
+      | `Insert ->
+          ignore (Lattice.insert t key);
+          if not (List.exists (Sset.equal key) !reference) then
+            reference := key :: !reference
+      | `Delete ->
+          Lattice.delete t key;
+          reference := List.filter (fun k -> not (Sset.equal k key)) !reference)
+    ops;
+  (t, !reference)
+
+let keys_of nodes =
+  List.sort compare (List.map (fun n -> Sset.elements n.Lattice.key) nodes)
+
+let subsets_prop =
+  QCheck.Test.make ~name:"lattice: subsets_of agrees with brute force"
+    ~count:300
+    QCheck.(pair ops_arb (int_range 0 63))
+    (fun (ops, probe) ->
+      let t, reference = build ops in
+      let key = set_of_int probe in
+      let expected =
+        List.filter (fun k -> Sset.subset k key) reference
+        |> List.map Sset.elements |> List.sort compare
+      in
+      keys_of (Lattice.subsets_of t key) = expected)
+
+let supersets_prop =
+  QCheck.Test.make ~name:"lattice: supersets_of agrees with brute force"
+    ~count:300
+    QCheck.(pair ops_arb (int_range 0 63))
+    (fun (ops, probe) ->
+      let t, reference = build ops in
+      let key = set_of_int probe in
+      let expected =
+        List.filter (fun k -> Sset.subset key k) reference
+        |> List.map Sset.elements |> List.sort compare
+      in
+      keys_of (Lattice.supersets_of t key) = expected)
+
+(* structural invariants: supers are minimal strict supersets, subs maximal
+   strict subsets, tops have no supers, roots no subs *)
+let invariants_prop =
+  QCheck.Test.make ~name:"lattice: structural invariants" ~count:300 ops_arb
+    (fun ops ->
+      let t, reference = build ops in
+      let nodes = Lattice.nodes t in
+      List.length nodes = List.length reference
+      && List.for_all
+           (fun n ->
+             let k = n.Lattice.key in
+             (* supers: strict supersets with nothing in between *)
+             List.for_all
+               (fun s ->
+                 Sset.subset k s.Lattice.key
+                 && (not (Sset.equal k s.Lattice.key))
+                 && not
+                      (List.exists
+                         (fun mid ->
+                           (not (Sset.equal mid k))
+                           && (not (Sset.equal mid s.Lattice.key))
+                           && Sset.subset k mid
+                           && Sset.subset mid s.Lattice.key)
+                         reference))
+               n.Lattice.supers
+             && List.for_all
+                  (fun b ->
+                    Sset.subset b.Lattice.key k
+                    && not (Sset.equal b.Lattice.key k))
+                  n.Lattice.subs)
+           nodes
+      && List.for_all (fun n -> n.Lattice.supers = []) t.Lattice.tops
+      && List.for_all (fun n -> n.Lattice.subs = []) t.Lattice.roots)
+
+(* monotone predicate search: the generic traversal must equal brute force
+   for an intersection-nonempty condition (the output-column condition of
+   section 4.2.3) *)
+let custom_search_prop =
+  QCheck.Test.make ~name:"lattice: monotone predicate search" ~count:300
+    QCheck.(pair ops_arb (pair (int_range 0 63) (int_range 0 63)))
+    (fun (ops, (c1, c2)) ->
+      let t, reference = build ops in
+      let classes =
+        List.filter (fun s -> not (Sset.is_empty s)) [ set_of_int c1; set_of_int c2 ]
+      in
+      let pred k =
+        List.for_all (fun cls -> not (Sset.is_empty (Sset.inter k cls))) classes
+      in
+      let got = keys_of (Lattice.search t ~dir:`Down ~pred) in
+      let expected =
+        List.filter pred reference |> List.map Sset.elements |> List.sort compare
+      in
+      got = expected)
+
+let test_insert_idempotent () =
+  let t = Lattice.create () in
+  let k = set_of_int 5 in
+  let n1 = Lattice.insert t k in
+  let n2 = Lattice.insert t k in
+  Alcotest.(check bool) "same node" true (n1 == n2);
+  Alcotest.(check int) "size 1" 1 (Lattice.size t)
+
+let test_paper_figure1 () =
+  (* the eight key sets of Figure 1: A, B, D, AB, BE, ABC, ABF, BCDE *)
+  let t = Lattice.create () in
+  let mk s = Sset.of_list (List.map (String.make 1) (List.init (String.length s) (String.get s))) in
+  List.iter
+    (fun s -> ignore (Lattice.insert t (mk s)))
+    [ "A"; "B"; "D"; "AB"; "BE"; "ABC"; "ABF"; "BCDE" ];
+  (* search supersets of AB: ABC, ABF, AB (the paper's worked example) *)
+  let got = keys_of (Lattice.supersets_of t (mk "AB")) in
+  Alcotest.(check (list (list string)))
+    "supersets of AB"
+    [ [ "A"; "B" ]; [ "A"; "B"; "C" ]; [ "A"; "B"; "F" ] ]
+    got;
+  (* tops and roots per Figure 1 *)
+  Alcotest.(check int) "3 tops" 3 (List.length t.Lattice.tops);
+  Alcotest.(check int) "3 roots" 3 (List.length t.Lattice.roots)
+
+let suite =
+  [
+    ( "lattice",
+      [
+        Alcotest.test_case "insert idempotent" `Quick test_insert_idempotent;
+        Alcotest.test_case "paper figure 1" `Quick test_paper_figure1;
+        Helpers.qtest subsets_prop;
+        Helpers.qtest supersets_prop;
+        Helpers.qtest invariants_prop;
+        Helpers.qtest custom_search_prop;
+      ] );
+  ]

@@ -1,0 +1,181 @@
+(** Unit tests for optimizer internals: subexpression blocks,
+    preaggregation block construction, the cost model, and plan
+    utilities. *)
+
+open Mv_base
+open Helpers
+module Spjg = Mv_relalg.Spjg
+module Block = Mv_opt.Block
+module Cost = Mv_opt.Cost
+
+let stats = Mv_tpch.Datagen.synthetic_stats ()
+
+let three_way =
+  parse_q
+    {| select l_orderkey, c_name from lineitem, orders, customer
+       where l_orderkey = o_orderkey and o_custkey = c_custkey
+         and l_quantity >= 30 and o_totalprice <= 100000 |}
+
+let test_sub_block_single () =
+  let b = Block.sub_block three_way [ "lineitem" ] in
+  Alcotest.(check (list string)) "tables" [ "lineitem" ] b.Spjg.tables;
+  (* local predicate restricted to lineitem *)
+  Alcotest.(check int) "one local conjunct" 1 (List.length b.Spjg.where);
+  (* outputs include the join column and the query output *)
+  let outs = Spjg.out_names b in
+  Alcotest.(check bool) "outputs l_orderkey" true (List.mem "l_orderkey" outs)
+
+let test_sub_block_pair () =
+  let b = Block.sub_block three_way [ "lineitem"; "orders" ] in
+  Alcotest.(check int) "three local conjuncts" 3 (List.length b.Spjg.where);
+  (* o_custkey crosses to customer, so it must be an output *)
+  Alcotest.(check bool) "outputs o_custkey" true
+    (List.mem "o_custkey" (Spjg.out_names b))
+
+let test_sub_block_full_is_query () =
+  let b = Block.sub_block three_way three_way.Spjg.tables in
+  Alcotest.(check string) "identity on the full set" (Spjg.to_sql three_way)
+    (Spjg.to_sql b)
+
+let agg_query =
+  parse_q
+    {| select c_nationkey, sum(l_quantity * l_extendedprice) as rev,
+              count(*) as n
+       from lineitem, orders, customer
+       where l_orderkey = o_orderkey and o_custkey = c_custkey
+       group by c_nationkey |}
+
+let test_preagg_block_shape () =
+  match Block.preagg_block agg_query [ "lineitem"; "orders" ] with
+  | None -> Alcotest.fail "expected a preagg block"
+  | Some pa ->
+      let b = pa.Block.block in
+      Alcotest.(check bool) "aggregated" true (Spjg.is_aggregate b);
+      (* grouped exactly on the crossing column *)
+      (match b.Spjg.group_by with
+      | Some [ Expr.Col c ] ->
+          Alcotest.(check string) "grouped on o_custkey" "o_custkey" c.Col.col
+      | _ -> Alcotest.fail "unexpected grouping");
+      (* outputs: o_custkey, cnt, one sum *)
+      Alcotest.(check int) "three outputs" 3 (List.length b.Spjg.out)
+
+let test_preagg_rejected_when_args_cross () =
+  (* aggregate argument needs lineitem: no preagg over orders alone *)
+  Alcotest.(check bool) "no preagg without agg args" true
+    (Block.preagg_block agg_query [ "orders" ] = None)
+
+let test_preagg_none_for_spj () =
+  Alcotest.(check bool) "SPJ query has no preagg" true
+    (Block.preagg_block three_way [ "lineitem" ] = None)
+
+let test_spj_part_strips_aggregation () =
+  let b = Block.spj_part agg_query in
+  Alcotest.(check bool) "no group by" false (Spjg.is_aggregate b);
+  Alcotest.(check (list string)) "same tables" agg_query.Spjg.tables b.Spjg.tables
+
+(* ---- cost model ---- *)
+
+let test_selectivity_multiplies () =
+  let one =
+    Cost.spj_rows stats ~tables:[ "lineitem" ]
+      ~where:(parse_q "select l_orderkey from lineitem where l_quantity <= 25").Spjg.where
+  in
+  let two =
+    Cost.spj_rows stats ~tables:[ "lineitem" ]
+      ~where:
+        (parse_q
+           "select l_orderkey from lineitem where l_quantity <= 25 and l_discount <= 5")
+          .Spjg.where
+  in
+  Alcotest.(check bool) "more predicates, fewer rows" true (two < one)
+
+let test_equijoin_cardinality () =
+  (* lineitem join orders on the FK: about one row per lineitem *)
+  let j =
+    Cost.spj_rows stats ~tables:[ "lineitem"; "orders" ]
+      ~where:
+        (parse_q
+           "select l_orderkey from lineitem, orders where l_orderkey = o_orderkey")
+          .Spjg.where
+  in
+  let li = float_of_int (Mv_catalog.Stats.row_count stats "lineitem") in
+  Alcotest.(check bool)
+    (Printf.sprintf "join est %.0f within 2x of lineitem %.0f" j li)
+    true
+    (j > li /. 2.0 && j < li *. 2.0)
+
+let test_group_rows_capped () =
+  let g = Cost.group_rows stats ~input:100.0 [ Expr.Col (col "orders" "o_orderkey") ] in
+  Alcotest.(check bool) "groups below input" true (g <= 100.0)
+
+let test_block_rows_aggregation () =
+  let spj = Cost.block_rows stats (Block.spj_part agg_query) in
+  let agg = Cost.block_rows stats agg_query in
+  Alcotest.(check bool) "aggregation reduces rows" true (agg < spj)
+
+(* ---- plan utilities ---- *)
+
+let test_plan_printing_and_views_used () =
+  let registry = Mv_core.Registry.create schema in
+  let _, vdef =
+    parse_v
+      {| create view pi_v with schemabinding as
+         select l_orderkey, l_quantity from dbo.lineitem |}
+  in
+  ignore (Mv_core.Registry.add_view registry ~name:"pi_v" ~row_count:10 vdef);
+  let r =
+    Mv_opt.Optimizer.optimize registry stats
+      (parse_q "select l_orderkey from lineitem where l_quantity >= 10")
+  in
+  let txt = Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan in
+  Alcotest.(check bool) "plan prints a ViewScan" true
+    (Mv_opt.Plan.uses_view r.Mv_opt.Optimizer.plan);
+  Alcotest.(check (list string)) "views_used" [ "pi_v" ]
+    (Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan);
+  Alcotest.(check bool) "printer mentions the view" true
+    (let rec contains i =
+       i + 4 <= String.length txt
+       && (String.sub txt i 4 = "pi_v" || contains (i + 1))
+     in
+     contains 0)
+
+let test_costs_monotone_in_inputs () =
+  (* a plan over a narrower query should not cost more *)
+  let registry = Mv_core.Registry.create schema in
+  let narrow =
+    Mv_opt.Optimizer.optimize registry stats
+      (parse_q "select l_orderkey from lineitem where l_quantity = 3")
+  in
+  let wide =
+    Mv_opt.Optimizer.optimize registry stats
+      (parse_q "select l_orderkey from lineitem")
+  in
+  Alcotest.(check bool) "narrow rows <= wide rows" true
+    (narrow.Mv_opt.Optimizer.rows <= wide.Mv_opt.Optimizer.rows)
+
+let suite =
+  [
+    ( "opt-internals",
+      [
+        Alcotest.test_case "sub_block single table" `Quick test_sub_block_single;
+        Alcotest.test_case "sub_block pair" `Quick test_sub_block_pair;
+        Alcotest.test_case "sub_block full = query" `Quick
+          test_sub_block_full_is_query;
+        Alcotest.test_case "preagg block shape" `Quick test_preagg_block_shape;
+        Alcotest.test_case "preagg rejected when args cross" `Quick
+          test_preagg_rejected_when_args_cross;
+        Alcotest.test_case "no preagg for SPJ" `Quick test_preagg_none_for_spj;
+        Alcotest.test_case "spj_part strips aggregation" `Quick
+          test_spj_part_strips_aggregation;
+        Alcotest.test_case "selectivity multiplies" `Quick
+          test_selectivity_multiplies;
+        Alcotest.test_case "equijoin cardinality" `Quick test_equijoin_cardinality;
+        Alcotest.test_case "group rows capped" `Quick test_group_rows_capped;
+        Alcotest.test_case "aggregation reduces rows" `Quick
+          test_block_rows_aggregation;
+        Alcotest.test_case "plan printing and views_used" `Quick
+          test_plan_printing_and_views_used;
+        Alcotest.test_case "cost monotone in inputs" `Quick
+          test_costs_monotone_in_inputs;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+(** SQL front-end tests: lexing, parsing, name resolution, error
+    handling, and pretty-print/re-parse roundtrips. *)
+
+open Helpers
+module Spjg = Mv_relalg.Spjg
+
+let test_lexer () =
+  let toks = Mv_sql.Lexer.tokenize "SELECT a, 1.5, 'it''s' <> <= != -- c\nFROM t" in
+  let strs = List.map Mv_sql.Token.to_string toks in
+  Alcotest.(check (list string))
+    "tokens"
+    [ "SELECT"; "a"; ","; "1.5"; ","; "'it's'"; "<>"; "<="; "<>"; "FROM"; "t"; "<eof>" ]
+    strs
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (Mv_sql.Lexer.tokenize "select 'abc");
+       false
+     with Mv_sql.Lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "bad char" true
+    (try
+       ignore (Mv_sql.Lexer.tokenize "select #");
+       false
+     with Mv_sql.Lexer.Lex_error _ -> true)
+
+let test_parse_simple () =
+  let q = parse_q "select l_orderkey, l_quantity from lineitem where l_quantity >= 10" in
+  Alcotest.(check (list string)) "tables" [ "lineitem" ] q.Spjg.tables;
+  Alcotest.(check int) "outputs" 2 (List.length q.Spjg.out);
+  Alcotest.(check int) "conjuncts" 1 (List.length q.Spjg.where)
+
+let test_parse_qualified_and_alias () =
+  let q =
+    parse_q
+      "select l.l_orderkey from lineitem l, orders o where l.l_orderkey = o.o_orderkey"
+  in
+  Alcotest.(check (list string)) "tables" [ "lineitem"; "orders" ] q.Spjg.tables;
+  (* alias-qualified columns resolve to canonical table names *)
+  match (List.hd q.Spjg.out).Spjg.def with
+  | Spjg.Scalar (Mv_base.Expr.Col c) ->
+      Alcotest.(check string) "canonical table" "lineitem" c.Mv_base.Col.tbl
+  | _ -> Alcotest.fail "expected column output"
+
+let test_parse_between_and_date () =
+  let q =
+    parse_q
+      "select l_orderkey from lineitem where l_shipdate between DATE '1995-01-01' and DATE '1995-12-31'"
+  in
+  Alcotest.(check int) "between becomes two conjuncts" 2
+    (List.length q.Spjg.where)
+
+let test_parse_group_by_and_aggs () =
+  let q =
+    parse_q
+      "select o_custkey, count(*) as n, sum(o_totalprice) as t, avg(o_totalprice) as a from orders group by o_custkey"
+  in
+  Alcotest.(check bool) "aggregate" true (Spjg.is_aggregate q);
+  Alcotest.(check int) "outputs" 4 (List.length q.Spjg.out)
+
+let test_parse_create_view () =
+  let name, v =
+    parse_v
+      {| create view foo with schemabinding as
+         select o_custkey, count_big(*) as cnt from dbo.orders group by o_custkey |}
+  in
+  Alcotest.(check string) "name" "foo" name;
+  Alcotest.(check bool) "indexable" true
+    (Result.is_ok (Spjg.check_indexable v))
+
+let expect_parse_error src =
+  try
+    ignore (parse_q src);
+    Alcotest.failf "expected parse error for %s" src
+  with
+  | Mv_sql.Parser.Parse_error _ -> ()
+  | Mv_catalog.Schema.Schema_error _ -> ()
+
+let test_parse_errors () =
+  expect_parse_error "select foo from lineitem";
+  expect_parse_error "select l_orderkey from nosuchtable";
+  expect_parse_error "select l_orderkey from lineitem, lineitem";
+  expect_parse_error "select l_orderkey from lineitem where";
+  expect_parse_error "select count(*) from lineitem";
+  (* count needs AS *)
+  expect_parse_error "select l_orderkey lineitem";
+  (* o_custkey is ambiguous? no — unique. but a column from an
+     out-of-scope table must fail *)
+  expect_parse_error "select p_name from lineitem"
+
+let test_parse_parenthesized_predicates () =
+  let q =
+    parse_q
+      "select l_orderkey from lineitem where (l_quantity >= 1 and l_quantity <= 5) or l_orderkey = 7"
+  in
+  (* one OR conjunct after CNF: (a or c) and (b or c) -> 2 conjuncts *)
+  Alcotest.(check int) "cnf distributed" 2 (List.length q.Spjg.where)
+
+let test_roundtrip () =
+  (* to_sql output must re-parse to a structurally equal block *)
+  let cases =
+    [
+      "select l_orderkey, l_quantity from lineitem where l_quantity >= 10";
+      "select o_custkey, sum(o_totalprice) as t, count(*) as n from orders \
+       where o_totalprice <= 1000 group by o_custkey";
+      "select l_orderkey from lineitem, orders where l_orderkey = o_orderkey \
+       and o_orderdate >= DATE '1995-06-01' and l_comment like '%steel%'";
+      "select l_quantity * l_extendedprice as rev from lineitem where \
+       l_quantity * l_extendedprice > 100";
+    ]
+  in
+  List.iter
+    (fun src ->
+      let q1 = parse_q src in
+      let q2 = parse_q (Spjg.to_sql q1) in
+      Alcotest.(check string)
+        ("roundtrip: " ^ src)
+        (Spjg.to_sql q1) (Spjg.to_sql q2))
+    cases
+
+(* pretty-printed random workload blocks must re-parse to the same text *)
+let roundtrip_prop =
+  let stats = Mv_tpch.Datagen.synthetic_stats () in
+  QCheck.Test.make ~name:"sql: workload blocks roundtrip through to_sql"
+    ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Mv_util.Prng.create (seed + 77) in
+      let q = Mv_workload.Generator.generate_query schema stats rng in
+      let sql = Spjg.to_sql q in
+      let q2 = parse_q sql in
+      String.equal sql (Spjg.to_sql q2))
+
+let suite =
+  [
+    ( "sql",
+      [
+        Alcotest.test_case "lexer" `Quick test_lexer;
+        Alcotest.test_case "lexer errors" `Quick test_lexer_errors;
+        Alcotest.test_case "parse simple select" `Quick test_parse_simple;
+        Alcotest.test_case "qualified columns and aliases" `Quick
+          test_parse_qualified_and_alias;
+        Alcotest.test_case "between and date literals" `Quick
+          test_parse_between_and_date;
+        Alcotest.test_case "group by and aggregates" `Quick
+          test_parse_group_by_and_aggs;
+        Alcotest.test_case "create view" `Quick test_parse_create_view;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "parenthesized predicates" `Quick
+          test_parse_parenthesized_predicates;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        Helpers.qtest roundtrip_prop;
+      ] );
+  ]

@@ -1,0 +1,153 @@
+(** TPC-H substrate tests: schema constraint validity, generator
+    determinism, referential integrity, and the analytic statistics. *)
+
+open Mv_base
+
+let test_schema_validates () =
+  Mv_catalog.Schema.validate Mv_tpch.Schema.schema
+
+let test_determinism () =
+  let a = Mv_tpch.Datagen.generate ~seed:99 ~scale:1 () in
+  let b = Mv_tpch.Datagen.generate ~seed:99 ~scale:1 () in
+  List.iter
+    (fun t ->
+      let ta = Mv_engine.Database.table_exn a t in
+      let tb = Mv_engine.Database.table_exn b t in
+      Alcotest.(check bool)
+        (t ^ " identical") true
+        (ta.Mv_engine.Table.rows = tb.Mv_engine.Table.rows))
+    [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp"; "orders"; "lineitem" ];
+  let c = Mv_tpch.Datagen.generate ~seed:100 ~scale:1 () in
+  let la = Mv_engine.Database.table_exn a "lineitem" in
+  let lc = Mv_engine.Database.table_exn c "lineitem" in
+  Alcotest.(check bool) "different seeds differ" false
+    (la.Mv_engine.Table.rows = lc.Mv_engine.Table.rows)
+
+let test_no_null_violations () =
+  let db = Mv_tpch.Datagen.generate ~seed:7 ~scale:1 () in
+  List.iter
+    (fun t ->
+      let tbl = Mv_engine.Database.table_exn db t in
+      Alcotest.(check (list string)) (t ^ " not-null ok") []
+        (Mv_engine.Table.null_violations tbl))
+    [ "region"; "nation"; "supplier"; "customer"; "part"; "partsupp"; "orders"; "lineitem" ]
+
+(* every foreign key of the schema holds in the generated data *)
+let test_fk_integrity () =
+  let db = Mv_tpch.Datagen.generate ~seed:13 ~scale:2 () in
+  List.iter
+    (fun (fk : Mv_catalog.Foreign_key.t) ->
+      let src = Mv_engine.Database.table_exn db fk.Mv_catalog.Foreign_key.from_tbl in
+      let dst = Mv_engine.Database.table_exn db fk.Mv_catalog.Foreign_key.to_tbl in
+      let src_idx =
+        List.map (Mv_engine.Table.col_index_exn src) fk.Mv_catalog.Foreign_key.from_cols
+      in
+      let dst_idx =
+        List.map (Mv_engine.Table.col_index_exn dst) fk.Mv_catalog.Foreign_key.to_cols
+      in
+      let keys = Hashtbl.create 256 in
+      List.iter
+        (fun row ->
+          Hashtbl.replace keys
+            (String.concat "|"
+               (List.map (fun i -> Value.to_string row.(i)) dst_idx))
+            ())
+        dst.Mv_engine.Table.rows;
+      let dangling =
+        List.filter
+          (fun row ->
+            let k =
+              String.concat "|"
+                (List.map (fun i -> Value.to_string row.(i)) src_idx)
+            in
+            not (Hashtbl.mem keys k))
+          src.Mv_engine.Table.rows
+      in
+      Alcotest.(check int)
+        (Fmt.str "%a has no dangling rows" Mv_catalog.Foreign_key.pp fk)
+        0 (List.length dangling))
+    Mv_tpch.Schema.schema.Mv_catalog.Schema.foreign_keys
+
+let test_pk_uniqueness () =
+  let db = Mv_tpch.Datagen.generate ~seed:17 ~scale:2 () in
+  List.iter
+    (fun (td : Mv_catalog.Table_def.t) ->
+      let tbl = Mv_engine.Database.table_exn db td.Mv_catalog.Table_def.name in
+      let idx =
+        List.map (Mv_engine.Table.col_index_exn tbl) td.Mv_catalog.Table_def.primary_key
+      in
+      let seen = Hashtbl.create 256 in
+      let dups = ref 0 in
+      List.iter
+        (fun row ->
+          let k =
+            String.concat "|"
+              (List.map (fun i -> Value.to_string row.(i)) idx)
+          in
+          if Hashtbl.mem seen k then incr dups else Hashtbl.add seen k ())
+        tbl.Mv_engine.Table.rows;
+      Alcotest.(check int) (td.Mv_catalog.Table_def.name ^ " pk unique") 0 !dups)
+    Mv_tpch.Schema.schema.Mv_catalog.Schema.tables
+
+let test_scale_grows () =
+  let d1 = Mv_tpch.Datagen.generate ~seed:1 ~scale:1 () in
+  let d3 = Mv_tpch.Datagen.generate ~seed:1 ~scale:3 () in
+  Alcotest.(check bool) "scale grows lineitem" true
+    (Mv_engine.Database.row_count d3 "lineitem"
+    > Mv_engine.Database.row_count d1 "lineitem")
+
+let test_synthetic_stats_shape () =
+  let stats = Mv_tpch.Datagen.synthetic_stats ~sf:0.5 () in
+  Alcotest.(check int) "lineitem rows at SF 0.5" 3_000_000
+    (Mv_catalog.Stats.row_count stats "lineitem");
+  Alcotest.(check int) "region rows" 5 (Mv_catalog.Stats.row_count stats "region");
+  (* every column of every table has stats *)
+  List.iter
+    (fun (td : Mv_catalog.Table_def.t) ->
+      List.iter
+        (fun (c : Mv_catalog.Column.t) ->
+          let col = Col.make td.Mv_catalog.Table_def.name c.Mv_catalog.Column.name in
+          Alcotest.(check bool)
+            (Col.to_string col ^ " has stats")
+            true
+            (Mv_catalog.Stats.col_stats stats col <> None))
+        td.Mv_catalog.Table_def.columns)
+    Mv_tpch.Schema.schema.Mv_catalog.Schema.tables
+
+let test_db_stats_consistent () =
+  let db = Mv_tpch.Datagen.generate ~seed:19 ~scale:1 () in
+  let stats = Mv_engine.Database.stats db in
+  Alcotest.(check int) "row counts agree"
+    (Mv_engine.Database.row_count db "orders")
+    (Mv_catalog.Stats.row_count stats "orders");
+  match Mv_catalog.Stats.col_stats stats (Col.make "lineitem" "l_quantity") with
+  | None -> Alcotest.fail "no stats for l_quantity"
+  | Some cs ->
+      Alcotest.(check bool) "min <= max" true
+        (Value.order cs.Mv_catalog.Stats.min_v cs.Mv_catalog.Stats.max_v <= 0);
+      Alcotest.(check bool) "ndv positive" true (cs.Mv_catalog.Stats.ndv > 0)
+
+let test_selectivity_model () =
+  let stats = Mv_tpch.Datagen.synthetic_stats () in
+  let c = Col.make "lineitem" "l_quantity" in
+  (* l_quantity uniform on 1..50 *)
+  let sel_le_25 = Mv_catalog.Stats.range_selectivity stats c Mv_base.Pred.Le (Value.Int 25) in
+  Alcotest.(check bool) "le mid is ~half" true (sel_le_25 > 0.3 && sel_le_25 < 0.7);
+  let sel_eq = Mv_catalog.Stats.range_selectivity stats c Mv_base.Pred.Eq (Value.Int 10) in
+  Alcotest.(check bool) "eq is ~1/ndv" true (sel_eq > 0.01 && sel_eq < 0.05)
+
+let suite =
+  [
+    ( "tpch",
+      [
+        Alcotest.test_case "schema validates" `Quick test_schema_validates;
+        Alcotest.test_case "generator determinism" `Quick test_determinism;
+        Alcotest.test_case "not-null constraints hold" `Quick test_no_null_violations;
+        Alcotest.test_case "foreign keys hold" `Quick test_fk_integrity;
+        Alcotest.test_case "primary keys unique" `Quick test_pk_uniqueness;
+        Alcotest.test_case "scale grows data" `Quick test_scale_grows;
+        Alcotest.test_case "synthetic stats shape" `Quick test_synthetic_stats_shape;
+        Alcotest.test_case "db stats consistent" `Quick test_db_stats_consistent;
+        Alcotest.test_case "selectivity model" `Quick test_selectivity_model;
+      ] );
+  ]

@@ -1,0 +1,131 @@
+(** Utility tests: union-find properties and PRNG sanity. *)
+
+module UF = Mv_util.Union_find.Make (Int)
+module Prng = Mv_util.Prng
+
+(* union-find must agree with a naive transitive closure *)
+let uf_prop =
+  QCheck.Test.make ~name:"union-find: agrees with transitive closure"
+    ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 30) (pair (int_bound 9) (int_bound 9)))
+    (fun pairs ->
+      let uf = UF.create () in
+      List.iter (fun (a, b) -> UF.union uf a b) pairs;
+      (* naive closure over 0..9 *)
+      let reach = Array.make_matrix 10 10 false in
+      for i = 0 to 9 do
+        reach.(i).(i) <- true
+      done;
+      List.iter
+        (fun (a, b) ->
+          reach.(a).(b) <- true;
+          reach.(b).(a) <- true)
+        pairs;
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for i = 0 to 9 do
+          for j = 0 to 9 do
+            for k = 0 to 9 do
+              if reach.(i).(k) && reach.(k).(j) && not reach.(i).(j) then begin
+                reach.(i).(j) <- true;
+                changed := true
+              end
+            done
+          done
+        done
+      done;
+      let ok = ref true in
+      List.iter
+        (fun (a, _) ->
+          List.iter
+            (fun (b, _) ->
+              if UF.same uf a b <> reach.(a).(b) then ok := false)
+            pairs)
+        pairs;
+      !ok)
+
+let test_uf_classes () =
+  let uf = UF.create () in
+  List.iter (UF.add uf) [ 1; 2; 3; 4; 5 ];
+  UF.union uf 1 2;
+  UF.union uf 2 3;
+  let classes = UF.classes uf in
+  let sizes = List.sort compare (List.map List.length classes) in
+  Alcotest.(check (list int)) "class sizes" [ 1; 1; 3 ] sizes
+
+let test_uf_copy_isolated () =
+  let uf = UF.create () in
+  UF.union uf 1 2;
+  let cp = UF.copy uf in
+  UF.union cp 2 3;
+  Alcotest.(check bool) "copy merged" true (UF.same cp 1 3);
+  Alcotest.(check bool) "original untouched" false (UF.same uf 1 3)
+
+let test_prng_determinism () =
+  let a = Prng.create 5 and b = Prng.create 5 in
+  let xs = List.init 100 (fun _ -> Prng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Prng.int b 1000) in
+  Alcotest.(check (list int)) "same stream" xs ys
+
+let prng_bounds_prop =
+  QCheck.Test.make ~name:"prng: int stays in bounds" ~count:200
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create seed in
+      List.for_all
+        (fun _ ->
+          let x = Prng.int rng bound in
+          x >= 0 && x < bound)
+        (List.init 50 Fun.id))
+
+let test_prng_uniformish () =
+  let rng = Prng.create 123 in
+  let buckets = Array.make 10 0 in
+  for _ = 1 to 10000 do
+    let x = Prng.int rng 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i n ->
+      if n < 700 || n > 1300 then
+        Alcotest.failf "bucket %d has %d of 10000 (expected ~1000)" i n)
+    buckets
+
+let test_pick_weighted () =
+  let rng = Prng.create 9 in
+  let a = ref 0 and b = ref 0 in
+  for _ = 1 to 1000 do
+    match Prng.pick_weighted rng [ (9.0, `A); (1.0, `B) ] with
+    | `A -> incr a
+    | `B -> incr b
+  done;
+  Alcotest.(check bool) "weighting respected" true (!a > !b * 4)
+
+let test_shuffle_permutes () =
+  let rng = Prng.create 17 in
+  let xs = List.init 20 Fun.id in
+  let ys = Prng.shuffle rng xs in
+  Alcotest.(check (list int)) "same elements" xs (List.sort compare ys)
+
+let test_sset_helpers () =
+  let s = Mv_util.Sset.of_list [ "b"; "a"; "a" ] in
+  Alcotest.(check (list string)) "sorted unique" [ "a"; "b" ]
+    (Mv_util.Sset.to_list s);
+  Alcotest.(check string) "printing" "{a, b}" (Mv_util.Sset.to_string s)
+
+let suite =
+  [
+    ( "util",
+      [
+        Helpers.qtest uf_prop;
+        Alcotest.test_case "union-find classes" `Quick test_uf_classes;
+        Alcotest.test_case "union-find copy isolation" `Quick test_uf_copy_isolated;
+        Alcotest.test_case "prng determinism" `Quick test_prng_determinism;
+        Helpers.qtest prng_bounds_prop;
+        Alcotest.test_case "prng roughly uniform" `Quick test_prng_uniformish;
+        Alcotest.test_case "weighted pick" `Quick test_pick_weighted;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        Alcotest.test_case "string set helpers" `Quick test_sset_helpers;
+      ] );
+  ]

@@ -1,0 +1,146 @@
+(** Workload generator tests: the section 5 recipe's shape constraints
+    must hold over large samples — aggregation fraction, query table-count
+    distribution, indexability of every view, cardinality bands. *)
+
+module Spjg = Mv_relalg.Spjg
+
+let schema = Mv_tpch.Schema.schema
+let stats = Mv_tpch.Datagen.synthetic_stats ()
+
+let sample_views = lazy (Mv_workload.Generator.views ~seed:606 schema stats 400)
+
+let sample_queries = lazy (Mv_workload.Generator.queries ~seed:707 schema stats 400)
+
+let test_views_indexable () =
+  List.iter
+    (fun (name, v) ->
+      match Spjg.check_indexable v with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "view %s not indexable: %s" name e)
+    (Lazy.force sample_views)
+
+let test_views_create_cleanly () =
+  (* every generated view must be accepted by View.create (descriptor
+     construction, hub computation, filter keys) *)
+  List.iter
+    (fun (name, v) -> ignore (Mv_core.View.create schema ~name v))
+    (Lazy.force sample_views)
+
+let test_aggregation_fraction () =
+  let views = Lazy.force sample_views in
+  let aggs = List.length (List.filter (fun (_, v) -> Spjg.is_aggregate v) views) in
+  let frac = float_of_int aggs /. float_of_int (List.length views) in
+  if frac < 0.6 || frac > 0.9 then
+    Alcotest.failf "aggregation fraction %.2f outside [0.6, 0.9] (paper: 0.75)"
+      frac
+
+let test_query_table_distribution () =
+  let queries = Lazy.force sample_queries in
+  let count n =
+    List.length
+      (List.filter (fun q -> List.length q.Spjg.tables = n) queries)
+  in
+  let total = float_of_int (List.length queries) in
+  (* paper: 40% 2 tables, 20% 3, 17% 4, 13% 5, 8% 6, 2% 7 — allow slack
+     for the FK-walk sometimes stopping early *)
+  let f2 = float_of_int (count 2) /. total in
+  if f2 < 0.3 || f2 > 0.6 then
+    Alcotest.failf "2-table fraction %.2f outside [0.3,0.6] (paper: 0.40)" f2;
+  Alcotest.(check bool) "some 4-table queries" true (count 4 > 0);
+  Alcotest.(check bool) "few 7-table queries" true
+    (float_of_int (count 7) /. total < 0.1);
+  Alcotest.(check int) "no single-table queries" 0 (count 1)
+
+let test_query_cardinality_band () =
+  (* estimated cardinality should be below the band's upper edge for the
+     vast majority of queries (the generator may stop early when it runs
+     out of rangeable columns) *)
+  let queries = Lazy.force sample_queries in
+  let ok =
+    List.length
+      (List.filter
+         (fun q ->
+           let largest =
+             List.fold_left
+               (fun acc t -> max acc (Mv_catalog.Stats.row_count stats t))
+               1 q.Spjg.tables
+           in
+           let est =
+             Mv_opt.Cost.spj_rows stats ~tables:q.Spjg.tables
+               ~where:q.Spjg.where
+           in
+           est <= float_of_int largest *. 0.2)
+         queries)
+  in
+  let frac = float_of_int ok /. float_of_int (List.length queries) in
+  if frac < 0.8 then
+    Alcotest.failf "only %.2f of queries near the 8-12%% cardinality band" frac
+
+let test_views_parse_back () =
+  (* generated views render to SQL that the parser accepts *)
+  List.iter
+    (fun (name, v) ->
+      let sql = Spjg.to_sql v in
+      try ignore (Mv_sql.Parser.parse_query schema sql)
+      with e ->
+        Alcotest.failf "view %s SQL does not re-parse (%s):\n%s" name
+          (Printexc.to_string e) sql)
+    (Lazy.force sample_views)
+
+let test_determinism () =
+  let a = Mv_workload.Generator.views ~seed:42 schema stats 50 in
+  let b = Mv_workload.Generator.views ~seed:42 schema stats 50 in
+  Alcotest.(check bool) "same seed, same views" true
+    (List.for_all2 (fun (_, x) (_, y) -> Spjg.to_sql x = Spjg.to_sql y) a b);
+  let c = Mv_workload.Generator.views ~seed:43 schema stats 50 in
+  Alcotest.(check bool) "different seed differs" false
+    (List.for_all2 (fun (_, x) (_, y) -> Spjg.to_sql x = Spjg.to_sql y) a c)
+
+let test_join_predicates_are_fk () =
+  (* every generated block's column-equality predicates come from declared
+     foreign keys *)
+  let ok_pair (a : Mv_base.Col.t) (b : Mv_base.Col.t) =
+    List.exists
+      (fun (fk : Mv_catalog.Foreign_key.t) ->
+        List.exists2
+          (fun f t ->
+            (a.Mv_base.Col.tbl = fk.Mv_catalog.Foreign_key.from_tbl
+             && a.Mv_base.Col.col = f
+             && b.Mv_base.Col.tbl = fk.Mv_catalog.Foreign_key.to_tbl
+             && b.Mv_base.Col.col = t)
+            || (b.Mv_base.Col.tbl = fk.Mv_catalog.Foreign_key.from_tbl
+                && b.Mv_base.Col.col = f
+                && a.Mv_base.Col.tbl = fk.Mv_catalog.Foreign_key.to_tbl
+                && a.Mv_base.Col.col = t))
+          fk.Mv_catalog.Foreign_key.from_cols fk.Mv_catalog.Foreign_key.to_cols)
+      schema.Mv_catalog.Schema.foreign_keys
+  in
+  List.iter
+    (fun (name, v) ->
+      let cl = Mv_relalg.Classify.classify v.Spjg.where in
+      List.iter
+        (fun (a, b) ->
+          if not (ok_pair a b) then
+            Alcotest.failf "view %s has a non-FK equijoin %s = %s" name
+              (Mv_base.Col.to_string a) (Mv_base.Col.to_string b))
+        cl.Mv_relalg.Classify.col_eqs)
+    (Lazy.force sample_views)
+
+let suite =
+  [
+    ( "workload",
+      [
+        Alcotest.test_case "views are indexable" `Quick test_views_indexable;
+        Alcotest.test_case "views create cleanly" `Quick test_views_create_cleanly;
+        Alcotest.test_case "aggregation fraction ~0.75" `Quick
+          test_aggregation_fraction;
+        Alcotest.test_case "query table-count distribution" `Quick
+          test_query_table_distribution;
+        Alcotest.test_case "query cardinality band" `Quick
+          test_query_cardinality_band;
+        Alcotest.test_case "views re-parse from SQL" `Quick test_views_parse_back;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "equijoins come from FKs" `Quick
+          test_join_predicates_are_fk;
+      ] );
+  ]
