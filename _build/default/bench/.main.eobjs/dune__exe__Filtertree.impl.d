@@ -1,0 +1,1 @@
+bench/filtertree.ml: List Mv_core Mv_experiments Mv_obs Mv_relalg Printf

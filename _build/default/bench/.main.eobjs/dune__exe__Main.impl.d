@@ -1,1 +1,1 @@
-bench/main.ml: Ablation Array List Micro Mv_experiments Printf String Sys
+bench/main.ml: Ablation Array Filtertree List Micro Mv_experiments Mv_obs Option Printf String Sys

@@ -1,0 +1,78 @@
+(** Filter-tree bench: the level-by-level pruning breakdown of section 4,
+    per index plan ([default_plan] vs [backjoin_plan]), over the section-5
+    workload. This is the machine-readable counterpart of the paper's
+    Figures 6-7 discussion: how many candidate views enter each level and
+    how many survive it. *)
+
+module H = Mv_experiments.Harness
+module J = Mv_obs.Json
+
+type plan_result = {
+  plan_name : string;
+  searches : int;
+  candidates : int;  (** final candidates summed over all queries *)
+  wall_time_s : float;
+  levels : H.level_flow list;
+}
+
+let run_plan ~backjoins (w : H.workload) : plan_result =
+  let registry =
+    Mv_core.Registry.create ~use_filter:true ~backjoins w.H.schema
+  in
+  List.iter (Mv_core.Registry.add_prebuilt registry) w.H.views;
+  let queries = List.map (Mv_relalg.Analysis.analyze w.H.schema) w.H.queries in
+  let span = Mv_obs.Instrument.enter () in
+  let candidates =
+    List.fold_left
+      (fun acc q -> acc + List.length (Mv_core.Registry.candidates registry q))
+      0 queries
+  in
+  let wall, _ = Mv_obs.Instrument.elapsed span in
+  {
+    plan_name = (if backjoins then "backjoin_plan" else "default_plan");
+    searches =
+      Mv_obs.Registry.counter_value registry.Mv_core.Registry.obs
+        "filter_tree.searches";
+    candidates;
+    wall_time_s = wall;
+    levels = H.level_flow_of registry;
+  }
+
+let print_result (r : plan_result) =
+  Printf.printf "\n%s: %d searches, %d candidates total, %.4fs\n" r.plan_name
+    r.searches r.candidates r.wall_time_s;
+  Printf.printf "  %-28s %12s %12s %9s\n" "level" "entered" "passed" "kept";
+  List.iter
+    (fun (f : H.level_flow) ->
+      Printf.printf "  %-28s %12d %12d %8.1f%%\n" f.H.level f.H.entered
+        f.H.passed
+        (100.0 *. float_of_int f.H.passed
+         /. float_of_int (max 1 f.H.entered)))
+    r.levels
+
+let to_json (r : plan_result) =
+  J.Obj
+    [
+      ("searches", J.Int r.searches);
+      ("candidates", J.Int r.candidates);
+      ("wall_time_s", J.Float r.wall_time_s);
+      ("levels", Mv_experiments.Report.level_flow_json r.levels);
+    ]
+
+(* Both plans over the same workload; returns the JSON section for the
+   bench trajectory file. *)
+let run (w : H.workload) : J.t =
+  print_endline
+    "\n== Filter tree: per-level candidate flow (default vs backjoin plan) ==";
+  Printf.printf "%d views, %d queries.\n" (List.length w.H.views)
+    (List.length w.H.queries);
+  let results =
+    [ run_plan ~backjoins:false w; run_plan ~backjoins:true w ]
+  in
+  List.iter print_result results;
+  J.Obj
+    [
+      ("nviews", J.Int (List.length w.H.views));
+      ("queries", J.Int (List.length w.H.queries));
+      ("plans", J.Obj (List.map (fun r -> (r.plan_name, to_json r)) results));
+    ]

@@ -1,0 +1,71 @@
+(** Tiny CI validator for the bench trajectory and CLI output.
+
+      json_check.exe FILE path.to.key ...       # JSON parses, keys present
+      json_check.exe --contains FILE STRING ... # raw substring checks
+
+    Path segments are object fields; a numeric segment indexes a list.
+    Exit 0 when every check passes, 1 with a message otherwise — so a dune
+    rule can gate @runtest-quick on the emitted metrics. *)
+
+module J = Mv_obs.Json
+
+let read_file f =
+  let ic = open_in_bin f in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let fail fmt = Printf.ksprintf (fun m -> prerr_endline m; exit 1) fmt
+
+let lookup json path =
+  let segs = String.split_on_char '.' path in
+  List.fold_left
+    (fun acc seg ->
+      match acc with
+      | None -> None
+      | Some j -> (
+          match int_of_string_opt seg with
+          | Some i -> (
+              match j with
+              | J.List xs -> List.nth_opt xs i
+              | _ -> None)
+          | None -> J.member seg j))
+    (Some json) segs
+
+let () =
+  match Array.to_list Sys.argv |> List.tl with
+  | "--contains" :: file :: needles ->
+      let body = read_file file in
+      let contains needle =
+        let nl = String.length needle and bl = String.length body in
+        let rec go i =
+          if i + nl > bl then false
+          else String.sub body i nl = needle || go (i + 1)
+        in
+        go 0
+      in
+      List.iter
+        (fun needle ->
+          if not (contains needle) then
+            fail "%s: missing expected output %S" file needle)
+        needles;
+      Printf.printf "%s: %d substring check(s) ok\n" file (List.length needles)
+  | file :: paths when file <> "" && file.[0] <> '-' ->
+      let json =
+        match J.of_string (read_file file) with
+        | j -> j
+        | exception J.Parse_error e -> fail "%s: invalid JSON: %s" file e
+      in
+      List.iter
+        (fun p ->
+          match lookup json p with
+          | Some _ -> ()
+          | None -> fail "%s: missing key %s" file p)
+        paths;
+      Printf.printf "%s: JSON ok, %d key(s) present\n" file (List.length paths)
+  | _ ->
+      prerr_endline
+        "usage: json_check.exe FILE key... | json_check.exe --contains FILE \
+         str...";
+      exit 1

@@ -1,32 +1,56 @@
 (** Benchmark driver: regenerates every figure and in-text statistic of the
-    paper's evaluation (section 5) plus micro/ablation benches.
+    paper's evaluation (section 5) plus micro/ablation/filter-tree benches.
 
       dune exec bench/main.exe                 # everything, default sizes
       dune exec bench/main.exe -- --full       # paper-size (1000 queries)
       dune exec bench/main.exe -- --figure 2   # a single figure
       dune exec bench/main.exe -- --micro      # bechamel micro suite only
+      dune exec bench/main.exe -- --filtertree # per-level pruning breakdown
+      dune exec bench/main.exe -- --quick --json BENCH_optimize.json
 
-    See EXPERIMENTS.md for paper-vs-measured discussion. *)
+    [--json FILE] additionally dumps every measurement (per-config wall and
+    CPU timings, rule counters, per-filter-tree-level candidate flow) as a
+    JSON document — the BENCH_*.json perf trajectory. With [--json] and no
+    explicit selection the slow micro/ablation benches are skipped.
+
+    See EXPERIMENTS.md for paper-vs-measured discussion and the schema. *)
 
 let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
-    \       [--ablation] [--queries N] [--max-views N] [--step N]";
+    \       [--ablation] [--filtertree] [--levels] [--json FILE]\n\
+    \       [--queries N] [--max-views N] [--step N]";
   exit 1
 
-type what = { figures : int list; stats : bool; micro : bool; ablation : bool }
+type what = {
+  figures : int list;
+  stats : bool;
+  micro : bool;
+  ablation : bool;
+  filtertree : bool;
+  levels : bool;
+}
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let queries = ref 200 in
   let max_views = ref 1000 in
   let step = ref 200 in
+  let json_file = ref None in
   let sel = ref None in
   let add_sel w =
     let cur =
       match !sel with
       | Some s -> s
-      | None -> { figures = []; stats = false; micro = false; ablation = false }
+      | None ->
+          {
+            figures = [];
+            stats = false;
+            micro = false;
+            ablation = false;
+            filtertree = false;
+            levels = false;
+          }
     in
     sel := Some (w cur)
   in
@@ -54,6 +78,15 @@ let () =
     | "--ablation" :: rest ->
         add_sel (fun s -> { s with ablation = true });
         parse rest
+    | "--filtertree" :: rest ->
+        add_sel (fun s -> { s with filtertree = true });
+        parse rest
+    | "--levels" :: rest ->
+        add_sel (fun s -> { s with levels = true });
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        parse rest
     | "--queries" :: n :: rest ->
         queries := int_of_string n;
         parse rest
@@ -69,23 +102,51 @@ let () =
   let what =
     match !sel with
     | Some s -> s
-    | None -> { figures = [ 2; 3; 4 ]; stats = true; micro = true; ablation = true }
+    | None ->
+        if !json_file <> None then
+          (* machine-readable run: everything measurable, nothing slow *)
+          {
+            figures = [ 2; 3; 4 ];
+            stats = true;
+            micro = false;
+            ablation = false;
+            filtertree = true;
+            levels = true;
+          }
+        else
+          {
+            figures = [ 2; 3; 4 ];
+            stats = true;
+            micro = true;
+            ablation = true;
+            filtertree = true;
+            levels = true;
+          }
   in
   let nviews_list =
     let rec go n acc = if n > !max_views then List.rev acc else go (n + !step) (n :: acc) in
     go 0 []
   in
-  let need_sweep = what.figures <> [] || what.stats || what.ablation in
+  let module J = Mv_obs.Json in
+  let json_sections = ref [] in
+  let add_section name j = json_sections := (name, j) :: !json_sections in
+  let need_sweep = what.figures <> [] || what.stats || what.ablation || what.levels in
+  let need_workload = need_sweep || what.filtertree in
+  let w =
+    if need_workload then begin
+      Printf.printf
+        "Workload: %d randomly generated views, %d queries (section 5 recipe),\n\
+         TPC-H statistics at SF 0.5; view counts %s.\n"
+        !max_views !queries
+        (String.concat "," (List.map string_of_int nviews_list));
+      Some
+        (Mv_experiments.Harness.make_workload ~nviews:!max_views
+           ~nqueries:!queries ())
+    end
+    else None
+  in
   if need_sweep then begin
-    Printf.printf
-      "Workload: %d randomly generated views, %d queries (section 5 recipe),\n\
-       TPC-H statistics at SF 0.5; view counts %s.\n"
-      !max_views !queries
-      (String.concat "," (List.map string_of_int nviews_list));
-    let w =
-      Mv_experiments.Harness.make_workload ~nviews:!max_views
-        ~nqueries:!queries ()
-    in
+    let w = Option.get w in
     let needed_configs =
       if what.figures = [ 3 ] || what.figures = [ 4 ] then
         [ { Mv_experiments.Harness.alt = true; filter = true } ]
@@ -98,6 +159,30 @@ let () =
     if List.mem 3 what.figures then Mv_experiments.Report.figure3 ms nviews_list;
     if List.mem 4 what.figures then Mv_experiments.Report.figure4 ms nviews_list;
     if what.stats then Mv_experiments.Report.stats_table ms nviews_list;
-    if what.ablation then Ablation.run w nviews_list
+    if what.levels then Mv_experiments.Report.level_table ms nviews_list;
+    if what.ablation then Ablation.run w nviews_list;
+    add_section "measurements" (Mv_experiments.Report.measurements_json ms)
   end;
-  if what.micro then Micro.run ()
+  if what.filtertree then
+    add_section "filter_tree" (Filtertree.run (Option.get w));
+  if what.micro then Micro.run ();
+  match !json_file with
+  | None -> ()
+  | Some file ->
+      let doc =
+        J.Obj
+          (("benchmark", J.String "mview")
+          :: ("args", J.List (List.map (fun a -> J.String a) args))
+          :: ( "params",
+               J.Obj
+                 [
+                   ("queries", J.Int !queries);
+                   ("max_views", J.Int !max_views);
+                   ("step", J.Int !step);
+                   ( "nviews_list",
+                     J.List (List.map (fun n -> J.Int n) nviews_list) );
+                 ] )
+          :: List.rev !json_sections)
+      in
+      Mv_experiments.Report.write_json file doc;
+      Printf.printf "\nwrote %s\n" file

@@ -149,8 +149,17 @@ let explain_cmd =
           ~doc:"Also generate a small database, run the plan, and verify it \
                 against direct execution.")
   in
-  let run views query execute =
-    let registry = Mv_core.Registry.create schema in
+  let stats_flag =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After optimizing, print the metrics table (rule counters, \
+             filter-tree per-level candidate flow, optimizer memo counters) \
+             and the rule trace.")
+  in
+  let run views query execute show_stats =
+    let registry = Mv_core.Registry.create ~tracing:show_stats schema in
     let stats = Mv_tpch.Datagen.synthetic_stats () in
     List.iter
       (fun v ->
@@ -175,11 +184,27 @@ let explain_cmd =
       Printf.printf "\nexecution check: %d rows, plan matches direct: %b\n"
         (Mv_engine.Relation.cardinality direct)
         (Mv_engine.Relation.same_bag direct via)
+    end;
+    if show_stats then begin
+      let obs = registry.Mv_core.Registry.obs in
+      print_newline ();
+      print_string (Mv_obs.Registry.render obs);
+      let tr = Mv_obs.Registry.trace obs in
+      if Mv_obs.Trace.length tr > 0 then begin
+        print_endline "rule trace:";
+        List.iter
+          (fun (e : Mv_obs.Trace.event) ->
+            Printf.printf "  #%d %s %s\n" e.Mv_obs.Trace.seq
+              e.Mv_obs.Trace.name
+              (Mv_obs.Json.to_string ~minify:true
+                 (Mv_obs.Json.Obj e.Mv_obs.Trace.fields)))
+          (Mv_obs.Trace.events tr)
+      end
     end
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Optimize a query against views; print the plan")
-    Term.(const run $ views $ query $ execute)
+    Term.(const run $ views $ query $ execute $ stats_flag)
 
 (* ---- generate ---- *)
 

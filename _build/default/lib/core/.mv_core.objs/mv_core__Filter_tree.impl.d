@@ -1,1 +1,1 @@
-lib/core/filter_tree.ml: Col Expr Lattice List Mv_base Mv_relalg Mv_util View
+lib/core/filter_tree.ml: Col Expr Lattice List Mv_base Mv_obs Mv_relalg Mv_util View

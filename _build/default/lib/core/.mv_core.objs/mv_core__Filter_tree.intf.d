@@ -1,1 +1,1 @@
-lib/core/filter_tree.mli: Mv_relalg Mv_util View
+lib/core/filter_tree.mli: Mv_obs Mv_relalg Mv_util View

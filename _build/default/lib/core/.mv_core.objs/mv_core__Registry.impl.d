@@ -1,1 +1,1 @@
-lib/core/registry.ml: Filter_tree List Matcher Mv_catalog Mv_relalg Mv_util Substitute Sys Union_match Union_substitute View
+lib/core/registry.ml: Filter_tree List Matcher Mv_catalog Mv_obs Mv_relalg Mv_util Substitute Union_match Union_substitute View

@@ -1,1 +1,1 @@
-lib/core/registry.mli: Filter_tree Mv_catalog Mv_relalg Substitute Union_substitute View
+lib/core/registry.mli: Filter_tree Mv_catalog Mv_obs Mv_relalg Substitute Union_substitute View

@@ -35,6 +35,12 @@ let level_name = function
 
 type plan = P_level of level * plan | P_split of plan * plan | P_bucket
 
+(* Levels of a plan in navigation order (split branches concatenated). *)
+let rec plan_levels = function
+  | P_bucket -> []
+  | P_level (l, rest) -> l :: plan_levels rest
+  | P_split (a, b) -> plan_levels a @ plan_levels b
+
 let default_plan =
   let agg = List.fold_right (fun l p -> P_level (l, p))
       [ Grouping_exprs; Grouping_cols ] P_bucket
@@ -58,12 +64,27 @@ let backjoin_plan =
 type node =
   | Bucket of { mutable views : View.t list }
   | Agg_split of { spj : node; agg : node }
-  | Level of { level : level; rest : plan; lattice : node Lattice.t }
+  | Level of {
+      level : level;
+      rest : plan;
+      lattice : node Lattice.t;
+      mutable nviews : int;
+          (** views in this subtree — lets a search report how many
+              candidates each level received and passed on without ever
+              enumerating them *)
+    }
 
 let rec new_node = function
   | P_bucket -> Bucket { views = [] }
   | P_split (ps, pa) -> Agg_split { spj = new_node ps; agg = new_node pa }
-  | P_level (level, rest) -> Level { level; rest; lattice = Lattice.create () }
+  | P_level (level, rest) ->
+      Level { level; rest; lattice = Lattice.create (); nviews = 0 }
+
+(* Views under a node: O(1) at levels, O(bucket size) at the leaves. *)
+let rec views_under = function
+  | Bucket b -> List.length b.views
+  | Agg_split s -> views_under s.spj + views_under s.agg
+  | Level l -> l.nviews
 
 type t = { root : node }
 
@@ -173,6 +194,7 @@ let rec insert_node node (v : View.t) =
   | Agg_split s ->
       insert_node (if View.is_aggregate v then s.agg else s.spj) v
   | Level l ->
+      l.nviews <- l.nviews + 1;
       let key = view_key l.level v in
       let ln = Lattice.insert l.lattice key in
       let child =
@@ -198,32 +220,79 @@ let rec remove_node node (v : View.t) =
       | Some ln -> (
           match ln.Lattice.payload with
           | None -> ()
-          | Some child -> remove_node child v))
+          | Some child ->
+              let before = views_under child in
+              remove_node child v;
+              l.nviews <- l.nviews - (before - views_under child)))
 
 let remove t v = remove_node t.root v
 
 (* ---- search ---- *)
 
-let rec search_node node (qi : query_info) acc =
+(* [record] is called once per visited level node with the number of views
+   the node received and the number its surviving children still hold —
+   summed per level by the caller, this is the paper's level-by-level
+   pruning breakdown (Figures 6-7). *)
+let rec search_node ?record node (qi : query_info) acc =
   match node with
   | Bucket b -> List.rev_append b.views acc
   | Agg_split s ->
-      let acc = search_node s.spj qi acc in
-      if qi.is_aggregate then search_node s.agg qi acc else acc
+      let acc = search_node ?record s.spj qi acc in
+      if qi.is_aggregate then search_node ?record s.agg qi acc else acc
   | Level l ->
       let dir, pred = level_search l.level qi in
       let hits = Lattice.search l.lattice ~dir ~pred in
+      (match record with
+      | None -> ()
+      | Some f ->
+          let out =
+            List.fold_left
+              (fun n (ln : node Lattice.node) ->
+                match ln.Lattice.payload with
+                | Some child -> n + views_under child
+                | None -> n)
+              0 hits
+          in
+          f l.level ~in_:l.nviews ~out);
       List.fold_left
         (fun acc (ln : node Lattice.node) ->
           match ln.Lattice.payload with
-          | Some child -> search_node child qi acc
+          | Some child -> search_node ?record child qi acc
           | None -> acc)
         acc hits
 
-(* Candidate views for the analyzed query expression. *)
-let candidates t (q : A.t) : View.t list =
+let level_counter obs level suffix =
+  Mv_obs.Registry.counter obs
+    ("filter_tree.level." ^ level_name level ^ "." ^ suffix)
+
+(* Candidate views for the analyzed query expression. With [obs], bump
+   [filter_tree.searches], per-level [filter_tree.level.<name>.in/out]
+   and the post-navigation [filter_tree.strong_range.in/out] counters. *)
+let candidates ?obs t (q : A.t) : View.t list =
   let qi = query_info q in
-  List.filter (strong_range_ok qi) (search_node t.root qi [])
+  let record =
+    match obs with
+    | None -> None
+    | Some obs ->
+        Mv_obs.Instrument.incr
+          (Mv_obs.Registry.counter obs "filter_tree.searches");
+        Some
+          (fun level ~in_ ~out ->
+            Mv_obs.Instrument.add (level_counter obs level "in") in_;
+            Mv_obs.Instrument.add (level_counter obs level "out") out)
+  in
+  let navigated = search_node ?record t.root qi [] in
+  let survivors = List.filter (strong_range_ok qi) navigated in
+  (match obs with
+  | None -> ()
+  | Some obs ->
+      Mv_obs.Instrument.add
+        (Mv_obs.Registry.counter obs "filter_tree.strong_range.in")
+        (List.length navigated);
+      Mv_obs.Instrument.add
+        (Mv_obs.Registry.counter obs "filter_tree.strong_range.out")
+        (List.length survivors));
+  survivors
 
 (* Number of lattice nodes across all levels, for diagnostics. *)
 let rec node_count = function

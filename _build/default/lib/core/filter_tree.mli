@@ -22,6 +22,10 @@ val level_name : level -> string
 
 type plan = P_level of level * plan | P_split of plan * plan | P_bucket
 
+val plan_levels : plan -> level list
+(** Levels in navigation order (split branches concatenated, duplicates
+    possible across branches but not produced by the built-in plans). *)
+
 val default_plan : plan
 
 val backjoin_plan : plan
@@ -56,7 +60,13 @@ val insert : t -> View.t -> unit
 
 val remove : t -> View.t -> unit
 
-val candidates : t -> Mv_relalg.Analysis.t -> View.t list
+val candidates :
+  ?obs:Mv_obs.Registry.t -> t -> Mv_relalg.Analysis.t -> View.t list
+(** With [obs], each search bumps [filter_tree.searches], the per-level
+    [filter_tree.level.<name>.in]/[.out] candidate counters (how many
+    views entered the level's nodes and how many survived into their
+    children), and [filter_tree.strong_range.in]/[.out] for the
+    post-navigation section 4.2.5 check. *)
 
 val stats : t -> int
 (** Total lattice nodes across all levels. *)

@@ -1,28 +1,29 @@
 (** The view registry: all materialized views, indexed by a filter tree,
     with the counters the paper's evaluation reports (candidate fraction,
     pass rate, substitutes per invocation). This is the entry point the
-    optimizer's view-matching rule calls. *)
+    optimizer's view-matching rule calls.
+
+    All measurement goes through an [Mv_obs] registry (one scoped instance
+    per view registry unless the caller shares one): the rule maintains the
+    [rule.*] counters and the [rule.time] wall+CPU timer, the filter tree
+    contributes its per-level [filter_tree.*] counters, and — when tracing
+    is on — every invocation appends a [rule] event carrying the query's
+    table set and the candidate/match counts. The historical [stats] record
+    survives as a read-only façade computed from the instruments. *)
 
 module A = Mv_relalg.Analysis
+module Obs = Mv_obs.Registry
 
 type stats = {
-  mutable invocations : int;
-  mutable candidates : int;  (** views surviving the filter tree *)
-  mutable matched : int;  (** candidates that produced a substitute *)
-  mutable substitutes : int;
-  mutable rule_time : float;
+  invocations : int;
+  candidates : int;  (** views surviving the filter tree *)
+  matched : int;  (** candidates that produced a substitute *)
+  substitutes : int;
+  rule_time : float;
       (** cumulative CPU seconds spent inside the view-matching rule
-          (filtering + per-view tests + substitute construction) *)
+          (filtering + per-view tests + substitute construction); wall time
+          is on the [rule.time] timer of {!field-obs} *)
 }
-
-let empty_stats () =
-  {
-    invocations = 0;
-    candidates = 0;
-    matched = 0;
-    substitutes = 0;
-    rule_time = 0.0;
-  }
 
 type t = {
   schema : Mv_catalog.Schema.t;
@@ -31,13 +32,19 @@ type t = {
   mutable use_filter : bool;
   mutable views : View.t list;  (** insertion order *)
   tree : Filter_tree.t;
-  stats : stats;
+  obs : Obs.t;
+  tracing : bool;
 }
 
 exception Duplicate_view of string
 
 let create ?(relaxed_nulls = false) ?(backjoins = false) ?(use_filter = true)
-    schema =
+    ?obs ?(tracing = false) schema =
+  let obs =
+    match obs with
+    | Some o -> o
+    | None -> Obs.create ~trace_capacity:(if tracing then 256 else 0) ()
+  in
   {
     schema;
     relaxed_nulls;
@@ -50,7 +57,17 @@ let create ?(relaxed_nulls = false) ?(backjoins = false) ?(use_filter = true)
           (if backjoins then Filter_tree.backjoin_plan
            else Filter_tree.default_plan)
         ();
-    stats = empty_stats ();
+    obs;
+    tracing;
+  }
+
+let stats t =
+  {
+    invocations = Obs.counter_value t.obs "rule.invocations";
+    candidates = Obs.counter_value t.obs "rule.candidates";
+    matched = Obs.counter_value t.obs "rule.matched";
+    substitutes = Obs.counter_value t.obs "rule.substitutes";
+    rule_time = Mv_obs.Instrument.cpu (Obs.timer t.obs "rule.time");
   }
 
 let view_count t = List.length t.views
@@ -87,15 +104,16 @@ let remove_view t name =
    linear scan when the tree is disabled (the paper's "No Filter"
    configuration). *)
 let candidates t (q : A.t) =
-  if t.use_filter then Filter_tree.candidates t.tree q else t.views
+  if t.use_filter then Filter_tree.candidates ~obs:t.obs t.tree q else t.views
 
 (* The view-matching rule body: find all views that can compute [q] and
    build one substitute per view. *)
 let find_substitutes t (q : A.t) : Substitute.t list =
-  let t0 = Sys.time () in
-  t.stats.invocations <- t.stats.invocations + 1;
+  let span = Mv_obs.Instrument.enter () in
+  Mv_obs.Instrument.incr (Obs.counter t.obs "rule.invocations");
   let cands = candidates t q in
-  t.stats.candidates <- t.stats.candidates + List.length cands;
+  Mv_obs.Instrument.add (Obs.counter t.obs "rule.candidates")
+    (List.length cands);
   let subs =
     List.filter_map
       (fun v ->
@@ -107,9 +125,27 @@ let find_substitutes t (q : A.t) : Substitute.t list =
         | Error _ -> None)
       cands
   in
-  t.stats.matched <- t.stats.matched + List.length subs;
-  t.stats.substitutes <- t.stats.substitutes + List.length subs;
-  t.stats.rule_time <- t.stats.rule_time +. (Sys.time () -. t0);
+  Mv_obs.Instrument.add (Obs.counter t.obs "rule.matched") (List.length subs);
+  Mv_obs.Instrument.add (Obs.counter t.obs "rule.substitutes")
+    (List.length subs);
+  Mv_obs.Instrument.exit_into (Obs.timer t.obs "rule.time") span;
+  if t.tracing then begin
+    let wall, _ = Mv_obs.Instrument.elapsed span in
+    Mv_obs.Trace.record (Obs.trace t.obs) "rule"
+      [
+        ("tables", Mv_obs.Json.String (Mv_util.Sset.to_string q.A.table_set));
+        ("population", Mv_obs.Json.Int (List.length t.views));
+        ("candidates", Mv_obs.Json.Int (List.length cands));
+        ("matched", Mv_obs.Json.Int (List.length subs));
+        ( "views",
+          Mv_obs.Json.List
+            (List.map
+               (fun (s : Substitute.t) ->
+                 Mv_obs.Json.String s.Substitute.view.View.name)
+               subs) );
+        ("wall_s", Mv_obs.Json.Float wall);
+      ]
+  end;
   subs
 
 let find_substitutes_spjg t (spjg : Mv_relalg.Spjg.t) =
@@ -129,9 +165,4 @@ let find_union_substitutes t (q : A.t) : Union_substitute.t option =
   Union_match.find ~relaxed_nulls:t.relaxed_nulls ~backjoins:t.backjoins q
     coarse
 
-let reset_stats t =
-  t.stats.invocations <- 0;
-  t.stats.candidates <- 0;
-  t.stats.matched <- 0;
-  t.stats.substitutes <- 0;
-  t.stats.rule_time <- 0.0
+let reset_stats t = Obs.reset t.obs

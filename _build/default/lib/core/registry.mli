@@ -1,14 +1,21 @@
 (** The view registry: all materialized views, indexed by a filter tree,
     with the counters the paper's evaluation reports. This is the entry
-    point the optimizer's view-matching rule calls. *)
+    point the optimizer's view-matching rule calls.
+
+    Measurement runs through {!field-obs} (an [Mv_obs] registry, scoped to
+    this view registry unless one is passed in): [rule.invocations],
+    [rule.candidates], [rule.matched], [rule.substitutes], the [rule.time]
+    wall+CPU timer, and the filter tree's [filter_tree.*] per-level
+    counters. {!stats} derives the historical record from them. *)
 
 type stats = {
-  mutable invocations : int;
-  mutable candidates : int;  (** views surviving the filter tree *)
-  mutable matched : int;  (** candidates that produced a substitute *)
-  mutable substitutes : int;
-  mutable rule_time : float;
-      (** cumulative CPU seconds spent inside the view-matching rule *)
+  invocations : int;
+  candidates : int;  (** views surviving the filter tree *)
+  matched : int;  (** candidates that produced a substitute *)
+  substitutes : int;
+  rule_time : float;
+      (** cumulative CPU seconds inside the view-matching rule; wall time
+          is on the [rule.time] timer *)
 }
 
 type t = {
@@ -22,7 +29,10 @@ type t = {
           all views, tested linearly *)
   mutable views : View.t list;
   tree : Filter_tree.t;
-  stats : stats;
+  obs : Mv_obs.Registry.t;
+  tracing : bool;
+      (** append a [rule] trace event per invocation (requires an [obs]
+          with a nonzero trace capacity; [create ~tracing:true] makes one) *)
 }
 
 exception Duplicate_view of string
@@ -31,8 +41,13 @@ val create :
   ?relaxed_nulls:bool ->
   ?backjoins:bool ->
   ?use_filter:bool ->
+  ?obs:Mv_obs.Registry.t ->
+  ?tracing:bool ->
   Mv_catalog.Schema.t ->
   t
+
+val stats : t -> stats
+(** Snapshot of the paper's counters, read from the instruments. *)
 
 val view_count : t -> int
 
@@ -70,3 +85,5 @@ val find_union_substitutes : t -> Mv_relalg.Analysis.t -> Union_substitute.t opt
     range level would prune exactly the views a union needs). *)
 
 val reset_stats : t -> unit
+(** Zero every instrument on {!field-obs} (including the filter-tree
+    counters) and clear the trace. *)

@@ -1,1 +1,1 @@
-lib/engine/exec.ml: Array Col Database Eval Expr Hashtbl Index List Mv_base Mv_catalog Mv_core Mv_relalg Option Pred Relation String Table Value
+lib/engine/exec.ml: Array Col Database Eval Expr Hashtbl Index List Mv_base Mv_catalog Mv_core Mv_obs Mv_relalg Option Pred Relation String Table Value

@@ -12,6 +12,15 @@ module Spjg = Mv_relalg.Spjg
 
 type bindings = Value.t Col.Map.t
 
+(* Per-operator-kind row counters ([exec.rows.<kind>]). They live on the
+   process-wide [Mv_obs.Registry.global]: execution has no per-query
+   context object to scope them to, and the executor exists for ground
+   truth, not for concurrent serving. *)
+let count_rows kind n =
+  Mv_obs.Instrument.add
+    (Mv_obs.Registry.counter Mv_obs.Registry.global ("exec.rows." ^ kind))
+    n
+
 let env_of (b : bindings) (c : Col.t) =
   match Col.Map.find_opt c b with
   | Some v -> v
@@ -35,7 +44,16 @@ let applicable bound_tables p =
     (Pred.columns p)
 
 let apply_preds preds (rows : bindings list) =
-  List.filter (fun b -> List.for_all (Eval.pred_holds (env_of b)) preds) rows
+  if preds = [] then rows
+  else begin
+    let kept =
+      List.filter
+        (fun b -> List.for_all (Eval.pred_holds (env_of b)) preds)
+        rows
+    in
+    count_rows "filter" (List.length kept);
+    kept
+  end
 
 (* Equijoin keys between the next table and the already-bound tables. *)
 let join_keys conjuncts ~bound ~next =
@@ -111,7 +129,9 @@ let table_source db conjuncts tname : Value.t array list =
   let best =
     List.find_map try_index (Database.declared_indexes db tname)
   in
-  match best with Some rows -> rows | None -> tbl.Table.rows
+  let rows = match best with Some rows -> rows | None -> tbl.Table.rows in
+  count_rows "scan" (List.length rows);
+  rows
 
 (* Join [tbl] into the current tuples. *)
 let join_table db conjuncts ~bound (tuples : bindings list) tname :
@@ -152,6 +172,7 @@ let join_table db conjuncts ~bound (tuples : bindings list) tname :
             source_rows)
         tuples
   in
+  count_rows "join" (List.length joined);
   (bound', joined)
 
 (* Greedy join order: start anywhere, prefer tables connected to the bound
@@ -243,6 +264,10 @@ let group_key gexprs (b : bindings) =
 let execute db (block : Spjg.t) : Relation.t =
   let tuples = spj_tuples db block in
   let cols = Spjg.out_names block in
+  let finish (rel : Relation.t) =
+    count_rows "output" (List.length rel.Relation.rows);
+    rel
+  in
   match block.Spjg.group_by with
   | None ->
       let rows =
@@ -257,7 +282,7 @@ let execute db (block : Spjg.t) : Relation.t =
                  block.Spjg.out))
           tuples
       in
-      { Relation.cols; rows }
+      finish { Relation.cols; rows }
   | Some gexprs ->
       let groups = Hashtbl.create 64 in
       let order = ref [] in
@@ -298,7 +323,8 @@ let execute db (block : Spjg.t) : Relation.t =
                  block.Spjg.out))
           keys
       in
-      { Relation.cols; rows }
+      count_rows "group" (List.length rows);
+      finish { Relation.cols; rows }
 
 (* Materialize a view's contents as a table registered in the database. *)
 let materialize db (view : Mv_core.View.t) : Table.t =

@@ -1,1 +1,1 @@
-lib/experiments/harness.ml: List Mv_catalog Mv_core Mv_opt Mv_relalg Mv_tpch Mv_workload Sys
+lib/experiments/harness.ml: List Mv_catalog Mv_core Mv_obs Mv_opt Mv_relalg Mv_tpch Mv_workload

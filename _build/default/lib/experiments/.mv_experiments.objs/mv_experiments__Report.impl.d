@@ -1,1 +1,1 @@
-lib/experiments/report.ml: Harness List Printf
+lib/experiments/report.ml: Harness List Mv_obs Printf

@@ -19,17 +19,26 @@ let all_configs =
     { alt = false; filter = false };
   ]
 
+type level_flow = { level : string; entered : int; passed : int }
+
 type measurement = {
   nviews : int;
   config : config;
   queries : int;
-  total_time : float;  (** CPU seconds for the whole query batch *)
-  rule_time : float;  (** CPU seconds inside the view-matching rule *)
+  wall_time : float;
+      (** elapsed seconds for the whole query batch — what the paper's
+          figures report *)
+  cpu_time : float;  (** CPU seconds for the same batch *)
+  rule_wall_time : float;  (** elapsed seconds inside the view-matching rule *)
+  rule_cpu_time : float;
   invocations : int;
   candidates : int;
   matched : int;
   substitutes : int;
   plans_using_views : int;
+  level_flow : level_flow list;
+      (** candidates entering/surviving each filter-tree level, summed over
+          the batch (empty in the NoFilter configurations) *)
 }
 
 type workload = {
@@ -57,6 +66,39 @@ let make_workload ?(view_seed = 1001) ?(query_seed = 2002) ?(nviews = 1000)
 
 let take n xs = List.filteri (fun i _ -> i < n) xs
 
+(* The per-level candidate flow recorded by the registry's filter tree,
+   in the navigation order of the registry's plan. *)
+let level_flow_of (registry : Mv_core.Registry.t) : level_flow list =
+  let obs = registry.Mv_core.Registry.obs in
+  let plan =
+    if registry.Mv_core.Registry.backjoins then
+      Mv_core.Filter_tree.backjoin_plan
+    else Mv_core.Filter_tree.default_plan
+  in
+  let flows =
+    List.map
+      (fun level ->
+        let name = Mv_core.Filter_tree.level_name level in
+        {
+          level = name;
+          entered =
+            Mv_obs.Registry.counter_value obs
+              ("filter_tree.level." ^ name ^ ".in");
+          passed =
+            Mv_obs.Registry.counter_value obs
+              ("filter_tree.level." ^ name ^ ".out");
+        })
+      (Mv_core.Filter_tree.plan_levels plan)
+  in
+  let strong =
+    {
+      level = "strong-range";
+      entered = Mv_obs.Registry.counter_value obs "filter_tree.strong_range.in";
+      passed = Mv_obs.Registry.counter_value obs "filter_tree.strong_range.out";
+    }
+  in
+  List.filter (fun f -> f.entered > 0 || f.passed > 0) (flows @ [ strong ])
+
 (* One measurement: first [nviews] views, one configuration. *)
 let run (w : workload) ~nviews ~(config : config) : measurement =
   let registry = Mv_core.Registry.create ~use_filter:config.filter w.schema in
@@ -65,25 +107,31 @@ let run (w : workload) ~nviews ~(config : config) : measurement =
     { Mv_opt.Optimizer.produce_substitutes = config.alt }
   in
   let plans_using_views = ref 0 in
-  let t0 = Sys.time () in
+  let span = Mv_obs.Instrument.enter () in
   List.iter
     (fun q ->
       let r = Mv_opt.Optimizer.optimize ~config:opt_config registry w.stats q in
       if r.Mv_opt.Optimizer.used_views then incr plans_using_views)
     w.queries;
-  let total_time = Sys.time () -. t0 in
-  let s = registry.Mv_core.Registry.stats in
+  let wall_time, cpu_time = Mv_obs.Instrument.elapsed span in
+  let s = Mv_core.Registry.stats registry in
+  let rule_timer =
+    Mv_obs.Registry.timer registry.Mv_core.Registry.obs "rule.time"
+  in
   {
     nviews;
     config;
     queries = List.length w.queries;
-    total_time;
-    rule_time = s.Mv_core.Registry.rule_time;
+    wall_time;
+    cpu_time;
+    rule_wall_time = Mv_obs.Instrument.wall rule_timer;
+    rule_cpu_time = Mv_obs.Instrument.cpu rule_timer;
     invocations = s.Mv_core.Registry.invocations;
     candidates = s.Mv_core.Registry.candidates;
     matched = s.Mv_core.Registry.matched;
     substitutes = s.Mv_core.Registry.substitutes;
     plans_using_views = !plans_using_views;
+    level_flow = level_flow_of registry;
   }
 
 (* The full grid for the figures. A discarded warmup run first: the very

@@ -10,18 +10,28 @@ val config_name : config -> string
 
 val all_configs : config list
 
+type level_flow = { level : string; entered : int; passed : int }
+
 type measurement = {
   nviews : int;
   config : config;
   queries : int;
-  total_time : float;
-  rule_time : float;
+  wall_time : float;
+      (** elapsed seconds for the whole query batch — the paper reports
+          elapsed optimization time, so this is what the figures print *)
+  cpu_time : float;  (** CPU seconds for the same batch *)
+  rule_wall_time : float;
+  rule_cpu_time : float;
   invocations : int;
   candidates : int;
   matched : int;
   substitutes : int;
   plans_using_views : int;
+  level_flow : level_flow list;
+      (** per-filter-tree-level candidates in/out, summed over the batch *)
 }
+
+val level_flow_of : Mv_core.Registry.t -> level_flow list
 
 type workload = {
   schema : Mv_catalog.Schema.t;

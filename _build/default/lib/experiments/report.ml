@@ -23,6 +23,7 @@ let figure2 (ms : Harness.measurement list) nviews_list =
   pr "\n== Figure 2: optimization time vs number of views ==\n";
   pr "paper: optimization time grows linearly; with the filter tree the\n";
   pr "increase at 1000 views is ~60%%, without it ~110%%.\n\n";
+  pr "(wall-clock seconds; the paper reports elapsed time)\n";
   pr "%8s" "views";
   List.iter
     (fun c -> pr " %14s" (Harness.config_name c))
@@ -34,7 +35,7 @@ let figure2 (ms : Harness.measurement list) nviews_list =
       List.iter
         (fun c ->
           match find ms ~nviews:n ~config:c with
-          | Some m -> pr " %13.3fs" m.Harness.total_time
+          | Some m -> pr " %13.3fs" m.Harness.wall_time
           | None -> pr " %14s" "-")
         configs_ordered;
       pr "\n")
@@ -44,10 +45,10 @@ let figure2 (ms : Harness.measurement list) nviews_list =
   let last c = find ms ~nviews:(List.fold_left max 0 nviews_list) ~config:c in
   let incr c =
     match (base c, last c) with
-    | Some b, Some l when b.Harness.total_time > 0.0 ->
+    | Some b, Some l when b.Harness.wall_time > 0.0 ->
         Some
-          ((l.Harness.total_time -. b.Harness.total_time)
-           /. b.Harness.total_time *. 100.0)
+          ((l.Harness.wall_time -. b.Harness.wall_time)
+           /. b.Harness.wall_time *. 100.0)
     | _ -> None
   in
   (match incr { Harness.alt = true; filter = true } with
@@ -65,14 +66,15 @@ let figure3 (ms : Harness.measurement list) nviews_list =
   pr "view-matching rule; with few views almost all of it is.\n\n";
   let cfg = { Harness.alt = true; filter = true } in
   let base = find ms ~nviews:0 ~config:cfg in
+  pr "(wall-clock seconds)\n";
   pr "%8s %16s %18s\n" "views" "total increase" "view-matching time";
   List.iter
     (fun n ->
       match (find ms ~nviews:n ~config:cfg, base) with
       | Some m, Some b ->
           pr "%8d %15.3fs %17.3fs\n" n
-            (m.Harness.total_time -. b.Harness.total_time)
-            m.Harness.rule_time
+            (m.Harness.wall_time -. b.Harness.wall_time)
+            m.Harness.rule_wall_time
       | _ -> ())
     nviews_list
 
@@ -119,3 +121,73 @@ let stats_table (ms : Harness.measurement list) nviews_list =
               (fi m.Harness.substitutes /. fi (max 1 m.Harness.queries))
         | None -> ())
     nviews_list
+
+(* The per-level pruning breakdown behind the in-text candidate fraction:
+   how many candidate views entered each filter-tree level and how many
+   survived it, summed over the batch (Alt&Filter configuration). *)
+let level_table (ms : Harness.measurement list) nviews_list =
+  pr "\n== Filter-tree pruning per level ==\n";
+  pr "paper: each level is a necessary condition; the candidate set after\n";
+  pr "all levels stays below 0.4%% of the view population.\n";
+  let cfg = { Harness.alt = true; filter = true } in
+  List.iter
+    (fun n ->
+      if n > 0 then
+        match find ms ~nviews:n ~config:cfg with
+        | Some m when m.Harness.level_flow <> [] ->
+            pr "\n%d views:\n" n;
+            pr "  %-28s %12s %12s %9s\n" "level" "entered" "passed" "kept";
+            List.iter
+              (fun (f : Harness.level_flow) ->
+                pr "  %-28s %12d %12d %8.1f%%\n" f.Harness.level
+                  f.Harness.entered f.Harness.passed
+                  (100.0 *. float_of_int f.Harness.passed
+                   /. float_of_int (max 1 f.Harness.entered)))
+              m.Harness.level_flow
+        | _ -> ())
+    nviews_list
+
+(* ---- machine-readable output (the BENCH_*.json trajectory) ---- *)
+
+module J = Mv_obs.Json
+
+let level_flow_json (fs : Harness.level_flow list) =
+  J.List
+    (List.map
+       (fun (f : Harness.level_flow) ->
+         J.Obj
+           [
+             ("level", J.String f.Harness.level);
+             ("in", J.Int f.Harness.entered);
+             ("out", J.Int f.Harness.passed);
+           ])
+       fs)
+
+let measurement_json (m : Harness.measurement) =
+  J.Obj
+    [
+      ("config", J.String (Harness.config_name m.Harness.config));
+      ("alt", J.Bool m.Harness.config.Harness.alt);
+      ("filter", J.Bool m.Harness.config.Harness.filter);
+      ("nviews", J.Int m.Harness.nviews);
+      ("queries", J.Int m.Harness.queries);
+      ("wall_time_s", J.Float m.Harness.wall_time);
+      ("cpu_time_s", J.Float m.Harness.cpu_time);
+      ("rule_wall_time_s", J.Float m.Harness.rule_wall_time);
+      ("rule_cpu_time_s", J.Float m.Harness.rule_cpu_time);
+      ("invocations", J.Int m.Harness.invocations);
+      ("candidates", J.Int m.Harness.candidates);
+      ("matched", J.Int m.Harness.matched);
+      ("substitutes", J.Int m.Harness.substitutes);
+      ("plans_using_views", J.Int m.Harness.plans_using_views);
+      ("levels", level_flow_json m.Harness.level_flow);
+    ]
+
+let measurements_json (ms : Harness.measurement list) =
+  J.List (List.map measurement_json ms)
+
+let write_json file (j : J.t) =
+  let oc = open_out file in
+  output_string oc (J.to_string j);
+  output_char oc '\n';
+  close_out oc

@@ -1,0 +1,1 @@
+lib/obs/instrument.ml: Array Float Sys Unix

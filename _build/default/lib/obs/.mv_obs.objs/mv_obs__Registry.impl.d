@@ -1,0 +1,1 @@
+lib/obs/registry.ml: Buffer Float Hashtbl Instrument Json List Printf String Trace

@@ -1,0 +1,1 @@
+lib/obs/trace.ml: Array Json List Option

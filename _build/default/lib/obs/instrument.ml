@@ -1,0 +1,138 @@
+let now_wall () = Unix.gettimeofday ()
+
+let now_cpu () = Sys.time ()
+
+(* ---- counters ---- *)
+
+type counter = { mutable n : int }
+
+let counter () = { n = 0 }
+
+let incr c = c.n <- c.n + 1
+
+let add c k = c.n <- c.n + k
+
+let value c = c.n
+
+let reset_counter c = c.n <- 0
+
+(* ---- timers ---- *)
+
+type timer = {
+  mutable t_wall : float;
+  mutable t_cpu : float;
+  mutable t_count : int;
+}
+
+let timer () = { t_wall = 0.0; t_cpu = 0.0; t_count = 0 }
+
+let record t ~wall ~cpu =
+  t.t_wall <- t.t_wall +. wall;
+  t.t_cpu <- t.t_cpu +. cpu;
+  t.t_count <- t.t_count + 1
+
+let wall t = t.t_wall
+
+let cpu t = t.t_cpu
+
+let intervals t = t.t_count
+
+let reset_timer t =
+  t.t_wall <- 0.0;
+  t.t_cpu <- 0.0;
+  t.t_count <- 0
+
+(* ---- histograms ---- *)
+
+(* Bucket [i] covers (2^(i-64-1), 2^(i-64)]: exponents from 2^-64 up to
+   2^63 cover everything from sub-nanosecond timings to huge row counts. *)
+let buckets = 128
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let _, e = Float.frexp v in
+    (* v in (2^(e-1), 2^e] up to frexp rounding *)
+    max 0 (min (buckets - 1) (e + 64))
+
+let bucket_upper i = Float.ldexp 1.0 (i - 64)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  h_buckets : int array;
+}
+
+let histogram () =
+  {
+    h_count = 0;
+    h_sum = 0.0;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    h_buckets = Array.make buckets 0;
+  }
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let b = bucket_of v in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+let count h = h.h_count
+
+let sum h = h.h_sum
+
+let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+
+let min_value h = h.h_min
+
+let max_value h = h.h_max
+
+let quantile h q =
+  if h.h_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.of_int h.h_count *. q) in
+      max 0 (min (h.h_count - 1) r)
+    in
+    let rec go i seen =
+      if i >= buckets then h.h_max
+      else
+        let seen = seen + h.h_buckets.(i) in
+        if seen > rank then bucket_upper i else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let reset_histogram h =
+  h.h_count <- 0;
+  h.h_sum <- 0.0;
+  h.h_min <- Float.infinity;
+  h.h_max <- Float.neg_infinity;
+  Array.fill h.h_buckets 0 buckets 0
+
+(* ---- spans ---- *)
+
+type span = { s_wall : float; s_cpu : float }
+
+let enter () = { s_wall = now_wall (); s_cpu = now_cpu () }
+
+let elapsed s = (now_wall () -. s.s_wall, now_cpu () -. s.s_cpu)
+
+let exit_into t s =
+  let wall, cpu = elapsed s in
+  record t ~wall ~cpu
+
+let time t f =
+  let s = enter () in
+  match f () with
+  | v ->
+      exit_into t s;
+      v
+  | exception e ->
+      exit_into t s;
+      raise e

@@ -1,0 +1,81 @@
+(** The three instrument kinds plus lightweight spans.
+
+    Counters are monotone event counts, timers accumulate both wall-clock
+    and CPU time (the paper reports elapsed optimization time; [Sys.time]
+    alone silently under-reports any I/O or scheduling), and histograms
+    keep streaming moments plus power-of-two buckets for cheap
+    percentile estimates. None of them allocate on the update path. *)
+
+type counter
+
+val counter : unit -> counter
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val value : counter -> int
+
+val reset_counter : counter -> unit
+
+type timer
+
+val timer : unit -> timer
+
+val record : timer -> wall:float -> cpu:float -> unit
+(** Accumulate one measured interval (seconds). *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** Run the thunk, accumulating its wall and CPU duration. Re-raises, still
+    recording the time spent, if the thunk does. *)
+
+val wall : timer -> float
+
+val cpu : timer -> float
+
+val intervals : timer -> int
+(** Number of recorded intervals. *)
+
+val reset_timer : timer -> unit
+
+type histogram
+
+val histogram : unit -> histogram
+
+val observe : histogram -> float -> unit
+
+val count : histogram -> int
+
+val sum : histogram -> float
+
+val mean : histogram -> float
+(** 0 when empty. *)
+
+val min_value : histogram -> float
+(** +inf when empty (serialized as null). *)
+
+val max_value : histogram -> float
+(** -inf when empty (serialized as null). *)
+
+val quantile : histogram -> float -> float
+(** Upper bound of the power-of-two bucket holding the q-quantile
+    observation; 0 when empty. Coarse by construction — intended for
+    order-of-magnitude latency reporting, not exact statistics. *)
+
+val reset_histogram : histogram -> unit
+
+(** Spans: grab both clocks on entry, hand the interval to a timer on
+    exit. *)
+
+type span
+
+val enter : unit -> span
+
+val elapsed : span -> float * float
+(** (wall, cpu) seconds since {!enter}. *)
+
+val exit_into : timer -> span -> unit
+
+val now_wall : unit -> float
+
+val now_cpu : unit -> float

@@ -1,0 +1,152 @@
+type instrument =
+  | Counter of Instrument.counter
+  | Timer of Instrument.timer
+  | Histogram of Instrument.histogram
+
+type t = {
+  instruments : (string, instrument) Hashtbl.t;
+  tr : Trace.t;
+}
+
+exception Kind_mismatch of string
+
+let create ?(trace_capacity = 0) () =
+  {
+    instruments = Hashtbl.create 32;
+    tr = Trace.create ~capacity:trace_capacity ();
+  }
+
+let global = create ~trace_capacity:256 ()
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Timer _ -> "timer"
+  | Histogram _ -> "histogram"
+
+let get_or_create t name ~make ~cast =
+  match Hashtbl.find_opt t.instruments name with
+  | Some i -> (
+      match cast i with
+      | Some x -> x
+      | None ->
+          raise
+            (Kind_mismatch
+               (Printf.sprintf "%s already registered as a %s" name
+                  (kind_name i))))
+  | None ->
+      let i = make () in
+      Hashtbl.replace t.instruments name i;
+      match cast i with Some x -> x | None -> assert false
+
+let counter t name =
+  get_or_create t name
+    ~make:(fun () -> Counter (Instrument.counter ()))
+    ~cast:(function Counter c -> Some c | _ -> None)
+
+let timer t name =
+  get_or_create t name
+    ~make:(fun () -> Timer (Instrument.timer ()))
+    ~cast:(function Timer x -> Some x | _ -> None)
+
+let histogram t name =
+  get_or_create t name
+    ~make:(fun () -> Histogram (Instrument.histogram ()))
+    ~cast:(function Histogram h -> Some h | _ -> None)
+
+let trace t = t.tr
+
+let find t name = Hashtbl.find_opt t.instruments name
+
+let names t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.instruments []
+  |> List.sort String.compare
+
+let counter_value t name =
+  match find t name with Some (Counter c) -> Instrument.value c | _ -> 0
+
+let reset t =
+  Hashtbl.iter
+    (fun _ i ->
+      match i with
+      | Counter c -> Instrument.reset_counter c
+      | Timer x -> Instrument.reset_timer x
+      | Histogram h -> Instrument.reset_histogram h)
+    t.instruments;
+  Trace.clear t.tr
+
+(* ---- snapshots ---- *)
+
+let finite_or_null f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    Json.Null
+  else Json.Float f
+
+let instrument_json = function
+  | Counter c -> Json.Int (Instrument.value c)
+  | Timer x ->
+      Json.Obj
+        [
+          ("wall_s", Json.Float (Instrument.wall x));
+          ("cpu_s", Json.Float (Instrument.cpu x));
+          ("intervals", Json.Int (Instrument.intervals x));
+        ]
+  | Histogram h ->
+      Json.Obj
+        [
+          ("count", Json.Int (Instrument.count h));
+          ("sum", Json.Float (Instrument.sum h));
+          ("mean", Json.Float (Instrument.mean h));
+          ("min", finite_or_null (Instrument.min_value h));
+          ("max", finite_or_null (Instrument.max_value h));
+          ("p50", Json.Float (Instrument.quantile h 0.5));
+          ("p95", Json.Float (Instrument.quantile h 0.95));
+        ]
+
+let to_json t =
+  let section keep =
+    List.filter_map
+      (fun name ->
+        match find t name with
+        | Some i when keep i -> Some (name, instrument_json i)
+        | _ -> None)
+      (names t)
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (section (function Counter _ -> true | _ -> false)));
+      ("timers", Json.Obj (section (function Timer _ -> true | _ -> false)));
+      ( "histograms",
+        Json.Obj (section (function Histogram _ -> true | _ -> false)) );
+      ("trace", Trace.to_json t.tr);
+    ]
+
+let render t =
+  let b = Buffer.create 512 in
+  let width =
+    List.fold_left (fun acc n -> max acc (String.length n)) 24 (names t)
+  in
+  let line name rest = Printf.bprintf b "  %-*s  %s\n" width name rest in
+  Buffer.add_string b "metrics:\n";
+  List.iter
+    (fun name ->
+      match find t name with
+      | None -> ()
+      | Some (Counter c) -> line name (string_of_int (Instrument.value c))
+      | Some (Timer x) ->
+          line name
+            (Printf.sprintf "wall %.6fs  cpu %.6fs  (%d intervals)"
+               (Instrument.wall x) (Instrument.cpu x) (Instrument.intervals x))
+      | Some (Histogram h) ->
+          line name
+            (if Instrument.count h = 0 then "empty"
+             else
+               Printf.sprintf
+                 "count %d  sum %.3f  mean %.3f  min %.3f  max %.3f  p50<=%.3g"
+                 (Instrument.count h) (Instrument.sum h) (Instrument.mean h)
+                 (Instrument.min_value h) (Instrument.max_value h)
+                 (Instrument.quantile h 0.5)))
+    (names t);
+  if Trace.length t.tr > 0 then
+    Printf.bprintf b "  trace: %d event(s) retained (%d recorded)\n"
+      (Trace.length t.tr) (Trace.total t.tr);
+  Buffer.contents b

@@ -1,0 +1,34 @@
+(** A bounded ring buffer of structured events, for rule tracing: each
+    view-matching invocation (or any other traced step) appends one event
+    and old events fall off the end, so tracing can stay on in long sweeps
+    without growing memory. Capacity 0 disables recording entirely. *)
+
+type event = {
+  seq : int;  (** global order of the event since the last [clear] *)
+  name : string;
+  fields : (string * Json.t) list;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 256. *)
+
+val capacity : t -> int
+
+val enabled : t -> bool
+
+val record : t -> string -> (string * Json.t) list -> unit
+
+val length : t -> int
+(** Events currently retained. *)
+
+val total : t -> int
+(** Events recorded since the last [clear], including dropped ones. *)
+
+val events : t -> event list
+(** Oldest first. *)
+
+val to_json : t -> Json.t
+
+val clear : t -> unit

@@ -1,1 +1,1 @@
-lib/opt/optimizer.ml: Array Block Col Cost Expr Float Hashtbl List Mv_base Mv_catalog Mv_core Mv_relalg Option Plan Pred
+lib/opt/optimizer.ml: Array Block Col Cost Expr Float Hashtbl List Mv_base Mv_catalog Mv_core Mv_obs Mv_relalg Option Plan Pred

@@ -211,9 +211,11 @@ let safe_preagg (qa : A.t) schema remaining =
         keys)
     remaining
 
-let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
+let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
     (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
   let schema = registry.Mv_core.Registry.schema in
+  let obs = registry.Mv_core.Registry.obs in
+  let octr name = Mv_obs.Registry.counter obs ("optimizer." ^ name) in
   let spj = Block.spj_part query in
   let tables = Array.of_list spj.Spjg.tables in
   let n = Array.length tables in
@@ -223,12 +225,29 @@ let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
   let query_connected = n = 1 || connected edges (Array.to_list tables) in
   (* invoke the view-matching rule on a block; returns leaf plans *)
   let rule_leaves block =
+    Mv_obs.Instrument.incr (octr "subexpressions");
     let subs =
       Mv_core.Registry.find_substitutes registry (A.analyze schema block)
     in
     if config.produce_substitutes then
       List.map (view_leaf schema stats block) subs
     else []
+  in
+  (* substitute leaves competed on cost against [winner]: score them *)
+  let score_substitutes vleaves winner =
+    match vleaves with
+    | [] -> ()
+    | _ :: _ ->
+        let won =
+          match winner with
+          | Some (Plan.Leaf { source = Plan.Via _; _ }) -> true
+          | _ -> false
+        in
+        Mv_obs.Instrument.add (octr "substitutes.considered")
+          (List.length vleaves);
+        if won then Mv_obs.Instrument.incr (octr "substitutes.wins");
+        Mv_obs.Instrument.add (octr "substitutes.losses")
+          (List.length vleaves - if won then 1 else 0)
   in
   for mask = 1 to full do
     let ts = tables_of_mask tables mask in
@@ -295,12 +314,17 @@ let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
           sub := (!sub - 1) land mask
         done
       end;
-      if is_conn then List.iter consider (rule_leaves block);
+      if is_conn then begin
+        let vleaves = rule_leaves block in
+        List.iter consider vleaves;
+        score_substitutes vleaves !best
+      end;
       match !best with
       | Some plan -> Hashtbl.replace memo mask { plan; rows; block }
       | None -> ()
     end
   done;
+  Mv_obs.Instrument.add (octr "memo.groups") (Hashtbl.length memo);
   let spj_entry =
     match Hashtbl.find_opt memo full with
     | Some e -> e
@@ -329,13 +353,20 @@ let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
             est_cost = Plan.est_cost input +. in_rows;
           }
       in
-      let best = ref (agg_over spj_entry.plan) in
+      let baseline = agg_over spj_entry.plan in
+      let best = ref baseline in
+      let agg_considered = ref 0 in
       let consider p = if Plan.est_cost p < Plan.est_cost !best then best := p in
       (* whole-query substitutes *)
       List.iter consider
-        (let subs = Mv_core.Registry.find_substitutes registry qa in
-         if config.produce_substitutes then
+        (let subs =
+           Mv_obs.Instrument.incr (octr "subexpressions");
+           Mv_core.Registry.find_substitutes registry qa
+         in
+         if config.produce_substitutes then begin
+           agg_considered := !agg_considered + List.length subs;
            List.map (view_leaf schema stats query) subs
+         end
          else []);
       (* preaggregated alternatives *)
       for mask = 1 to full - 1 do
@@ -368,6 +399,7 @@ let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
                   }
               in
               let inner_views = rule_leaves pa.Block.block in
+              agg_considered := !agg_considered + List.length inner_views;
               List.iter
                 (fun inner ->
                   (* join the preaggregated result with the remaining
@@ -490,9 +522,33 @@ let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
         end
       done;
       let plan = !best in
+      (* aggregation-stage scoring: did any alternative derived from a
+         substitute (whole-query or preaggregated) beat the agg-over-SPJ
+         baseline? *)
+      if !agg_considered > 0 then begin
+        let won = plan != baseline && Plan.uses_view plan in
+        Mv_obs.Instrument.add (octr "substitutes.considered") !agg_considered;
+        if won then Mv_obs.Instrument.incr (octr "substitutes.wins");
+        Mv_obs.Instrument.add (octr "substitutes.losses")
+          (!agg_considered - if won then 1 else 0)
+      end;
       {
         plan;
         cost = Plan.est_cost plan;
         rows = Plan.est_rows plan;
         used_views = Plan.uses_view plan;
       }
+
+let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
+    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
+  let obs = registry.Mv_core.Registry.obs in
+  let r =
+    Mv_obs.Instrument.time
+      (Mv_obs.Registry.timer obs "optimizer.time")
+      (fun () -> optimize_body ~config registry stats query)
+  in
+  Mv_obs.Instrument.incr (Mv_obs.Registry.counter obs "optimizer.calls");
+  if r.used_views then
+    Mv_obs.Instrument.incr
+      (Mv_obs.Registry.counter obs "optimizer.plans.using_views");
+  r

@@ -1,1 +1,1 @@
-test/helpers.ml: Alcotest Col Mv_base Mv_core Mv_engine Mv_relalg Mv_sql Mv_tpch QCheck_alcotest
+test/helpers.ml: Alcotest Col Mv_base Mv_core Mv_engine Mv_relalg Mv_sql Mv_tpch QCheck_alcotest String Sys

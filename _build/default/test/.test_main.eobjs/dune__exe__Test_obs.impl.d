@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Helpers List Mv_core Mv_experiments Mv_obs Mv_sql Printf

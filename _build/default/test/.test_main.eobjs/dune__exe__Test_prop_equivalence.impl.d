@@ -1,0 +1,1 @@
+test/test_prop_equivalence.ml: Alcotest Fun Helpers Lazy List Mv_base Mv_core Mv_relalg Mv_tpch Mv_util Mv_workload QCheck

@@ -1,0 +1,1 @@
+test/test_prop_filter.ml: Helpers List Mv_core Mv_relalg Mv_tpch Mv_util Mv_workload QCheck

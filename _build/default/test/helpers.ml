@@ -53,3 +53,16 @@ let check_equivalent ?(seed = 7) ?(scale = 1) ~(query : Mv_relalg.Spjg.t)
 let col t c = Col.make t c
 
 let qtest = QCheck_alcotest.to_alcotest
+
+(* Substring search, for loose assertions on rendered text. *)
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* qcheck case counts: CI-quick runs can shrink property tests via
+   MVIEW_QCHECK_COUNT without touching the test sources. *)
+let qcheck_count default =
+  match Sys.getenv_opt "MVIEW_QCHECK_COUNT" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default

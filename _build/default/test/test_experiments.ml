@@ -23,9 +23,24 @@ let test_counters_consistent () =
     (m.H.matched <= m.H.candidates);
   Alcotest.(check bool) "substitutes = matched (one per view)" true
     (m.H.substitutes = m.H.matched);
-  Alcotest.(check bool) "rule time positive" true (m.H.rule_time > 0.0);
-  Alcotest.(check bool) "rule time <= total" true
-    (m.H.rule_time <= m.H.total_time +. 0.05)
+  Alcotest.(check bool) "rule wall time positive" true
+    (m.H.rule_wall_time > 0.0);
+  Alcotest.(check bool) "rule wall time <= total wall" true
+    (m.H.rule_wall_time <= m.H.wall_time +. 0.05);
+  Alcotest.(check bool) "rule cpu time <= total cpu" true
+    (m.H.rule_cpu_time <= m.H.cpu_time +. 0.05);
+  (* CPU can exceed wall only through parallelism; this harness is
+     single-threaded, so wall bounds cpu (modulo clock noise) *)
+  Alcotest.(check bool) "cpu <= wall + noise" true
+    (m.H.cpu_time <= m.H.wall_time +. 0.1);
+  (* the Filter configuration must report a per-level breakdown *)
+  Alcotest.(check bool) "level flow present" true (m.H.level_flow <> []);
+  List.iter
+    (fun (f : H.level_flow) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level %s passes <= entered" f.H.level)
+        true (f.H.passed <= f.H.entered))
+    m.H.level_flow
 
 let test_noalt_same_invocations_no_plans () =
   let w = Lazy.force mini in

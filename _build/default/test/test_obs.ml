@@ -1,0 +1,218 @@
+(** The observability layer itself: instrument arithmetic, scoped-registry
+    isolation, JSON snapshot round-trips, the trace ring, and the
+    [Registry.stats] façade agreeing with the underlying instruments. *)
+
+module Obs = Mv_obs.Registry
+module I = Mv_obs.Instrument
+module J = Mv_obs.Json
+
+let test_counter () =
+  let c = I.counter () in
+  Alcotest.(check int) "fresh" 0 (I.value c);
+  I.incr c;
+  I.incr c;
+  I.add c 40;
+  Alcotest.(check int) "incr + add" 42 (I.value c);
+  I.reset_counter c;
+  Alcotest.(check int) "reset" 0 (I.value c)
+
+let test_timer () =
+  let t = I.timer () in
+  I.record t ~wall:1.5 ~cpu:0.5;
+  I.record t ~wall:0.5 ~cpu:0.25;
+  Alcotest.(check (float 1e-9)) "wall accumulates" 2.0 (I.wall t);
+  Alcotest.(check (float 1e-9)) "cpu accumulates" 0.75 (I.cpu t);
+  Alcotest.(check int) "intervals" 2 (I.intervals t);
+  let x = I.time t (fun () -> 7) in
+  Alcotest.(check int) "thunk value" 7 x;
+  Alcotest.(check int) "timed interval recorded" 3 (I.intervals t);
+  Alcotest.(check bool) "wall grew" true (I.wall t >= 2.0);
+  (* a raising thunk still records its interval *)
+  (try I.time t (fun () -> failwith "boom") with Failure _ -> ());
+  Alcotest.(check int) "raised interval recorded" 4 (I.intervals t);
+  I.reset_timer t;
+  Alcotest.(check (float 0.0)) "reset wall" 0.0 (I.wall t);
+  Alcotest.(check int) "reset intervals" 0 (I.intervals t)
+
+let test_histogram () =
+  let h = I.histogram () in
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (I.mean h);
+  Alcotest.(check (float 0.0)) "empty quantile" 0.0 (I.quantile h 0.5);
+  List.iter (fun v -> I.observe h v) [ 1.0; 2.0; 3.0; 4.0; 10.0 ];
+  Alcotest.(check int) "count" 5 (I.count h);
+  Alcotest.(check (float 1e-9)) "sum" 20.0 (I.sum h);
+  Alcotest.(check (float 1e-9)) "mean" 4.0 (I.mean h);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (I.min_value h);
+  Alcotest.(check (float 1e-9)) "max" 10.0 (I.max_value h);
+  (* power-of-two buckets: the p50 bound must cover the true median (2.0 <=
+     bound <= max), and quantiles must be monotone in q *)
+  let p50 = I.quantile h 0.5 and p95 = I.quantile h 0.95 in
+  Alcotest.(check bool) "p50 covers median" true (p50 >= 2.0 && p50 <= 10.0);
+  Alcotest.(check bool) "quantiles monotone" true (p95 >= p50);
+  I.reset_histogram h;
+  Alcotest.(check int) "reset count" 0 (I.count h)
+
+let test_scoped_isolation () =
+  let a = Obs.create () and b = Obs.create () in
+  I.add (Obs.counter a "x") 5;
+  I.add (Obs.counter b "x") 11;
+  Alcotest.(check int) "a.x" 5 (Obs.counter_value a "x");
+  Alcotest.(check int) "b.x" 11 (Obs.counter_value b "x");
+  Alcotest.(check bool) "same name, distinct instruments" true
+    (Obs.counter a "x" != Obs.counter b "x");
+  Obs.reset a;
+  Alcotest.(check int) "reset a only" 0 (Obs.counter_value a "x");
+  Alcotest.(check int) "b untouched" 11 (Obs.counter_value b "x");
+  (* get-or-create returns the same instrument for the same name *)
+  Alcotest.(check bool) "idempotent lookup" true
+    (Obs.counter a "x" == Obs.counter a "x")
+
+let test_kind_mismatch () =
+  let r = Obs.create () in
+  ignore (Obs.counter r "m");
+  Alcotest.check_raises "timer over counter"
+    (Obs.Kind_mismatch "m already registered as a counter") (fun () ->
+      ignore (Obs.timer r "m"))
+
+let test_json_roundtrip () =
+  let r = Obs.create ~trace_capacity:8 () in
+  I.add (Obs.counter r "rule.invocations") 17;
+  I.record (Obs.timer r "rule.time") ~wall:0.125 ~cpu:0.0625;
+  let h = Obs.histogram r "latency" in
+  List.iter (fun v -> I.observe h v) [ 0.001; 0.004; 2.5 ];
+  Mv_obs.Trace.record (Obs.trace r) "rule"
+    [ ("tables", J.String "{lineitem}"); ("candidates", J.Int 3) ];
+  let snap = Obs.to_json r in
+  let reparsed = J.of_string (J.to_string snap) in
+  Alcotest.(check bool) "pretty round-trip" true (J.equal snap reparsed);
+  let reparsed_min = J.of_string (J.to_string ~minify:true snap) in
+  Alcotest.(check bool) "minified round-trip" true (J.equal snap reparsed_min);
+  (* spot-check shape *)
+  Alcotest.(check bool) "counter present" true
+    (J.path [ "counters"; "rule.invocations" ] snap = Some (J.Int 17));
+  Alcotest.(check bool) "timer wall" true
+    (J.path [ "timers"; "rule.time"; "wall_s" ] snap = Some (J.Float 0.125));
+  match J.member "trace" snap with
+  | Some (J.List [ ev ]) ->
+      Alcotest.(check bool) "trace event name" true
+        (J.member "event" ev = Some (J.String "rule"))
+  | _ -> Alcotest.fail "expected one trace event"
+
+let test_json_parser () =
+  let t = J.of_string {| {"a": [1, -2.5, true, null, "x\n\"yA"], "b": {}} |} in
+  Alcotest.(check bool) "parsed" true
+    (t
+    = J.Obj
+        [
+          ( "a",
+            J.List
+              [ J.Int 1; J.Float (-2.5); J.Bool true; J.Null;
+                J.String "x\n\"yA" ] );
+          ("b", J.Obj []);
+        ]);
+  Alcotest.check_raises "trailing garbage"
+    (J.Parse_error "trailing garbage at offset 5") (fun () ->
+      ignore (J.of_string "null x"));
+  (match J.of_string "1e3" with
+  | J.Float f -> Alcotest.(check (float 1e-9)) "exponent" 1000.0 f
+  | _ -> Alcotest.fail "1e3 should parse as a float");
+  (* floats that look integral still round-trip as floats *)
+  match J.of_string (J.to_string (J.Float 2.0)) with
+  | J.Float f -> Alcotest.(check (float 0.0)) "2.0 stays float" 2.0 f
+  | _ -> Alcotest.fail "Float 2.0 must not reparse as Int"
+
+let test_trace_ring () =
+  let tr = Mv_obs.Trace.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Mv_obs.Trace.record tr "e" [ ("i", J.Int i) ]
+  done;
+  Alcotest.(check int) "retained" 4 (Mv_obs.Trace.length tr);
+  Alcotest.(check int) "total" 10 (Mv_obs.Trace.total tr);
+  let seqs = List.map (fun e -> e.Mv_obs.Trace.seq) (Mv_obs.Trace.events tr) in
+  Alcotest.(check (list int)) "newest four, oldest first" [ 6; 7; 8; 9 ] seqs;
+  let disabled = Mv_obs.Trace.create ~capacity:0 () in
+  Mv_obs.Trace.record disabled "e" [];
+  Alcotest.(check int) "capacity 0 records nothing" 0
+    (Mv_obs.Trace.length disabled)
+
+(* The compatibility façade: after a real matching run, [Registry.stats]
+   must report exactly what the instruments hold. *)
+let test_stats_facade () =
+  let r = Mv_core.Registry.create Helpers.schema in
+  let _, spjg =
+    Mv_sql.Parser.parse_view Helpers.schema
+      {| create view obs_v with schemabinding as
+         select l_orderkey, l_quantity from dbo.lineitem
+         where l_quantity >= 5 |}
+  in
+  ignore (Mv_core.Registry.add_view r ~name:"obs_v" spjg);
+  let q =
+    Mv_sql.Parser.parse_query Helpers.schema
+      "select l_orderkey from lineitem where l_quantity >= 10"
+  in
+  ignore (Mv_core.Registry.find_substitutes_spjg r q);
+  ignore (Mv_core.Registry.find_substitutes_spjg r q);
+  ignore
+    (Mv_core.Registry.find_substitutes_spjg r
+       (Mv_sql.Parser.parse_query Helpers.schema
+          "select s_name from supplier where s_acctbal >= 100"));
+  let s = Mv_core.Registry.stats r in
+  let obs = r.Mv_core.Registry.obs in
+  Alcotest.(check int) "invocations" (Obs.counter_value obs "rule.invocations")
+    s.Mv_core.Registry.invocations;
+  Alcotest.(check int) "invocations value" 3 s.Mv_core.Registry.invocations;
+  Alcotest.(check int) "candidates" (Obs.counter_value obs "rule.candidates")
+    s.Mv_core.Registry.candidates;
+  Alcotest.(check int) "matched" (Obs.counter_value obs "rule.matched")
+    s.Mv_core.Registry.matched;
+  Alcotest.(check int) "substitutes" (Obs.counter_value obs "rule.substitutes")
+    s.Mv_core.Registry.substitutes;
+  Alcotest.(check (float 1e-12)) "rule_time is the timer's cpu"
+    (I.cpu (Obs.timer obs "rule.time"))
+    s.Mv_core.Registry.rule_time;
+  (* filter-tree level counters flowed into the same registry, and every
+     level's out is bounded by its in *)
+  Alcotest.(check bool) "searches recorded" true
+    (Obs.counter_value obs "filter_tree.searches" > 0);
+  List.iter
+    (fun (f : Mv_experiments.Harness.level_flow) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: passed <= entered" f.Mv_experiments.Harness.level)
+        true
+        (f.Mv_experiments.Harness.passed <= f.Mv_experiments.Harness.entered))
+    (Mv_experiments.Harness.level_flow_of r);
+  Mv_core.Registry.reset_stats r;
+  Alcotest.(check int) "reset façade" 0
+    (Mv_core.Registry.stats r).Mv_core.Registry.invocations
+
+let test_render () =
+  let r = Obs.create () in
+  I.add (Obs.counter r "a.count") 3;
+  I.record (Obs.timer r "a.time") ~wall:1.0 ~cpu:0.5;
+  ignore (Obs.histogram r "a.hist");
+  let table = Obs.render r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render mentions " ^ needle) true
+        (Helpers.contains ~needle table))
+    [ "a.count"; "a.time"; "a.hist"; "wall"; "empty" ]
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "counter arithmetic" `Quick test_counter;
+        Alcotest.test_case "timer arithmetic" `Quick test_timer;
+        Alcotest.test_case "histogram arithmetic" `Quick test_histogram;
+        Alcotest.test_case "scoped registries are isolated" `Quick
+          test_scoped_isolation;
+        Alcotest.test_case "kind mismatch rejected" `Quick test_kind_mismatch;
+        Alcotest.test_case "JSON snapshot round-trips" `Quick
+          test_json_roundtrip;
+        Alcotest.test_case "JSON parser" `Quick test_json_parser;
+        Alcotest.test_case "trace ring buffer" `Quick test_trace_ring;
+        Alcotest.test_case "stats façade = instruments" `Quick
+          test_stats_facade;
+        Alcotest.test_case "table rendering" `Quick test_render;
+      ] );
+  ]

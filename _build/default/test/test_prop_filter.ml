@@ -1,0 +1,67 @@
+(** Filter-tree soundness property (section 4): the filter tree is an
+    index, not an oracle — with [use_filter:true] its candidate set must be
+    a superset of the views that actually match when tested linearly.
+    Checked for both index plans: {!Filter_tree.default_plan}
+    ([backjoins:false]) and {!Filter_tree.backjoin_plan}
+    ([backjoins:true], which drops the output levels because backjoins can
+    recover missing columns). *)
+
+module Gen = Mv_workload.Generator
+module Sset = Mv_util.Sset
+
+let schema = Helpers.schema
+
+let stats = Mv_tpch.Datagen.synthetic_stats ()
+
+let candidate_names registry qa =
+  List.fold_left
+    (fun acc (v : Mv_core.View.t) -> Sset.add v.Mv_core.View.name acc)
+    Sset.empty
+    (Mv_core.Registry.candidates registry qa)
+
+(* One case = one fresh mini-workload: the seed drives both the view batch
+   and the query batch, so shrinking finds a small failing workload. *)
+let check_seed seed =
+  let views =
+    List.filter_map
+      (fun (name, spjg) ->
+        match Mv_core.View.create schema ~name spjg with
+        | v -> Some v
+        | exception Mv_core.View.Rejected _ -> None)
+      (Gen.views ~seed:(1000 + seed) schema stats 25)
+  in
+  let queries = Gen.queries ~seed:(5000 + seed) schema stats 5 in
+  List.iter
+    (fun backjoins ->
+      let filtered = Mv_core.Registry.create ~backjoins schema in
+      List.iter (Mv_core.Registry.add_prebuilt filtered) views;
+      assert filtered.Mv_core.Registry.use_filter;
+      List.iter
+        (fun q ->
+          let qa = Mv_relalg.Analysis.analyze schema q in
+          let cands = candidate_names filtered qa in
+          List.iter
+            (fun (v : Mv_core.View.t) ->
+              match Mv_core.Matcher.match_view ~backjoins ~query:qa v with
+              | Ok _ ->
+                  if not (Sset.mem v.Mv_core.View.name cands) then
+                    QCheck.Test.fail_reportf
+                      "%s pruned view %s although it matches query:@.%s"
+                      (if backjoins then "backjoin_plan" else "default_plan")
+                      v.Mv_core.View.name
+                      (Mv_relalg.Spjg.to_sql q)
+              | Error _ -> ())
+            views)
+        queries)
+    [ false; true ];
+  true
+
+let soundness_prop =
+  QCheck.Test.make
+    ~name:"filter-tree candidates are a superset of matches (both plans)"
+    ~count:(Helpers.qcheck_count 50)
+    QCheck.(int_bound 9999)
+    check_seed
+
+let suite =
+  [ ("prop_filter", [ Helpers.qtest soundness_prop ]) ]

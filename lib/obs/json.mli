@@ -1,0 +1,32 @@
+(** A minimal JSON tree with a printer and a parser — just enough for
+    metric snapshots and the bench trajectory files, with no external
+    dependency. Printing always re-parses to the same tree (floats that
+    would render as integers get a trailing [.0]; NaN and infinities are
+    rendered as [null], which JSON cannot represent). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?minify:bool -> t -> string
+(** Render. Default is pretty-printed with two-space indentation. *)
+
+val of_string : string -> t
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field of an object, [None] elsewhere. *)
+
+val path : string list -> t -> t option
+(** Nested {!member} lookup. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object field order is significant. *)

@@ -142,11 +142,11 @@ let test_stats_counters () =
   in
   ignore (Mv_core.Registry.find_substitutes_spjg r q);
   ignore (Mv_core.Registry.find_substitutes_spjg r q);
-  let s = r.Mv_core.Registry.stats in
+  let s = Mv_core.Registry.stats r in
   Alcotest.(check int) "invocations" 2 s.Mv_core.Registry.invocations;
   Alcotest.(check int) "substitutes" 2 s.Mv_core.Registry.substitutes;
   Mv_core.Registry.reset_stats r;
-  Alcotest.(check int) "reset" 0 r.Mv_core.Registry.stats.Mv_core.Registry.invocations
+  Alcotest.(check int) "reset" 0 (Mv_core.Registry.stats r).Mv_core.Registry.invocations
 
 let suite =
   [
