@@ -15,8 +15,8 @@ let linear_candidates (views : Mv_core.View.t list) q =
   let qi = Mv_core.Filter_tree.query_info q in
   List.filter
     (fun v ->
-      Mv_util.Sset.subset qi.Mv_core.Filter_tree.source_tables
-        v.Mv_core.View.source_tables)
+      Mv_util.Bitset.subset qi.Mv_core.Filter_tree.source_tables
+        v.Mv_core.View.keys.Mv_core.View.source_tables)
     views
 
 let run (w : H.workload) _nviews_list =

@@ -2,10 +2,19 @@
 
       json_check.exe FILE path.to.key ...       # JSON parses, keys present
       json_check.exe --contains FILE STRING ... # raw substring checks
+      json_check.exe --compare FRESH BASELINE \
+        [--tolerance F] [--structure-only]      # fresh run vs committed
 
     Path segments are object fields; a numeric segment indexes a list.
-    Exit 0 when every check passes, 1 with a message otherwise — so a dune
-    rule can gate @runtest-quick on the emitted metrics. *)
+
+    [--compare] walks every key path of BASELINE and requires it in FRESH
+    with the same JSON kind (lists are sampled by their first element, so a
+    shorter sweep still type-checks against a full baseline). Unless
+    [--structure-only], numeric [wall_time_s] leaves are also compared:
+    fresh must not exceed baseline by more than the relative tolerance
+    (default 0.5, i.e. +50%), with a 1ms absolute slack so micro-timings
+    don't flap. Exit 0 when every check passes, 1 with a message otherwise
+    — so a dune rule can gate @runtest-quick on the emitted metrics. *)
 
 module J = Mv_obs.Json
 
@@ -33,8 +42,96 @@ let lookup json path =
           | None -> J.member seg j))
     (Some json) segs
 
+let kind = function
+  | J.Null -> "null"
+  | J.Bool _ -> "bool"
+  | J.Int _ | J.Float _ -> "number"
+  | J.String _ -> "string"
+  | J.List _ -> "list"
+  | J.Obj _ -> "object"
+
+let num = function
+  | J.Int i -> Some (float_of_int i)
+  | J.Float f -> Some f
+  | _ -> None
+
+(* Walk baseline, requiring each of its key paths in fresh with the same
+   kind. Lists are compared through their first element: the baseline's
+   element shape must be producible by the fresh run, but the sweeps may
+   differ in length. Numeric [wall_time_s] leaves are timing-checked unless
+   [structure_only]. Returns failure messages (empty = pass) and the number
+   of paths visited. *)
+let compare_trees ~structure_only ~tolerance fresh baseline =
+  let errors = ref [] in
+  let checked = ref 0 in
+  let err path fmt =
+    Printf.ksprintf (fun m -> errors := (path ^ ": " ^ m) :: !errors) fmt
+  in
+  let rec go path b f =
+    incr checked;
+    match (b, f) with
+    | J.Obj bfields, J.Obj _ ->
+        List.iter
+          (fun (k, bv) ->
+            let p = if path = "" then k else path ^ "." ^ k in
+            match J.member k f with
+            | None -> err p "missing in fresh run"
+            | Some fv ->
+                if
+                  (not structure_only)
+                  && k = "wall_time_s"
+                  && num bv <> None
+                  && num fv <> None
+                then begin
+                  let bt = Option.get (num bv) and ft = Option.get (num fv) in
+                  if ft > (bt *. (1.0 +. tolerance)) +. 0.001 then
+                    err p "wall-time regression: %.6fs vs baseline %.6fs (>%+.0f%%)"
+                      ft bt (tolerance *. 100.)
+                end;
+                go p bv fv)
+          bfields
+    | J.List (b0 :: _), J.List (f0 :: _) -> go (path ^ ".0") b0 f0
+    | J.List (_ :: _), J.List [] -> err path "list is empty in fresh run"
+    | J.List _, J.List _ | J.Null, _ -> ()
+    | _ ->
+        if kind b <> kind f then
+          err path "kind mismatch: fresh %s vs baseline %s" (kind f) (kind b)
+  in
+  go "" baseline fresh;
+  (List.rev !errors, !checked)
+
 let () =
   match Array.to_list Sys.argv |> List.tl with
+  | "--compare" :: fresh_file :: baseline_file :: opts ->
+      let structure_only = List.mem "--structure-only" opts in
+      let tolerance =
+        let rec find = function
+          | "--tolerance" :: v :: _ -> (
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 -> f
+              | _ -> fail "--tolerance: bad value %S" v)
+          | _ :: rest -> find rest
+          | [] -> 0.5
+        in
+        find opts
+      in
+      let parse file =
+        match J.of_string (read_file file) with
+        | j -> j
+        | exception J.Parse_error e -> fail "%s: invalid JSON: %s" file e
+      in
+      let fresh = parse fresh_file and baseline = parse baseline_file in
+      let errors, checked =
+        compare_trees ~structure_only ~tolerance fresh baseline
+      in
+      if errors <> [] then begin
+        List.iter prerr_endline errors;
+        fail "%s vs %s: %d check(s) failed" fresh_file baseline_file
+          (List.length errors)
+      end;
+      Printf.printf "%s vs %s: %d path(s) agree%s\n" fresh_file baseline_file
+        checked
+        (if structure_only then " (structure only)" else "")
   | "--contains" :: file :: needles ->
       let body = read_file file in
       let contains needle =
@@ -67,5 +164,6 @@ let () =
   | _ ->
       prerr_endline
         "usage: json_check.exe FILE key... | json_check.exe --contains FILE \
-         str...";
+         str... | json_check.exe --compare FRESH BASELINE [--tolerance F] \
+         [--structure-only]";
       exit 1

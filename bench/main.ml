@@ -164,7 +164,7 @@ let () =
     add_section "measurements" (Mv_experiments.Report.measurements_json ms)
   end;
   if what.filtertree then
-    add_section "filter_tree" (Filtertree.run (Option.get w));
+    add_section "filter_tree" (Filtertree.run (Option.get w) nviews_list);
   if what.micro then Micro.run ();
   match !json_file with
   | None -> ()

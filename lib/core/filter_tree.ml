@@ -9,8 +9,7 @@
     bucket — an SPJ view can answer an aggregation query, but an
     aggregation view can never answer an SPJ query. *)
 
-open Mv_base
-module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
 module A = Mv_relalg.Analysis
 
 type level =
@@ -86,92 +85,100 @@ let rec views_under = function
   | Agg_split s -> views_under s.spj + views_under s.agg
   | Level l -> l.nviews
 
-type t = { root : node }
+(* Cached per-level counter handles: counters are resolved from the obs
+   registry by dotted-name lookup, which costs a string concatenation and a
+   hash per call — far too much for something the search does at every
+   visited level node. The handles are plain mutable records, so resolving
+   them once per (tree, obs) pairing and indexing by level is safe. *)
+type obs_handles = {
+  h_obs : Mv_obs.Registry.t;
+  h_searches : Mv_obs.Instrument.counter;
+  h_level_in : Mv_obs.Instrument.counter array;  (** indexed by level *)
+  h_level_out : Mv_obs.Instrument.counter array;
+  h_strong_in : Mv_obs.Instrument.counter;
+  h_strong_out : Mv_obs.Instrument.counter;
+}
 
-let create ?(plan = default_plan) () = { root = new_node plan }
+type t = { root : node; mutable handles : obs_handles option }
 
-(* ---- keys ---- *)
+let create ?(plan = default_plan) () = { root = new_node plan; handles = None }
 
-let view_key level (v : View.t) : Sset.t =
+let level_index = function
+  | Hubs -> 0
+  | Source_tables -> 1
+  | Output_exprs -> 2
+  | Output_cols -> 3
+  | Residuals -> 4
+  | Range_cols -> 5
+  | Grouping_exprs -> 6
+  | Grouping_cols -> 7
+
+let all_levels =
+  [
+    Hubs;
+    Source_tables;
+    Output_exprs;
+    Output_cols;
+    Residuals;
+    Range_cols;
+    Grouping_exprs;
+    Grouping_cols;
+  ]
+
+(* ---- keys ----
+
+   All level keys are interned bitsets ({!Mv_util.Bitset} over the
+   {!Mv_relalg.Intern} domains): the view side is precomputed once at
+   registration ({!View.keys}), the query side once per rule invocation,
+   and every subset / disjointness test the navigation performs is a
+   word-level AND loop. *)
+
+let view_key level (v : View.t) : Bitset.t =
+  let k = v.View.keys in
   match level with
-  | Hubs -> v.View.hub
-  | Source_tables -> v.View.source_tables
-  | Output_exprs -> v.View.output_expr_templates
-  | Output_cols -> View.cols_to_strings v.View.extended_output_cols
-  | Residuals -> v.View.residual_templates
-  | Range_cols -> v.View.reduced_range_cols
-  | Grouping_exprs -> v.View.grouping_expr_templates
-  | Grouping_cols -> View.cols_to_strings v.View.extended_grouping_cols
+  | Hubs -> k.View.hub
+  | Source_tables -> k.View.source_tables
+  | Output_exprs -> k.View.output_exprs
+  | Output_cols -> k.View.output_cols
+  | Residuals -> k.View.residuals
+  | Range_cols -> k.View.range_cols
+  | Grouping_exprs -> k.View.grouping_exprs
+  | Grouping_cols -> k.View.grouping_cols
 
-(* Query-side search keys, computed once per view-matching invocation. *)
-type query_info = {
-  source_tables : Sset.t;
-  output_expr_templates : Sset.t;
-  output_classes : Sset.t list;
-      (** query equivalence class (as strings) of each bare-column output *)
-  residual_templates : Sset.t;
-  extended_range_cols : Sset.t;
+(* Query-side search keys: the analysis' interned key record, computed once
+   per analyzed expression and memoized there (see {!A.keys}). *)
+type query_info = A.keys = {
+  source_tables : Bitset.t;
+  output_expr_templates : Bitset.t;
+  output_classes : Bitset.t list;
+      (** query equivalence class (interned) of each bare-column output *)
+  residual_templates : Bitset.t;
+  extended_range_cols : Bitset.t;
       (** all columns of every range-constrained query class *)
-  grouping_expr_templates : Sset.t;
-  grouping_classes : Sset.t list;
+  grouping_expr_templates : Bitset.t;
+  grouping_classes : Bitset.t list;
   is_aggregate : bool;
 }
 
-let strings_of_colset s =
-  Col.Set.fold (fun c acc -> Sset.add (Col.to_string c) acc) s Sset.empty
-
-let query_info (q : A.t) : query_info =
-  let classes_of_cols cols =
-    List.map
-      (fun c -> strings_of_colset (Mv_relalg.Equiv.class_of q.A.equiv c))
-      cols
-  in
-  let output_cols =
-    List.filter_map
-      (fun (o : Mv_relalg.Spjg.out_item) ->
-        match o.Mv_relalg.Spjg.def with
-        | Mv_relalg.Spjg.Scalar (Expr.Col c) -> Some c
-        | _ -> None)
-      q.A.spjg.Mv_relalg.Spjg.out
-  in
-  let grouping_cols =
-    match q.A.spjg.Mv_relalg.Spjg.group_by with
-    | None -> []
-    | Some gs ->
-        List.filter_map (function Expr.Col c -> Some c | _ -> None) gs
-  in
-  let extended_range_cols =
-    List.fold_left
-      (fun acc cls -> Sset.union acc (strings_of_colset cls))
-      Sset.empty
-      (A.range_constrained_classes q)
-  in
-  {
-    source_tables = q.A.table_set;
-    output_expr_templates = A.output_expr_templates q;
-    output_classes = classes_of_cols output_cols;
-    residual_templates = A.residual_templates q;
-    extended_range_cols;
-    grouping_expr_templates = A.grouping_expr_templates q;
-    grouping_classes = classes_of_cols grouping_cols;
-    is_aggregate = Mv_relalg.Spjg.is_aggregate q.A.spjg;
-  }
+let query_info (q : A.t) : query_info = A.keys q
 
 (* The search condition at each level, as (traversal direction, monotone
-   predicate on node keys). *)
+   predicate on node keys). Interning preserves monotonicity: string-set
+   inclusion maps to bitset inclusion bit-for-bit, so `Up/`Down pruning
+   stays sound (see DESIGN.md). *)
 let level_search level (qi : query_info) =
   let covers_classes classes k =
-    List.for_all (fun cls -> not (Sset.is_empty (Sset.inter k cls))) classes
+    List.for_all (fun cls -> not (Bitset.inter_empty k cls)) classes
   in
   match level with
-  | Hubs -> (`Up, fun k -> Sset.subset k qi.source_tables)
-  | Source_tables -> (`Down, fun k -> Sset.subset qi.source_tables k)
-  | Output_exprs -> (`Down, fun k -> Sset.subset qi.output_expr_templates k)
+  | Hubs -> (`Up, fun k -> Bitset.subset k qi.source_tables)
+  | Source_tables -> (`Down, fun k -> Bitset.subset qi.source_tables k)
+  | Output_exprs -> (`Down, fun k -> Bitset.subset qi.output_expr_templates k)
   | Output_cols -> (`Down, covers_classes qi.output_classes)
-  | Residuals -> (`Up, fun k -> Sset.subset k qi.residual_templates)
-  | Range_cols -> (`Up, fun k -> Sset.subset k qi.extended_range_cols)
+  | Residuals -> (`Up, fun k -> Bitset.subset k qi.residual_templates)
+  | Range_cols -> (`Up, fun k -> Bitset.subset k qi.extended_range_cols)
   | Grouping_exprs ->
-      (`Down, fun k -> Sset.subset qi.grouping_expr_templates k)
+      (`Down, fun k -> Bitset.subset qi.grouping_expr_templates k)
   | Grouping_cols -> (`Down, covers_classes qi.grouping_classes)
 
 (* The strong range-constraint condition (section 4.2.5) cannot be indexed
@@ -180,11 +187,8 @@ let level_search level (qi : query_info) =
    surviving candidate. *)
 let strong_range_ok (qi : query_info) (v : View.t) =
   List.for_all
-    (fun cls ->
-      Col.Set.exists
-        (fun c -> Sset.mem (Col.to_string c) qi.extended_range_cols)
-        cls)
-    v.View.range_classes
+    (fun cls -> not (Bitset.inter_empty cls qi.extended_range_cols))
+    v.View.keys.View.range_classes
 
 (* ---- insertion ---- *)
 
@@ -265,33 +269,62 @@ let level_counter obs level suffix =
   Mv_obs.Registry.counter obs
     ("filter_tree.level." ^ level_name level ^ "." ^ suffix)
 
+(* Resolve (and cache) the counter handles for [obs]. The cache is keyed by
+   physical equality on the registry: benches and tests that swap in a
+   fresh registry get fresh handles, the common case (one registry per
+   process) resolves everything exactly once. *)
+let handles_for t obs =
+  match t.handles with
+  | Some h when h.h_obs == obs -> h
+  | _ ->
+      let searches = Mv_obs.Registry.counter obs "filter_tree.searches" in
+      let per_level suffix =
+        (* every slot is overwritten below; [searches] is just a filler *)
+        let arr = Array.make 8 searches in
+        List.iter
+          (fun l -> arr.(level_index l) <- level_counter obs l suffix)
+          all_levels;
+        arr
+      in
+      let h =
+        {
+          h_obs = obs;
+          h_searches = searches;
+          h_level_in = per_level "in";
+          h_level_out = per_level "out";
+          h_strong_in =
+            Mv_obs.Registry.counter obs "filter_tree.strong_range.in";
+          h_strong_out =
+            Mv_obs.Registry.counter obs "filter_tree.strong_range.out";
+        }
+      in
+      t.handles <- Some h;
+      h
+
 (* Candidate views for the analyzed query expression. With [obs], bump
    [filter_tree.searches], per-level [filter_tree.level.<name>.in/out]
    and the post-navigation [filter_tree.strong_range.in/out] counters. *)
 let candidates ?obs t (q : A.t) : View.t list =
   let qi = query_info q in
+  let handles = Option.map (handles_for t) obs in
   let record =
-    match obs with
+    match handles with
     | None -> None
-    | Some obs ->
-        Mv_obs.Instrument.incr
-          (Mv_obs.Registry.counter obs "filter_tree.searches");
+    | Some h ->
+        Mv_obs.Instrument.incr h.h_searches;
         Some
           (fun level ~in_ ~out ->
-            Mv_obs.Instrument.add (level_counter obs level "in") in_;
-            Mv_obs.Instrument.add (level_counter obs level "out") out)
+            let i = level_index level in
+            Mv_obs.Instrument.add h.h_level_in.(i) in_;
+            Mv_obs.Instrument.add h.h_level_out.(i) out)
   in
   let navigated = search_node ?record t.root qi [] in
   let survivors = List.filter (strong_range_ok qi) navigated in
-  (match obs with
+  (match handles with
   | None -> ()
-  | Some obs ->
-      Mv_obs.Instrument.add
-        (Mv_obs.Registry.counter obs "filter_tree.strong_range.in")
-        (List.length navigated);
-      Mv_obs.Instrument.add
-        (Mv_obs.Registry.counter obs "filter_tree.strong_range.out")
-        (List.length survivors));
+  | Some h ->
+      Mv_obs.Instrument.add h.h_strong_in (List.length navigated);
+      Mv_obs.Instrument.add h.h_strong_out (List.length survivors));
   survivors
 
 (* Number of lattice nodes across all levels, for diagnostics. *)

@@ -37,20 +37,23 @@ type t
 val create : ?plan:plan -> unit -> t
 
 type query_info = {
-  source_tables : Mv_util.Sset.t;
-  output_expr_templates : Mv_util.Sset.t;
-  output_classes : Mv_util.Sset.t list;
-  residual_templates : Mv_util.Sset.t;
-  extended_range_cols : Mv_util.Sset.t;
-  grouping_expr_templates : Mv_util.Sset.t;
-  grouping_classes : Mv_util.Sset.t list;
+  source_tables : Mv_util.Bitset.t;
+  output_expr_templates : Mv_util.Bitset.t;
+  output_classes : Mv_util.Bitset.t list;
+  residual_templates : Mv_util.Bitset.t;
+  extended_range_cols : Mv_util.Bitset.t;
+  grouping_expr_templates : Mv_util.Bitset.t;
+  grouping_classes : Mv_util.Bitset.t list;
   is_aggregate : bool;
 }
 
 val query_info : Mv_relalg.Analysis.t -> query_info
-(** The query-side search keys, computed once per invocation. *)
+(** The query-side search keys (interned bitsets over the
+    {!Mv_relalg.Intern} domains), computed once per analysis and memoized
+    there ({!Mv_relalg.Analysis.keys}). *)
 
-val view_key : level -> View.t -> Mv_util.Sset.t
+val view_key : level -> View.t -> Mv_util.Bitset.t
+(** The view's precomputed key for a level (from {!View.keys}). *)
 
 val strong_range_ok : query_info -> View.t -> bool
 (** The full range-constraint condition of section 4.2.5, applied per

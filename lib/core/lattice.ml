@@ -8,34 +8,47 @@
     searches prune whole regions: if a node fails, everything on the far
     side of it fails too. The same traversal supports any monotone
     predicate, which is how the filter tree's output-column and
-    grouping-column conditions (section 4.2.3/4.2.4) are evaluated. *)
+    grouping-column conditions (section 4.2.3/4.2.4) are evaluated.
 
-module Sset = Mv_util.Sset
+    Keys are interned bitsets ({!Mv_util.Bitset}): the subset tests the
+    traversal performs at every visited node are word-level AND loops, and
+    exact lookup hashes the key's words directly — no string
+    re-concatenation anywhere on the search path. *)
+
+module Bitset = Mv_util.Bitset
+module Index = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+
+  let hash = Bitset.hash
+end)
 
 type 'a node = {
   id : int;
-  key : Sset.t;
+  key : Bitset.t;
   mutable payload : 'a option;
   mutable supers : 'a node list;
   mutable subs : 'a node list;
+  mutable mark : int;  (** last search stamp that visited this node *)
 }
 
 type 'a t = {
   mutable tops : 'a node list;
   mutable roots : 'a node list;
-  index : (string, 'a node) Hashtbl.t;  (** exact-key lookup *)
+  index : 'a node Index.t;  (** exact-key lookup *)
   mutable next_id : int;
+  mutable stamp : int;  (** bumped per search; nodes marked lazily *)
 }
 
-let key_repr k = String.concat "\x00" (Sset.elements k)
+let create () =
+  { tops = []; roots = []; index = Index.create 64; next_id = 0; stamp = 0 }
 
-let create () = { tops = []; roots = []; index = Hashtbl.create 64; next_id = 0 }
+let size t = Index.length t.index
 
-let size t = Hashtbl.length t.index
+let nodes t = Index.fold (fun _ n acc -> n :: acc) t.index []
 
-let nodes t = Hashtbl.fold (fun _ n acc -> n :: acc) t.index []
-
-let find_exact t key = Hashtbl.find_opt t.index (key_repr key)
+let find_exact t key = Index.find_opt t.index key
 
 (* Generic pruned traversal. [`Down] starts at the tops and follows subset
    pointers: correct when [pred] failing on a key implies it fails on every
@@ -43,11 +56,14 @@ let find_exact t key = Hashtbl.find_opt t.index (key_repr key)
    follows superset pointers: correct when failure propagates to supersets
    (e.g. "key is a subset of S"). Each node is visited at most once. *)
 let search t ~dir ~pred =
-  let visited = Hashtbl.create 64 in
+  (* visit stamps instead of a per-search hash table: a search allocates
+     nothing for dedup, it just bumps the lattice stamp and marks nodes *)
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
   let acc = ref [] in
   let rec visit n =
-    if not (Hashtbl.mem visited n.id) then begin
-      Hashtbl.add visited n.id ();
+    if n.mark <> stamp then begin
+      n.mark <- stamp;
       if pred n.key then begin
         acc := n :: !acc;
         let next = match dir with `Down -> n.subs | `Up -> n.supers in
@@ -60,9 +76,9 @@ let search t ~dir ~pred =
   !acc
 
 let supersets_of t key =
-  search t ~dir:`Down ~pred:(fun k -> Sset.subset key k)
+  search t ~dir:`Down ~pred:(fun k -> Bitset.subset key k)
 
-let subsets_of t key = search t ~dir:`Up ~pred:(fun k -> Sset.subset k key)
+let subsets_of t key = search t ~dir:`Up ~pred:(fun k -> Bitset.subset k key)
 
 (* Keep only keys with no strict subset among [ns]. *)
 let minimal_nodes ns =
@@ -70,7 +86,7 @@ let minimal_nodes ns =
     (fun n ->
       not
         (List.exists
-           (fun m -> m.id <> n.id && Sset.subset m.key n.key)
+           (fun m -> m.id <> n.id && Bitset.subset m.key n.key)
            ns))
     ns
 
@@ -79,7 +95,7 @@ let maximal_nodes ns =
     (fun n ->
       not
         (List.exists
-           (fun m -> m.id <> n.id && Sset.subset n.key m.key)
+           (fun m -> m.id <> n.id && Bitset.subset n.key m.key)
            ns))
     ns
 
@@ -95,7 +111,8 @@ let insert t key =
   | Some n -> n
   | None ->
       let n =
-        { id = t.next_id; key; payload = None; supers = []; subs = [] }
+        { id = t.next_id; key; payload = None; supers = []; subs = [];
+          mark = 0 }
       in
       t.next_id <- t.next_id + 1;
       let supers = minimal_nodes (remove_node n (supersets_of t key)) in
@@ -118,7 +135,7 @@ let insert t key =
       List.iter (fun s -> t.roots <- remove_node s t.roots) supers;
       if supers = [] then t.tops <- n :: t.tops;
       if subs = [] then t.roots <- n :: t.roots;
-      Hashtbl.add t.index (key_repr key) n;
+      Index.add t.index key n;
       n
 
 (* Remove the node with [key], reconnecting its subsets to its supersets
@@ -127,7 +144,7 @@ let delete t key =
   match find_exact t key with
   | None -> ()
   | Some n ->
-      Hashtbl.remove t.index (key_repr key);
+      Index.remove t.index key;
       List.iter (fun b -> b.supers <- remove_node n b.supers) n.subs;
       List.iter (fun s -> s.subs <- remove_node n s.subs) n.supers;
       List.iter
@@ -137,14 +154,16 @@ let delete t key =
               (* add b -> s unless some existing superset of b is below s *)
               let implied =
                 List.exists
-                  (fun x -> x.id = s.id || Sset.subset x.key s.key)
+                  (fun x -> x.id = s.id || Bitset.subset x.key s.key)
                   b.supers
               in
               if not implied then begin
                 b.supers <- s :: b.supers;
                 (* drop s.subs entries that b now dominates *)
                 let dominated, keep =
-                  List.partition (fun x -> Sset.subset x.key b.key && x.id <> b.id) s.subs
+                  List.partition
+                    (fun x -> Bitset.subset x.key b.key && x.id <> b.id)
+                    s.subs
                 in
                 List.iter
                   (fun x -> x.supers <- remove_node s x.supers)

@@ -1,22 +1,27 @@
 (** The lattice index of section 4.1: keys are sets organized in a DAG by
     the subset partial order, supporting pruned subset/superset search and
-    any monotone predicate traversal. *)
+    any monotone predicate traversal. Keys are interned bitsets
+    ({!Mv_util.Bitset}); exact lookup hashes the key words directly. *)
 
-module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
+
+module Index : Hashtbl.S with type key = Bitset.t
 
 type 'a node = {
   id : int;
-  key : Sset.t;
+  key : Bitset.t;
   mutable payload : 'a option;
   mutable supers : 'a node list;  (** minimal strict supersets *)
   mutable subs : 'a node list;  (** maximal strict subsets *)
+  mutable mark : int;  (** internal: last search stamp to visit the node *)
 }
 
 type 'a t = {
   mutable tops : 'a node list;  (** nodes without supersets *)
   mutable roots : 'a node list;  (** nodes without subsets *)
-  index : (string, 'a node) Hashtbl.t;
+  index : 'a node Index.t;
   mutable next_id : int;
+  mutable stamp : int;  (** internal: bumped once per search *)
 }
 
 val create : unit -> 'a t
@@ -25,22 +30,23 @@ val size : 'a t -> int
 
 val nodes : 'a t -> 'a node list
 
-val find_exact : 'a t -> Sset.t -> 'a node option
+val find_exact : 'a t -> Bitset.t -> 'a node option
 
-val search : 'a t -> dir:[ `Down | `Up ] -> pred:(Sset.t -> bool) -> 'a node list
+val search :
+  'a t -> dir:[ `Down | `Up ] -> pred:(Bitset.t -> bool) -> 'a node list
 (** Pruned traversal. [`Down] starts at the tops and follows subset
     pointers — correct when [pred] failing on a key implies it fails on
     every subset. [`Up] starts at the roots and follows superset pointers —
     correct when failure propagates to supersets. *)
 
-val supersets_of : 'a t -> Sset.t -> 'a node list
+val supersets_of : 'a t -> Bitset.t -> 'a node list
 
-val subsets_of : 'a t -> Sset.t -> 'a node list
+val subsets_of : 'a t -> Bitset.t -> 'a node list
 
-val insert : 'a t -> Sset.t -> 'a node
+val insert : 'a t -> Bitset.t -> 'a node
 (** Insert (or return the existing node), relinking minimal-superset /
     maximal-subset edges and removing those made transitive. *)
 
-val delete : 'a t -> Sset.t -> unit
+val delete : 'a t -> Bitset.t -> unit
 (** Remove a key, reconnecting its subsets to its supersets where no other
     path exists. *)

@@ -159,7 +159,7 @@ let find_union_substitutes t (q : A.t) : Union_substitute.t option =
   let coarse =
     List.filter
       (fun v ->
-        Mv_util.Sset.subset q.A.table_set v.View.source_tables)
+        Mv_util.Bitset.subset q.A.table_key v.View.keys.View.source_tables)
       t.views
   in
   Union_match.find ~relaxed_nulls:t.relaxed_nulls ~backjoins:t.backjoins q

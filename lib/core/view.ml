@@ -5,6 +5,25 @@
 
 open Mv_base
 module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
+module Intern = Mv_relalg.Intern
+
+(** The view's filter-tree keys, interned once at registration (the paper
+    computes the in-memory view description once and reuses it for every
+    query; so do we — no per-search string work). Field order mirrors the
+    filter-tree levels. *)
+type keys = {
+  hub : Bitset.t;
+  source_tables : Bitset.t;
+  output_exprs : Bitset.t;
+  output_cols : Bitset.t;
+  residuals : Bitset.t;
+  range_cols : Bitset.t;
+  grouping_exprs : Bitset.t;
+  grouping_cols : Bitset.t;
+  range_classes : Bitset.t list;
+      (** full range-constraint list for the strong post-check *)
+}
 
 type t = {
   name : string;
@@ -21,6 +40,7 @@ type t = {
       (** full range-constraint list: one class per constrained range *)
   grouping_expr_templates : Sset.t;
   extended_grouping_cols : Col.Set.t;
+  keys : keys;  (** interned bitset keys over the fields above *)
   mutable row_count : int;  (** statistics for the cost model *)
   mutable indexes : string list list;
       (** secondary indexes over output columns (Example 1 creates one on
@@ -65,18 +85,43 @@ let create ?(relaxed_nulls = false) ?(row_count = 0) ?(indexes = []) schema
       Sset.empty
       (Mv_relalg.Analysis.range_constrained_classes analysis)
   in
+  let hub = Fk_graph.hub ~mode analysis in
+  let extended_output_cols =
+    Mv_relalg.Analysis.extended_output_cols analysis
+  in
+  let range_classes =
+    Mv_relalg.Analysis.range_constrained_classes analysis
+  in
+  let extended_grouping_cols =
+    Mv_relalg.Analysis.extended_grouping_cols analysis
+  in
+  let keys =
+    {
+      hub = Intern.of_sset Intern.tables hub;
+      source_tables = analysis.Mv_relalg.Analysis.table_key;
+      output_exprs = Mv_relalg.Analysis.output_expr_template_key analysis;
+      output_cols = Intern.of_colset extended_output_cols;
+      residuals = Mv_relalg.Analysis.residual_template_key analysis;
+      range_cols = Intern.of_sset Intern.cols reduced_range_cols;
+      grouping_exprs =
+        Mv_relalg.Analysis.grouping_expr_template_key analysis;
+      grouping_cols = Intern.of_colset extended_grouping_cols;
+      range_classes = List.map Intern.of_colset range_classes;
+    }
+  in
   {
     name;
     analysis;
-    hub = Fk_graph.hub ~mode analysis;
+    hub;
     source_tables = analysis.Mv_relalg.Analysis.table_set;
     output_expr_templates = Mv_relalg.Analysis.output_expr_templates analysis;
-    extended_output_cols = Mv_relalg.Analysis.extended_output_cols analysis;
+    extended_output_cols;
     residual_templates = Mv_relalg.Analysis.residual_templates analysis;
     reduced_range_cols;
-    range_classes = Mv_relalg.Analysis.range_constrained_classes analysis;
+    range_classes;
     grouping_expr_templates = Mv_relalg.Analysis.grouping_expr_templates analysis;
-    extended_grouping_cols = Mv_relalg.Analysis.extended_grouping_cols analysis;
+    extended_grouping_cols;
+    keys;
     row_count;
     indexes;
   }

@@ -3,6 +3,22 @@
 
 open Mv_base
 module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
+
+(** The view's filter-tree keys, interned once at registration; field
+    order mirrors the filter-tree levels. *)
+type keys = {
+  hub : Bitset.t;
+  source_tables : Bitset.t;
+  output_exprs : Bitset.t;
+  output_cols : Bitset.t;
+  residuals : Bitset.t;
+  range_cols : Bitset.t;
+  grouping_exprs : Bitset.t;
+  grouping_cols : Bitset.t;
+  range_classes : Bitset.t list;
+      (** full range-constraint list for the strong post-check *)
+}
 
 type t = {
   name : string;
@@ -19,6 +35,7 @@ type t = {
       (** full range-constraint list: one class per constrained range *)
   grouping_expr_templates : Sset.t;
   extended_grouping_cols : Col.Set.t;
+  keys : keys;  (** interned bitset keys over the fields above *)
   mutable row_count : int;  (** statistics for the cost model *)
   mutable indexes : string list list;
       (** secondary indexes over output columns; considered automatically

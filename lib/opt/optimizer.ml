@@ -223,12 +223,31 @@ let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
   let memo : (int, entry) Hashtbl.t = Hashtbl.create 64 in
   let full = (1 lsl n) - 1 in
   let query_connected = n = 1 || connected edges (Array.to_list tables) in
+  (* Per-optimization analysis memo, keyed by the (tables, where) core: the
+     enumeration produces several blocks over the same core (the full-mask
+     SPJ block, the whole query at the group-by stage, preaggregated inner
+     blocks), and every derived analysis field depends on the block through
+     that core alone — so each subexpression is analyzed exactly once and
+     cheaply rebound to the other blocks (see {!A.rebind}). *)
+  let analyses : (string list * Pred.t list, A.t) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let analyze block =
+    Mv_obs.Instrument.incr (octr "analyze.calls");
+    let key = (block.Spjg.tables, block.Spjg.where) in
+    match Hashtbl.find_opt analyses key with
+    | Some a ->
+        Mv_obs.Instrument.incr (octr "analyze.memo_hits");
+        if a.A.spjg == block then a else A.rebind a block
+    | None ->
+        let a = A.analyze schema block in
+        Hashtbl.add analyses key a;
+        a
+  in
   (* invoke the view-matching rule on a block; returns leaf plans *)
   let rule_leaves block =
     Mv_obs.Instrument.incr (octr "subexpressions");
-    let subs =
-      Mv_core.Registry.find_substitutes registry (A.analyze schema block)
-    in
+    let subs = Mv_core.Registry.find_substitutes registry (analyze block) in
     if config.produce_substitutes then
       List.map (view_leaf schema stats block) subs
     else []
@@ -340,7 +359,7 @@ let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
         used_views = Plan.uses_view plan;
       }
   | Some gq ->
-      let qa = A.analyze schema query in
+      let qa = analyze query in
       let agg_over input =
         let in_rows = Plan.est_rows input in
         let rows = Cost.group_rows stats ~input:in_rows gq in

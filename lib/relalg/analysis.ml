@@ -5,15 +5,35 @@
 
 open Mv_base
 module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
+
+(** The query-side filter-tree search keys (section 4.2), interned into the
+    shared {!Intern} domains. Computed lazily, once per analysis — repeated
+    probes of the same analyzed expression (several index plans, re-probed
+    registries) pay the string rendering and interning exactly once. *)
+type keys = {
+  source_tables : Bitset.t;
+  output_expr_templates : Bitset.t;
+  output_classes : Bitset.t list;
+      (** query equivalence class (interned) of each bare-column output *)
+  residual_templates : Bitset.t;
+  extended_range_cols : Bitset.t;
+      (** all columns of every range-constrained query class *)
+  grouping_expr_templates : Bitset.t;
+  grouping_classes : Bitset.t list;
+  is_aggregate : bool;
+}
 
 type t = {
   spjg : Spjg.t;
   schema : Mv_catalog.Schema.t;
   table_set : Sset.t;
+  table_key : Bitset.t;  (** [table_set] interned in {!Intern.tables} *)
   classified : Classify.classified;
   equiv : Equiv.t;
   ranges : Range.map;
   residuals : Residual.t list;
+  mutable keys_memo : keys option;  (** built on first {!keys} call *)
 }
 
 let analyze (schema : Mv_catalog.Schema.t) (spjg : Spjg.t) : t =
@@ -31,11 +51,23 @@ let analyze (schema : Mv_catalog.Schema.t) (spjg : Spjg.t) : t =
     spjg;
     schema;
     table_set = Sset.of_list spjg.Spjg.tables;
+    table_key =
+      Bitset.of_list (List.map Intern.table spjg.Spjg.tables);
     classified;
     equiv;
     ranges;
     residuals;
+    keys_memo = None;
   }
+
+(* Re-attach a different SPJG to an existing analysis. Sound only when the
+   two expressions share tables and WHERE: every derived field (classified,
+   equiv, ranges, residuals, table set) depends on the block through
+   (tables, where) alone, never through its output or grouping lists. The
+   key memo does depend on them, so it is dropped. The optimizer uses this
+   to analyze each (tables, where) core once per optimization even though
+   it enumerates several blocks over it. *)
+let rebind (t : t) (spjg : Spjg.t) : t = { t with spjg; keys_memo = None }
 
 (* Outputs that are bare column references: column -> output name. *)
 let col_outputs (t : t) : (Col.t * string) list =
@@ -128,3 +160,75 @@ let residual_templates (t : t) : Sset.t =
    column sets (section 4.2.5). *)
 let range_constrained_classes (t : t) : Col.Set.t list =
   List.map (Equiv.class_of t.equiv) (Range.constrained_reprs t.ranges)
+
+(* ---- interned key extraction (the filter-tree search keys) ----
+
+   Same template/column sets as above, but interned into the shared
+   {!Intern} domains and packed as bitsets, skipping the intermediate
+   string-set construction entirely. These run once per view at
+   registration and once per query per rule invocation, so they are on the
+   candidate-selection hot path. *)
+
+let output_expr_template_key (t : t) : Bitset.t =
+  List.fold_left
+    (fun acc (e, _) ->
+      match e with
+      | Expr.Col _ | Expr.Const _ -> acc
+      | _ ->
+          Bitset.add acc (Intern.template (fst (Residual.expr_template e))))
+    Bitset.empty (scalar_outputs t)
+
+let grouping_expr_template_key (t : t) : Bitset.t =
+  match t.spjg.Spjg.group_by with
+  | None -> Bitset.empty
+  | Some gs ->
+      List.fold_left
+        (fun acc g ->
+          match g with
+          | Expr.Col _ | Expr.Const _ -> acc
+          | _ ->
+              Bitset.add acc (Intern.template (fst (Residual.expr_template g))))
+        Bitset.empty gs
+
+let residual_template_key (t : t) : Bitset.t =
+  List.fold_left
+    (fun acc (r : Residual.t) ->
+      Bitset.add acc (Intern.template r.Residual.template))
+    Bitset.empty t.residuals
+
+(* All columns of every range-constrained class, interned — the query side
+   of the weak and strong range conditions. *)
+let extended_range_col_key (t : t) : Bitset.t =
+  List.fold_left
+    (fun acc cls -> Bitset.union acc (Intern.of_colset cls))
+    Bitset.empty
+    (range_constrained_classes t)
+
+let compute_keys (t : t) : keys =
+  let classes_of_cols cols =
+    List.map (fun c -> Intern.of_colset (Equiv.class_of t.equiv c)) cols
+  in
+  let grouping_cols =
+    match t.spjg.Spjg.group_by with
+    | None -> []
+    | Some gs ->
+        List.filter_map (function Expr.Col c -> Some c | _ -> None) gs
+  in
+  {
+    source_tables = t.table_key;
+    output_expr_templates = output_expr_template_key t;
+    output_classes = classes_of_cols (List.map fst (col_outputs t));
+    residual_templates = residual_template_key t;
+    extended_range_cols = extended_range_col_key t;
+    grouping_expr_templates = grouping_expr_template_key t;
+    grouping_classes = classes_of_cols grouping_cols;
+    is_aggregate = Spjg.is_aggregate t.spjg;
+  }
+
+let keys (t : t) : keys =
+  match t.keys_memo with
+  | Some k -> k
+  | None ->
+      let k = compute_keys t in
+      t.keys_memo <- Some k;
+      k

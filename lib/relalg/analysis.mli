@@ -5,18 +5,47 @@
 
 open Mv_base
 module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
+
+(** The query-side filter-tree search keys (section 4.2), interned into the
+    shared {!Intern} domains. *)
+type keys = {
+  source_tables : Bitset.t;
+  output_expr_templates : Bitset.t;
+  output_classes : Bitset.t list;
+      (** query equivalence class (interned) of each bare-column output *)
+  residual_templates : Bitset.t;
+  extended_range_cols : Bitset.t;
+      (** all columns of every range-constrained query class *)
+  grouping_expr_templates : Bitset.t;
+  grouping_classes : Bitset.t list;
+  is_aggregate : bool;
+}
 
 type t = {
   spjg : Spjg.t;
   schema : Mv_catalog.Schema.t;
   table_set : Sset.t;
+  table_key : Bitset.t;  (** [table_set] interned in {!Intern.tables} *)
   classified : Classify.classified;
   equiv : Equiv.t;
   ranges : Range.map;
   residuals : Residual.t list;
+  mutable keys_memo : keys option;  (** built on first {!keys} call *)
 }
 
+val keys : t -> keys
+(** The interned search keys, computed once per analysis and memoized —
+    repeated probes (several index plans, re-probed registries) pay the
+    template rendering and interning exactly once. *)
+
 val analyze : Mv_catalog.Schema.t -> Spjg.t -> t
+
+val rebind : t -> Spjg.t -> t
+(** Re-attach a different SPJG sharing the analysis' tables and WHERE:
+    every derived field depends on the block through (tables, where) alone,
+    so the expensive analysis can be reused across the several blocks the
+    optimizer enumerates over one core. *)
 
 val col_outputs : t -> (Col.t * string) list
 (** Outputs that are bare column references: column -> output name. *)
@@ -44,3 +73,19 @@ val residual_templates : t -> Sset.t
 
 val range_constrained_classes : t -> Col.Set.t list
 (** One class (as a column set) per constrained range (section 4.2.5). *)
+
+(** {2 Interned key extraction}
+
+    The same sets as above, interned into the shared {!Intern} domains and
+    packed as {!Mv_util.Bitset} keys — the filter-tree search keys, built
+    without intermediate string sets. *)
+
+val output_expr_template_key : t -> Bitset.t
+
+val grouping_expr_template_key : t -> Bitset.t
+
+val residual_template_key : t -> Bitset.t
+
+val extended_range_col_key : t -> Bitset.t
+(** All columns of every range-constrained class, interned in
+    {!Intern.cols}. *)

@@ -1,0 +1,36 @@
+(** The shared symbol domains behind the filter-tree keys (section 4).
+
+    Every level key is a set drawn from one of three small vocabularies —
+    table names (hub / source-table conditions), qualified column names
+    (output / grouping / range-column conditions) or textual templates
+    (residual predicates, output and grouping expressions). Each vocabulary
+    is interned in its own {!Mv_util.Symbol} domain so ids stay dense and
+    the {!Mv_util.Bitset} keys built from them stay one or two words wide.
+
+    The domains are process-global on purpose: view descriptors are built
+    once at registration and then shared across registries, experiment
+    sweeps and query batches, so their interned keys must mean the same
+    thing everywhere. Domains only ever grow; existing bitsets stay valid. *)
+
+open Mv_base
+module Symbol = Mv_util.Symbol
+module Bitset = Mv_util.Bitset
+module Sset = Mv_util.Sset
+
+let tables = Symbol.create "tables"
+
+let cols = Symbol.create "columns"
+
+let templates = Symbol.create "templates"
+
+let table t = Symbol.intern tables t
+
+let col c = Symbol.intern cols (Col.to_string c)
+
+let template s = Symbol.intern templates s
+
+let of_sset dom s =
+  Sset.fold (fun x acc -> Bitset.add acc (Symbol.intern dom x)) s Bitset.empty
+
+let of_colset s =
+  Col.Set.fold (fun c acc -> Bitset.add acc (col c)) s Bitset.empty

@@ -1,0 +1,45 @@
+(** Compact immutable bitsets over dense non-negative ints (interned
+    symbols); subset / disjointness tests are word-level loops. *)
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val add : t -> int -> t
+
+val remove : t -> int -> t
+
+val singleton : int -> t
+
+val of_list : int list -> t
+
+val union : t -> t -> t
+
+val inter : t -> t -> t
+
+val subset : t -> t -> bool
+(** [subset a b] is [a ⊆ b]. *)
+
+val inter_empty : t -> t -> bool
+(** [inter_empty a b] iff [a ∩ b = ∅]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val hash : t -> int
+
+val cardinal : t -> int
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Elements in increasing order. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val elements : t -> int list
+
+val pp : Format.formatter -> t -> unit

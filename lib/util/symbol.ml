@@ -1,0 +1,50 @@
+(** Global string interner: string ⇄ dense int, one table per domain.
+
+    Filter-tree keys draw from a few small vocabularies (table names,
+    qualified column names, predicate/expression templates). Interning each
+    vocabulary in its own domain keeps the assigned ids dense, so the
+    bitsets built over them ({!Bitset}) stay a handful of words wide and
+    the lattice subset tests become word-level AND/OR operations instead of
+    string comparisons.
+
+    Domains are append-only: ids are never reused or invalidated, so a
+    bitset built early remains valid (shorter, zero-extended) as the domain
+    grows. *)
+
+type domain = {
+  domain_name : string;
+  table : (string, int) Hashtbl.t;
+  mutable names : string array;  (** id -> string; length >= count *)
+  mutable count : int;
+}
+
+let create domain_name =
+  { domain_name; table = Hashtbl.create 64; names = Array.make 64 ""; count = 0 }
+
+let domain_name d = d.domain_name
+
+let size d = d.count
+
+let intern d s =
+  match Hashtbl.find_opt d.table s with
+  | Some id -> id
+  | None ->
+      let id = d.count in
+      if id = Array.length d.names then begin
+        let names = Array.make (2 * id) "" in
+        Array.blit d.names 0 names 0 id;
+        d.names <- names
+      end;
+      d.names.(id) <- s;
+      d.count <- id + 1;
+      Hashtbl.add d.table s id;
+      id
+
+let find d s = Hashtbl.find_opt d.table s
+
+let name d id =
+  if id < 0 || id >= d.count then
+    invalid_arg
+      (Printf.sprintf "Symbol.name: id %d out of range for domain %s (size %d)"
+         id d.domain_name d.count);
+  d.names.(id)

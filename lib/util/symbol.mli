@@ -1,0 +1,20 @@
+(** Global string interner: string ⇄ dense int, one table per domain. *)
+
+type domain
+
+val create : string -> domain
+(** A fresh, empty domain with the given (diagnostic) name. *)
+
+val domain_name : domain -> string
+
+val size : domain -> int
+(** Number of symbols interned so far; ids are [0 .. size - 1]. *)
+
+val intern : domain -> string -> int
+(** The id of the string, assigning the next dense id on first sight. *)
+
+val find : domain -> string -> int option
+(** The id of the string if already interned, without assigning one. *)
+
+val name : domain -> int -> string
+(** Inverse of {!intern}. Raises [Invalid_argument] on an unknown id. *)

@@ -1,20 +1,18 @@
-(** Property tests for the lattice index of section 4.1: searches must
-    agree with brute force over random families of sets, through arbitrary
-    interleavings of insertions and deletions. *)
+(** Property tests for the lattice index of section 4.1, over interned
+    bitset keys: searches must agree with brute force over random families
+    of sets, through arbitrary interleavings of insertions and deletions. *)
 
-module Sset = Mv_util.Sset
+module Bitset = Mv_util.Bitset
 module Lattice = Mv_core.Lattice
 
+(* sets over a universe of 6 elements, encoded in 6 bits — the encoding is
+   exactly a one-word bitset, so [of_int] builds the key directly *)
 let set_of_int n =
-  (* sets over a universe of 6 elements, encoded in 6 bits *)
   let rec go i acc =
     if i >= 6 then acc
-    else
-      go (i + 1)
-        (if n land (1 lsl i) <> 0 then Sset.add (String.make 1 (Char.chr (97 + i))) acc
-         else acc)
+    else go (i + 1) (if n land (1 lsl i) <> 0 then Bitset.add acc i else acc)
   in
-  go 0 Sset.empty
+  go 0 Bitset.empty
 
 let ops_gen =
   QCheck.Gen.(
@@ -43,16 +41,17 @@ let build ops =
       match op with
       | `Insert ->
           ignore (Lattice.insert t key);
-          if not (List.exists (Sset.equal key) !reference) then
+          if not (List.exists (Bitset.equal key) !reference) then
             reference := key :: !reference
       | `Delete ->
           Lattice.delete t key;
-          reference := List.filter (fun k -> not (Sset.equal k key)) !reference)
+          reference :=
+            List.filter (fun k -> not (Bitset.equal k key)) !reference)
     ops;
   (t, !reference)
 
 let keys_of nodes =
-  List.sort compare (List.map (fun n -> Sset.elements n.Lattice.key) nodes)
+  List.sort compare (List.map (fun n -> Bitset.elements n.Lattice.key) nodes)
 
 let subsets_prop =
   QCheck.Test.make ~name:"lattice: subsets_of agrees with brute force"
@@ -62,8 +61,8 @@ let subsets_prop =
       let t, reference = build ops in
       let key = set_of_int probe in
       let expected =
-        List.filter (fun k -> Sset.subset k key) reference
-        |> List.map Sset.elements |> List.sort compare
+        List.filter (fun k -> Bitset.subset k key) reference
+        |> List.map Bitset.elements |> List.sort compare
       in
       keys_of (Lattice.subsets_of t key) = expected)
 
@@ -75,8 +74,8 @@ let supersets_prop =
       let t, reference = build ops in
       let key = set_of_int probe in
       let expected =
-        List.filter (fun k -> Sset.subset key k) reference
-        |> List.map Sset.elements |> List.sort compare
+        List.filter (fun k -> Bitset.subset key k) reference
+        |> List.map Bitset.elements |> List.sort compare
       in
       keys_of (Lattice.supersets_of t key) = expected)
 
@@ -94,21 +93,21 @@ let invariants_prop =
              (* supers: strict supersets with nothing in between *)
              List.for_all
                (fun s ->
-                 Sset.subset k s.Lattice.key
-                 && (not (Sset.equal k s.Lattice.key))
+                 Bitset.subset k s.Lattice.key
+                 && (not (Bitset.equal k s.Lattice.key))
                  && not
                       (List.exists
                          (fun mid ->
-                           (not (Sset.equal mid k))
-                           && (not (Sset.equal mid s.Lattice.key))
-                           && Sset.subset k mid
-                           && Sset.subset mid s.Lattice.key)
+                           (not (Bitset.equal mid k))
+                           && (not (Bitset.equal mid s.Lattice.key))
+                           && Bitset.subset k mid
+                           && Bitset.subset mid s.Lattice.key)
                          reference))
                n.Lattice.supers
              && List.for_all
                   (fun b ->
-                    Sset.subset b.Lattice.key k
-                    && not (Sset.equal b.Lattice.key k))
+                    Bitset.subset b.Lattice.key k
+                    && not (Bitset.equal b.Lattice.key k))
                   n.Lattice.subs)
            nodes
       && List.for_all (fun n -> n.Lattice.supers = []) t.Lattice.tops
@@ -123,14 +122,17 @@ let custom_search_prop =
     (fun (ops, (c1, c2)) ->
       let t, reference = build ops in
       let classes =
-        List.filter (fun s -> not (Sset.is_empty s)) [ set_of_int c1; set_of_int c2 ]
+        List.filter
+          (fun s -> not (Bitset.is_empty s))
+          [ set_of_int c1; set_of_int c2 ]
       in
       let pred k =
-        List.for_all (fun cls -> not (Sset.is_empty (Sset.inter k cls))) classes
+        List.for_all (fun cls -> not (Bitset.inter_empty k cls)) classes
       in
       let got = keys_of (Lattice.search t ~dir:`Down ~pred) in
       let expected =
-        List.filter pred reference |> List.map Sset.elements |> List.sort compare
+        List.filter pred reference
+        |> List.map Bitset.elements |> List.sort compare
       in
       got = expected)
 
@@ -143,17 +145,21 @@ let test_insert_idempotent () =
   Alcotest.(check int) "size 1" 1 (Lattice.size t)
 
 let test_paper_figure1 () =
-  (* the eight key sets of Figure 1: A, B, D, AB, BE, ABC, ABF, BCDE *)
+  (* the eight key sets of Figure 1: A, B, D, AB, BE, ABC, ABF, BCDE —
+     letters interned as bits A=0, B=1, ... *)
   let t = Lattice.create () in
-  let mk s = Sset.of_list (List.map (String.make 1) (List.init (String.length s) (String.get s))) in
+  let mk s =
+    Bitset.of_list
+      (List.init (String.length s) (fun i -> Char.code s.[i] - Char.code 'A'))
+  in
   List.iter
     (fun s -> ignore (Lattice.insert t (mk s)))
     [ "A"; "B"; "D"; "AB"; "BE"; "ABC"; "ABF"; "BCDE" ];
-  (* search supersets of AB: ABC, ABF, AB (the paper's worked example) *)
+  (* search supersets of AB: AB, ABC, ABF (the paper's worked example) *)
   let got = keys_of (Lattice.supersets_of t (mk "AB")) in
-  Alcotest.(check (list (list string)))
+  Alcotest.(check (list (list int)))
     "supersets of AB"
-    [ [ "A"; "B" ]; [ "A"; "B"; "C" ]; [ "A"; "B"; "F" ] ]
+    [ [ 0; 1 ]; [ 0; 1; 2 ]; [ 0; 1; 5 ] ]
     got;
   (* tops and roots per Figure 1 *)
   Alcotest.(check int) "3 tops" 3 (List.length t.Lattice.tops);

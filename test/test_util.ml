@@ -114,6 +114,99 @@ let test_sset_helpers () =
     (Mv_util.Sset.to_list s);
   Alcotest.(check string) "printing" "{a, b}" (Mv_util.Sset.to_string s)
 
+(* ---- bitsets: every operation must agree with a sorted-int-list model.
+   Elements span several words (0..200) so normalization across widths —
+   the property making equality/hash well-defined — gets exercised. *)
+
+module Bitset = Mv_util.Bitset
+
+let elems_gen = QCheck.Gen.(list_size (int_range 0 25) (int_range 0 200))
+
+let elems_arb =
+  QCheck.make
+    ~print:(fun xs -> String.concat "," (List.map string_of_int xs))
+    elems_gen
+
+let model xs = List.sort_uniq compare xs
+
+let bitset_model_prop =
+  QCheck.Test.make ~name:"bitset: ops agree with a sorted-list model"
+    ~count:500
+    QCheck.(pair elems_arb elems_arb)
+    (fun (xs, ys) ->
+      let a = Bitset.of_list xs and b = Bitset.of_list ys in
+      let ma = model xs and mb = model ys in
+      Bitset.elements a = ma
+      && Bitset.elements b = mb
+      && Bitset.cardinal a = List.length ma
+      && Bitset.elements (Bitset.union a b) = model (xs @ ys)
+      && Bitset.elements (Bitset.inter a b)
+         = List.filter (fun x -> List.mem x mb) ma
+      && Bitset.subset a b = List.for_all (fun x -> List.mem x mb) ma
+      && Bitset.inter_empty a b
+         = not (List.exists (fun x -> List.mem x mb) ma)
+      && Bitset.equal a b = (ma = mb)
+      && List.for_all (fun x -> Bitset.mem a x) ma
+      && not (Bitset.mem a 201))
+
+let bitset_norm_prop =
+  QCheck.Test.make
+    ~name:"bitset: equal sets have equal hashes across widths" ~count:500
+    elems_arb
+    (fun xs ->
+      let a = Bitset.of_list xs in
+      (* build the same set along a different path, through a larger
+         intermediate set that forces wider internal arrays *)
+      let b =
+        List.fold_left
+          (fun acc x -> Bitset.remove acc x)
+          (Bitset.of_list (250 :: xs))
+          [ 250 ]
+      in
+      Bitset.equal a b && Bitset.hash a = Bitset.hash b
+      && Bitset.compare a b = 0)
+
+let test_bitset_basics () =
+  Alcotest.(check bool) "empty is empty" true (Bitset.is_empty Bitset.empty);
+  let s = Bitset.of_list [ 3; 70; 3 ] in
+  Alcotest.(check (list int)) "elements" [ 3; 70 ] (Bitset.elements s);
+  Alcotest.(check bool) "singleton mem" true (Bitset.mem (Bitset.singleton 5) 5);
+  Alcotest.(check bool) "remove to empty" true
+    (Bitset.is_empty (Bitset.remove (Bitset.singleton 70) 70));
+  Alcotest.(check int) "fold sum" 73 (Bitset.fold (fun x acc -> x + acc) s 0)
+
+(* ---- symbol interner: ids are dense, stable, and round-trip *)
+
+let test_symbol_interner () =
+  let d = Mv_util.Symbol.create "test-domain" in
+  let a = Mv_util.Symbol.intern d "alpha" in
+  let b = Mv_util.Symbol.intern d "beta" in
+  Alcotest.(check int) "dense ids" 1 b;
+  Alcotest.(check int) "stable re-intern" a (Mv_util.Symbol.intern d "alpha");
+  Alcotest.(check string) "round-trip" "beta" (Mv_util.Symbol.name d b);
+  Alcotest.(check (option int)) "find hit" (Some a)
+    (Mv_util.Symbol.find d "alpha");
+  Alcotest.(check (option int)) "find miss" None
+    (Mv_util.Symbol.find d "gamma");
+  Alcotest.(check int) "size" 2 (Mv_util.Symbol.size d);
+  Alcotest.check_raises "bad id"
+    (Invalid_argument
+       "Symbol.name: id 99 out of range for domain test-domain (size 2)")
+    (fun () -> ignore (Mv_util.Symbol.name d 99))
+
+let symbol_dense_prop =
+  QCheck.Test.make ~name:"symbol: interning is a dense bijection" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 40) (string_gen_of_size (Gen.int_range 0 6) Gen.printable))
+    (fun strs ->
+      let d = Mv_util.Symbol.create "prop-domain" in
+      let ids = List.map (Mv_util.Symbol.intern d) strs in
+      let distinct = List.sort_uniq compare strs in
+      Mv_util.Symbol.size d = List.length distinct
+      && List.for_all2
+           (fun s i -> Mv_util.Symbol.name d i = s)
+           strs ids
+      && List.for_all (fun i -> i >= 0 && i < Mv_util.Symbol.size d) ids)
+
 let suite =
   [
     ( "util",
@@ -127,5 +220,10 @@ let suite =
         Alcotest.test_case "weighted pick" `Quick test_pick_weighted;
         Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
         Alcotest.test_case "string set helpers" `Quick test_sset_helpers;
+        Helpers.qtest bitset_model_prop;
+        Helpers.qtest bitset_norm_prop;
+        Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
+        Alcotest.test_case "symbol interner" `Quick test_symbol_interner;
+        Helpers.qtest symbol_dense_prop;
       ] );
   ]
