@@ -25,17 +25,22 @@ type plan_result = {
   levels : H.level_flow list;
 }
 
-let run_plan ~backjoins ~nviews (w : H.workload)
+let run_plan ?(domains = 1) ~backjoins ~nviews (w : H.workload)
     (queries : Mv_relalg.Analysis.t list) : plan_result =
   let registry =
     Mv_core.Registry.create ~use_filter:true ~backjoins w.H.schema
   in
   List.iter (Mv_core.Registry.add_prebuilt registry) (H.take nviews w.H.views);
-  (* counter pass: per-level flow and the candidate totals *)
+  Mv_relalg.Intern.freeze ();
+  (* counter pass: per-level flow and the candidate totals. Sharded over
+     [domains] like the timed passes (chunked, so each pre-analyzed query —
+     and its lazily built key memo — is touched by exactly one domain per
+     pass; passes are separated by Domain.join). *)
   let candidates =
-    List.fold_left
-      (fun acc q -> acc + List.length (Mv_core.Registry.candidates registry q))
-      0 queries
+    List.fold_left ( + ) 0
+      (Mv_experiments.Pool.map_list ~domains
+         (fun q -> List.length (Mv_core.Registry.candidates registry q))
+         queries)
   in
   let searches =
     Mv_obs.Registry.counter_value registry.Mv_core.Registry.obs
@@ -45,9 +50,10 @@ let run_plan ~backjoins ~nviews (w : H.workload)
   (* timed passes *)
   let span = Mv_obs.Instrument.enter () in
   for _ = 1 to timed_passes do
-    List.iter
-      (fun q -> ignore (Mv_core.Registry.candidates registry q))
-      queries
+    ignore
+      (Mv_experiments.Pool.map_list ~domains
+         (fun q -> ignore (Mv_core.Registry.candidates registry q))
+         queries)
   done;
   let wall, _ = Mv_obs.Instrument.elapsed span in
   {
@@ -86,23 +92,24 @@ let plans_json results =
    section for the bench trajectory file. [plans] carries the full
    population (backward-compatible with earlier trajectories), [sweep] one
    entry per size. *)
-let run (w : H.workload) (nviews_list : int list) : J.t =
+let run ?(domains = 1) (w : H.workload) (nviews_list : int list) : J.t =
   print_endline
     "\n== Filter tree: per-level candidate flow (default vs backjoin plan) ==";
   let total = List.length w.H.views in
-  Printf.printf "%d views, %d queries, populations %s.\n" total
+  Printf.printf "%d views, %d queries, populations %s%s.\n" total
     (List.length w.H.queries)
-    (String.concat "," (List.map string_of_int nviews_list));
+    (String.concat "," (List.map string_of_int nviews_list))
+    (if domains > 1 then Printf.sprintf ", %d domains" domains else "");
   let queries = List.map (Mv_relalg.Analysis.analyze w.H.schema) w.H.queries in
   (* discarded warmup so the first sweep point doesn't pay one-time costs *)
-  ignore (run_plan ~backjoins:false ~nviews:(min 100 total) w queries);
+  ignore (run_plan ~domains ~backjoins:false ~nviews:(min 100 total) w queries);
   let sweep =
     List.map
       (fun nviews ->
         let results =
           [
-            run_plan ~backjoins:false ~nviews w queries;
-            run_plan ~backjoins:true ~nviews w queries;
+            run_plan ~domains ~backjoins:false ~nviews w queries;
+            run_plan ~domains ~backjoins:true ~nviews w queries;
           ]
         in
         List.iter (print_result ~nviews) results;

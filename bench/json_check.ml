@@ -3,7 +3,8 @@
       json_check.exe FILE path.to.key ...       # JSON parses, keys present
       json_check.exe --contains FILE STRING ... # raw substring checks
       json_check.exe --compare FRESH BASELINE \
-        [--tolerance F] [--structure-only]      # fresh run vs committed
+        [--tolerance F] [--structure-only] \
+        [--ignore KEY]...                       # fresh run vs committed
 
     Path segments are object fields; a numeric segment indexes a list.
 
@@ -13,8 +14,12 @@
     [--structure-only], numeric [wall_time_s] leaves are also compared:
     fresh must not exceed baseline by more than the relative tolerance
     (default 0.5, i.e. +50%), with a 1ms absolute slack so micro-timings
-    don't flap. Exit 0 when every check passes, 1 with a message otherwise
-    — so a dune rule can gate @runtest-quick on the emitted metrics. *)
+    don't flap. Object fields named by [--ignore] (repeatable) are skipped
+    entirely — neither required nor compared — so machine-dependent
+    additions (the [domains]/[scaling]/[speedup] fields of the multicore
+    sweep) don't destabilize baseline gating on differently sized hosts.
+    Exit 0 when every check passes, 1 with a message otherwise — so a dune
+    rule can gate @runtest-quick on the emitted metrics. *)
 
 module J = Mv_obs.Json
 
@@ -61,7 +66,7 @@ let num = function
    differ in length. Numeric [wall_time_s] leaves are timing-checked unless
    [structure_only]. Returns failure messages (empty = pass) and the number
    of paths visited. *)
-let compare_trees ~structure_only ~tolerance fresh baseline =
+let compare_trees ~structure_only ~tolerance ~ignored fresh baseline =
   let errors = ref [] in
   let checked = ref 0 in
   let err path fmt =
@@ -73,6 +78,8 @@ let compare_trees ~structure_only ~tolerance fresh baseline =
     | J.Obj bfields, J.Obj _ ->
         List.iter
           (fun (k, bv) ->
+            if List.mem k ignored then ()
+            else
             let p = if path = "" then k else path ^ "." ^ k in
             match J.member k f with
             | None -> err p "missing in fresh run"
@@ -115,6 +122,14 @@ let () =
         in
         find opts
       in
+      let ignored =
+        let rec collect = function
+          | "--ignore" :: k :: rest -> k :: collect rest
+          | _ :: rest -> collect rest
+          | [] -> []
+        in
+        collect opts
+      in
       let parse file =
         match J.of_string (read_file file) with
         | j -> j
@@ -122,7 +137,7 @@ let () =
       in
       let fresh = parse fresh_file and baseline = parse baseline_file in
       let errors, checked =
-        compare_trees ~structure_only ~tolerance fresh baseline
+        compare_trees ~structure_only ~tolerance ~ignored fresh baseline
       in
       if errors <> [] then begin
         List.iter prerr_endline errors;
@@ -165,5 +180,5 @@ let () =
       prerr_endline
         "usage: json_check.exe FILE key... | json_check.exe --contains FILE \
          str... | json_check.exe --compare FRESH BASELINE [--tolerance F] \
-         [--structure-only]";
+         [--structure-only] [--ignore KEY]...";
       exit 1

@@ -29,6 +29,7 @@ type what = {
   ablation : bool;
   filtertree : bool;
   levels : bool;
+  scaling : bool;
 }
 
 let () =
@@ -36,6 +37,7 @@ let () =
   let queries = ref 200 in
   let max_views = ref 1000 in
   let step = ref 200 in
+  let domains = ref 1 in
   let json_file = ref None in
   let sel = ref None in
   let add_sel w =
@@ -50,6 +52,7 @@ let () =
             ablation = false;
             filtertree = false;
             levels = false;
+            scaling = false;
           }
     in
     sel := Some (w cur)
@@ -84,6 +87,12 @@ let () =
     | "--levels" :: rest ->
         add_sel (fun s -> { s with levels = true });
         parse rest
+    | "--scaling" :: rest ->
+        add_sel (fun s -> { s with scaling = true });
+        parse rest
+    | "--domains" :: n :: rest ->
+        domains := max 1 (int_of_string n);
+        parse rest
     | "--json" :: f :: rest ->
         json_file := Some f;
         parse rest
@@ -112,6 +121,7 @@ let () =
             ablation = false;
             filtertree = true;
             levels = true;
+            scaling = true;
           }
         else
           {
@@ -121,6 +131,7 @@ let () =
             ablation = true;
             filtertree = true;
             levels = true;
+            scaling = false;
           }
   in
   let nviews_list =
@@ -131,7 +142,7 @@ let () =
   let json_sections = ref [] in
   let add_section name j = json_sections := (name, j) :: !json_sections in
   let need_sweep = what.figures <> [] || what.stats || what.ablation || what.levels in
-  let need_workload = need_sweep || what.filtertree in
+  let need_workload = need_sweep || what.filtertree || what.scaling in
   let w =
     if need_workload then begin
       Printf.printf
@@ -153,7 +164,8 @@ let () =
       else Mv_experiments.Harness.all_configs
     in
     let ms =
-      Mv_experiments.Harness.sweep w ~nviews_list ~configs:needed_configs
+      Mv_experiments.Harness.sweep ~domains:!domains w ~nviews_list
+        ~configs:needed_configs
     in
     if List.mem 2 what.figures then Mv_experiments.Report.figure2 ms nviews_list;
     if List.mem 3 what.figures then Mv_experiments.Report.figure3 ms nviews_list;
@@ -163,8 +175,22 @@ let () =
     if what.ablation then Ablation.run w nviews_list;
     add_section "measurements" (Mv_experiments.Report.measurements_json ms)
   end;
+  if what.scaling then begin
+    (* the multicore sweep: 1/2/4 domains (plus --domains N if beyond),
+       full population, one shared registry *)
+    let domains_list =
+      List.sort_uniq compare (!domains :: [ 1; 2; 4 ])
+    in
+    let ms =
+      Mv_experiments.Harness.scaling (Option.get w) ~nviews:!max_views
+        ~domains_list
+    in
+    Mv_experiments.Report.scaling_table ms;
+    add_section "scaling" (Mv_experiments.Report.scaling_json ms)
+  end;
   if what.filtertree then
-    add_section "filter_tree" (Filtertree.run (Option.get w) nviews_list);
+    add_section "filter_tree"
+      (Filtertree.run ~domains:!domains (Option.get w) nviews_list);
   if what.micro then Micro.run ();
   match !json_file with
   | None -> ()

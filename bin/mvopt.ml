@@ -4,6 +4,7 @@
       parse    parse a statement and print its normalized SPJG form
       match    match a query against one or more view definitions
       explain  optimize a query against registered views, print the plan
+      bench    measure batch optimization, optionally over several domains
       demo     a self-contained end-to-end demonstration
       generate print a random section-5 workload
 
@@ -240,6 +241,81 @@ let generate_cmd =
        ~doc:"Print a random section-5 workload (views or queries)")
     Term.(const run $ n $ kind $ seed)
 
+(* ---- bench ---- *)
+
+let bench_cmd =
+  let views =
+    Arg.(
+      value & opt int 200
+      & info [ "views" ] ~docv:"N" ~doc:"View population size.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 50
+      & info [ "queries" ] ~docv:"N" ~doc:"Query batch size.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Shard the query batch over $(docv) OCaml domains against one \
+             shared registry. With $(docv) > 1 the sequential run is \
+             measured too and the counter totals are cross-checked.")
+  in
+  let json_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also dump the measurements as JSON.")
+  in
+  let run views queries domains json_file =
+    let domains = max 1 domains in
+    let w =
+      Mv_experiments.Harness.make_workload ~nviews:views ~nqueries:queries ()
+    in
+    let config = { Mv_experiments.Harness.alt = true; filter = true } in
+    (* warmup, then sequential baseline, then (optionally) the sharded run *)
+    ignore (Mv_experiments.Harness.run w ~nviews:0 ~config);
+    let seq = Mv_experiments.Harness.run w ~nviews:views ~config in
+    let ms =
+      if domains = 1 then [ seq ]
+      else
+        [ seq; Mv_experiments.Harness.run ~domains w ~nviews:views ~config ]
+    in
+    Mv_experiments.Report.scaling_table ms;
+    (match ms with
+    | [ s; p ] ->
+        let agree =
+          s.Mv_experiments.Harness.candidates
+          = p.Mv_experiments.Harness.candidates
+          && s.Mv_experiments.Harness.matched
+             = p.Mv_experiments.Harness.matched
+          && s.Mv_experiments.Harness.substitutes
+             = p.Mv_experiments.Harness.substitutes
+          && s.Mv_experiments.Harness.plans_using_views
+             = p.Mv_experiments.Harness.plans_using_views
+          && s.Mv_experiments.Harness.level_flow
+             = p.Mv_experiments.Harness.level_flow
+        in
+        Printf.printf
+          "\nparallel run observationally equal to sequential: %b\n" agree;
+        if not agree then exit 3
+    | _ -> ());
+    match json_file with
+    | None -> ()
+    | Some file ->
+        Mv_experiments.Report.write_json file
+          (Mv_obs.Json.Obj
+             [ ("scaling", Mv_experiments.Report.scaling_json ms) ]);
+        Printf.printf "wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Measure batch optimization over the section-5 workload, \
+          optionally sharded over OCaml domains")
+    Term.(const run $ views $ queries $ domains $ json_file)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -286,6 +362,6 @@ let main =
        ~doc:
          "View matching for materialized views (Goldstein & Larson, SIGMOD \
           2001)")
-    [ parse_cmd; match_cmd; explain_cmd; generate_cmd; demo_cmd ]
+    [ parse_cmd; match_cmd; explain_cmd; generate_cmd; bench_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

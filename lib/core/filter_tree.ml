@@ -99,9 +99,10 @@ type obs_handles = {
   h_strong_out : Mv_obs.Instrument.counter;
 }
 
-type t = { root : node; mutable handles : obs_handles option }
+type t = { root : node; handles : obs_handles option Atomic.t }
 
-let create ?(plan = default_plan) () = { root = new_node plan; handles = None }
+let create ?(plan = default_plan) () =
+  { root = new_node plan; handles = Atomic.make None }
 
 let level_index = function
   | Hubs -> 0
@@ -272,9 +273,12 @@ let level_counter obs level suffix =
 (* Resolve (and cache) the counter handles for [obs]. The cache is keyed by
    physical equality on the registry: benches and tests that swap in a
    fresh registry get fresh handles, the common case (one registry per
-   process) resolves everything exactly once. *)
+   process) resolves everything exactly once. The cache cell is atomic so
+   concurrent searches from several domains can share one tree: counter
+   creation below is idempotent (the obs registry returns the existing
+   instrument), so two domains racing here cache equivalent handles. *)
 let handles_for t obs =
-  match t.handles with
+  match Atomic.get t.handles with
   | Some h when h.h_obs == obs -> h
   | _ ->
       let searches = Mv_obs.Registry.counter obs "filter_tree.searches" in
@@ -298,7 +302,7 @@ let handles_for t obs =
             Mv_obs.Registry.counter obs "filter_tree.strong_range.out";
         }
       in
-      t.handles <- Some h;
+      Atomic.set t.handles (Some h);
       h
 
 (* Candidate views for the analyzed query expression. With [obs], bump

@@ -13,7 +13,13 @@
     Keys are interned bitsets ({!Mv_util.Bitset}): the subset tests the
     traversal performs at every visited node are word-level AND loops, and
     exact lookup hashes the key's words directly — no string
-    re-concatenation anywhere on the search path. *)
+    re-concatenation anywhere on the search path.
+
+    Searches are read-only and carry their own visit state (borrowed from a
+    domain-local scratch pool), so any number of domains may search one
+    lattice concurrently, and a search may re-enter the lattice from inside
+    its predicate. Insertions and deletions still require exclusive access
+    (single-domain construction, searches quiesced). *)
 
 module Bitset = Mv_util.Bitset
 module Index = Hashtbl.Make (struct
@@ -30,7 +36,6 @@ type 'a node = {
   mutable payload : 'a option;
   mutable supers : 'a node list;
   mutable subs : 'a node list;
-  mutable mark : int;  (** last search stamp that visited this node *)
 }
 
 type 'a t = {
@@ -38,11 +43,49 @@ type 'a t = {
   mutable roots : 'a node list;
   index : 'a node Index.t;  (** exact-key lookup *)
   mutable next_id : int;
-  mutable stamp : int;  (** bumped per search; nodes marked lazily *)
 }
 
-let create () =
-  { tops = []; roots = []; index = Index.create 64; next_id = 0; stamp = 0 }
+let create () = { tops = []; roots = []; index = Index.create 64; next_id = 0 }
+
+(* ---- per-search visit state ----
+
+   Earlier revisions deduplicated visited nodes with a per-node [mark]
+   stamp field — fast, but shared mutable state: two concurrent searches
+   over one lattice corrupted each other's dedup, and even a single-domain
+   *reentrant* search (a predicate or payload callback re-entering the
+   lattice, e.g. rule tracing) overwrote the outer search's marks and could
+   return duplicated nodes.
+
+   Each search now borrows a scratch buffer — an [int array] of per-node
+   stamps indexed by node id, plus the buffer's own stamp counter — from a
+   domain-local pool. Borrowed buffers are exclusively owned for the
+   duration of the search: a reentrant search pops a *different* buffer,
+   and searches running on other domains use their own domain's pool, so
+   N domains can probe one shared (read-only) lattice concurrently. The
+   stamp counter makes reuse O(1): no clearing between searches, a buffer
+   would need 2^62 searches to overflow. *)
+
+type scratch = { mutable marks : int array; mutable stamp : int }
+
+let scratch_pool : scratch list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let with_scratch n f =
+  let pool = Domain.DLS.get scratch_pool in
+  let s =
+    match !pool with
+    | s :: rest ->
+        pool := rest;
+        s
+    | [] -> { marks = Array.make (max 64 n) 0; stamp = 0 }
+  in
+  if Array.length s.marks < n then begin
+    let grown = Array.make (max n (2 * Array.length s.marks)) 0 in
+    Array.blit s.marks 0 grown 0 (Array.length s.marks);
+    s.marks <- grown
+  end;
+  s.stamp <- s.stamp + 1;
+  Fun.protect ~finally:(fun () -> pool := s :: !pool) (fun () -> f s)
 
 let size t = Index.length t.index
 
@@ -56,24 +99,22 @@ let find_exact t key = Index.find_opt t.index key
    follows superset pointers: correct when failure propagates to supersets
    (e.g. "key is a subset of S"). Each node is visited at most once. *)
 let search t ~dir ~pred =
-  (* visit stamps instead of a per-search hash table: a search allocates
-     nothing for dedup, it just bumps the lattice stamp and marks nodes *)
-  t.stamp <- t.stamp + 1;
-  let stamp = t.stamp in
-  let acc = ref [] in
-  let rec visit n =
-    if n.mark <> stamp then begin
-      n.mark <- stamp;
-      if pred n.key then begin
-        acc := n :: !acc;
-        let next = match dir with `Down -> n.subs | `Up -> n.supers in
-        List.iter visit next
-      end
-    end
-  in
-  let start = match dir with `Down -> t.tops | `Up -> t.roots in
-  List.iter visit start;
-  !acc
+  with_scratch t.next_id (fun s ->
+      let marks = s.marks and stamp = s.stamp in
+      let acc = ref [] in
+      let rec visit n =
+        if marks.(n.id) <> stamp then begin
+          marks.(n.id) <- stamp;
+          if pred n.key then begin
+            acc := n :: !acc;
+            let next = match dir with `Down -> n.subs | `Up -> n.supers in
+            List.iter visit next
+          end
+        end
+      in
+      let start = match dir with `Down -> t.tops | `Up -> t.roots in
+      List.iter visit start;
+      !acc)
 
 let supersets_of t key =
   search t ~dir:`Down ~pred:(fun k -> Bitset.subset key k)
@@ -110,10 +151,7 @@ let insert t key =
   match find_exact t key with
   | Some n -> n
   | None ->
-      let n =
-        { id = t.next_id; key; payload = None; supers = []; subs = [];
-          mark = 0 }
-      in
+      let n = { id = t.next_id; key; payload = None; supers = []; subs = [] } in
       t.next_id <- t.next_id + 1;
       let supers = minimal_nodes (remove_node n (supersets_of t key)) in
       let subs = maximal_nodes (remove_node n (subsets_of t key)) in

@@ -1,7 +1,13 @@
 (** The lattice index of section 4.1: keys are sets organized in a DAG by
     the subset partial order, supporting pruned subset/superset search and
     any monotone predicate traversal. Keys are interned bitsets
-    ({!Mv_util.Bitset}); exact lookup hashes the key words directly. *)
+    ({!Mv_util.Bitset}); exact lookup hashes the key words directly.
+
+    Searches are read-only and deduplicate visited nodes with per-search
+    scratch state (pooled per OCaml domain), so concurrent searches of one
+    lattice from many domains are safe, as are reentrant searches (a
+    predicate re-entering the lattice). Mutations ([insert]/[delete])
+    require exclusive access. *)
 
 module Bitset = Mv_util.Bitset
 
@@ -13,7 +19,6 @@ type 'a node = {
   mutable payload : 'a option;
   mutable supers : 'a node list;  (** minimal strict supersets *)
   mutable subs : 'a node list;  (** maximal strict subsets *)
-  mutable mark : int;  (** internal: last search stamp to visit the node *)
 }
 
 type 'a t = {
@@ -21,7 +26,6 @@ type 'a t = {
   mutable roots : 'a node list;  (** nodes without subsets *)
   index : 'a node Index.t;
   mutable next_id : int;
-  mutable stamp : int;  (** internal: bumped once per search *)
 }
 
 val create : unit -> 'a t

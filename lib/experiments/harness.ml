@@ -25,6 +25,8 @@ type measurement = {
   nviews : int;
   config : config;
   queries : int;
+  domains : int;
+      (** OCaml domains the query batch was sharded over (1 = sequential) *)
   wall_time : float;
       (** elapsed seconds for the whole query batch — what the paper's
           figures report *)
@@ -99,21 +101,37 @@ let level_flow_of (registry : Mv_core.Registry.t) : level_flow list =
   in
   List.filter (fun f -> f.entered > 0 || f.passed > 0) (flows @ [ strong ])
 
-(* One measurement: first [nviews] views, one configuration. *)
-let run (w : workload) ~nviews ~(config : config) : measurement =
+(* One measurement: first [nviews] views, one configuration. With
+   [domains > 1] the query batch is sharded over that many OCaml domains
+   ({!Pool.map_chunked}) against ONE shared registry/filter tree: every
+   query is optimized by exactly one domain, the interners are frozen after
+   registry construction so query-side key building is lock-free, lattice
+   searches carry per-search visit state, and the obs counters the
+   measurement reads are atomic — so the counter totals and candidate sets
+   are identical to the sequential run by construction (asserted by
+   test/test_parallel.ml). *)
+let run ?(domains = 1) (w : workload) ~nviews ~(config : config) : measurement
+    =
   let registry = Mv_core.Registry.create ~use_filter:config.filter w.schema in
   List.iter (Mv_core.Registry.add_prebuilt registry) (take nviews w.views);
+  Mv_relalg.Intern.freeze ();
   let opt_config =
     { Mv_opt.Optimizer.produce_substitutes = config.alt }
   in
-  let plans_using_views = ref 0 in
+  let queries = Array.of_list w.queries in
   let span = Mv_obs.Instrument.enter () in
-  List.iter
-    (fun q ->
-      let r = Mv_opt.Optimizer.optimize ~config:opt_config registry w.stats q in
-      if r.Mv_opt.Optimizer.used_views then incr plans_using_views)
-    w.queries;
+  let used =
+    Pool.map_chunked ~domains (Array.length queries) (fun i ->
+        let r =
+          Mv_opt.Optimizer.optimize ~config:opt_config registry w.stats
+            queries.(i)
+        in
+        r.Mv_opt.Optimizer.used_views)
+  in
   let wall_time, cpu_time = Mv_obs.Instrument.elapsed span in
+  let plans_using_views =
+    List.fold_left (fun n u -> if u then n + 1 else n) 0 used
+  in
   let s = Mv_core.Registry.stats registry in
   let rule_timer =
     Mv_obs.Registry.timer registry.Mv_core.Registry.obs "rule.time"
@@ -122,6 +140,7 @@ let run (w : workload) ~nviews ~(config : config) : measurement =
     nviews;
     config;
     queries = List.length w.queries;
+    domains = max 1 domains;
     wall_time;
     cpu_time;
     rule_wall_time = Mv_obs.Instrument.wall rule_timer;
@@ -130,17 +149,26 @@ let run (w : workload) ~nviews ~(config : config) : measurement =
     candidates = s.Mv_core.Registry.candidates;
     matched = s.Mv_core.Registry.matched;
     substitutes = s.Mv_core.Registry.substitutes;
-    plans_using_views = !plans_using_views;
+    plans_using_views;
     level_flow = level_flow_of registry;
   }
 
 (* The full grid for the figures. A discarded warmup run first: the very
    first measurement otherwise pays one-time allocation/GC costs. *)
-let sweep (w : workload) ~nviews_list ~configs : measurement list =
+let sweep ?(domains = 1) (w : workload) ~nviews_list ~configs :
+    measurement list =
   (match configs with
   | c :: _ -> ignore (run w ~nviews:0 ~config:c)
   | [] -> ());
   List.concat_map
     (fun nviews ->
-      List.map (fun config -> run w ~nviews ~config) configs)
+      List.map (fun config -> run w ~domains ~nviews ~config) configs)
     nviews_list
+
+(* Domain-scaling sweep: the same (nviews, Alt&Filter) cell measured at
+   each domain count, after one discarded warmup. The per-measurement
+   counters must not vary across rows — only the timings may. *)
+let scaling (w : workload) ~nviews ~domains_list : measurement list =
+  let config = { alt = true; filter = true } in
+  ignore (run w ~nviews ~config);
+  List.map (fun domains -> run w ~domains ~nviews ~config) domains_list

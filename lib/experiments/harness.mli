@@ -16,6 +16,8 @@ type measurement = {
   nviews : int;
   config : config;
   queries : int;
+  domains : int;
+      (** OCaml domains the query batch was sharded over (1 = sequential) *)
   wall_time : float;
       (** elapsed seconds for the whole query batch — the paper reports
           elapsed optimization time, so this is what the figures print *)
@@ -50,8 +52,22 @@ val make_workload :
 
 val take : int -> 'a list -> 'a list
 
-val run : workload -> nviews:int -> config:config -> measurement
+val run : ?domains:int -> workload -> nviews:int -> config:config -> measurement
+(** One measurement. [domains > 1] shards the query batch over that many
+    OCaml domains against one shared registry ({!Pool.map_chunked});
+    counter totals and candidate sets are identical to the sequential run,
+    only the timings differ. Freezes the intern domains after registry
+    construction. *)
 
 val sweep :
-  workload -> nviews_list:int list -> configs:config list -> measurement list
+  ?domains:int ->
+  workload ->
+  nviews_list:int list ->
+  configs:config list ->
+  measurement list
 (** The full grid, with one discarded warmup run first. *)
+
+val scaling :
+  workload -> nviews:int -> domains_list:int list -> measurement list
+(** The same (nviews, Alt&Filter) cell at each domain count, one warmup
+    first — the rows' counters must agree, only timings may differ. *)

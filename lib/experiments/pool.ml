@@ -1,0 +1,59 @@
+(** A deterministic, work-stealing-free chunked scheduler over OCaml 5
+    domains.
+
+    [map_chunked ~domains n f] evaluates [f 0 .. f (n-1)] split into
+    [domains] contiguous chunks, one chunk per domain, and returns the
+    results in index order. The assignment of work to domains is a pure
+    function of [(domains, n)] — no queues, no stealing — so a parallel run
+    is reproducible and trivially comparable against the sequential one
+    (same chunk boundaries every time, results reassembled in order).
+
+    The calling domain processes chunk 0 itself; [domains - 1] fresh
+    domains are spawned for the rest and joined before returning. With
+    [domains = 1] (or [n = 0]) nothing is spawned and the call degenerates
+    to a plain sequential map — the differential baseline.
+
+    Exceptions raised by [f] propagate: the first failing chunk's exception
+    is re-raised in the caller after all domains have been joined. *)
+
+let chunk_bounds ~domains n =
+  (* contiguous chunks, sizes differing by at most one, never empty unless
+     there are fewer items than domains *)
+  let d = max 1 (min domains n) in
+  let base = n / d and extra = n mod d in
+  List.init d (fun i ->
+      let lo = (i * base) + min i extra in
+      let hi = lo + base + (if i < extra then 1 else 0) in
+      (lo, hi))
+
+let map_chunked ~domains n (f : int -> 'a) : 'a list =
+  if n <= 0 then []
+  else
+    match chunk_bounds ~domains n with
+    | [] | [ _ ] -> List.init n f
+    | (lo0, hi0) :: rest ->
+        let run (lo, hi) () =
+          match List.init (hi - lo) (fun i -> f (lo + i)) with
+          | xs -> Ok xs
+          | exception e -> Error e
+        in
+        let spawned = List.map (fun b -> Domain.spawn (run b)) rest in
+        let first = run (lo0, hi0) () in
+        let results = first :: List.map Domain.join spawned in
+        List.concat_map
+          (function Ok xs -> xs | Error e -> raise e)
+          results
+
+let map_list ~domains (f : 'a -> 'b) (xs : 'a list) : 'b list =
+  let arr = Array.of_list xs in
+  map_chunked ~domains (Array.length arr) (fun i -> f arr.(i))
+
+(* Run one thunk per domain concurrently (caller takes the first), for
+   stress tests that want maximum interleaving rather than a partition. *)
+let run_each (thunks : (unit -> 'a) list) : 'a list =
+  match thunks with
+  | [] -> []
+  | first :: rest ->
+      let spawned = List.map Domain.spawn rest in
+      let r0 = first () in
+      r0 :: List.map Domain.join spawned

@@ -1,0 +1,23 @@
+(** Deterministic chunked scheduling over OCaml 5 domains: contiguous
+    chunks, one per domain, no work stealing — a parallel run touches each
+    item from exactly one domain and returns results in index order, so it
+    is directly comparable against the sequential run. *)
+
+val chunk_bounds : domains:int -> int -> (int * int) list
+(** [chunk_bounds ~domains n] — the half-open [(lo, hi)] index ranges the
+    scheduler uses, in order. Sizes differ by at most one; at most
+    [min domains n] chunks. *)
+
+val map_chunked : domains:int -> int -> (int -> 'a) -> 'a list
+(** [map_chunked ~domains n f] is [[f 0; ...; f (n-1)]], evaluated with one
+    domain per chunk ([domains = 1]: fully sequential, nothing spawned).
+    The caller runs chunk 0; spawned domains are always joined, and the
+    first chunk exception (if any) is re-raised afterwards. *)
+
+val map_list : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunked] over the elements of a list. *)
+
+val run_each : (unit -> 'a) list -> 'a list
+(** One thunk per domain, all concurrent (the caller runs the first);
+    results in input order. For stress tests wanting maximum
+    interleaving. *)

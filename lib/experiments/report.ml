@@ -171,6 +171,7 @@ let measurement_json (m : Harness.measurement) =
       ("filter", J.Bool m.Harness.config.Harness.filter);
       ("nviews", J.Int m.Harness.nviews);
       ("queries", J.Int m.Harness.queries);
+      ("domains", J.Int m.Harness.domains);
       ("wall_time_s", J.Float m.Harness.wall_time);
       ("cpu_time_s", J.Float m.Harness.cpu_time);
       ("rule_wall_time_s", J.Float m.Harness.rule_wall_time);
@@ -185,6 +186,40 @@ let measurement_json (m : Harness.measurement) =
 
 let measurements_json (ms : Harness.measurement list) =
   J.List (List.map measurement_json ms)
+
+(* ---- domain-scaling report (the multicore sweep) ---- *)
+
+(* Speedup of each row relative to the 1-domain row of the same sweep
+   (1.0 when absent or unmeasurable). *)
+let scaling_speedup (ms : Harness.measurement list)
+    (m : Harness.measurement) =
+  match List.find_opt (fun (b : Harness.measurement) -> b.Harness.domains = 1) ms with
+  | Some base when m.Harness.wall_time > 0.0 ->
+      base.Harness.wall_time /. m.Harness.wall_time
+  | _ -> 1.0
+
+let scaling_table (ms : Harness.measurement list) =
+  pr "\n== Domain scaling: one shared registry, query batch sharded ==\n";
+  pr "(Alt&Filter; identical counter totals required across rows —\n";
+  pr "only the timings may move. Speedup is wall(1 domain)/wall(N).)\n\n";
+  pr "%8s %8s %12s %12s %10s %12s %12s\n" "domains" "views" "wall" "cpu"
+    "speedup" "candidates" "substitutes";
+  List.iter
+    (fun (m : Harness.measurement) ->
+      pr "%8d %8d %11.3fs %11.3fs %9.2fx %12d %12d\n" m.Harness.domains
+        m.Harness.nviews m.Harness.wall_time m.Harness.cpu_time
+        (scaling_speedup ms m) m.Harness.candidates m.Harness.substitutes)
+    ms
+
+let scaling_json (ms : Harness.measurement list) =
+  J.List
+    (List.map
+       (fun (m : Harness.measurement) ->
+         match measurement_json m with
+         | J.Obj fields ->
+             J.Obj (fields @ [ ("speedup", J.Float (scaling_speedup ms m)) ])
+         | j -> j)
+       ms)
 
 let write_json file (j : J.t) =
   let oc = open_out file in

@@ -2,45 +2,57 @@ let now_wall () = Unix.gettimeofday ()
 
 let now_cpu () = Sys.time ()
 
+(* All three instrument kinds are safe to update and read from any OCaml
+   domain. Counters are single atomic ints ([Atomic.fetch_and_add] — no
+   lock, no lost updates, never transiently negative). Timers and
+   histograms accumulate several related fields, so they carry a tiny
+   mutex: an update is one uncontended lock/unlock — nanoseconds next to
+   the work being measured — and a snapshot taken mid-update sees a
+   consistent record, not a half-applied one. *)
+
 (* ---- counters ---- *)
 
-type counter = { mutable n : int }
+type counter = int Atomic.t
 
-let counter () = { n = 0 }
+let counter () = Atomic.make 0
 
-let incr c = c.n <- c.n + 1
+let incr c = ignore (Atomic.fetch_and_add c 1)
 
-let add c k = c.n <- c.n + k
+let add c k = ignore (Atomic.fetch_and_add c k)
 
-let value c = c.n
+let value c = Atomic.get c
 
-let reset_counter c = c.n <- 0
+let reset_counter c = Atomic.set c 0
 
 (* ---- timers ---- *)
 
 type timer = {
+  t_lock : Mutex.t;
   mutable t_wall : float;
   mutable t_cpu : float;
   mutable t_count : int;
 }
 
-let timer () = { t_wall = 0.0; t_cpu = 0.0; t_count = 0 }
+let timer () =
+  { t_lock = Mutex.create (); t_wall = 0.0; t_cpu = 0.0; t_count = 0 }
 
 let record t ~wall ~cpu =
-  t.t_wall <- t.t_wall +. wall;
-  t.t_cpu <- t.t_cpu +. cpu;
-  t.t_count <- t.t_count + 1
+  Mutex.protect t.t_lock (fun () ->
+      t.t_wall <- t.t_wall +. wall;
+      t.t_cpu <- t.t_cpu +. cpu;
+      t.t_count <- t.t_count + 1)
 
-let wall t = t.t_wall
+let wall t = Mutex.protect t.t_lock (fun () -> t.t_wall)
 
-let cpu t = t.t_cpu
+let cpu t = Mutex.protect t.t_lock (fun () -> t.t_cpu)
 
-let intervals t = t.t_count
+let intervals t = Mutex.protect t.t_lock (fun () -> t.t_count)
 
 let reset_timer t =
-  t.t_wall <- 0.0;
-  t.t_cpu <- 0.0;
-  t.t_count <- 0
+  Mutex.protect t.t_lock (fun () ->
+      t.t_wall <- 0.0;
+      t.t_cpu <- 0.0;
+      t.t_count <- 0)
 
 (* ---- histograms ---- *)
 
@@ -58,6 +70,7 @@ let bucket_of v =
 let bucket_upper i = Float.ldexp 1.0 (i - 64)
 
 type histogram = {
+  h_lock : Mutex.t;
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -67,6 +80,7 @@ type histogram = {
 
 let histogram () =
   {
+    h_lock = Mutex.create ();
     h_count = 0;
     h_sum = 0.0;
     h_min = Float.infinity;
@@ -75,45 +89,50 @@ let histogram () =
   }
 
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let b = bucket_of v in
-  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+  Mutex.protect h.h_lock (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let b = bucket_of v in
+      h.h_buckets.(b) <- h.h_buckets.(b) + 1)
 
-let count h = h.h_count
+let count h = Mutex.protect h.h_lock (fun () -> h.h_count)
 
-let sum h = h.h_sum
+let sum h = Mutex.protect h.h_lock (fun () -> h.h_sum)
 
-let mean h = if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count
+let mean h =
+  Mutex.protect h.h_lock (fun () ->
+      if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count)
 
-let min_value h = h.h_min
+let min_value h = Mutex.protect h.h_lock (fun () -> h.h_min)
 
-let max_value h = h.h_max
+let max_value h = Mutex.protect h.h_lock (fun () -> h.h_max)
 
 let quantile h q =
-  if h.h_count = 0 then 0.0
-  else begin
-    let rank =
-      let r = int_of_float (Float.of_int h.h_count *. q) in
-      max 0 (min (h.h_count - 1) r)
-    in
-    let rec go i seen =
-      if i >= buckets then h.h_max
-      else
-        let seen = seen + h.h_buckets.(i) in
-        if seen > rank then bucket_upper i else go (i + 1) seen
-    in
-    go 0 0
-  end
+  Mutex.protect h.h_lock (fun () ->
+      if h.h_count = 0 then 0.0
+      else begin
+        let rank =
+          let r = int_of_float (Float.of_int h.h_count *. q) in
+          max 0 (min (h.h_count - 1) r)
+        in
+        let rec go i seen =
+          if i >= buckets then h.h_max
+          else
+            let seen = seen + h.h_buckets.(i) in
+            if seen > rank then bucket_upper i else go (i + 1) seen
+        in
+        go 0 0
+      end)
 
 let reset_histogram h =
-  h.h_count <- 0;
-  h.h_sum <- 0.0;
-  h.h_min <- Float.infinity;
-  h.h_max <- Float.neg_infinity;
-  Array.fill h.h_buckets 0 buckets 0
+  Mutex.protect h.h_lock (fun () ->
+      h.h_count <- 0;
+      h.h_sum <- 0.0;
+      h.h_min <- Float.infinity;
+      h.h_max <- Float.neg_infinity;
+      Array.fill h.h_buckets 0 buckets 0)
 
 (* ---- spans ---- *)
 

@@ -4,7 +4,13 @@
     and CPU time (the paper reports elapsed optimization time; [Sys.time]
     alone silently under-reports any I/O or scheduling), and histograms
     keep streaming moments plus power-of-two buckets for cheap
-    percentile estimates. None of them allocate on the update path. *)
+    percentile estimates. None of them allocate on the update path.
+
+    All instruments are domain-safe: counters are atomic ints (lock-free,
+    no lost updates), timers and histograms serialize their multi-field
+    updates and reads through a per-instrument mutex, so a snapshot taken
+    while other domains record is internally consistent and never sees
+    negative or half-applied values. *)
 
 type counter
 

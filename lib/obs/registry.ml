@@ -4,6 +4,10 @@ type instrument =
   | Histogram of Instrument.histogram
 
 type t = {
+  lock : Mutex.t;
+      (** guards [instruments]: instrument *creation* is rare (first use of
+          a name) but may race across domains; the instruments themselves
+          are domain-safe and are updated without this lock *)
   instruments : (string, instrument) Hashtbl.t;
   tr : Trace.t;
 }
@@ -12,6 +16,7 @@ exception Kind_mismatch of string
 
 let create ?(trace_capacity = 0) () =
   {
+    lock = Mutex.create ();
     instruments = Hashtbl.create 32;
     tr = Trace.create ~capacity:trace_capacity ();
   }
@@ -24,19 +29,20 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let get_or_create t name ~make ~cast =
-  match Hashtbl.find_opt t.instruments name with
-  | Some i -> (
-      match cast i with
-      | Some x -> x
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.instruments name with
+      | Some i -> (
+          match cast i with
+          | Some x -> x
+          | None ->
+              raise
+                (Kind_mismatch
+                   (Printf.sprintf "%s already registered as a %s" name
+                      (kind_name i))))
       | None ->
-          raise
-            (Kind_mismatch
-               (Printf.sprintf "%s already registered as a %s" name
-                  (kind_name i))))
-  | None ->
-      let i = make () in
-      Hashtbl.replace t.instruments name i;
-      match cast i with Some x -> x | None -> assert false
+          let i = make () in
+          Hashtbl.replace t.instruments name i;
+          (match cast i with Some x -> x | None -> assert false))
 
 let counter t name =
   get_or_create t name
@@ -55,23 +61,29 @@ let histogram t name =
 
 let trace t = t.tr
 
-let find t name = Hashtbl.find_opt t.instruments name
+let find t name =
+  Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.instruments name)
 
 let names t =
-  Hashtbl.fold (fun k _ acc -> k :: acc) t.instruments []
+  Mutex.protect t.lock (fun () ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) t.instruments [])
   |> List.sort String.compare
 
 let counter_value t name =
   match find t name with Some (Counter c) -> Instrument.value c | _ -> 0
 
 let reset t =
-  Hashtbl.iter
-    (fun _ i ->
+  let all =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun _ i acc -> i :: acc) t.instruments [])
+  in
+  List.iter
+    (fun i ->
       match i with
       | Counter c -> Instrument.reset_counter c
       | Timer x -> Instrument.reset_timer x
       | Histogram h -> Instrument.reset_histogram h)
-    t.instruments;
+    all;
   Trace.clear t.tr
 
 (* ---- snapshots ---- *)

@@ -3,7 +3,13 @@
     Observability section for the naming scheme). A registry is either the
     process-wide {!global} one or a scoped instance owned by a subsystem
     (each [Mv_core.Registry] carries its own, so concurrent sweeps don't
-    bleed counts into each other). *)
+    bleed counts into each other).
+
+    Domain-safe: instrument creation is serialized by a registry mutex and
+    each instrument is itself safe for concurrent updates (atomic counters,
+    mutexed timers/histograms — see {!Instrument}), so one registry can be
+    shared by all worker domains of a parallel run and snapshots taken
+    while they record remain well-formed. *)
 
 type t
 

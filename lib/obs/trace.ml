@@ -2,22 +2,28 @@ type event = { seq : int; name : string; fields : (string * Json.t) list }
 
 type t = {
   cap : int;
+  lock : Mutex.t;
   ring : event option array;
   mutable next : int;  (** total events ever recorded *)
 }
 
 let create ?(capacity = 256) () =
-  { cap = capacity; ring = Array.make (max 1 capacity) None; next = 0 }
+  {
+    cap = capacity;
+    lock = Mutex.create ();
+    ring = Array.make (max 1 capacity) None;
+    next = 0;
+  }
 
 let capacity t = t.cap
 
 let enabled t = t.cap > 0
 
 let record t name fields =
-  if t.cap > 0 then begin
-    t.ring.(t.next mod t.cap) <- Some { seq = t.next; name; fields };
-    t.next <- t.next + 1
-  end
+  if t.cap > 0 then
+    Mutex.protect t.lock (fun () ->
+        t.ring.(t.next mod t.cap) <- Some { seq = t.next; name; fields };
+        t.next <- t.next + 1)
 
 let length t = min t.next t.cap
 
@@ -26,9 +32,10 @@ let total t = t.next
 let events t =
   if t.cap = 0 then []
   else
-    let n = length t in
-    List.init n (fun i ->
-        Option.get (t.ring.((t.next - n + i) mod t.cap)))
+    Mutex.protect t.lock (fun () ->
+        let n = min t.next t.cap in
+        List.init n (fun i ->
+            Option.get (t.ring.((t.next - n + i) mod t.cap))))
 
 let to_json t =
   Json.List
@@ -40,5 +47,6 @@ let to_json t =
        (events t))
 
 let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0
+  Mutex.protect t.lock (fun () ->
+      Array.fill t.ring 0 (Array.length t.ring) None;
+      t.next <- 0)

@@ -34,3 +34,13 @@ let of_sset dom s =
 
 let of_colset s =
   Col.Set.fold (fun c acc -> Bitset.add acc (col c)) s Bitset.empty
+
+(* Freeze all three domains (see {!Mv_util.Symbol.freeze}): lookups of the
+   registered vocabulary become lock-free, which is what query-side key
+   construction from concurrently running domains hits almost exclusively.
+   Call after registry construction; genuinely new strings (a query
+   template no view ever used) still intern correctly via the mutex. *)
+let freeze () =
+  Symbol.freeze tables;
+  Symbol.freeze cols;
+  Symbol.freeze templates

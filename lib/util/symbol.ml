@@ -9,23 +9,51 @@
 
     Domains are append-only: ids are never reused or invalidated, so a
     bitset built early remains valid (shorter, zero-extended) as the domain
-    grows. *)
+    grows.
+
+    Concurrency: every mutation runs under the domain's mutex, so
+    concurrent [intern] calls from several OCaml domains always agree (same
+    string ⇒ same id, no lost entries). After {!freeze}, lookups of already
+    interned strings are lock-free: freezing publishes an immutable
+    snapshot of the table through an [Atomic.t], and reads that hit the
+    snapshot never touch the lock. Strings first seen after the freeze
+    still intern correctly — they take the mutex-guarded slow path — so a
+    freeze is a performance statement ("the vocabulary is essentially
+    complete"), not a functional restriction. *)
+
+type frozen = {
+  f_table : (string, int) Hashtbl.t;  (** never mutated after publication *)
+  f_names : string array;
+  f_count : int;
+}
 
 type domain = {
   domain_name : string;
-  table : (string, int) Hashtbl.t;
+  lock : Mutex.t;
+  table : (string, int) Hashtbl.t;  (** the full table; mutated under lock *)
   mutable names : string array;  (** id -> string; length >= count *)
   mutable count : int;
+  frozen : frozen option Atomic.t;
+      (** lock-free read snapshot; [Atomic] for publication safety *)
 }
 
 let create domain_name =
-  { domain_name; table = Hashtbl.create 64; names = Array.make 64 ""; count = 0 }
+  {
+    domain_name;
+    lock = Mutex.create ();
+    table = Hashtbl.create 64;
+    names = Array.make 64 "";
+    count = 0;
+    frozen = Atomic.make None;
+  }
 
 let domain_name d = d.domain_name
 
-let size d = d.count
+let locked d f = Mutex.protect d.lock f
 
-let intern d s =
+let size d = locked d (fun () -> d.count)
+
+let intern_locked d s =
   match Hashtbl.find_opt d.table s with
   | Some id -> id
   | None ->
@@ -40,11 +68,56 @@ let intern d s =
       Hashtbl.add d.table s id;
       id
 
-let find d s = Hashtbl.find_opt d.table s
+let intern d s =
+  match Atomic.get d.frozen with
+  | Some f -> (
+      match Hashtbl.find_opt f.f_table s with
+      | Some id -> id
+      | None -> locked d (fun () -> intern_locked d s))
+  | None -> locked d (fun () -> intern_locked d s)
+
+let find d s =
+  match Atomic.get d.frozen with
+  | Some f -> (
+      match Hashtbl.find_opt f.f_table s with
+      | Some id -> Some id
+      | None -> locked d (fun () -> Hashtbl.find_opt d.table s))
+  | None -> locked d (fun () -> Hashtbl.find_opt d.table s)
 
 let name d id =
-  if id < 0 || id >= d.count then
-    invalid_arg
-      (Printf.sprintf "Symbol.name: id %d out of range for domain %s (size %d)"
-         id d.domain_name d.count);
-  d.names.(id)
+  let fast =
+    match Atomic.get d.frozen with
+    | Some f when id >= 0 && id < f.f_count -> Some f.f_names.(id)
+    | _ -> None
+  in
+  match fast with
+  | Some s -> s
+  | None ->
+      locked d (fun () ->
+          if id < 0 || id >= d.count then
+            invalid_arg
+              (Printf.sprintf
+                 "Symbol.name: id %d out of range for domain %s (size %d)" id
+                 d.domain_name d.count);
+          d.names.(id))
+
+(* Publish an immutable snapshot of the current table. Idempotent: a later
+   freeze replaces the snapshot with a larger one (useful after further
+   single-threaded growth). The snapshot is built under the lock, so it is
+   internally consistent; [Atomic.set] makes its interior visible to other
+   domains before the pointer is. *)
+let freeze d =
+  locked d (fun () ->
+      let f =
+        {
+          f_table = Hashtbl.copy d.table;
+          f_names = Array.sub d.names 0 d.count;
+          f_count = d.count;
+        }
+      in
+      Atomic.set d.frozen (Some f))
+
+let is_frozen d = Atomic.get d.frozen <> None
+
+let frozen_size d =
+  match Atomic.get d.frozen with Some f -> f.f_count | None -> 0

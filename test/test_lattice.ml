@@ -144,6 +144,28 @@ let test_insert_idempotent () =
   Alcotest.(check bool) "same node" true (n1 == n2);
   Alcotest.(check int) "size 1" 1 (Lattice.size t)
 
+let test_reentrant_search () =
+  (* a predicate that re-enters the lattice with a full search of its own
+     must not corrupt the outer search's dedup. Diamond {0},{1},{0,1}: with
+     the old shared stamp/mark scheme the inner search re-stamped every
+     node, so the outer traversal saw the join node {0,1} as unvisited from
+     its second root and emitted it twice (or, reading the live stamp,
+     skipped nodes entirely). Per-search scratch state keeps the two
+     traversals independent. *)
+  let t = Lattice.create () in
+  List.iter
+    (fun n -> ignore (Lattice.insert t (set_of_int n)))
+    [ 1; 2; 3 ];
+  let pred _k =
+    ignore (Lattice.search t ~dir:`Down ~pred:(fun _ -> true));
+    true
+  in
+  let got = keys_of (Lattice.search t ~dir:`Up ~pred) in
+  Alcotest.(check (list (list int)))
+    "each node exactly once"
+    [ [ 0 ]; [ 0; 1 ]; [ 1 ] ]
+    got
+
 let test_paper_figure1 () =
   (* the eight key sets of Figure 1: A, B, D, AB, BE, ABC, ABF, BCDE —
      letters interned as bits A=0, B=1, ... *)
@@ -171,6 +193,8 @@ let suite =
       [
         Alcotest.test_case "insert idempotent" `Quick test_insert_idempotent;
         Alcotest.test_case "paper figure 1" `Quick test_paper_figure1;
+        Alcotest.test_case "reentrant search keeps dedup" `Quick
+          test_reentrant_search;
         Helpers.qtest subsets_prop;
         Helpers.qtest supersets_prop;
         Helpers.qtest invariants_prop;

@@ -10,4 +10,5 @@ let () =
    @ Test_compensation_routing.suite @ Test_filter_levels.suite
    @ Test_experiments.suite @ Test_disjunction.suite @ Test_invariants.suite
    @ Test_dimension_hierarchy.suite @ Test_obs.suite
-   @ Test_prop_equivalence.suite @ Test_prop_filter.suite)
+   @ Test_prop_equivalence.suite @ Test_prop_filter.suite
+   @ Test_parallel.suite)
