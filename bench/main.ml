@@ -18,8 +18,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
-    \       [--ablation] [--filtertree] [--levels] [--json FILE]\n\
-    \       [--queries N] [--max-views N] [--step N]";
+    \       [--ablation] [--filtertree] [--levels] [--serving] [--json FILE]\n\
+    \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]";
   exit 1
 
 type what = {
@@ -30,6 +30,7 @@ type what = {
   filtertree : bool;
   levels : bool;
   scaling : bool;
+  serving : bool;
 }
 
 let () =
@@ -38,6 +39,7 @@ let () =
   let max_views = ref 1000 in
   let step = ref 200 in
   let domains = ref 1 in
+  let passes = ref 3 in
   let json_file = ref None in
   let sel = ref None in
   let add_sel w =
@@ -53,6 +55,7 @@ let () =
             filtertree = false;
             levels = false;
             scaling = false;
+            serving = false;
           }
     in
     sel := Some (w cur)
@@ -90,6 +93,12 @@ let () =
     | "--scaling" :: rest ->
         add_sel (fun s -> { s with scaling = true });
         parse rest
+    | "--serving" :: rest ->
+        add_sel (fun s -> { s with serving = true });
+        parse rest
+    | "--passes" :: n :: rest ->
+        passes := max 1 (int_of_string n);
+        parse rest
     | "--domains" :: n :: rest ->
         domains := max 1 (int_of_string n);
         parse rest
@@ -122,6 +131,7 @@ let () =
             filtertree = true;
             levels = true;
             scaling = true;
+            serving = true;
           }
         else
           {
@@ -132,6 +142,7 @@ let () =
             filtertree = true;
             levels = true;
             scaling = false;
+            serving = true;
           }
   in
   let nviews_list =
@@ -142,7 +153,9 @@ let () =
   let json_sections = ref [] in
   let add_section name j = json_sections := (name, j) :: !json_sections in
   let need_sweep = what.figures <> [] || what.stats || what.ablation || what.levels in
-  let need_workload = need_sweep || what.filtertree || what.scaling in
+  let need_workload =
+    need_sweep || what.filtertree || what.scaling || what.serving
+  in
   let w =
     if need_workload then begin
       Printf.printf
@@ -187,6 +200,25 @@ let () =
     in
     Mv_experiments.Report.scaling_table ms;
     add_section "scaling" (Mv_experiments.Report.scaling_json ms)
+  end;
+  if what.serving then begin
+    (* repeated-query serving through the match/plan cache: cold pass,
+       --passes warm passes, then a drop and a re-add (epoch churn) *)
+    let m =
+      Mv_experiments.Harness.serving ~domains:!domains ~passes:!passes
+        (Option.get w) ~nviews:!max_views
+    in
+    Mv_experiments.Report.serving_table m;
+    add_section "serving" (Mv_experiments.Report.serving_json m);
+    if
+      not
+        (m.Mv_experiments.Harness.warm_identical
+        && m.Mv_experiments.Harness.churn_consistent
+        && m.Mv_experiments.Harness.churn_no_stale)
+    then begin
+      prerr_endline "serving benchmark: cache served a wrong or stale plan";
+      exit 3
+    end
   end;
   if what.filtertree then
     add_section "filter_tree"

@@ -5,6 +5,8 @@
       match    match a query against one or more view definitions
       explain  optimize a query against registered views, print the plan
       bench    measure batch optimization, optionally over several domains
+      cache-stats  serve repeated queries through the match/plan cache and
+               print its counters (hit/miss/eviction/invalidation)
       demo     a self-contained end-to-end demonstration
       generate print a random section-5 workload
 
@@ -316,6 +318,71 @@ let bench_cmd =
           optionally sharded over OCaml domains")
     Term.(const run $ views $ queries $ domains $ json_file)
 
+(* ---- cache-stats ---- *)
+
+let cache_stats_cmd =
+  let views =
+    Arg.(
+      value & opt int 100
+      & info [ "views" ] ~docv:"N" ~doc:"View population size.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 25
+      & info [ "queries" ] ~docv:"N" ~doc:"Distinct queries in the repeated batch.")
+  in
+  let passes =
+    Arg.(
+      value & opt int 3
+      & info [ "passes" ] ~docv:"N" ~doc:"Timed warm passes after the cold one.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Shard each pass over $(docv) OCaml domains (one shared cache).")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "capacity" ] ~docv:"N" ~doc:"LRU capacity per cache layer.")
+  in
+  let json_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also dump the measurement as JSON.")
+  in
+  let run views queries passes domains capacity json_file =
+    let w =
+      Mv_experiments.Harness.make_workload ~nviews:views ~nqueries:queries ()
+    in
+    let m =
+      Mv_experiments.Harness.serving ~domains:(max 1 domains)
+        ~passes:(max 1 passes) ~capacity w ~nviews:views
+    in
+    Mv_experiments.Report.serving_table m;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+        Mv_experiments.Report.write_json file
+          (Mv_obs.Json.Obj
+             [ ("serving", Mv_experiments.Report.serving_json m) ]);
+        Printf.printf "wrote %s\n" file);
+    if
+      not
+        (m.Mv_experiments.Harness.warm_identical
+        && m.Mv_experiments.Harness.churn_consistent
+        && m.Mv_experiments.Harness.churn_no_stale)
+    then exit 3
+  in
+  Cmd.v
+    (Cmd.info "cache-stats"
+       ~doc:
+         "Serve a repeated query batch through the epoch-validated \
+          match/plan cache; print hit/miss/eviction/invalidation counters \
+          and warm-vs-cold latency")
+    Term.(const run $ views $ queries $ passes $ domains $ capacity $ json_file)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -362,6 +429,14 @@ let main =
        ~doc:
          "View matching for materialized views (Goldstein & Larson, SIGMOD \
           2001)")
-    [ parse_cmd; match_cmd; explain_cmd; generate_cmd; bench_cmd; demo_cmd ]
+    [
+      parse_cmd;
+      match_cmd;
+      explain_cmd;
+      generate_cmd;
+      bench_cmd;
+      cache_stats_cmd;
+      demo_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

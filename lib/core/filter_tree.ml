@@ -214,13 +214,19 @@ let rec insert_node node (v : View.t) =
 
 let insert t v = insert_node t.root v
 
+(* Removal is fully in place: the view leaves its bucket, every level on
+   its path decrements its subtree count, and a lattice key whose subtree
+   just emptied is deleted ({!Lattice.delete} relinks subset/superset
+   edges around it) — so a long-lived registry that churns views never
+   accumulates dead index nodes and never needs a rebuild. *)
 let rec remove_node node (v : View.t) =
   match node with
   | Bucket b ->
       b.views <- List.filter (fun x -> x.View.name <> v.View.name) b.views
   | Agg_split s -> remove_node (if View.is_aggregate v then s.agg else s.spj) v
   | Level l -> (
-      match Lattice.find_exact l.lattice (view_key l.level v) with
+      let key = view_key l.level v in
+      match Lattice.find_exact l.lattice key with
       | None -> ()
       | Some ln -> (
           match ln.Lattice.payload with
@@ -228,7 +234,9 @@ let rec remove_node node (v : View.t) =
           | Some child ->
               let before = views_under child in
               remove_node child v;
-              l.nviews <- l.nviews - (before - views_under child)))
+              let after = views_under child in
+              l.nviews <- l.nviews - (before - after);
+              if after = 0 then Lattice.delete l.lattice key))
 
 let remove t v = remove_node t.root v
 

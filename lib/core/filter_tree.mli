@@ -60,8 +60,14 @@ val strong_range_ok : query_info -> View.t -> bool
     candidate after the tree navigates by the weak condition. *)
 
 val insert : t -> View.t -> unit
+(** In-place: new lattice keys are linked into the level DAGs as needed
+    (interner growth takes the mutex slow path after a freeze). Requires
+    exclusive access — quiesce concurrent searches first. *)
 
 val remove : t -> View.t -> unit
+(** In-place: decrements subtree counts along the view's path and deletes
+    lattice keys whose subtree emptied, so churn never accumulates dead
+    nodes. Requires exclusive access, like {!insert}. *)
 
 val candidates :
   ?obs:Mv_obs.Registry.t -> t -> Mv_relalg.Analysis.t -> View.t list

@@ -34,6 +34,11 @@ type t = {
   tree : Filter_tree.t;
   obs : Obs.t;
   tracing : bool;
+  epoch : int Atomic.t;
+      (** bumped by every effective add/drop; caches key their entries by
+          it (see [Mv_opt.Match_cache]). Atomic so reader domains see a
+          fresh value without a lock; the mutations themselves still
+          require exclusive access (DESIGN.md §7-§8). *)
 }
 
 exception Duplicate_view of string
@@ -59,7 +64,10 @@ let create ?(relaxed_nulls = false) ?(backjoins = false) ?(use_filter = true)
         ();
     obs;
     tracing;
+    epoch = Atomic.make 0;
   }
+
+let epoch t = Atomic.get t.epoch
 
 let stats t =
   {
@@ -83,6 +91,7 @@ let add_view t ?(row_count = 0) ?(indexes = []) ~name spjg : View.t =
   in
   t.views <- t.views @ [ view ];
   Filter_tree.insert t.tree view;
+  Atomic.incr t.epoch;
   view
 
 (* Register an already-created view descriptor (lets experiment sweeps
@@ -91,14 +100,20 @@ let add_prebuilt t (view : View.t) =
   if find_view t view.View.name <> None then
     raise (Duplicate_view view.View.name);
   t.views <- t.views @ [ view ];
-  Filter_tree.insert t.tree view
+  Filter_tree.insert t.tree view;
+  Atomic.incr t.epoch
 
+(* Drop a view: filter-tree removal prunes lattice keys in place (no
+   rebuild), and the epoch bump lazily invalidates every cache entry
+   computed against the old population. A missing name is a no-op and
+   does NOT advance the epoch. *)
 let remove_view t name =
   match find_view t name with
   | None -> ()
   | Some v ->
       t.views <- List.filter (fun x -> x.View.name <> name) t.views;
-      Filter_tree.remove t.tree v
+      Filter_tree.remove t.tree v;
+      Atomic.incr t.epoch
 
 (* Candidate views for a query expression: via the filter tree, or a
    linear scan when the tree is disabled (the paper's "No Filter"
@@ -107,8 +122,10 @@ let candidates t (q : A.t) =
   if t.use_filter then Filter_tree.candidates ~obs:t.obs t.tree q else t.views
 
 (* The view-matching rule body: find all views that can compute [q] and
-   build one substitute per view. *)
-let find_substitutes t (q : A.t) : Substitute.t list =
+   build one substitute per view. Returns the candidate set alongside the
+   substitutes so the match cache can store both (the candidates are what
+   the model-based tests compare against a from-scratch rebuild). *)
+let match_with_candidates t (q : A.t) : View.t list * Substitute.t list =
   let span = Mv_obs.Instrument.enter () in
   Mv_obs.Instrument.incr (Obs.counter t.obs "rule.invocations");
   let cands = candidates t q in
@@ -146,7 +163,10 @@ let find_substitutes t (q : A.t) : Substitute.t list =
         ("wall_s", Mv_obs.Json.Float wall);
       ]
   end;
-  subs
+  (cands, subs)
+
+let find_substitutes t (q : A.t) : Substitute.t list =
+  snd (match_with_candidates t q)
 
 let find_substitutes_spjg t (spjg : Mv_relalg.Spjg.t) =
   find_substitutes t (A.analyze t.schema spjg)

@@ -33,6 +33,12 @@ type t = {
   tracing : bool;
       (** append a [rule] trace event per invocation (requires an [obs]
           with a nonzero trace capacity; [create ~tracing:true] makes one) *)
+  epoch : int Atomic.t;
+      (** registry epoch: bumped by every effective {!add_view} /
+          {!add_prebuilt} / {!remove_view}. Caches stamp their entries with
+          it and treat a mismatch as stale, so an add/drop invalidates
+          without a global rebuild ({!Mv_opt.Match_cache}, DESIGN.md §8).
+          Read through {!val-epoch}. *)
 }
 
 exception Duplicate_view of string
@@ -48,6 +54,10 @@ val create :
 
 val stats : t -> stats
 (** Snapshot of the paper's counters, read from the instruments. *)
+
+val epoch : t -> int
+(** The current registry epoch (0 for an empty registry). Monotonically
+    increasing; changes exactly when the view population changes. *)
 
 val view_count : t -> int
 
@@ -69,8 +79,16 @@ val add_prebuilt : t -> View.t -> unit
     the experiment sweeps). *)
 
 val remove_view : t -> string -> unit
+(** Drop a view by name: in-place filter-tree removal (empty lattice keys
+    are deleted, no rebuild) plus an epoch bump. Unknown names are a no-op
+    and do not advance the epoch. *)
 
 val candidates : t -> Mv_relalg.Analysis.t -> View.t list
+
+val match_with_candidates :
+  t -> Mv_relalg.Analysis.t -> View.t list * Substitute.t list
+(** {!find_substitutes} returning the surviving candidate set too — what
+    the match cache stores per query signature. *)
 
 val find_substitutes : t -> Mv_relalg.Analysis.t -> Substitute.t list
 (** The view-matching rule body: filter, test every candidate, build one

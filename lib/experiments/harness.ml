@@ -153,6 +153,137 @@ let run ?(domains = 1) (w : workload) ~nviews ~(config : config) : measurement
     level_flow = level_flow_of registry;
   }
 
+(* ---- the serving benchmark (dynamic registry + match/plan cache) ---- *)
+
+type serving_measurement = {
+  s_nviews : int;
+  s_queries : int;
+  s_passes : int;  (** timed warm passes *)
+  s_domains : int;
+  s_capacity : int;
+  cold_wall : float;  (** seconds for the first (cache-filling) pass *)
+  warm_wall : float;  (** per-pass average over the warm passes *)
+  warm_speedup : float;  (** [cold_wall /. warm_wall] *)
+  hit_rate : float;
+      (** plan-layer hits during the warm passes / plan lookups issued *)
+  match_hits : int;
+  match_misses : int;
+  match_evictions : int;
+  match_invalidations : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  plan_invalidations : int;  (** all counters: totals over the whole run *)
+  warm_identical : bool;
+      (** every warm pass returned byte-identical plans to the cold pass *)
+  churn_invalidations : int;
+      (** cache invalidations observed after the drop and the re-add *)
+  churn_consistent : bool;
+      (** after each mutation the cached pass is byte-identical to an
+          uncached pass against the same (mutated) registry *)
+  churn_no_stale : bool;
+      (** no post-drop plan references the dropped view *)
+}
+
+(* Repeated-query serving against one registry and one match/plan cache:
+   a cold pass fills the cache, [passes] warm passes measure the hit path,
+   then a view drop and a re-add verify the epoch protocol end to end —
+   the invalidation counters move and the cached results stay byte-equal
+   to uncached optimization against the same registry. *)
+let serving ?(domains = 1) ?(passes = 3) ?(capacity = 1024) (w : workload)
+    ~nviews : serving_measurement =
+  let registry = Mv_core.Registry.create w.schema in
+  let views = take nviews w.views in
+  List.iter (Mv_core.Registry.add_prebuilt registry) views;
+  Mv_relalg.Intern.freeze ();
+  let cache = Mv_opt.Match_cache.create ~capacity registry in
+  let obs = registry.Mv_core.Registry.obs in
+  let cval name = Mv_obs.Registry.counter_value obs name in
+  let queries = Array.of_list w.queries in
+  let nq = Array.length queries in
+  let pass ?cache () =
+    let span = Mv_obs.Instrument.enter () in
+    let plans =
+      Pool.map_chunked ~domains nq (fun i ->
+          let r =
+            Mv_opt.Optimizer.optimize ?cache registry w.stats queries.(i)
+          in
+          ( Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan,
+            Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan ))
+    in
+    let wall, _ = Mv_obs.Instrument.elapsed span in
+    (wall, plans)
+  in
+  let cold_wall, cold_plans = pass ~cache () in
+  let hits_after_cold = cval "cache.plan.hits" in
+  let passes = max 1 passes in
+  let warm = List.init passes (fun _ -> pass ~cache ()) in
+  let warm_wall =
+    List.fold_left (fun acc (wl, _) -> acc +. wl) 0.0 warm
+    /. float_of_int passes
+  in
+  let warm_identical =
+    List.for_all (fun (_, plans) -> plans = cold_plans) warm
+  in
+  let warm_hits = cval "cache.plan.hits" - hits_after_cold in
+  let hit_rate =
+    if nq = 0 then 0.0 else float_of_int warm_hits /. float_of_int (nq * passes)
+  in
+  (* churn: drop one view, then add it back; after each mutation the
+     cached pass must agree byte-for-byte with an uncached one against
+     the same registry, and the invalidation counters must move *)
+  let inval () =
+    cval "cache.plan.invalidations" + cval "cache.match.invalidations"
+  in
+  let inval_before = inval () in
+  let check_churn mutate =
+    mutate ();
+    let _, cached = pass ~cache () in
+    let _, direct = pass () in
+    cached = direct
+  in
+  let consistent_after_drop, no_stale, consistent_after_readd =
+    match views with
+    | [] -> (true, true, true)
+    | v :: _ ->
+        let name = v.Mv_core.View.name in
+        let ok_drop =
+          check_churn (fun () -> Mv_core.Registry.remove_view registry name)
+        in
+        let no_stale =
+          (* re-check the post-drop cached pass via the cache itself *)
+          let _, plans = pass ~cache () in
+          List.for_all (fun (_, used) -> not (List.mem name used)) plans
+        in
+        let ok_readd =
+          check_churn (fun () -> Mv_core.Registry.add_prebuilt registry v)
+        in
+        (ok_drop, no_stale, ok_readd)
+  in
+  {
+    s_nviews = nviews;
+    s_queries = nq;
+    s_passes = passes;
+    s_domains = max 1 domains;
+    s_capacity = capacity;
+    cold_wall;
+    warm_wall;
+    warm_speedup = (if warm_wall > 0.0 then cold_wall /. warm_wall else 1.0);
+    hit_rate;
+    match_hits = cval "cache.match.hits";
+    match_misses = cval "cache.match.misses";
+    match_evictions = cval "cache.match.evictions";
+    match_invalidations = cval "cache.match.invalidations";
+    plan_hits = cval "cache.plan.hits";
+    plan_misses = cval "cache.plan.misses";
+    plan_evictions = cval "cache.plan.evictions";
+    plan_invalidations = cval "cache.plan.invalidations";
+    warm_identical;
+    churn_invalidations = inval () - inval_before;
+    churn_consistent = consistent_after_drop && consistent_after_readd;
+    churn_no_stale = no_stale;
+  }
+
 (* The full grid for the figures. A discarded warmup run first: the very
    first measurement otherwise pays one-time allocation/GC costs. *)
 let sweep ?(domains = 1) (w : workload) ~nviews_list ~configs :

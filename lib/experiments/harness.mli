@@ -71,3 +71,50 @@ val scaling :
   workload -> nviews:int -> domains_list:int list -> measurement list
 (** The same (nviews, Alt&Filter) cell at each domain count, one warmup
     first — the rows' counters must agree, only timings may differ. *)
+
+(** One serving-benchmark run: repeated-query traffic against a dynamic
+    registry through the epoch-validated match/plan cache
+    ({!Mv_opt.Match_cache}). Counter fields are totals over the whole run;
+    the boolean fields are the correctness verdicts the acceptance gate
+    reads. *)
+type serving_measurement = {
+  s_nviews : int;
+  s_queries : int;
+  s_passes : int;  (** timed warm passes *)
+  s_domains : int;
+  s_capacity : int;
+  cold_wall : float;  (** seconds for the first (cache-filling) pass *)
+  warm_wall : float;  (** per-pass average over the warm passes *)
+  warm_speedup : float;  (** [cold_wall /. warm_wall] *)
+  hit_rate : float;
+      (** plan-layer hits during the warm passes / plan lookups issued *)
+  match_hits : int;
+  match_misses : int;
+  match_evictions : int;
+  match_invalidations : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_evictions : int;
+  plan_invalidations : int;
+  warm_identical : bool;
+      (** every warm pass returned byte-identical plans to the cold pass *)
+  churn_invalidations : int;
+      (** cache invalidations observed after the drop and the re-add *)
+  churn_consistent : bool;
+      (** after each mutation the cached pass is byte-identical to an
+          uncached pass against the same (mutated) registry *)
+  churn_no_stale : bool;
+      (** no post-drop plan references the dropped view *)
+}
+
+val serving :
+  ?domains:int ->
+  ?passes:int ->
+  ?capacity:int ->
+  workload ->
+  nviews:int ->
+  serving_measurement
+(** Cold pass, [passes] warm passes, then a drop and a re-add of the first
+    view with cached-vs-uncached agreement checked after each mutation.
+    [domains > 1] shards every pass over that many OCaml domains against
+    the one shared cache (mutex-sharded). *)

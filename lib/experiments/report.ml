@@ -221,6 +221,68 @@ let scaling_json (ms : Harness.measurement list) =
          | j -> j)
        ms)
 
+(* ---- serving report (dynamic registry + match/plan cache) ---- *)
+
+let serving_table (m : Harness.serving_measurement) =
+  pr "\n== Serving: repeated queries through the match/plan cache ==\n";
+  pr "(one registry, %d views; epoch-validated LRU, capacity %d;\n"
+    m.Harness.s_nviews m.Harness.s_capacity;
+  pr " a drop and a re-add between passes exercise invalidation)\n\n";
+  pr "%10s %8s %8s %8s\n" "queries" "passes" "domains" "views";
+  pr "%10d %8d %8d %8d\n\n" m.Harness.s_queries m.Harness.s_passes
+    m.Harness.s_domains m.Harness.s_nviews;
+  pr "cold pass:        %10.4fs\n" m.Harness.cold_wall;
+  pr "warm pass (avg):  %10.4fs\n" m.Harness.warm_wall;
+  pr "warm speedup:     %9.1fx\n" m.Harness.warm_speedup;
+  pr "warm hit rate:    %9.1f%%\n" (100.0 *. m.Harness.hit_rate);
+  pr "\n%-24s %10s %10s %10s %14s\n" "counter" "hits" "misses" "evictions"
+    "invalidations";
+  pr "%-24s %10d %10d %10d %14d\n" "cache.match" m.Harness.match_hits
+    m.Harness.match_misses m.Harness.match_evictions
+    m.Harness.match_invalidations;
+  pr "%-24s %10d %10d %10d %14d\n" "cache.plan" m.Harness.plan_hits
+    m.Harness.plan_misses m.Harness.plan_evictions
+    m.Harness.plan_invalidations;
+  pr "\nwarm plans byte-identical to cold: %b\n" m.Harness.warm_identical;
+  pr "churn invalidations (drop + re-add): %d\n" m.Harness.churn_invalidations;
+  pr "churn passes match uncached optimization: %b\n"
+    m.Harness.churn_consistent;
+  pr "no post-drop plan uses the dropped view: %b\n" m.Harness.churn_no_stale
+
+let serving_json (m : Harness.serving_measurement) =
+  J.Obj
+    [
+      ("nviews", J.Int m.Harness.s_nviews);
+      ("queries", J.Int m.Harness.s_queries);
+      ("passes", J.Int m.Harness.s_passes);
+      ("domains", J.Int m.Harness.s_domains);
+      ("capacity", J.Int m.Harness.s_capacity);
+      ("cold_wall_s", J.Float m.Harness.cold_wall);
+      ("warm_wall_s", J.Float m.Harness.warm_wall);
+      ("warm_speedup", J.Float m.Harness.warm_speedup);
+      ("hit_rate", J.Float m.Harness.hit_rate);
+      ( "match",
+        J.Obj
+          [
+            ("hits", J.Int m.Harness.match_hits);
+            ("misses", J.Int m.Harness.match_misses);
+            ("evictions", J.Int m.Harness.match_evictions);
+            ("invalidations", J.Int m.Harness.match_invalidations);
+          ] );
+      ( "plan",
+        J.Obj
+          [
+            ("hits", J.Int m.Harness.plan_hits);
+            ("misses", J.Int m.Harness.plan_misses);
+            ("evictions", J.Int m.Harness.plan_evictions);
+            ("invalidations", J.Int m.Harness.plan_invalidations);
+          ] );
+      ("warm_identical", J.Bool m.Harness.warm_identical);
+      ("churn_invalidations", J.Int m.Harness.churn_invalidations);
+      ("churn_consistent", J.Bool m.Harness.churn_consistent);
+      ("churn_no_stale", J.Bool m.Harness.churn_no_stale);
+    ]
+
 let write_json file (j : J.t) =
   let oc = open_out file in
   output_string oc (J.to_string j);

@@ -1,0 +1,62 @@
+(** Formatting of the paper's figures and in-text statistics from sweep
+    measurements, plus the machine-readable BENCH_*.json trajectory.
+    Every printer states what the paper reported so the output reads as
+    paper-vs-measured. *)
+
+val find :
+  Harness.measurement list ->
+  nviews:int ->
+  config:Harness.config ->
+  Harness.measurement option
+(** The grid cell for (nviews, config), when measured. *)
+
+val configs_ordered : Harness.config list
+(** The four configurations in the paper's column order (Alt&Filter
+    first). *)
+
+val figure2 : Harness.measurement list -> int list -> unit
+(** Optimization time vs. number of views, four curves. *)
+
+val figure3 : Harness.measurement list -> int list -> unit
+(** Increase in optimization time vs. time inside the view-matching
+    rule. *)
+
+val figure4 : Harness.measurement list -> int list -> unit
+(** Final plans using materialized views. *)
+
+val stats_table : Harness.measurement list -> int list -> unit
+(** The in-text statistics of section 5 (candidate fraction, pass rate,
+    substitutes per invocation/query). *)
+
+val level_table : Harness.measurement list -> int list -> unit
+(** Per-filter-tree-level pruning breakdown (Alt&Filter only). *)
+
+val level_flow_json : Harness.level_flow list -> Mv_obs.Json.t
+(** The per-level candidate flow as the ["levels"] list (also used by the
+    filter-tree bench for its own sections). *)
+
+val measurement_json : Harness.measurement -> Mv_obs.Json.t
+
+val measurements_json : Harness.measurement list -> Mv_obs.Json.t
+(** The ["measurements"] section of the trajectory, one object per grid
+    cell. *)
+
+val scaling_speedup :
+  Harness.measurement list -> Harness.measurement -> float
+(** Wall-time speedup of a row relative to the 1-domain row of the same
+    sweep (1.0 when absent or unmeasurable). *)
+
+val scaling_table : Harness.measurement list -> unit
+
+val scaling_json : Harness.measurement list -> Mv_obs.Json.t
+(** The ["scaling"] section: measurements plus their [speedup]. *)
+
+val serving_table : Harness.serving_measurement -> unit
+(** The serving benchmark: warm-vs-cold latency, hit rate, the cache
+    counters, and the churn (drop/re-add) verdicts. *)
+
+val serving_json : Harness.serving_measurement -> Mv_obs.Json.t
+(** The ["serving"] section of the trajectory. *)
+
+val write_json : string -> Mv_obs.Json.t -> unit
+(** Write one JSON document (plus trailing newline). *)

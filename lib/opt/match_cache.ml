@@ -1,0 +1,183 @@
+(** Epoch-validated, mutex-sharded LRU cache over the view-matching rule
+    and the optimizer's final plans. See the interface for the protocol;
+    the implementation notes here cover only what the types don't say.
+
+    Keys pair the query's interned table bitset (fast fingerprint, shard
+    selector) with the normalized SPJG block (exact structural identity:
+    tables, conjuncts, outputs, grouping). Both are immutable values, so
+    sharing them in a long-lived cache is safe. *)
+
+module A = Mv_relalg.Analysis
+module Spjg = Mv_relalg.Spjg
+module Bitset = Mv_util.Bitset
+module Lru = Mv_util.Lru
+module Registry = Mv_core.Registry
+
+type key = { fp : Bitset.t; block : Spjg.t }
+
+let key_of_analysis (qa : A.t) = { fp = qa.A.table_key; block = qa.A.spjg }
+
+(* Plan lookups happen before any analysis exists, so the fingerprint is
+   re-interned from the table names — lock-free after the freeze, mutex
+   slow path otherwise (the same growth path dynamic view adds use). *)
+let key_of_spjg (block : Spjg.t) =
+  {
+    fp =
+      List.fold_left
+        (fun acc tbl -> Bitset.add acc (Mv_relalg.Intern.table tbl))
+        Bitset.empty block.Spjg.tables;
+    block;
+  }
+
+type match_entry = {
+  m_epoch : int;
+  m_candidates : Mv_core.View.t list;
+  m_substitutes : Mv_core.Substitute.t list;
+}
+
+type plan_entry = {
+  plan : Plan.t;
+  cost : float;
+  rows : float;
+  used_views : bool;
+}
+
+type plan_slot = { p_epoch : int; p_entry : plan_entry }
+
+type shard = {
+  lock : Mutex.t;
+  matches : (key, match_entry) Lru.t;
+  plans : (key, plan_slot) Lru.t;
+}
+
+(* One counter record per layer; handles resolved once at [create]. *)
+type layer_counters = {
+  hits : Mv_obs.Instrument.counter;
+  misses : Mv_obs.Instrument.counter;
+  evictions : Mv_obs.Instrument.counter;
+  invalidations : Mv_obs.Instrument.counter;
+}
+
+type t = {
+  registry : Registry.t;
+  shards : shard array;
+  match_ctrs : layer_counters;
+  plan_ctrs : layer_counters;
+}
+
+let layer_counters obs layer =
+  let c suffix =
+    Mv_obs.Registry.counter obs ("cache." ^ layer ^ "." ^ suffix)
+  in
+  {
+    hits = c "hits";
+    misses = c "misses";
+    evictions = c "evictions";
+    invalidations = c "invalidations";
+  }
+
+let create ?(shards = 8) ?(capacity = 1024) registry =
+  if shards < 1 then invalid_arg "Match_cache.create: shards < 1";
+  if capacity < 1 then invalid_arg "Match_cache.create: capacity < 1";
+  let per_shard = max 1 ((capacity + shards - 1) / shards) in
+  let obs = registry.Registry.obs in
+  {
+    registry;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            matches = Lru.create ~capacity:per_shard;
+            plans = Lru.create ~capacity:per_shard;
+          });
+    match_ctrs = layer_counters obs "match";
+    plan_ctrs = layer_counters obs "plan";
+  }
+
+let registry t = t.registry
+
+let shard_for t key =
+  t.shards.(Hashtbl.hash key land max_int mod Array.length t.shards)
+
+let incr = Mv_obs.Instrument.incr
+
+(* The shared lookup/compute/store shape of both layers. [epoch_of] reads
+   the entry's stamp, [fresh] wraps a new value with the epoch observed
+   BEFORE computing — an add/drop racing the computation leaves the entry
+   stale-stamped, never stale-served. *)
+let serve t ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
+  let ep = Registry.epoch t.registry in
+  let shard = shard_for t key in
+  let cache = cache_of shard in
+  let cached =
+    Mutex.protect shard.lock (fun () ->
+        match Lru.find cache key with
+        | Some e when epoch_of e = ep -> Some e
+        | Some _ ->
+            incr ctrs.invalidations;
+            ignore (Lru.remove cache key);
+            None
+        | None -> None)
+  in
+  match cached with
+  | Some e ->
+      incr ctrs.hits;
+      e
+  | None ->
+      incr ctrs.misses;
+      let v = compute () in
+      let e = fresh ep v in
+      Mutex.protect shard.lock (fun () ->
+          match Lru.set cache key e with
+          | Some _ -> incr ctrs.evictions
+          | None -> ());
+      e
+
+let find_substitutes t (qa : A.t) =
+  let e =
+    serve t ~ctrs:t.match_ctrs
+      ~cache_of:(fun s -> s.matches)
+      (key_of_analysis qa)
+      ~epoch_of:(fun e -> e.m_epoch)
+      ~fresh:(fun ep (cands, subs) ->
+        { m_epoch = ep; m_candidates = cands; m_substitutes = subs })
+      ~compute:(fun () -> Registry.match_with_candidates t.registry qa)
+  in
+  e.m_substitutes
+
+let cached_candidates t (qa : A.t) =
+  let key = key_of_analysis qa in
+  let ep = Registry.epoch t.registry in
+  let shard = shard_for t key in
+  Mutex.protect shard.lock (fun () ->
+      match Lru.peek shard.matches key with
+      | Some e when e.m_epoch = ep -> Some e.m_candidates
+      | _ -> None)
+
+let with_plan t (block : Spjg.t) compute =
+  let e =
+    serve t ~ctrs:t.plan_ctrs
+      ~cache_of:(fun s -> s.plans)
+      (key_of_spjg block)
+      ~epoch_of:(fun s -> s.p_epoch)
+      ~fresh:(fun ep entry -> { p_epoch = ep; p_entry = entry })
+      ~compute
+  in
+  e.p_entry
+
+let stats t =
+  let obs = t.registry.Registry.obs in
+  List.filter_map
+    (fun name ->
+      if String.length name >= 6 && String.sub name 0 6 = "cache." then
+        Some (name, Mv_obs.Registry.counter_value obs name)
+      else None)
+    (Mv_obs.Registry.names obs)
+
+let clear t =
+  Array.iter
+    (fun s ->
+      Mutex.protect s.lock (fun () ->
+          Lru.clear s.matches;
+          Lru.clear s.plans))
+    t.shards

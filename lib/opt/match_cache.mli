@@ -1,0 +1,64 @@
+(** The serving-path match/plan cache: a bounded, mutex-sharded LRU from a
+    normalized query signature to (a) the view-matching rule's candidate
+    set and substitutes and (b) the optimizer's final plan, validated
+    against the owning registry's epoch ({!Mv_core.Registry.epoch}).
+
+    The signature reuses the interned keys of the analysis layer: the
+    query's table set as an {!Mv_util.Bitset} over {!Mv_relalg.Intern}
+    (a one-or-two-word fingerprint that also picks the shard) plus the
+    normalized SPJG block itself for exact structural equality — two
+    queries hit the same entry iff they normalize to the same block.
+
+    Epoch protocol: every entry is stamped with the registry epoch read
+    {e before} its value was computed. A lookup whose entry carries a
+    different epoch counts as an invalidation, drops the entry, and
+    recomputes — so a view add/drop invalidates affected entries lazily,
+    with no global flush and no stale candidate set ever served. (An entry
+    whose computation raced an add/drop is stored with the pre-mutation
+    epoch and therefore dies on its next lookup.)
+
+    Domain safety: the cache is sharded; each shard is one LRU behind one
+    mutex, and lookups hold the lock only around the table operation —
+    misses compute outside it (two domains racing on one key compute twice
+    and the later store wins, which is harmless because both computed the
+    same value at the same epoch). Counters flow through the registry's
+    obs instance: [cache.match.hits|misses|evictions|invalidations] and
+    the same under [cache.plan.*]. *)
+
+type t
+
+val create : ?shards:int -> ?capacity:int -> Mv_core.Registry.t -> t
+(** [capacity] (default 1024) bounds each layer across all [shards]
+    (default 8; per-shard capacity is the ceiling of their ratio).
+    The cache serves exactly this registry. *)
+
+val registry : t -> Mv_core.Registry.t
+
+val find_substitutes : t -> Mv_relalg.Analysis.t -> Mv_core.Substitute.t list
+(** {!Mv_core.Registry.find_substitutes} through the match layer. On a
+    fresh-epoch hit the rule does not run at all (its [rule.*] counters
+    do not advance — the cache counters do instead). *)
+
+val cached_candidates :
+  t -> Mv_relalg.Analysis.t -> Mv_core.View.t list option
+(** The candidate set stored for this query's signature, when present and
+    current — no recompute, no counter movement (tests, diagnostics). *)
+
+(** What the plan layer stores: the fields of {!Optimizer.result}, which
+    lives above this module. *)
+type plan_entry = {
+  plan : Plan.t;
+  cost : float;
+  rows : float;
+  used_views : bool;
+}
+
+val with_plan : t -> Mv_relalg.Spjg.t -> (unit -> plan_entry) -> plan_entry
+(** Serve the query from the plan layer, or compute, store and return.
+    The computation runs outside the shard lock. *)
+
+val stats : t -> (string * int) list
+(** The eight [cache.*] counters, sorted by name. *)
+
+val clear : t -> unit
+(** Empty every shard (counters are left alone). *)

@@ -211,7 +211,7 @@ let safe_preagg (qa : A.t) schema remaining =
         keys)
     remaining
 
-let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
+let optimize_body ~(config : config) ?cache (registry : Mv_core.Registry.t)
     (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
   let schema = registry.Mv_core.Registry.schema in
   let obs = registry.Mv_core.Registry.obs in
@@ -244,10 +244,16 @@ let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
         Hashtbl.add analyses key a;
         a
   in
+  (* the view-matching rule, through the match cache when serving *)
+  let find_subs qa =
+    match cache with
+    | Some c -> Match_cache.find_substitutes c qa
+    | None -> Mv_core.Registry.find_substitutes registry qa
+  in
   (* invoke the view-matching rule on a block; returns leaf plans *)
   let rule_leaves block =
     Mv_obs.Instrument.incr (octr "subexpressions");
-    let subs = Mv_core.Registry.find_substitutes registry (analyze block) in
+    let subs = find_subs (analyze block) in
     if config.produce_substitutes then
       List.map (view_leaf schema stats block) subs
     else []
@@ -380,7 +386,7 @@ let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
       List.iter consider
         (let subs =
            Mv_obs.Instrument.incr (octr "subexpressions");
-           Mv_core.Registry.find_substitutes registry qa
+           find_subs qa
          in
          if config.produce_substitutes then begin
            agg_considered := !agg_considered + List.length subs;
@@ -558,13 +564,42 @@ let optimize_body ~(config : config) (registry : Mv_core.Registry.t)
         used_views = Plan.uses_view plan;
       }
 
-let optimize ?(config = default_config) (registry : Mv_core.Registry.t)
-    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
+let optimize ?(config = default_config) ?cache
+    (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
+    (query : Spjg.t) : result =
+  (match cache with
+  | Some c when Match_cache.registry c != registry ->
+      invalid_arg "Optimizer.optimize: cache belongs to another registry"
+  | _ -> ());
   let obs = registry.Mv_core.Registry.obs in
   let r =
     Mv_obs.Instrument.time
       (Mv_obs.Registry.timer obs "optimizer.time")
-      (fun () -> optimize_body ~config registry stats query)
+      (fun () ->
+        match cache with
+        | None -> optimize_body ~config registry stats query
+        | Some c ->
+            (* plan layer: a warm hit skips enumeration and matching
+               entirely; a miss runs the normal exploration with the rule
+               routed through the match layer *)
+            let e =
+              Match_cache.with_plan c query (fun () ->
+                  let r =
+                    optimize_body ~config ~cache:c registry stats query
+                  in
+                  {
+                    Match_cache.plan = r.plan;
+                    cost = r.cost;
+                    rows = r.rows;
+                    used_views = r.used_views;
+                  })
+            in
+            {
+              plan = e.Match_cache.plan;
+              cost = e.Match_cache.cost;
+              rows = e.Match_cache.rows;
+              used_views = e.Match_cache.used_views;
+            })
   in
   Mv_obs.Instrument.incr (Mv_obs.Registry.counter obs "optimizer.calls");
   if r.used_views then

@@ -20,7 +20,15 @@ type result = {
 
 val optimize :
   ?config:config ->
+  ?cache:Match_cache.t ->
   Mv_core.Registry.t ->
   Mv_catalog.Stats.t ->
   Mv_relalg.Spjg.t ->
   result
+(** With [cache] (which must belong to [registry] — checked by physical
+    equality), the final plan is served from the epoch-validated plan
+    layer when warm, and on a cold pass the view-matching rule runs
+    through the match layer, so repeated queries skip both enumeration
+    and matching. Identical results either way, except that cache hits do
+    not advance the [rule.*] / [optimizer.*] exploration counters
+    ([optimizer.calls] and [optimizer.plans.using_views] always move). *)

@@ -1,0 +1,89 @@
+(** Bounded LRU map: a polymorphic hash table over nodes of a doubly-linked
+    recency list. [first] is the most recently used node, [last] the least.
+    All operations are O(1) expected. *)
+
+type ('k, 'v) node = {
+  nkey : 'k;
+  mutable nvalue : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable first : ('k, 'v) node option;
+  mutable last : ('k, 'v) node option;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { capacity; tbl = Hashtbl.create (min 64 (capacity + 1)); first = None; last = None }
+
+let capacity t = t.capacity
+
+let length t = Hashtbl.length t.tbl
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.first <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.last <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let link_front t n =
+  n.next <- t.first;
+  n.prev <- None;
+  (match t.first with Some f -> f.prev <- Some n | None -> t.last <- Some n);
+  t.first <- Some n
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      link_front t n;
+      Some n.nvalue
+
+let peek t k =
+  match Hashtbl.find_opt t.tbl k with None -> None | Some n -> Some n.nvalue
+
+let mem t k = Hashtbl.mem t.tbl k
+
+let set t k v =
+  match Hashtbl.find_opt t.tbl k with
+  | Some n ->
+      n.nvalue <- v;
+      unlink t n;
+      link_front t n;
+      None
+  | None ->
+      let n = { nkey = k; nvalue = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k n;
+      link_front t n;
+      if Hashtbl.length t.tbl <= t.capacity then None
+      else
+        match t.last with
+        | None -> None (* unreachable: capacity >= 1 and the table is over it *)
+        | Some lru ->
+            unlink t lru;
+            Hashtbl.remove t.tbl lru.nkey;
+            Some (lru.nkey, lru.nvalue)
+
+let remove t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> false
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.tbl k;
+      true
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.first <- None;
+  t.last <- None
+
+let fold f t acc =
+  let rec go n acc =
+    match n with None -> acc | Some n -> go n.next (f n.nkey n.nvalue acc)
+  in
+  go t.first acc

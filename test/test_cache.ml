@@ -1,0 +1,185 @@
+(** Match/plan cache tests.
+
+    The differential suite ([par_cache], picked up by the @runtest-quick
+    alias alongside the parallel harness smoke) drives a 200-query workload
+    through the optimizer with the cache on and off, sequentially and
+    sharded over domains: the plans must be byte-identical in every
+    configuration. MVIEW_PAR_QUICK shrinks the workload and the domain
+    grid.
+
+    The unit suite ([cache]) covers the layers directly: match-layer
+    hit/miss accounting, epoch invalidation after a drop (never a stale
+    candidate set), eviction under a tiny capacity, and the
+    cache/registry-pairing guard. *)
+
+module H = Mv_experiments.Harness
+module Pool = Mv_experiments.Pool
+module R = Mv_core.Registry
+module MC = Mv_opt.Match_cache
+module Opt = Mv_opt.Optimizer
+module A = Mv_relalg.Analysis
+
+let quick = Sys.getenv_opt "MVIEW_PAR_QUICK" <> None
+
+(* The differential workload: 200 queries in the full run, per the
+   acceptance spec; a fraction of that under the quick alias. *)
+let big =
+  lazy (H.make_workload ~nviews:100 ~nqueries:(if quick then 40 else 200) ())
+
+(* A small private workload for the unit tests. *)
+let small = lazy (H.make_workload ~nviews:40 ~nqueries:12 ())
+
+let setup ?shards ?capacity (w : H.workload) ~nviews =
+  let reg = R.create w.H.schema in
+  List.iter (R.add_prebuilt reg) (H.take nviews w.H.views);
+  Mv_relalg.Intern.freeze ();
+  (reg, MC.create ?shards ?capacity reg)
+
+let pass ?cache ?(domains = 1) reg (w : H.workload) =
+  let queries = Array.of_list w.H.queries in
+  Pool.map_chunked ~domains (Array.length queries) (fun i ->
+      let r = Opt.optimize ?cache reg w.H.stats queries.(i) in
+      ( Mv_opt.Plan.to_string r.Opt.plan,
+        Mv_opt.Plan.views_used r.Opt.plan ))
+
+let counter cache name =
+  match List.assoc_opt name (MC.stats cache) with Some n -> n | None -> 0
+
+(* ---------------------------------------------------------------- *)
+(* Differential: cached == uncached, at 1 and 4 domains             *)
+(* ---------------------------------------------------------------- *)
+
+let test_differential () =
+  let w = Lazy.force big in
+  let reg, cache = setup w ~nviews:100 in
+  let baseline = pass reg w in
+  Alcotest.(check bool) "workload exercises the views" true
+    (List.exists (fun (_, used) -> used <> []) baseline);
+  List.iter
+    (fun domains ->
+      let label what = Printf.sprintf "%s (%d domains)" what domains in
+      let cold = pass ~cache ~domains reg w in
+      let warm = pass ~cache ~domains reg w in
+      Alcotest.(check bool)
+        (label "cold cached pass == uncached") true (cold = baseline);
+      Alcotest.(check bool)
+        (label "warm cached pass == uncached") true (warm = baseline))
+    (if quick then [ 1; 2 ] else [ 1; 4 ]);
+  Alcotest.(check bool) "the warm passes actually hit" true
+    (counter cache "cache.plan.hits" > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Unit tests                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_match_layer_accounting () =
+  let w = Lazy.force small in
+  let reg, cache = setup w ~nviews:40 in
+  let qa = A.analyze w.H.schema (List.hd w.H.queries) in
+  Alcotest.(check bool) "nothing cached yet" true
+    (MC.cached_candidates cache qa = None);
+  let subs1 = MC.find_substitutes cache qa in
+  Alcotest.(check int) "first lookup misses" 1
+    (counter cache "cache.match.misses");
+  let subs2 = MC.find_substitutes cache qa in
+  Alcotest.(check int) "second lookup hits" 1
+    (counter cache "cache.match.hits");
+  let sql = List.map Mv_core.Substitute.to_sql in
+  Alcotest.(check (list string)) "hit serves the stored substitutes"
+    (sql subs1) (sql subs2);
+  match MC.cached_candidates cache qa with
+  | None -> Alcotest.fail "candidate set not cached"
+  | Some cands ->
+      let names vs =
+        List.sort compare (List.map (fun v -> v.Mv_core.View.name) vs)
+      in
+      Alcotest.(check (list string))
+        "cached candidate set == the rule's"
+        (names (R.candidates reg qa))
+        (names cands)
+
+(* A drop between passes must invalidate (counters move) and the next
+   cached pass must agree with uncached optimization against the mutated
+   registry — in particular, no plan may still use the dropped view. *)
+let test_drop_invalidates_never_stale () =
+  let w = Lazy.force small in
+  let reg, cache = setup w ~nviews:40 in
+  let cold = pass ~cache reg w in
+  let dropped =
+    match List.concat_map (fun (_, used) -> used) cold with
+    | name :: _ -> name
+    | [] -> Alcotest.fail "workload never used a view; test is vacuous"
+  in
+  let inval () =
+    counter cache "cache.plan.invalidations"
+    + counter cache "cache.match.invalidations"
+  in
+  let before = inval () in
+  R.remove_view reg dropped;
+  let cached = pass ~cache reg w in
+  let direct = pass reg w in
+  Alcotest.(check bool) "post-drop cached pass == uncached" true
+    (cached = direct);
+  Alcotest.(check bool) "the drop invalidated entries" true
+    (inval () > before);
+  List.iter
+    (fun (_, used) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "no plan still uses %s" dropped)
+        false
+        (List.mem dropped used))
+    cached
+
+let test_eviction_under_tiny_capacity () =
+  let w = Lazy.force small in
+  let reg, cache = setup ~shards:1 ~capacity:2 w ~nviews:40 in
+  let baseline = pass reg w in
+  let first = pass ~cache reg w in
+  let second = pass ~cache reg w in
+  (* 12 distinct queries through a 2-entry cache must evict... *)
+  Alcotest.(check bool) "evictions happened" true
+    (counter cache "cache.plan.evictions" > 0);
+  (* ...and never change an answer *)
+  Alcotest.(check bool) "first pass correct under thrash" true
+    (first = baseline);
+  Alcotest.(check bool) "second pass correct under thrash" true
+    (second = baseline)
+
+let test_cache_registry_pairing () =
+  let w = Lazy.force small in
+  let _, cache = setup w ~nviews:10 in
+  let other = R.create w.H.schema in
+  Alcotest.check_raises "cache from another registry is rejected"
+    (Invalid_argument "Optimizer.optimize: cache belongs to another registry")
+    (fun () ->
+      ignore (Opt.optimize ~cache other w.H.stats (List.hd w.H.queries)))
+
+let test_clear () =
+  let w = Lazy.force small in
+  let _, cache = setup w ~nviews:10 in
+  let qa = A.analyze w.H.schema (List.hd w.H.queries) in
+  ignore (MC.find_substitutes cache qa);
+  Alcotest.(check bool) "cached" true (MC.cached_candidates cache qa <> None);
+  MC.clear cache;
+  Alcotest.(check bool) "cleared" true (MC.cached_candidates cache qa = None)
+
+let suite =
+  [
+    ( "par_cache",
+      [
+        Alcotest.test_case "cache on/off differential, 1 and 4 domains"
+          `Quick test_differential;
+      ] );
+    ( "cache",
+      [
+        Alcotest.test_case "match layer hit/miss accounting" `Quick
+          test_match_layer_accounting;
+        Alcotest.test_case "drop invalidates; nothing stale" `Quick
+          test_drop_invalidates_never_stale;
+        Alcotest.test_case "eviction under capacity 2" `Quick
+          test_eviction_under_tiny_capacity;
+        Alcotest.test_case "cache must belong to the registry" `Quick
+          test_cache_registry_pairing;
+        Alcotest.test_case "clear empties the shards" `Quick test_clear;
+      ] );
+  ]

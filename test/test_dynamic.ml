@@ -1,0 +1,191 @@
+(** Dynamic-registry tests: the epoch protocol and the model-based sweep.
+
+    The model: a registry mutated in place by interleaved add/drop ops must
+    be indistinguishable — identical candidate sets and substitutes — from
+    a registry rebuilt from scratch over the currently-live views after
+    every step. qcheck generates the op sequences and shrinks failures to a
+    minimal interleaving.
+
+    The suite is named with a [prop_] prefix so the @runtest-quick alias
+    picks it up (MVIEW_QCHECK_COUNT shrinks the case count). *)
+
+module H = Mv_experiments.Harness
+module R = Mv_core.Registry
+module FT = Mv_core.Filter_tree
+module A = Mv_relalg.Analysis
+
+(* A small shared pool of views and queries; ops index into it. *)
+let nviews = 30
+
+let nqueries = 8
+
+let wl = lazy (H.make_workload ~nviews ~nqueries ())
+
+let view_name (v : Mv_core.View.t) = v.Mv_core.View.name
+
+let nth_view i = List.nth (Lazy.force wl).H.views (i mod nviews)
+
+let nth_query j = List.nth (Lazy.force wl).H.queries (j mod nqueries)
+
+let analyses =
+  lazy
+    (let w = Lazy.force wl in
+     List.map (A.analyze w.H.schema) w.H.queries)
+
+(* Candidate sets as sorted name lists: the incrementally-mutated tree may
+   enumerate in a different order than a scratch-built one, and order is
+   not part of the spec — the SET is. *)
+let candidate_names reg qa =
+  List.sort compare (List.map view_name (R.candidates reg qa))
+
+let substitute_sqls reg qa =
+  List.sort compare
+    (List.map Mv_core.Substitute.to_sql (R.find_substitutes reg qa))
+
+let scratch_of views =
+  let w = Lazy.force wl in
+  let reg = R.create w.H.schema in
+  List.iter (R.add_prebuilt reg) views;
+  reg
+
+(* ---------------------------------------------------------------- *)
+(* The model-based property                                         *)
+(* ---------------------------------------------------------------- *)
+
+type op = Add of int | Drop of int | Query of int
+
+let op_of_pair (k, i) =
+  match k mod 3 with 0 -> Add i | 1 -> Drop i | _ -> Query i
+
+let show_op = function
+  | Add i -> Printf.sprintf "Add %d" (i mod nviews)
+  | Drop i -> Printf.sprintf "Drop %d" (i mod nviews)
+  | Query j -> Printf.sprintf "Query %d" (j mod nqueries)
+
+(* Apply one op to both the dynamic registry and the model (the list of
+   live views, in registration order); on [Query], the dynamic registry
+   must agree with a scratch rebuild of the model. *)
+let check_sequence pairs =
+  let ops = List.map op_of_pair pairs in
+  let w = Lazy.force wl in
+  let reg = R.create w.H.schema in
+  let live = ref [] in
+  let fail op fmt =
+    Printf.ksprintf
+      (fun msg ->
+        QCheck.Test.fail_reportf "after %s (live=%d): %s" (show_op op)
+          (List.length !live) msg)
+      fmt
+  in
+  let step op =
+    (match op with
+    | Add i ->
+        let v = nth_view i in
+        if not (List.exists (fun u -> view_name u = view_name v) !live) then (
+          R.add_prebuilt reg v;
+          live := !live @ [ v ])
+    | Drop i ->
+        let name = view_name (nth_view i) in
+        R.remove_view reg name;
+        live := List.filter (fun u -> view_name u <> name) !live
+    | Query _ -> ());
+    if R.view_count reg <> List.length !live then
+      fail op "view_count %d <> model %d" (R.view_count reg)
+        (List.length !live);
+    match op with
+    | Query j ->
+        let qa = List.nth (Lazy.force analyses) (j mod nqueries) in
+        let fresh = scratch_of !live in
+        let dyn_c = candidate_names reg qa
+        and ref_c = candidate_names fresh qa in
+        if dyn_c <> ref_c then
+          fail op "candidates {%s} <> scratch {%s}"
+            (String.concat "," dyn_c) (String.concat "," ref_c);
+        if substitute_sqls reg qa <> substitute_sqls fresh qa then
+          fail op "substitutes differ from scratch rebuild"
+    | Add _ | Drop _ -> ()
+  in
+  List.iter step ops;
+  (* final sweep: every query agrees with a full rebuild *)
+  let fresh = scratch_of !live in
+  List.iteri
+    (fun j qa ->
+      if candidate_names reg qa <> candidate_names fresh qa then
+        QCheck.Test.fail_reportf
+          "final state: query %d candidates differ from scratch rebuild" j)
+    (Lazy.force analyses);
+  true
+
+let model_prop =
+  QCheck.Test.make
+    ~name:"dynamic registry: add/drop interleavings match scratch rebuilds"
+    ~count:(Helpers.qcheck_count 30)
+    QCheck.(list_of_size (Gen.int_range 0 25) (pair small_nat small_nat))
+    check_sequence
+
+(* ---------------------------------------------------------------- *)
+(* Epoch protocol units                                             *)
+(* ---------------------------------------------------------------- *)
+
+let test_epoch_protocol () =
+  let w = Lazy.force wl in
+  let reg = R.create w.H.schema in
+  Alcotest.(check int) "empty registry is epoch 0" 0 (R.epoch reg);
+  let v = List.hd w.H.views in
+  R.add_prebuilt reg v;
+  Alcotest.(check int) "add bumps the epoch" 1 (R.epoch reg);
+  R.remove_view reg "no_such_view";
+  Alcotest.(check int) "unknown drop is a no-op" 1 (R.epoch reg);
+  R.remove_view reg (view_name v);
+  Alcotest.(check int) "drop bumps the epoch" 2 (R.epoch reg);
+  R.remove_view reg (view_name v);
+  Alcotest.(check int) "re-drop is a no-op" 2 (R.epoch reg);
+  R.add_prebuilt reg v;
+  Alcotest.(check int) "re-add bumps again" 3 (R.epoch reg)
+
+let test_duplicate_add_raises () =
+  let w = Lazy.force wl in
+  let reg = R.create w.H.schema in
+  let v = List.hd w.H.views in
+  R.add_prebuilt reg v;
+  let epoch_before = R.epoch reg in
+  Alcotest.check_raises "duplicate add"
+    (R.Duplicate_view (view_name v))
+    (fun () -> R.add_prebuilt reg v);
+  Alcotest.(check int) "failed add leaves the epoch alone" epoch_before
+    (R.epoch reg)
+
+(* Removing every view must return the filter tree to its empty-tree node
+   count: emptied lattice keys are deleted in place, so churn never
+   accumulates dead index nodes. *)
+let test_tree_prunes_to_baseline () =
+  let w = Lazy.force wl in
+  let reg = R.create w.H.schema in
+  let views = H.take 20 w.H.views in
+  let baseline = FT.stats reg.R.tree in
+  List.iter (R.add_prebuilt reg) views;
+  Alcotest.(check bool) "indexing grew the tree" true
+    (FT.stats reg.R.tree > baseline);
+  List.iter (fun v -> R.remove_view reg (view_name v)) views;
+  Alcotest.(check int) "all views gone" 0 (R.view_count reg);
+  Alcotest.(check int) "lattice nodes pruned back to baseline" baseline
+    (FT.stats reg.R.tree);
+  (* and the emptied tree yields no candidates *)
+  List.iter
+    (fun qa ->
+      Alcotest.(check int) "no candidates from an emptied registry" 0
+        (List.length (R.candidates reg qa)))
+    (Lazy.force analyses)
+
+let suite =
+  [
+    ( "prop_dynamic",
+      [
+        Helpers.qtest model_prop;
+        Alcotest.test_case "epoch protocol" `Quick test_epoch_protocol;
+        Alcotest.test_case "duplicate add raises, no epoch bump" `Quick
+          test_duplicate_add_raises;
+        Alcotest.test_case "drop prunes lattice nodes to baseline" `Quick
+          test_tree_prunes_to_baseline;
+      ] );
+  ]

@@ -89,6 +89,67 @@ let test_sweep_covers_grid () =
   in
   Alcotest.(check int) "grid size" 4 (List.length ms)
 
+(* ---- Pool.chunk_bounds edge cases ---- *)
+
+module Pool = Mv_experiments.Pool
+
+let bounds = Alcotest.(list (pair int int))
+
+let test_chunk_bounds_edges () =
+  Alcotest.(check bounds) "zero items: one empty chunk" [ (0, 0) ]
+    (Pool.chunk_bounds ~domains:4 0);
+  Alcotest.(check bounds) "one item, many domains" [ (0, 1) ]
+    (Pool.chunk_bounds ~domains:4 1);
+  Alcotest.(check bounds) "one domain takes everything" [ (0, 5) ]
+    (Pool.chunk_bounds ~domains:1 5);
+  (* more domains than items: one chunk per item, never an empty chunk *)
+  Alcotest.(check bounds) "3 items over 8 domains"
+    [ (0, 1); (1, 2); (2, 3) ]
+    (Pool.chunk_bounds ~domains:8 3);
+  (* a non-dividing split leans the remainder onto the leading chunks *)
+  Alcotest.(check bounds) "10 items over 4 domains"
+    [ (0, 3); (3, 6); (6, 8); (8, 10) ]
+    (Pool.chunk_bounds ~domains:4 10)
+
+(* The invariants behind those examples, swept over a grid: the chunks
+   partition [0, n) contiguously and in order, sizes differ by at most
+   one, and the chunk count is min(domains, n) (one empty chunk when
+   n = 0). Catches the classic lo/hi off-by-one at chunk boundaries. *)
+let test_chunk_bounds_invariants () =
+  for domains = 1 to 9 do
+    for n = 0 to 40 do
+      let label fmt = Printf.ksprintf (fun s ->
+          Printf.sprintf "d=%d n=%d: %s" domains n s) fmt
+      in
+      let chunks = Pool.chunk_bounds ~domains n in
+      Alcotest.(check int) (label "chunk count")
+        (if n = 0 then 1 else min domains n)
+        (List.length chunks);
+      let sizes = List.map (fun (lo, hi) -> hi - lo) chunks in
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) (label "no negative chunk") true (s >= 0))
+        sizes;
+      (match (List.sort compare sizes, n) with
+      | _, 0 -> ()
+      | smallest :: _, _ ->
+          let largest = List.fold_left max smallest sizes in
+          Alcotest.(check bool) (label "sizes differ by at most one") true
+            (largest - smallest <= 1)
+      | [], _ -> Alcotest.fail (label "no chunks"));
+      (* contiguous partition: starts at 0, each hi is the next lo, ends
+         at n *)
+      let final =
+        List.fold_left
+          (fun expected_lo (lo, hi) ->
+            Alcotest.(check int) (label "contiguous at %d" lo) expected_lo lo;
+            hi)
+          0 chunks
+      in
+      Alcotest.(check int) (label "covers [0, n)") n final
+    done
+  done
+
 let suite =
   [
     ( "experiments",
@@ -102,5 +163,9 @@ let suite =
         Alcotest.test_case "more views, more view plans" `Quick
           test_more_views_more_plans;
         Alcotest.test_case "sweep covers the grid" `Quick test_sweep_covers_grid;
+        Alcotest.test_case "chunk_bounds edge cases" `Quick
+          test_chunk_bounds_edges;
+        Alcotest.test_case "chunk_bounds invariants over a grid" `Quick
+          test_chunk_bounds_invariants;
       ] );
   ]

@@ -11,4 +11,4 @@ let () =
    @ Test_experiments.suite @ Test_disjunction.suite @ Test_invariants.suite
    @ Test_dimension_hierarchy.suite @ Test_obs.suite
    @ Test_prop_equivalence.suite @ Test_prop_filter.suite
-   @ Test_parallel.suite)
+   @ Test_parallel.suite @ Test_dynamic.suite @ Test_cache.suite)

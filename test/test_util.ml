@@ -207,6 +207,94 @@ let symbol_dense_prop =
            strs ids
       && List.for_all (fun i -> i >= 0 && i < Mv_util.Symbol.size d) ids)
 
+(* ---- bounded LRU ---- *)
+
+module Lru = Mv_util.Lru
+
+(* bindings most-recently-used first, like the fold order *)
+let lru_entries l = List.rev (Lru.fold (fun k v acc -> (k, v) :: acc) l [])
+
+let test_lru_basics () =
+  Alcotest.check_raises "capacity must be positive"
+    (Invalid_argument "Lru.create: capacity < 1") (fun () ->
+      ignore (Lru.create ~capacity:0));
+  let l = Lru.create ~capacity:3 in
+  Alcotest.(check int) "capacity" 3 (Lru.capacity l);
+  Alcotest.(check (option int)) "empty find" None (Lru.find l "a");
+  Alcotest.(check bool) "insert under capacity evicts nothing" true
+    (Lru.set l "a" 1 = None && Lru.set l "b" 2 = None && Lru.set l "c" 3 = None);
+  Alcotest.(check int) "length" 3 (Lru.length l);
+  Alcotest.(check (option (pair string int))) "overflow evicts the LRU"
+    (Some ("a", 1))
+    (Lru.set l "d" 4);
+  Alcotest.(check int) "length stays at capacity" 3 (Lru.length l);
+  Alcotest.(check bool) "evicted key gone" false (Lru.mem l "a");
+  Alcotest.(check (option int)) "survivor intact" (Some 2) (Lru.find l "b")
+
+let test_lru_recency () =
+  let l = Lru.create ~capacity:3 in
+  List.iter (fun (k, v) -> ignore (Lru.set l k v)) [ ("a", 1); ("b", 2); ("c", 3) ];
+  (* a find promotes: "a" is now the most recent, so "b" is the victim *)
+  ignore (Lru.find l "a");
+  Alcotest.(check (option (pair string int))) "find protects from eviction"
+    (Some ("b", 2))
+    (Lru.set l "d" 4);
+  (* a peek must NOT promote: "c" (older than "a") is the next victim *)
+  ignore (Lru.peek l "a");
+  Alcotest.(check (option (pair string int))) "peek does not promote"
+    (Some ("c", 3))
+    (Lru.set l "e" 5)
+
+let test_lru_replace_remove () =
+  let l = Lru.create ~capacity:2 in
+  ignore (Lru.set l "a" 1);
+  ignore (Lru.set l "b" 2);
+  Alcotest.(check (option (pair string int))) "replace evicts nothing" None
+    (Lru.set l "a" 10);
+  Alcotest.(check (option int)) "replace updates" (Some 10) (Lru.find l "a");
+  Alcotest.(check bool) "remove present" true (Lru.remove l "b");
+  Alcotest.(check bool) "remove absent" false (Lru.remove l "b");
+  Alcotest.(check int) "one left" 1 (Lru.length l);
+  Lru.clear l;
+  Alcotest.(check int) "cleared" 0 (Lru.length l);
+  Alcotest.(check (option int)) "cleared find" None (Lru.find l "a")
+
+(* Model check: a capacity-c LRU behaves like a list of bindings kept in
+   recency order, truncated to c. Ops shrink to minimal failing traces. *)
+let lru_model_prop =
+  QCheck.Test.make ~name:"lru: agrees with a recency-list model"
+    ~count:(Helpers.qcheck_count 300)
+    QCheck.(
+      pair (int_range 1 5)
+        (list_of_size (Gen.int_range 0 40)
+           (pair (int_bound 2) (pair (int_bound 7) small_nat))))
+    (fun (cap, ops) ->
+      let l = Lru.create ~capacity:cap in
+      let model = ref [] in
+      List.iter
+        (fun (kind, (k, v)) ->
+          match kind with
+          | 0 ->
+              ignore (Lru.set l k v);
+              let without = List.remove_assoc k !model in
+              model := (k, v) :: List.filteri (fun i _ -> i < cap - 1) without
+          | 1 -> (
+              match (Lru.find l k, List.assoc_opt k !model) with
+              | None, None -> ()
+              | Some v', Some vm when v' = vm ->
+                  model := (k, vm) :: List.remove_assoc k !model
+              | got, want ->
+                  QCheck.Test.fail_reportf "find %d: lru=%s model=%s" k
+                    (match got with None -> "None" | Some v -> string_of_int v)
+                    (match want with None -> "None" | Some v -> string_of_int v))
+          | _ ->
+              let was = Lru.remove l k in
+              if was <> List.mem_assoc k !model then
+                QCheck.Test.fail_reportf "remove %d disagrees" k;
+              model := List.remove_assoc k !model)
+        ops;
+      lru_entries l = !model && Lru.length l = List.length !model)
+
 let suite =
   [
     ( "util",
@@ -225,5 +313,11 @@ let suite =
         Alcotest.test_case "bitset basics" `Quick test_bitset_basics;
         Alcotest.test_case "symbol interner" `Quick test_symbol_interner;
         Helpers.qtest symbol_dense_prop;
+        Alcotest.test_case "lru basics and eviction" `Quick test_lru_basics;
+        Alcotest.test_case "lru recency: find promotes, peek does not" `Quick
+          test_lru_recency;
+        Alcotest.test_case "lru replace, remove, clear" `Quick
+          test_lru_replace_remove;
+        Helpers.qtest lru_model_prop;
       ] );
   ]
