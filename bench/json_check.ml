@@ -4,6 +4,7 @@
       json_check.exe --contains FILE STRING ... # raw substring checks
       json_check.exe --compare FRESH BASELINE \
         [--tolerance F] [--structure-only] \
+        [--percentile-tolerance F] \
         [--ignore KEY]...                       # fresh run vs committed
 
     Path segments are object fields; a numeric segment indexes a list.
@@ -14,7 +15,12 @@
     [--structure-only], numeric [wall_time_s] leaves are also compared:
     fresh must not exceed baseline by more than the relative tolerance
     (default 0.5, i.e. +50%), with a 1ms absolute slack so micro-timings
-    don't flap. Object fields named by [--ignore] (repeatable) are skipped
+    don't flap. With [--percentile-tolerance F] the [p50_s]/[p90_s]/[p99_s]
+    percentile leaves are compared the same way against their own relative
+    tolerance F (plus a 0.5ms absolute slack) — this check is independent
+    of [--structure-only], so CI can gate percentiles while skipping the
+    host-dependent batch wall times.
+    Object fields named by [--ignore] (repeatable) are skipped
     entirely — neither required nor compared — so machine-dependent
     additions (the [domains]/[scaling]/[speedup] fields of the multicore
     sweep) don't destabilize baseline gating on differently sized hosts.
@@ -66,12 +72,14 @@ let num = function
    differ in length. Numeric [wall_time_s] leaves are timing-checked unless
    [structure_only]. Returns failure messages (empty = pass) and the number
    of paths visited. *)
-let compare_trees ~structure_only ~tolerance ~ignored fresh baseline =
+let compare_trees ~structure_only ~tolerance ~percentile_tolerance ~ignored
+    fresh baseline =
   let errors = ref [] in
   let checked = ref 0 in
   let err path fmt =
     Printf.ksprintf (fun m -> errors := (path ^ ": " ^ m) :: !errors) fmt
   in
+  let percentile_key k = k = "p50_s" || k = "p90_s" || k = "p99_s" in
   let rec go path b f =
     incr checked;
     match (b, f) with
@@ -95,6 +103,17 @@ let compare_trees ~structure_only ~tolerance ~ignored fresh baseline =
                     err p "wall-time regression: %.6fs vs baseline %.6fs (>%+.0f%%)"
                       ft bt (tolerance *. 100.)
                 end;
+                (match percentile_tolerance with
+                | Some ptol
+                  when percentile_key k && num bv <> None && num fv <> None ->
+                    let bt = Option.get (num bv)
+                    and ft = Option.get (num fv) in
+                    if ft > (bt *. (1.0 +. ptol)) +. 0.0005 then
+                      err p
+                        "percentile regression: %.6fs vs baseline %.6fs \
+                         (>%+.0f%%)"
+                        ft bt (ptol *. 100.)
+                | _ -> ());
                 go p bv fv)
           bfields
     | J.List (b0 :: _), J.List (f0 :: _) -> go (path ^ ".0") b0 f0
@@ -122,6 +141,17 @@ let () =
         in
         find opts
       in
+      let percentile_tolerance =
+        let rec find = function
+          | "--percentile-tolerance" :: v :: _ -> (
+              match float_of_string_opt v with
+              | Some f when f >= 0.0 -> Some f
+              | _ -> fail "--percentile-tolerance: bad value %S" v)
+          | _ :: rest -> find rest
+          | [] -> None
+        in
+        find opts
+      in
       let ignored =
         let rec collect = function
           | "--ignore" :: k :: rest -> k :: collect rest
@@ -137,7 +167,8 @@ let () =
       in
       let fresh = parse fresh_file and baseline = parse baseline_file in
       let errors, checked =
-        compare_trees ~structure_only ~tolerance ~ignored fresh baseline
+        compare_trees ~structure_only ~tolerance ~percentile_tolerance ~ignored
+          fresh baseline
       in
       if errors <> [] then begin
         List.iter prerr_endline errors;
@@ -180,5 +211,5 @@ let () =
       prerr_endline
         "usage: json_check.exe FILE key... | json_check.exe --contains FILE \
          str... | json_check.exe --compare FRESH BASELINE [--tolerance F] \
-         [--structure-only] [--ignore KEY]...";
+         [--percentile-tolerance F] [--structure-only] [--ignore KEY]...";
       exit 1

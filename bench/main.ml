@@ -18,7 +18,8 @@
 let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
-    \       [--ablation] [--filtertree] [--levels] [--serving] [--json FILE]\n\
+    \       [--ablation] [--filtertree] [--levels] [--serving] [--whynot]\n\
+    \       [--json FILE]\n\
     \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]";
   exit 1
 
@@ -31,6 +32,7 @@ type what = {
   levels : bool;
   scaling : bool;
   serving : bool;
+  whynot : bool;
 }
 
 let () =
@@ -56,6 +58,7 @@ let () =
             levels = false;
             scaling = false;
             serving = false;
+            whynot = false;
           }
     in
     sel := Some (w cur)
@@ -96,6 +99,9 @@ let () =
     | "--serving" :: rest ->
         add_sel (fun s -> { s with serving = true });
         parse rest
+    | "--whynot" :: rest ->
+        add_sel (fun s -> { s with whynot = true });
+        parse rest
     | "--passes" :: n :: rest ->
         passes := max 1 (int_of_string n);
         parse rest
@@ -132,6 +138,7 @@ let () =
             levels = true;
             scaling = true;
             serving = true;
+            whynot = true;
           }
         else
           {
@@ -143,6 +150,7 @@ let () =
             levels = true;
             scaling = false;
             serving = true;
+            whynot = true;
           }
   in
   let nviews_list =
@@ -155,6 +163,7 @@ let () =
   let need_sweep = what.figures <> [] || what.stats || what.ablation || what.levels in
   let need_workload =
     need_sweep || what.filtertree || what.scaling || what.serving
+    || what.whynot
   in
   let w =
     if need_workload then begin
@@ -219,6 +228,18 @@ let () =
       prerr_endline "serving benchmark: cache served a wrong or stale plan";
       exit 3
     end
+  end;
+  if what.whynot then begin
+    (* aggregate rejection provenance: every (query, view) pair of the
+       workload attributed to matched / a filter-tree stage / a matcher
+       rejection label, via Registry.explain *)
+    let w = Option.get w in
+    let nq = List.length w.Mv_experiments.Harness.queries in
+    let causes = Mv_experiments.Harness.whynot w ~nviews:!max_views in
+    Mv_experiments.Report.whynot_table ~nviews:!max_views ~nqueries:nq causes;
+    add_section "whynot"
+      (Mv_experiments.Report.whynot_json ~nviews:!max_views ~nqueries:nq
+         causes)
   end;
   if what.filtertree then
     add_section "filter_tree"

@@ -4,6 +4,11 @@
       parse    parse a statement and print its normalized SPJG form
       match    match a query against one or more view definitions
       explain  optimize a query against registered views, print the plan
+               (--trace / --trace-out FILE record the optimization as a
+               span tree, exportable as Chrome/Perfetto trace_event JSON)
+      why-not  explain why a specific view was not used for a query: the
+               exact filter-tree stage that pruned it or the matcher's
+               rejection reason
       bench    measure batch optimization, optionally over several domains
       cache-stats  serve repeated queries through the match/plan cache and
                print its counters (hit/miss/eviction/invalidation)
@@ -161,7 +166,25 @@ let explain_cmd =
              filter-tree per-level candidate flow, optimizer memo counters) \
              and the rule trace.")
   in
-  let run views query execute show_stats =
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Record the optimization as a hierarchical span tree (analysis, \
+             filter-tree stages, per-view match attempts with rejection \
+             reasons, costing) and print it.")
+  in
+  let trace_out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the span tree as Chrome/Perfetto trace_event JSON to \
+             $(docv) (open in ui.perfetto.dev or chrome://tracing). Implies \
+             span recording.")
+  in
+  let run views query execute show_stats trace trace_out =
     let registry = Mv_core.Registry.create ~tracing:show_stats schema in
     let stats = Mv_tpch.Datagen.synthetic_stats () in
     List.iter
@@ -173,7 +196,11 @@ let explain_cmd =
              spjg))
       views;
     let q = Mv_sql.Parser.parse_query schema (read_arg query) in
-    let r = Mv_opt.Optimizer.optimize registry stats q in
+    let collector =
+      if trace || trace_out <> None then Some (Mv_obs.Span.create ()) else None
+    in
+    let spans = Option.map Mv_obs.Span.root collector in
+    let r = Mv_opt.Optimizer.optimize ?spans registry stats q in
     Printf.printf "estimated cost: %.0f, estimated rows: %.0f\n"
       r.Mv_opt.Optimizer.cost r.Mv_opt.Optimizer.rows;
     Printf.printf "plan:\n%s" (Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan);
@@ -203,11 +230,110 @@ let explain_cmd =
                  (Mv_obs.Json.Obj e.Mv_obs.Trace.fields)))
           (Mv_obs.Trace.events tr)
       end
-    end
+    end;
+    match collector with
+    | None -> ()
+    | Some col ->
+        if trace then begin
+          print_newline ();
+          print_string (Mv_obs.Span.render col)
+        end;
+        (match trace_out with
+        | None -> ()
+        | Some file ->
+            Mv_experiments.Report.write_json file
+              (Mv_obs.Span.to_trace_event_json col);
+            Printf.printf "wrote %s\n" file)
   in
   Cmd.v
     (Cmd.info "explain" ~doc:"Optimize a query against views; print the plan")
-    Term.(const run $ views $ query $ execute $ stats_flag)
+    Term.(
+      const run $ views $ query $ execute $ stats_flag $ trace_flag $ trace_out)
+
+(* ---- why-not ---- *)
+
+let whynot_cmd =
+  let views =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "v"; "view" ] ~docv:"VIEW"
+          ~doc:"CREATE VIEW statement (or file). Repeatable.")
+  in
+  let query =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"SELECT statement (or file).")
+  in
+  let target =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"VIEW-NAME"
+          ~doc:"Name of the registered view to explain.")
+  in
+  let run views query target =
+    let registry = Mv_core.Registry.create schema in
+    let stats = Mv_tpch.Datagen.synthetic_stats () in
+    List.iter
+      (fun v ->
+        let name, spjg = Mv_sql.Parser.parse_view schema (read_arg v) in
+        ignore
+          (Mv_core.Registry.add_view registry ~name
+             ~row_count:(Mv_opt.Cost.estimate_view_rows stats spjg)
+             spjg))
+      views;
+    if Mv_core.Registry.find_view registry target = None then begin
+      Printf.eprintf "unknown view %s (registered: %s)\n" target
+        (String.concat ", "
+           (List.map
+              (fun v -> v.Mv_core.View.name)
+              registry.Mv_core.Registry.views));
+      exit 1
+    end;
+    let q = Mv_sql.Parser.parse_query schema (read_arg query) in
+    let qa = Mv_relalg.Analysis.analyze schema q in
+    let _, expl =
+      List.find
+        (fun (v, _) -> v.Mv_core.View.name = target)
+        (Mv_core.Registry.explain registry qa)
+    in
+    match expl with
+    | Mv_core.Registry.Filtered stage ->
+        Printf.printf
+          "view %s cannot answer the query: pruned by the filter tree at the \
+           %s stage\n"
+          target
+          (Mv_core.Filter_tree.stage_name stage);
+        exit 2
+    | Mv_core.Registry.Rejected r ->
+        Printf.printf
+          "view %s survived the filter tree but failed matching: %s (%s)\n"
+          target
+          (Mv_core.Reject.label r)
+          (Mv_core.Reject.to_string r);
+        exit 2
+    | Mv_core.Registry.Matched s ->
+        Printf.printf "view %s CAN answer the query; substitute:\n%s\n" target
+          (Mv_core.Substitute.to_sql s);
+        let r = Mv_opt.Optimizer.optimize registry stats q in
+        let used = Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan in
+        if List.mem target used then
+          print_endline "the optimizer's final plan uses it"
+        else
+          Printf.printf
+            "but the optimizer's final plan does not use it (cost %.0f, uses: \
+             %s)\n"
+            r.Mv_opt.Optimizer.cost
+            (match used with [] -> "no views" | vs -> String.concat "," vs)
+  in
+  Cmd.v
+    (Cmd.info "why-not"
+       ~doc:
+         "Explain why a specific view was (or was not) used for a query: the \
+          exact filter-tree stage that pruned it, the matcher's rejection \
+          reason, or its substitute and the final plan's verdict")
+    Term.(const run $ views $ query $ target)
 
 (* ---- generate ---- *)
 
@@ -433,6 +559,7 @@ let main =
       parse_cmd;
       match_cmd;
       explain_cmd;
+      whynot_cmd;
       generate_cmd;
       bench_cmd;
       cache_stats_cmd;

@@ -99,10 +99,10 @@ type obs_handles = {
   h_strong_out : Mv_obs.Instrument.counter;
 }
 
-type t = { root : node; handles : obs_handles option Atomic.t }
+type t = { plan : plan; root : node; handles : obs_handles option Atomic.t }
 
 let create ?(plan = default_plan) () =
-  { root = new_node plan; handles = Atomic.make None }
+  { plan; root = new_node plan; handles = Atomic.make None }
 
 let level_index = function
   | Hubs -> 0
@@ -338,6 +338,59 @@ let candidates ?obs t (q : A.t) : View.t list =
       Mv_obs.Instrument.add h.h_strong_in (List.length navigated);
       Mv_obs.Instrument.add h.h_strong_out (List.length survivors));
   survivors
+
+(* ---- provenance ---- *)
+
+type stage =
+  | Stage_level of level
+  | Stage_agg_split
+  | Stage_strong_range
+
+let stage_name = function
+  | Stage_level l -> level_name l
+  | Stage_agg_split -> "agg-split"
+  | Stage_strong_range -> "strong-range"
+
+type fate = Pruned of stage | Passed
+
+(* Why-not replay: walk the tree's plan for ONE view, applying exactly the
+   predicates the search applies — each level's [level_search] predicate to
+   the view's own precomputed key, the agg-split branch rule, and the
+   post-navigation strong-range check. A view reaches the candidate set iff
+   its key passes the predicate at every level on its path (the search
+   soundness property, qcheck-tested against a reference implementation),
+   so this replay names the exact stage that pruned it without ever
+   touching — or slowing — the indexed search itself. *)
+let provenance t (qi : query_info) (v : View.t) : stage list * fate =
+  let agg_view = View.is_aggregate v in
+  let rec go plan acc =
+    match plan with
+    | P_level (l, rest) ->
+        let acc = Stage_level l :: acc in
+        let _, pred = level_search l qi in
+        if pred (view_key l v) then go rest acc
+        else (List.rev acc, Pruned (Stage_level l))
+    | P_split (spj, agg) ->
+        let acc = Stage_agg_split :: acc in
+        if not agg_view then go spj acc
+        else if qi.is_aggregate then go agg acc
+        else (List.rev acc, Pruned Stage_agg_split)
+    | P_bucket ->
+        let acc = Stage_strong_range :: acc in
+        if strong_range_ok qi v then (List.rev acc, Passed)
+        else (List.rev acc, Pruned Stage_strong_range)
+  in
+  go t.plan []
+
+let fate t qi v = snd (provenance t qi v)
+
+let stages t =
+  let rec go = function
+    | P_bucket -> []
+    | P_level (l, rest) -> Stage_level l :: go rest
+    | P_split (spj, agg) -> (Stage_agg_split :: go spj) @ go agg
+  in
+  go t.plan @ [ Stage_strong_range ]
 
 (* Number of lattice nodes across all levels, for diagnostics. *)
 let rec node_count = function

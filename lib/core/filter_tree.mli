@@ -79,3 +79,35 @@ val candidates :
 
 val stats : t -> int
 (** Total lattice nodes across all levels. *)
+
+(** {1 Rejection provenance ("why-not")}
+
+    A pruning stage is either one of the indexed levels, the SPJ/aggregate
+    split (an aggregation view can never answer an SPJ query), or the
+    post-navigation strong range check of section 4.2.5. *)
+
+type stage =
+  | Stage_level of level
+  | Stage_agg_split
+  | Stage_strong_range
+
+val stage_name : stage -> string
+(** [level_name] for levels, ["agg-split"], ["strong-range"]. *)
+
+type fate = Pruned of stage  (** first stage whose test the view fails *)
+          | Passed  (** the view reaches the candidate set *)
+
+val provenance : t -> query_info -> View.t -> stage list * fate
+(** Replay the tree's plan for one view: the stages the view enters, in
+    navigation order (ending at the stage that pruned it, or spanning its
+    whole path when it passed), and its fate. Exact with respect to
+    {!candidates} — the view is in the candidate set iff its fate is
+    [Passed] — because each stage applies the same predicate the search
+    applies to the same precomputed key. Costs one predicate evaluation
+    per stage on the view's path; the indexed search is untouched. *)
+
+val fate : t -> query_info -> View.t -> fate
+
+val stages : t -> stage list
+(** Every stage of the tree's plan in navigation order (split branches
+    concatenated), with [Stage_strong_range] last. *)

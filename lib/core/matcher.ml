@@ -73,51 +73,76 @@ let build_substitute (router : Routing.t) ~backjoin_preds
   | exception Spjg.Invalid msg ->
       Error (Reject.Output_not_computable ("substitute invalid: " ^ msg))
 
-let match_view ?(relaxed_nulls = false) ?(backjoins = false) ~(query : A.t)
-    (view : View.t) : (Substitute.t, Reject.t) result =
-  let* tests = Spj_match.run ~relaxed_nulls query view in
-  let q_equiv = tests.Spj_match.q_equiv in
-  let* situation = grouping view q_equiv query in
-  (* Construction fails fast, so a failing pass may only reveal the first
-     unresolved table; iterate, folding newly discovered tables into the
-     backjoin set, until success or no progress. Each round adds at least
-     one table, so this terminates within the query's table count. *)
-  let rec attempt joined preds_so_far first_error =
-    let router =
-      if joined = [] then Routing.plain view
-      else Routing.with_backjoins view joined
-    in
-    match
-      build_substitute router ~backjoin_preds:preds_so_far tests ~situation
-        query
-    with
-    | Ok s -> Ok s
-    | Error e -> (
-        let e = Option.value first_error ~default:e in
-        if not backjoins then Error e
-        else
-          let fresh =
-            List.filter
-              (fun t -> not (List.mem t joined))
-              (Routing.missing_tables router)
-          in
-          match fresh with
-          | [] -> Error e
-          | _ -> (
-              let joins =
-                List.map (fun t -> (t, Routing.backjoin_preds view t)) fresh
-              in
-              if List.exists (fun (_, p) -> p = None) joins then Error e
-              else
-                let new_preds =
-                  List.concat_map
-                    (fun (_, p) -> Option.value ~default:[] p)
-                    joins
-                in
-                attempt (fresh @ joined) (new_preds @ preds_so_far)
-                  (Some e)))
+let match_view ?(relaxed_nulls = false) ?(backjoins = false) ?spans
+    ~(query : A.t) (view : View.t) : (Substitute.t, Reject.t) result =
+  let checks =
+    Mv_obs.Span.wrap spans "spj-tests" (fun _ ->
+        let* tests = Spj_match.run ~relaxed_nulls query view in
+        let* situation = grouping view tests.Spj_match.q_equiv query in
+        Ok (tests, situation))
   in
-  attempt [] [] None
+  let result =
+    match checks with
+    | Error _ as e -> e
+    | Ok (tests, situation) ->
+        Mv_obs.Span.wrap spans "construct" (fun _ ->
+            (* Construction fails fast, so a failing pass may only reveal
+               the first unresolved table; iterate, folding newly discovered
+               tables into the backjoin set, until success or no progress.
+               Each round adds at least one table, so this terminates within
+               the query's table count. *)
+            let rec attempt joined preds_so_far first_error =
+              let router =
+                if joined = [] then Routing.plain view
+                else Routing.with_backjoins view joined
+              in
+              match
+                build_substitute router ~backjoin_preds:preds_so_far tests
+                  ~situation query
+              with
+              | Ok s -> Ok s
+              | Error e -> (
+                  let e = Option.value first_error ~default:e in
+                  if not backjoins then Error e
+                  else
+                    let fresh =
+                      List.filter
+                        (fun t -> not (List.mem t joined))
+                        (Routing.missing_tables router)
+                    in
+                    match fresh with
+                    | [] -> Error e
+                    | _ -> (
+                        let joins =
+                          List.map
+                            (fun t -> (t, Routing.backjoin_preds view t))
+                            fresh
+                        in
+                        if List.exists (fun (_, p) -> p = None) joins then
+                          Error e
+                        else
+                          let new_preds =
+                            List.concat_map
+                              (fun (_, p) -> Option.value ~default:[] p)
+                              joins
+                          in
+                          attempt (fresh @ joined) (new_preds @ preds_so_far)
+                            (Some e)))
+            in
+            attempt [] [] None)
+  in
+  (match result with
+  | Ok _ ->
+      Mv_obs.Span.annotate spans (fun () ->
+          [ ("result", Mv_obs.Span.Str "matched") ])
+  | Error e ->
+      Mv_obs.Span.annotate spans (fun () ->
+          [
+            ("result", Mv_obs.Span.Str "rejected");
+            ("reject", Mv_obs.Span.Str (Reject.label e));
+            ("detail", Mv_obs.Span.Str (Reject.to_string e));
+          ]));
+  result
 
 (* Convenience entry point used by tests and examples. *)
 let match_spjg ?relaxed_nulls ?backjoins schema ~(query : Spjg.t) (view : View.t)

@@ -5,9 +5,13 @@
 val match_view :
   ?relaxed_nulls:bool ->
   ?backjoins:bool ->
+  ?spans:Mv_obs.Span.scope ->
   query:Mv_relalg.Analysis.t ->
   View.t ->
   (Substitute.t, Reject.t) result
+(** With [spans], records ["spj-tests"] and ["construct"] child spans and
+    annotates the enclosing span with the outcome ([result], plus
+    [reject]/[detail] from the {!Reject.t} on failure). *)
 
 val match_spjg :
   ?relaxed_nulls:bool ->

@@ -121,25 +121,98 @@ let remove_view t name =
 let candidates t (q : A.t) =
   if t.use_filter then Filter_tree.candidates ~obs:t.obs t.tree q else t.views
 
+(* At most this many view names are spelled out in a span attribute; the
+   rest collapse into a count so traces of 1000-view registries stay
+   readable and bounded. *)
+let names_cap = 16
+
+let capped_names views =
+  let names = List.map (fun v -> v.View.name) views in
+  let n = List.length names in
+  if n <= names_cap then String.concat "," names
+  else
+    String.concat "," (List.filteri (fun i _ -> i < names_cap) names)
+    ^ Printf.sprintf ",+%d more" (n - names_cap)
+
+(* One instant event per filter-tree stage under [sub], carrying how many
+   views entered the stage, how many it pruned (with their names, capped)
+   and how many it passed on. Computed by replaying {!Filter_tree.provenance}
+   over the population — exact with respect to the indexed search, and only
+   ever run on traced invocations, so the search itself stays untouched. *)
+let record_stage_notes t sub (q : A.t) =
+  let qi = Filter_tree.query_info q in
+  let tallies = Hashtbl.create 16 in
+  let tally s =
+    let key = Filter_tree.stage_name s in
+    match Hashtbl.find_opt tallies key with
+    | Some x -> x
+    | None ->
+        let x = (ref 0, ref []) in
+        Hashtbl.add tallies key x;
+        x
+  in
+  List.iter
+    (fun v ->
+      let path, fate = Filter_tree.provenance t.tree qi v in
+      List.iter (fun s -> incr (fst (tally s))) path;
+      match fate with
+      | Filter_tree.Pruned s ->
+          let _, pruned = tally s in
+          pruned := v :: !pruned
+      | Filter_tree.Passed -> ())
+    t.views;
+  List.iter
+    (fun s ->
+      let key = Filter_tree.stage_name s in
+      match Hashtbl.find_opt tallies key with
+      | None -> ()
+      | Some (entered, pruned) ->
+          let pruned = List.rev !pruned in
+          let npruned = List.length pruned in
+          Mv_obs.Span.note sub ("stage:" ^ key) (fun () ->
+              [
+                ("entered", Mv_obs.Span.Int !entered);
+                ("pruned", Mv_obs.Span.Int npruned);
+                ("out", Mv_obs.Span.Int (!entered - npruned));
+              ]
+              @
+              if pruned = [] then []
+              else [ ("pruned_views", Mv_obs.Span.Str (capped_names pruned)) ]))
+    (Filter_tree.stages t.tree)
+
 (* The view-matching rule body: find all views that can compute [q] and
    build one substitute per view. Returns the candidate set alongside the
    substitutes so the match cache can store both (the candidates are what
    the model-based tests compare against a from-scratch rebuild). *)
-let match_with_candidates t (q : A.t) : View.t list * Substitute.t list =
+let match_with_candidates ?spans t (q : A.t) : View.t list * Substitute.t list =
   let span = Mv_obs.Instrument.enter () in
   Mv_obs.Instrument.incr (Obs.counter t.obs "rule.invocations");
-  let cands = candidates t q in
+  let cands =
+    Mv_obs.Span.wrap spans "filter" (fun sub ->
+        let cands = candidates t q in
+        if sub <> None then begin
+          Mv_obs.Span.annotate sub (fun () ->
+              [
+                ("population", Mv_obs.Span.Int (List.length t.views));
+                ("candidates", Mv_obs.Span.Int (List.length cands));
+                ("indexed", Mv_obs.Span.Bool t.use_filter);
+              ]);
+          if t.use_filter then record_stage_notes t sub q
+        end;
+        cands)
+  in
   Mv_obs.Instrument.add (Obs.counter t.obs "rule.candidates")
     (List.length cands);
   let subs =
     List.filter_map
       (fun v ->
-        match
-          Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
-            ~backjoins:t.backjoins ~query:q v
-        with
-        | Ok s -> Some s
-        | Error _ -> None)
+        Mv_obs.Span.wrap spans ("match:" ^ v.View.name) (fun sub ->
+            match
+              Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
+                ~backjoins:t.backjoins ?spans:sub ~query:q v
+            with
+            | Ok s -> Some s
+            | Error _ -> None))
       cands
   in
   Mv_obs.Instrument.add (Obs.counter t.obs "rule.matched") (List.length subs);
@@ -165,8 +238,41 @@ let match_with_candidates t (q : A.t) : View.t list * Substitute.t list =
   end;
   (cands, subs)
 
-let find_substitutes t (q : A.t) : Substitute.t list =
-  snd (match_with_candidates t q)
+let find_substitutes ?spans t (q : A.t) : Substitute.t list =
+  snd (match_with_candidates ?spans t q)
+
+(* ---- why-not ---- *)
+
+type explanation =
+  | Filtered of Filter_tree.stage
+  | Rejected of Reject.t
+  | Matched of Substitute.t
+
+(* Account for every registered view: the exact filter-tree stage that
+   pruned it, the [Reject.t] the matcher returned, or its substitute.
+   Filtering is replayed per view via {!Filter_tree.provenance} (exact with
+   respect to {!candidates}); views that pass are re-tested through the
+   real matcher. Deliberately bumps NO [rule.*] counters — explanation is a
+   diagnostic read, not a rule invocation. With [use_filter] off every view
+   goes straight to the matcher, mirroring the "No Filter" configuration. *)
+let explain t (q : A.t) : (View.t * explanation) list =
+  let qi = Filter_tree.query_info q in
+  List.map
+    (fun v ->
+      let fate =
+        if t.use_filter then Filter_tree.fate t.tree qi v
+        else Filter_tree.Passed
+      in
+      match fate with
+      | Filter_tree.Pruned stage -> (v, Filtered stage)
+      | Filter_tree.Passed -> (
+          match
+            Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
+              ~backjoins:t.backjoins ~query:q v
+          with
+          | Ok s -> (v, Matched s)
+          | Error e -> (v, Rejected e)))
+    t.views
 
 let find_substitutes_spjg t (spjg : Mv_relalg.Spjg.t) =
   find_substitutes t (A.analyze t.schema spjg)

@@ -86,13 +86,40 @@ val remove_view : t -> string -> unit
 val candidates : t -> Mv_relalg.Analysis.t -> View.t list
 
 val match_with_candidates :
-  t -> Mv_relalg.Analysis.t -> View.t list * Substitute.t list
+  ?spans:Mv_obs.Span.scope ->
+  t ->
+  Mv_relalg.Analysis.t ->
+  View.t list * Substitute.t list
 (** {!find_substitutes} returning the surviving candidate set too — what
-    the match cache stores per query signature. *)
+    the match cache stores per query signature.
 
-val find_substitutes : t -> Mv_relalg.Analysis.t -> Substitute.t list
+    With [spans], records a ["filter"] child span (population / candidate
+    counts plus one ["stage:<name>"] instant per filter-tree stage with
+    entered/pruned/out counts and the pruned view names, capped) and one
+    ["match:<view>"] span per candidate carrying the matcher's phase spans
+    and outcome attributes. The traced replay never touches the indexed
+    search; untraced invocations are unchanged. *)
+
+val find_substitutes :
+  ?spans:Mv_obs.Span.scope -> t -> Mv_relalg.Analysis.t -> Substitute.t list
 (** The view-matching rule body: filter, test every candidate, build one
     substitute per matching view. Updates {!stats}. *)
+
+(** {2 Why-not} *)
+
+type explanation =
+  | Filtered of Filter_tree.stage
+      (** pruned by the filter tree at exactly this stage *)
+  | Rejected of Reject.t  (** survived filtering, failed the matcher *)
+  | Matched of Substitute.t
+
+val explain : t -> Mv_relalg.Analysis.t -> (View.t * explanation) list
+(** Account for every registered view, in registration order. Exact with
+    respect to the rule: [Filtered] views are precisely the population
+    minus {!candidates} (the filtering is replayed per view through
+    {!Filter_tree.provenance}), and the rest are re-tested through the
+    real matcher. Bumps no [rule.*] counters. With [use_filter] off,
+    every view goes straight to the matcher. *)
 
 val find_substitutes_spjg : t -> Mv_relalg.Spjg.t -> Substitute.t list
 

@@ -26,4 +26,18 @@ let to_string = function
   | Grouping_incompatible s -> "grouping lists incompatible: " ^ s
   | View_more_aggregated -> "view is more aggregated than the query"
 
+(* Stable machine-readable labels: one per constructor, detail payloads
+   dropped. Used as aggregation keys (why-not tables, span attributes), so
+   renaming one is a reporting-format change. *)
+let label = function
+  | Missing_tables -> "missing-tables"
+  | Extra_tables_not_eliminable -> "extra-tables"
+  | Equijoin_subsumption_failed -> "equijoin-subsumption"
+  | Range_subsumption_failed _ -> "range-subsumption"
+  | Residual_subsumption_failed _ -> "residual-subsumption"
+  | Compensation_not_computable _ -> "compensation-not-computable"
+  | Output_not_computable _ -> "output-not-computable"
+  | Grouping_incompatible _ -> "grouping-incompatible"
+  | View_more_aggregated -> "view-more-aggregated"
+
 let pp ppf t = Fmt.string ppf (to_string t)

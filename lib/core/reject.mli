@@ -13,4 +13,12 @@ type t =
 
 val to_string : t -> string
 
+val label : t -> string
+(** Stable kebab-case aggregation key, one per constructor (detail
+    payloads dropped): ["missing-tables"], ["extra-tables"],
+    ["equijoin-subsumption"], ["range-subsumption"],
+    ["residual-subsumption"], ["compensation-not-computable"],
+    ["output-not-computable"], ["grouping-incompatible"],
+    ["view-more-aggregated"]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -21,6 +21,14 @@ let all_configs =
 
 type level_flow = { level : string; entered : int; passed : int }
 
+type phase_stats = {
+  phase : string;
+  calls : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;  (** interpolated quantiles of per-call wall seconds *)
+}
+
 type measurement = {
   nviews : int;
   config : config;
@@ -41,6 +49,9 @@ type measurement = {
   level_flow : level_flow list;
       (** candidates entering/surviving each filter-tree level, summed over
           the batch (empty in the NoFilter configurations) *)
+  phases : phase_stats list;
+      (** per-phase optimizer latency percentiles over the batch, from the
+          [optimizer.phase.*] histograms *)
 }
 
 type workload = {
@@ -101,6 +112,27 @@ let level_flow_of (registry : Mv_core.Registry.t) : level_flow list =
   in
   List.filter (fun f -> f.entered > 0 || f.passed > 0) (flows @ [ strong ])
 
+let phase_names = [ "analyze"; "match"; "cost"; "total" ]
+
+(* The per-phase optimizer latency percentiles, read from the
+   [optimizer.phase.*] histograms the optimizer feeds on every call. The
+   histogram lookup is get-or-create, so a phase that never ran still
+   yields a (zero) row — the JSON shape stays stable across every
+   measurement cell, including nviews = 0. *)
+let phases_of (registry : Mv_core.Registry.t) : phase_stats list =
+  let obs = registry.Mv_core.Registry.obs in
+  List.map
+    (fun name ->
+      let h = Mv_obs.Registry.histogram obs ("optimizer.phase." ^ name) in
+      {
+        phase = name;
+        calls = Mv_obs.Instrument.count h;
+        p50 = Mv_obs.Instrument.quantile h 0.5;
+        p90 = Mv_obs.Instrument.quantile h 0.9;
+        p99 = Mv_obs.Instrument.quantile h 0.99;
+      })
+    phase_names
+
 (* One measurement: first [nviews] views, one configuration. With
    [domains > 1] the query batch is sharded over that many OCaml domains
    ({!Pool.map_chunked}) against ONE shared registry/filter tree: every
@@ -151,7 +183,43 @@ let run ?(domains = 1) (w : workload) ~nviews ~(config : config) : measurement
     substitutes = s.Mv_core.Registry.substitutes;
     plans_using_views;
     level_flow = level_flow_of registry;
+    phases = phases_of registry;
   }
+
+(* ---- why-not aggregation ---- *)
+
+(* Aggregate rejection provenance over a workload: every (query, view)
+   pair of the batch is attributed — via {!Mv_core.Registry.explain} — to
+   "matched", the exact filter-tree stage that pruned the view
+   ("filter:<stage>") or the matcher's rejection label
+   ("reject:<label>"), and the causes are counted. Sorted by descending
+   count, ties by cause name, so the table and its JSON are deterministic. *)
+let whynot (w : workload) ~nviews : (string * int) list =
+  let registry = Mv_core.Registry.create w.schema in
+  List.iter (Mv_core.Registry.add_prebuilt registry) (take nviews w.views);
+  Mv_relalg.Intern.freeze ();
+  let counts = Hashtbl.create 32 in
+  let bump cause =
+    Hashtbl.replace counts cause
+      (1 + Option.value ~default:0 (Hashtbl.find_opt counts cause))
+  in
+  List.iter
+    (fun q ->
+      let qa = Mv_relalg.Analysis.analyze w.schema q in
+      List.iter
+        (fun (_, expl) ->
+          bump
+            (match expl with
+            | Mv_core.Registry.Matched _ -> "matched"
+            | Mv_core.Registry.Filtered stage ->
+                "filter:" ^ Mv_core.Filter_tree.stage_name stage
+            | Mv_core.Registry.Rejected r ->
+                "reject:" ^ Mv_core.Reject.label r))
+        (Mv_core.Registry.explain registry qa))
+    w.queries;
+  Hashtbl.fold (fun cause n acc -> (cause, n) :: acc) counts []
+  |> List.sort (fun (c1, n1) (c2, n2) ->
+         match compare n2 n1 with 0 -> String.compare c1 c2 | c -> c)
 
 (* ---- the serving benchmark (dynamic registry + match/plan cache) ---- *)
 

@@ -12,6 +12,17 @@ val all_configs : config list
 
 type level_flow = { level : string; entered : int; passed : int }
 
+(** Per-phase optimizer latency percentiles over one measurement's query
+    batch, from the [optimizer.phase.*] histograms (interpolated
+    quantiles of per-call wall seconds). *)
+type phase_stats = {
+  phase : string;  (** "analyze" | "match" | "cost" | "total" *)
+  calls : int;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
 type measurement = {
   nviews : int;
   config : config;
@@ -31,9 +42,14 @@ type measurement = {
   plans_using_views : int;
   level_flow : level_flow list;
       (** per-filter-tree-level candidates in/out, summed over the batch *)
+  phases : phase_stats list;
+      (** one row per phase, always all four, zeros when a phase never
+          ran — the JSON shape stays stable across measurement cells *)
 }
 
 val level_flow_of : Mv_core.Registry.t -> level_flow list
+
+val phases_of : Mv_core.Registry.t -> phase_stats list
 
 type workload = {
   schema : Mv_catalog.Schema.t;
@@ -71,6 +87,12 @@ val scaling :
   workload -> nviews:int -> domains_list:int list -> measurement list
 (** The same (nviews, Alt&Filter) cell at each domain count, one warmup
     first — the rows' counters must agree, only timings may differ. *)
+
+val whynot : workload -> nviews:int -> (string * int) list
+(** Aggregate rejection provenance over the workload: every (query, view)
+    pair attributed via {!Mv_core.Registry.explain} to ["matched"],
+    ["filter:<stage>"] or ["reject:<label>"], counted, sorted by
+    descending count (ties by name). *)
 
 (** One serving-benchmark run: repeated-query traffic against a dynamic
     registry through the epoch-validated match/plan cache

@@ -163,6 +163,22 @@ let level_flow_json (fs : Harness.level_flow list) =
            ])
        fs)
 
+(* One object per phase, keyed by phase name: the percentile leaves carry
+   the [_s] suffix json_check's percentile-tolerance compare keys on. *)
+let phases_json (ps : Harness.phase_stats list) =
+  J.Obj
+    (List.map
+       (fun (p : Harness.phase_stats) ->
+         ( p.Harness.phase,
+           J.Obj
+             [
+               ("calls", J.Int p.Harness.calls);
+               ("p50_s", J.Float p.Harness.p50);
+               ("p90_s", J.Float p.Harness.p90);
+               ("p99_s", J.Float p.Harness.p99);
+             ] ))
+       ps)
+
 let measurement_json (m : Harness.measurement) =
   J.Obj
     [
@@ -182,6 +198,7 @@ let measurement_json (m : Harness.measurement) =
       ("substitutes", J.Int m.Harness.substitutes);
       ("plans_using_views", J.Int m.Harness.plans_using_views);
       ("levels", level_flow_json m.Harness.level_flow);
+      ("phases", phases_json m.Harness.phases);
     ]
 
 let measurements_json (ms : Harness.measurement list) =
@@ -281,6 +298,35 @@ let serving_json (m : Harness.serving_measurement) =
       ("churn_invalidations", J.Int m.Harness.churn_invalidations);
       ("churn_consistent", J.Bool m.Harness.churn_consistent);
       ("churn_no_stale", J.Bool m.Harness.churn_no_stale);
+    ]
+
+(* ---- why-not report (aggregate rejection provenance) ---- *)
+
+let whynot_table ~nviews ~nqueries (causes : (string * int) list) =
+  pr "\n== Why-not: every (query, view) pair attributed ==\n";
+  pr "(%d queries x %d views; \"filter:\" = pruned by that filter-tree\n"
+    nqueries nviews;
+  pr " stage, \"reject:\" = survived filtering, failed matching there)\n\n";
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 causes in
+  pr "  %-36s %12s %9s\n" "cause" "pairs" "share";
+  List.iter
+    (fun (cause, n) ->
+      pr "  %-36s %12d %8.2f%%\n" cause n
+        (100.0 *. float_of_int n /. float_of_int (max 1 total)))
+    causes;
+  pr "  %-36s %12d\n" "total" total
+
+let whynot_json ~nviews ~nqueries (causes : (string * int) list) =
+  J.Obj
+    [
+      ("nviews", J.Int nviews);
+      ("nqueries", J.Int nqueries);
+      ( "causes",
+        J.List
+          (List.map
+             (fun (cause, n) ->
+               J.Obj [ ("cause", J.String cause); ("pairs", J.Int n) ])
+             causes) );
     ]
 
 let write_json file (j : J.t) =

@@ -58,5 +58,12 @@ val serving_table : Harness.serving_measurement -> unit
 val serving_json : Harness.serving_measurement -> Mv_obs.Json.t
 (** The ["serving"] section of the trajectory. *)
 
+val whynot_table : nviews:int -> nqueries:int -> (string * int) list -> unit
+(** The aggregate why-not table from {!Harness.whynot}: one row per cause
+    with its (query, view) pair count and share. *)
+
+val whynot_json : nviews:int -> nqueries:int -> (string * int) list -> Mv_obs.Json.t
+(** The ["whynot"] section of the trajectory. *)
+
 val write_json : string -> Mv_obs.Json.t -> unit
 (** Write one JSON document (plus trailing newline). *)

@@ -69,6 +69,8 @@ let bucket_of v =
 
 let bucket_upper i = Float.ldexp 1.0 (i - 64)
 
+let bucket_lower i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 65)
+
 type histogram = {
   h_lock : Mutex.t;
   mutable h_count : int;
@@ -109,7 +111,11 @@ let min_value h = Mutex.protect h.h_lock (fun () -> h.h_min)
 
 let max_value h = Mutex.protect h.h_lock (fun () -> h.h_max)
 
-let quantile h q =
+(* Shared quantile walk: find the bucket holding the q-quantile
+   observation, then either report its upper bound (the historical coarse
+   estimate) or interpolate linearly within it from the rank's position
+   among the bucket's observations, clamped to the exact min/max. *)
+let quantile_impl ~interpolate h q =
   Mutex.protect h.h_lock (fun () ->
       if h.h_count = 0 then 0.0
       else begin
@@ -120,11 +126,24 @@ let quantile h q =
         let rec go i seen =
           if i >= buckets then h.h_max
           else
-            let seen = seen + h.h_buckets.(i) in
-            if seen > rank then bucket_upper i else go (i + 1) seen
+            let c = h.h_buckets.(i) in
+            let seen' = seen + c in
+            if seen' > rank then
+              if not interpolate then bucket_upper i
+              else begin
+                let lower = bucket_lower i and upper = bucket_upper i in
+                let frac = float_of_int (rank - seen + 1) /. float_of_int c in
+                let v = lower +. ((upper -. lower) *. frac) in
+                Float.max h.h_min (Float.min h.h_max v)
+              end
+            else go (i + 1) seen'
         in
         go 0 0
       end)
+
+let quantile h q = quantile_impl ~interpolate:true h q
+
+let quantile_upper h q = quantile_impl ~interpolate:false h q
 
 let reset_histogram h =
   Mutex.protect h.h_lock (fun () ->
@@ -154,4 +173,14 @@ let time t f =
       v
   | exception e ->
       exit_into t s;
+      raise e
+
+let time_hist h f =
+  let t0 = now_wall () in
+  match f () with
+  | v ->
+      observe h (now_wall () -. t0);
+      v
+  | exception e ->
+      observe h (now_wall () -. t0);
       raise e

@@ -64,11 +64,23 @@ val max_value : histogram -> float
 (** -inf when empty (serialized as null). *)
 
 val quantile : histogram -> float -> float
-(** Upper bound of the power-of-two bucket holding the q-quantile
-    observation; 0 when empty. Coarse by construction — intended for
-    order-of-magnitude latency reporting, not exact statistics. *)
+(** Estimate of the q-quantile observation: locate the power-of-two
+    bucket holding it, then interpolate linearly within the bucket from
+    the rank's position among the bucket's observations, clamped to the
+    exact observed min/max. 0 when empty. Still bucket-limited — a
+    reporting estimate, not exact statistics — but far tighter than the
+    bucket upper bound for mid-bucket ranks. *)
+
+val quantile_upper : histogram -> float -> float
+(** The historical coarse estimate: the upper bound of the power-of-two
+    bucket holding the q-quantile observation; 0 when empty. Kept for
+    tests and for callers that want a guaranteed overestimate. *)
 
 val reset_histogram : histogram -> unit
+
+val time_hist : histogram -> (unit -> 'a) -> 'a
+(** Run the thunk, observing its wall-clock duration (seconds) as one
+    histogram sample. Re-raises, still recording, if the thunk does. *)
 
 (** Spans: grab both clocks on entry, hand the interval to a timer on
     exit. *)

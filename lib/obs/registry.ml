@@ -111,7 +111,9 @@ let instrument_json = function
           ("min", finite_or_null (Instrument.min_value h));
           ("max", finite_or_null (Instrument.max_value h));
           ("p50", Json.Float (Instrument.quantile h 0.5));
+          ("p90", Json.Float (Instrument.quantile h 0.9));
           ("p95", Json.Float (Instrument.quantile h 0.95));
+          ("p99", Json.Float (Instrument.quantile h 0.99));
         ]
 
 let to_json t =

@@ -1,0 +1,183 @@
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Complete | Instant
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  kind : kind;
+  ts : float;
+  mutable dur : float;
+  mutable attrs : (string * attr) list;
+}
+
+type t = {
+  lock : Mutex.t;
+  created : float;
+  mutable last_ts : float;
+      (** monotone clamp: the largest timestamp handed out so far *)
+  mutable next : int;
+  tbl : (int, span) Hashtbl.t;
+  mutable rev : span list;  (** newest first *)
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    created = Unix.gettimeofday ();
+    last_ts = 0.0;
+    next = 1;
+    tbl = Hashtbl.create 64;
+    rev = [];
+  }
+
+(* Call under the lock. *)
+let now t =
+  let n = Unix.gettimeofday () -. t.created in
+  let n = if n > t.last_ts then n else t.last_ts in
+  t.last_ts <- n;
+  n
+
+let add t ?(parent = 0) name kind dur =
+  Mutex.protect t.lock (fun () ->
+      let id = t.next in
+      t.next <- id + 1;
+      let s = { id; parent; name; kind; ts = now t; dur; attrs = [] } in
+      Hashtbl.replace t.tbl id s;
+      t.rev <- s :: t.rev;
+      s)
+
+let start t ?parent name = (add t ?parent name Complete (-1.0)).id
+
+let add_attrs t id kvs =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some s -> s.attrs <- s.attrs @ kvs
+      | None -> ())
+
+let finish t id =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.tbl id with
+      | Some s when s.dur < 0.0 -> s.dur <- now t -. s.ts
+      | _ -> ())
+
+let instant t ?parent name kvs =
+  let s = add t ?parent name Instant 0.0 in
+  if kvs <> [] then Mutex.protect t.lock (fun () -> s.attrs <- kvs)
+
+let spans t = Mutex.protect t.lock (fun () -> List.rev t.rev)
+
+(* ---- scoped threading ---- *)
+
+type scope = { col : t; parent : int }
+
+let root col = { col; parent = 0 }
+
+let wrap sc ?attrs name f =
+  match sc with
+  | None -> f None
+  | Some { col; parent } -> (
+      let id = start col ~parent name in
+      (match attrs with None -> () | Some g -> add_attrs col id (g ()));
+      let sub = Some { col; parent = id } in
+      match f sub with
+      | v ->
+          finish col id;
+          v
+      | exception e ->
+          finish col id;
+          raise e)
+
+let note sc name g =
+  match sc with
+  | None -> ()
+  | Some { col; parent } -> instant col ~parent name (g ())
+
+let annotate sc g =
+  match sc with
+  | None -> ()
+  | Some { col; parent } -> if parent <> 0 then add_attrs col parent (g ())
+
+(* ---- export ---- *)
+
+let attr_json = function
+  | Str s -> Json.String s
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Bool b -> Json.Bool b
+
+let to_trace_event_json ?(process_name = "mvopt") t =
+  let micro x = Json.Float (x *. 1e6) in
+  let ev (s : span) =
+    let open_span = s.kind = Complete && s.dur < 0.0 in
+    Json.Obj
+      ([
+         ("name", Json.String s.name);
+         ("cat", Json.String "mv");
+         ( "ph",
+           Json.String (match s.kind with Complete -> "X" | Instant -> "i") );
+         ("ts", micro s.ts);
+       ]
+      @ (match s.kind with
+        | Complete -> [ ("dur", micro (if open_span then 0.0 else s.dur)) ]
+        | Instant -> [ ("s", Json.String "t") ])
+      @ [
+          ("pid", Json.Int 1);
+          ("tid", Json.Int 1);
+          ( "args",
+            Json.Obj
+              (("span_id", Json.Int s.id)
+              :: ("parent_id", Json.Int s.parent)
+              :: (if open_span then [ ("unfinished", Json.Bool true) ] else [])
+              @ List.map (fun (k, v) -> (k, attr_json v)) s.attrs) );
+        ])
+  in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 1);
+        ("args", Json.Obj [ ("name", Json.String process_name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta :: List.map ev (spans t)));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let attr_string = function
+  | Str s -> s
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%g" f
+  | Bool b -> string_of_bool b
+
+let render t =
+  let all = spans t in
+  let children p = List.filter (fun (s : span) -> s.parent = p) all in
+  let b = Buffer.create 512 in
+  let rec pr depth (s : span) =
+    Buffer.add_string b (String.make (2 * depth) ' ');
+    Buffer.add_string b s.name;
+    (match s.kind with
+    | Instant -> Buffer.add_string b " !"
+    | Complete ->
+        if s.dur >= 0.0 then
+          Buffer.add_string b (Printf.sprintf " %.3fms" (s.dur *. 1e3))
+        else Buffer.add_string b " (open)");
+    if s.attrs <> [] then begin
+      Buffer.add_string b "  {";
+      Buffer.add_string b
+        (String.concat ", "
+           (List.map (fun (k, v) -> k ^ "=" ^ attr_string v) s.attrs));
+      Buffer.add_string b "}"
+    end;
+    Buffer.add_char b '\n';
+    List.iter (pr (depth + 1)) (children s.id)
+  in
+  Printf.bprintf b "trace: %d span(s)\n" (List.length all);
+  List.iter (pr 1) (children 0);
+  Buffer.contents b

@@ -7,7 +7,7 @@ type t = {
   mutable next : int;  (** total events ever recorded *)
 }
 
-let create ?(capacity = 256) () =
+let create ?(capacity = 0) () =
   {
     cap = capacity;
     lock = Mutex.create ();

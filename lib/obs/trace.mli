@@ -12,7 +12,9 @@ type event = {
 type t
 
 val create : ?capacity:int -> unit -> t
-(** Default capacity 256. *)
+(** Default capacity 0 — recording disabled, matching
+    {!Registry.create}'s [trace_capacity] default, so tracing is always an
+    explicit opt-in. Pass a positive capacity to record. *)
 
 val capacity : t -> int
 

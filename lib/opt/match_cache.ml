@@ -104,8 +104,9 @@ let incr = Mv_obs.Instrument.incr
 (* The shared lookup/compute/store shape of both layers. [epoch_of] reads
    the entry's stamp, [fresh] wraps a new value with the epoch observed
    BEFORE computing — an add/drop racing the computation leaves the entry
-   stale-stamped, never stale-served. *)
-let serve t ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
+   stale-stamped, never stale-served. [layer]/[spans] only feed the span
+   sink: a traced lookup notes [cache.<layer>.hit|miss] as an instant. *)
+let serve t ~layer ?spans ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
   let ep = Registry.epoch t.registry in
   let shard = shard_for t key in
   let cache = cache_of shard in
@@ -122,9 +123,11 @@ let serve t ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
   match cached with
   | Some e ->
       incr ctrs.hits;
+      Mv_obs.Span.note spans ("cache." ^ layer ^ ".hit") (fun () -> []);
       e
   | None ->
       incr ctrs.misses;
+      Mv_obs.Span.note spans ("cache." ^ layer ^ ".miss") (fun () -> []);
       let v = compute () in
       let e = fresh ep v in
       Mutex.protect shard.lock (fun () ->
@@ -133,15 +136,15 @@ let serve t ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
           | None -> ());
       e
 
-let find_substitutes t (qa : A.t) =
+let find_substitutes ?spans t (qa : A.t) =
   let e =
-    serve t ~ctrs:t.match_ctrs
+    serve t ~layer:"match" ?spans ~ctrs:t.match_ctrs
       ~cache_of:(fun s -> s.matches)
       (key_of_analysis qa)
       ~epoch_of:(fun e -> e.m_epoch)
       ~fresh:(fun ep (cands, subs) ->
         { m_epoch = ep; m_candidates = cands; m_substitutes = subs })
-      ~compute:(fun () -> Registry.match_with_candidates t.registry qa)
+      ~compute:(fun () -> Registry.match_with_candidates ?spans t.registry qa)
   in
   e.m_substitutes
 
@@ -154,9 +157,9 @@ let cached_candidates t (qa : A.t) =
       | Some e when e.m_epoch = ep -> Some e.m_candidates
       | _ -> None)
 
-let with_plan t (block : Spjg.t) compute =
+let with_plan ?spans t (block : Spjg.t) compute =
   let e =
-    serve t ~ctrs:t.plan_ctrs
+    serve t ~layer:"plan" ?spans ~ctrs:t.plan_ctrs
       ~cache_of:(fun s -> s.plans)
       (key_of_spjg block)
       ~epoch_of:(fun s -> s.p_epoch)

@@ -34,10 +34,16 @@ val create : ?shards:int -> ?capacity:int -> Mv_core.Registry.t -> t
 
 val registry : t -> Mv_core.Registry.t
 
-val find_substitutes : t -> Mv_relalg.Analysis.t -> Mv_core.Substitute.t list
+val find_substitutes :
+  ?spans:Mv_obs.Span.scope ->
+  t ->
+  Mv_relalg.Analysis.t ->
+  Mv_core.Substitute.t list
 (** {!Mv_core.Registry.find_substitutes} through the match layer. On a
     fresh-epoch hit the rule does not run at all (its [rule.*] counters
-    do not advance — the cache counters do instead). *)
+    do not advance — the cache counters do instead). With [spans], the
+    lookup notes a [cache.match.hit]/[cache.match.miss] instant and a
+    miss threads [spans] into the rule. *)
 
 val cached_candidates :
   t -> Mv_relalg.Analysis.t -> Mv_core.View.t list option
@@ -53,9 +59,15 @@ type plan_entry = {
   used_views : bool;
 }
 
-val with_plan : t -> Mv_relalg.Spjg.t -> (unit -> plan_entry) -> plan_entry
+val with_plan :
+  ?spans:Mv_obs.Span.scope ->
+  t ->
+  Mv_relalg.Spjg.t ->
+  (unit -> plan_entry) ->
+  plan_entry
 (** Serve the query from the plan layer, or compute, store and return.
-    The computation runs outside the shard lock. *)
+    The computation runs outside the shard lock. With [spans], the lookup
+    notes a [cache.plan.hit]/[cache.plan.miss] instant. *)
 
 val stats : t -> (string * int) list
 (** The eight [cache.*] counters, sorted by name. *)

@@ -211,11 +211,19 @@ let safe_preagg (qa : A.t) schema remaining =
         keys)
     remaining
 
-let optimize_body ~(config : config) ?cache (registry : Mv_core.Registry.t)
-    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
+let optimize_body ~(config : config) ?cache ?spans
+    (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
+    (query : Spjg.t) : result =
   let schema = registry.Mv_core.Registry.schema in
   let obs = registry.Mv_core.Registry.obs in
   let octr name = Mv_obs.Registry.counter obs ("optimizer." ^ name) in
+  (* Per-phase latency histograms (one sample per phase activity, wall
+     seconds) — resolved once per optimize call, read back by the bench
+     harness as p50/p90/p99 per phase. *)
+  let phase name = Mv_obs.Registry.histogram obs ("optimizer.phase." ^ name) in
+  let h_analyze = phase "analyze" in
+  let h_match = phase "match" in
+  let h_cost = phase "cost" in
   let spj = Block.spj_part query in
   let tables = Array.of_list spj.Spjg.tables in
   let n = Array.length tables in
@@ -233,30 +241,39 @@ let optimize_body ~(config : config) ?cache (registry : Mv_core.Registry.t)
     Hashtbl.create 32
   in
   let analyze block =
-    Mv_obs.Instrument.incr (octr "analyze.calls");
-    let key = (block.Spjg.tables, block.Spjg.where) in
-    match Hashtbl.find_opt analyses key with
-    | Some a ->
-        Mv_obs.Instrument.incr (octr "analyze.memo_hits");
-        if a.A.spjg == block then a else A.rebind a block
-    | None ->
-        let a = A.analyze schema block in
-        Hashtbl.add analyses key a;
-        a
+    Mv_obs.Instrument.time_hist h_analyze (fun () ->
+        Mv_obs.Instrument.incr (octr "analyze.calls");
+        let key = (block.Spjg.tables, block.Spjg.where) in
+        match Hashtbl.find_opt analyses key with
+        | Some a ->
+            Mv_obs.Instrument.incr (octr "analyze.memo_hits");
+            if a.A.spjg == block then a else A.rebind a block
+        | None ->
+            Mv_obs.Span.wrap spans "analyze" (fun _ ->
+                let a = A.analyze schema block in
+                Hashtbl.add analyses key a;
+                a))
   in
   (* the view-matching rule, through the match cache when serving *)
-  let find_subs qa =
-    match cache with
-    | Some c -> Match_cache.find_substitutes c qa
-    | None -> Mv_core.Registry.find_substitutes registry qa
+  let find_subs ?spans qa =
+    Mv_obs.Instrument.time_hist h_match (fun () ->
+        match cache with
+        | Some c -> Match_cache.find_substitutes ?spans c qa
+        | None -> Mv_core.Registry.find_substitutes ?spans registry qa)
   in
   (* invoke the view-matching rule on a block; returns leaf plans *)
   let rule_leaves block =
     Mv_obs.Instrument.incr (octr "subexpressions");
-    let subs = find_subs (analyze block) in
-    if config.produce_substitutes then
-      List.map (view_leaf schema stats block) subs
-    else []
+    Mv_obs.Span.wrap spans "rule"
+      ~attrs:(fun () ->
+        [ ("tables", Mv_obs.Span.Str (String.concat "," block.Spjg.tables)) ])
+      (fun sub ->
+        let subs = find_subs ?spans:sub (analyze block) in
+        Mv_obs.Span.wrap sub "cost" (fun _ ->
+            Mv_obs.Instrument.time_hist h_cost (fun () ->
+                if config.produce_substitutes then
+                  List.map (view_leaf schema stats block) subs
+                else [])))
   in
   (* substitute leaves competed on cost against [winner]: score them *)
   let score_substitutes vleaves winner =
@@ -383,16 +400,9 @@ let optimize_body ~(config : config) ?cache (registry : Mv_core.Registry.t)
       let agg_considered = ref 0 in
       let consider p = if Plan.est_cost p < Plan.est_cost !best then best := p in
       (* whole-query substitutes *)
-      List.iter consider
-        (let subs =
-           Mv_obs.Instrument.incr (octr "subexpressions");
-           find_subs qa
-         in
-         if config.produce_substitutes then begin
-           agg_considered := !agg_considered + List.length subs;
-           List.map (view_leaf schema stats query) subs
-         end
-         else []);
+      (let vleaves = rule_leaves query in
+       agg_considered := !agg_considered + List.length vleaves;
+       List.iter consider vleaves);
       (* preaggregated alternatives *)
       for mask = 1 to full - 1 do
         let ts = tables_of_mask tables mask in
@@ -564,7 +574,7 @@ let optimize_body ~(config : config) ?cache (registry : Mv_core.Registry.t)
         used_views = Plan.uses_view plan;
       }
 
-let optimize ?(config = default_config) ?cache
+let optimize ?(config = default_config) ?cache ?spans
     (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
     (query : Spjg.t) : result =
   (match cache with
@@ -576,30 +586,51 @@ let optimize ?(config = default_config) ?cache
     Mv_obs.Instrument.time
       (Mv_obs.Registry.timer obs "optimizer.time")
       (fun () ->
-        match cache with
-        | None -> optimize_body ~config registry stats query
-        | Some c ->
-            (* plan layer: a warm hit skips enumeration and matching
-               entirely; a miss runs the normal exploration with the rule
-               routed through the match layer *)
-            let e =
-              Match_cache.with_plan c query (fun () ->
-                  let r =
-                    optimize_body ~config ~cache:c registry stats query
-                  in
-                  {
-                    Match_cache.plan = r.plan;
-                    cost = r.cost;
-                    rows = r.rows;
-                    used_views = r.used_views;
-                  })
-            in
-            {
-              plan = e.Match_cache.plan;
-              cost = e.Match_cache.cost;
-              rows = e.Match_cache.rows;
-              used_views = e.Match_cache.used_views;
-            })
+        Mv_obs.Instrument.time_hist
+          (Mv_obs.Registry.histogram obs "optimizer.phase.total")
+          (fun () ->
+            Mv_obs.Span.wrap spans "optimize"
+              ~attrs:(fun () ->
+                [
+                  ( "tables",
+                    Mv_obs.Span.Str (String.concat "," query.Spjg.tables) );
+                  ("aggregate", Mv_obs.Span.Bool (query.Spjg.group_by <> None));
+                ])
+              (fun spans ->
+                let r =
+                  match cache with
+                  | None -> optimize_body ~config ?spans registry stats query
+                  | Some c ->
+                      (* plan layer: a warm hit skips enumeration and
+                         matching entirely; a miss runs the normal
+                         exploration with the rule routed through the match
+                         layer *)
+                      let e =
+                        Match_cache.with_plan ?spans c query (fun () ->
+                            let r =
+                              optimize_body ~config ~cache:c ?spans registry
+                                stats query
+                            in
+                            {
+                              Match_cache.plan = r.plan;
+                              cost = r.cost;
+                              rows = r.rows;
+                              used_views = r.used_views;
+                            })
+                      in
+                      {
+                        plan = e.Match_cache.plan;
+                        cost = e.Match_cache.cost;
+                        rows = e.Match_cache.rows;
+                        used_views = e.Match_cache.used_views;
+                      }
+                in
+                Mv_obs.Span.annotate spans (fun () ->
+                    [
+                      ("cost", Mv_obs.Span.Float r.cost);
+                      ("used_views", Mv_obs.Span.Bool r.used_views);
+                    ]);
+                r)))
   in
   Mv_obs.Instrument.incr (Mv_obs.Registry.counter obs "optimizer.calls");
   if r.used_views then

@@ -21,6 +21,7 @@ type result = {
 val optimize :
   ?config:config ->
   ?cache:Match_cache.t ->
+  ?spans:Mv_obs.Span.scope ->
   Mv_core.Registry.t ->
   Mv_catalog.Stats.t ->
   Mv_relalg.Spjg.t ->
@@ -31,4 +32,16 @@ val optimize :
     through the match layer, so repeated queries skip both enumeration
     and matching. Identical results either way, except that cache hits do
     not advance the [rule.*] / [optimizer.*] exploration counters
-    ([optimizer.calls] and [optimizer.plans.using_views] always move). *)
+    ([optimizer.calls] and [optimizer.plans.using_views] always move).
+
+    With [spans], the whole call is recorded as an ["optimize"] span
+    (table set, aggregate flag, final cost, [used_views]); under it, one
+    ["rule"] span per enumerated subexpression carrying the candidate
+    filtering and per-view match spans (see
+    {!Mv_core.Registry.match_with_candidates}), ["analyze"] spans for
+    fresh analyses, ["cost"] spans for substitute leaf construction, and
+    cache hit/miss instants when [cache] is in play.
+
+    Every call also feeds the [optimizer.phase.{analyze,match,cost,total}]
+    latency histograms on the registry's obs instance (one wall-clock
+    sample per phase activity), traced or not. *)

@@ -9,6 +9,7 @@ let () =
    @ Test_union.suite @ Test_opt_internals.suite @ Test_eval_funcs.suite
    @ Test_compensation_routing.suite @ Test_filter_levels.suite
    @ Test_experiments.suite @ Test_disjunction.suite @ Test_invariants.suite
-   @ Test_dimension_hierarchy.suite @ Test_obs.suite
+   @ Test_dimension_hierarchy.suite @ Test_obs.suite @ Test_span.suite
+   @ Test_whynot.suite
    @ Test_prop_equivalence.suite @ Test_prop_filter.suite
    @ Test_parallel.suite @ Test_dynamic.suite @ Test_cache.suite)

@@ -133,7 +133,13 @@ let test_trace_ring () =
   let disabled = Mv_obs.Trace.create ~capacity:0 () in
   Mv_obs.Trace.record disabled "e" [];
   Alcotest.(check int) "capacity 0 records nothing" 0
-    (Mv_obs.Trace.length disabled)
+    (Mv_obs.Trace.length disabled);
+  (* the default is disabled too — tracing is opt-in, as Registry's
+     [?trace_capacity] doc promises *)
+  let default = Mv_obs.Trace.create () in
+  Mv_obs.Trace.record default "e" [];
+  Alcotest.(check int) "default capacity is 0" 0
+    (Mv_obs.Trace.length default)
 
 (* The compatibility façade: after a real matching run, [Registry.stats]
    must report exactly what the instruments hold. *)

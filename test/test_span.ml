@@ -1,0 +1,262 @@
+(** The span subsystem: collector lifecycle, scoped threading, the
+    monotone clock, the text renderer, and the Chrome/Perfetto
+    [trace_event] export — including an end-to-end traced optimize run
+    whose tree must carry the pipeline's span names and per-view match
+    verdicts. *)
+
+module Span = Mv_obs.Span
+module J = Mv_obs.Json
+
+let schema = Mv_tpch.Schema.schema
+
+let test_lifecycle () =
+  let col = Span.create () in
+  let a = Span.start col "a" in
+  let b = Span.start col ~parent:a "b" in
+  Span.add_attrs col b [ ("k", Span.Int 7) ];
+  Span.finish col b;
+  Span.finish col a;
+  match Span.spans col with
+  | [ sa; sb ] ->
+      Alcotest.(check int) "ids from 1" 1 sa.Span.id;
+      Alcotest.(check int) "a is a root" 0 sa.Span.parent;
+      Alcotest.(check int) "b under a" a sb.Span.parent;
+      Alcotest.(check bool) "b closed" true (sb.Span.dur >= 0.0);
+      Alcotest.(check bool) "a closed" true (sa.Span.dur >= 0.0);
+      Alcotest.(check bool) "attr kept" true
+        (List.mem_assoc "k" sb.Span.attrs)
+  | l -> Alcotest.fail (Printf.sprintf "expected 2 spans, got %d" (List.length l))
+
+let test_finish_idempotent () =
+  let col = Span.create () in
+  let a = Span.start col "a" in
+  Span.finish col a;
+  let d1 = (List.hd (Span.spans col)).Span.dur in
+  Span.finish col a;
+  let d2 = (List.hd (Span.spans col)).Span.dur in
+  Alcotest.(check (float 0.0)) "second finish keeps the first duration" d1 d2;
+  (* the sink never throws into the pipeline: unknown ids are ignored *)
+  Span.add_attrs col 999 [ ("x", Span.Bool true) ];
+  Span.finish col 999;
+  Alcotest.(check int) "unknown ids ignored" 1 (List.length (Span.spans col))
+
+let test_monotone_timestamps () =
+  let col = Span.create () in
+  let ids =
+    List.init 20 (fun i ->
+        let id = Span.start col (Printf.sprintf "s%d" i) in
+        Span.finish col id;
+        id)
+  in
+  ignore ids;
+  let ts = List.map (fun s -> s.Span.ts) (Span.spans col) in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "timestamps never step backwards" true (monotone ts);
+  Alcotest.(check bool) "durations non-negative" true
+    (List.for_all (fun s -> s.Span.dur >= 0.0) (Span.spans col))
+
+let test_wrap_none_is_free () =
+  let attr_calls = ref 0 in
+  let r =
+    Span.wrap None "never"
+      ~attrs:(fun () -> incr attr_calls; [])
+      (fun sub ->
+        Alcotest.(check bool) "child scope is None" true (sub = None);
+        Span.note sub "noop" (fun () -> incr attr_calls; []);
+        Span.annotate sub (fun () -> incr attr_calls; []);
+        42)
+  in
+  Alcotest.(check int) "wrap None returns the thunk's value" 42 r;
+  Alcotest.(check int) "attr thunks never evaluated when disabled" 0 !attr_calls
+
+let test_wrap_tree_and_exceptions () =
+  let col = Span.create () in
+  let sc = Some (Span.root col) in
+  let r =
+    Span.wrap sc "outer" (fun sub ->
+        Span.note sub "ping" (fun () -> [ ("n", Span.Int 1) ]);
+        Span.wrap sub "inner" (fun sub2 ->
+            Span.annotate sub2 (fun () -> [ ("deep", Span.Bool true) ]);
+            17))
+  in
+  Alcotest.(check int) "value through two wraps" 17 r;
+  (try
+     Span.wrap sc "boom" (fun _ -> failwith "kaboom")
+   with Failure _ -> ());
+  let all = Span.spans col in
+  let by_name n = List.find (fun s -> s.Span.name = n) all in
+  let outer = by_name "outer" and inner = by_name "inner" in
+  let ping = by_name "ping" and boom = by_name "boom" in
+  Alcotest.(check int) "outer is a root" 0 outer.Span.parent;
+  Alcotest.(check int) "inner under outer" outer.Span.id inner.Span.parent;
+  Alcotest.(check int) "note lands under its scope" outer.Span.id
+    ping.Span.parent;
+  Alcotest.(check bool) "instant kind" true (ping.Span.kind = Span.Instant);
+  Alcotest.(check bool) "annotate reached the inner span" true
+    (List.mem_assoc "deep" inner.Span.attrs);
+  Alcotest.(check bool) "raising wrap still closes its span" true
+    (boom.Span.dur >= 0.0)
+
+let test_render () =
+  let col = Span.create () in
+  let sc = Some (Span.root col) in
+  ignore
+    (Span.wrap sc "optimize" (fun sub ->
+         Span.wrap sub "rule"
+           ~attrs:(fun () -> [ ("tables", Span.Str "{lineitem}") ])
+           (fun _ -> ())));
+  let out = Span.render col in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("render mentions " ^ needle) true
+        (Helpers.contains ~needle out))
+    [ "optimize"; "rule"; "tables={lineitem}"; "ms" ]
+
+(* Flat trace_event encoding: parse round-trip, the metadata event, and
+   every span recoverable with its tree edges in [args]. *)
+let test_trace_event_json () =
+  let col = Span.create () in
+  let sc = Some (Span.root col) in
+  ignore
+    (Span.wrap sc "outer" (fun sub ->
+         Span.note sub "hit" (fun () -> [ ("layer", Span.Str "plan") ]);
+         Span.wrap sub "inner" (fun _ -> ())));
+  let open_id = Span.start col "still-open" in
+  ignore open_id;
+  let doc = Span.to_trace_event_json ~process_name:"unit" col in
+  let reparsed = J.of_string (J.to_string doc) in
+  Alcotest.(check bool) "export round-trips through the parser" true
+    (J.equal doc reparsed);
+  Alcotest.(check bool) "displayTimeUnit is ms" true
+    (J.member "displayTimeUnit" doc = Some (J.String "ms"));
+  let events =
+    match J.member "traceEvents" doc with
+    | Some (J.List es) -> es
+    | _ -> Alcotest.fail "traceEvents must be a list"
+  in
+  let ph e =
+    match J.member "ph" e with Some (J.String s) -> s | _ -> "?"
+  in
+  let name e =
+    match J.member "name" e with Some (J.String s) -> s | _ -> "?"
+  in
+  (* one metadata event naming the process *)
+  let metas = List.filter (fun e -> ph e = "M") events in
+  Alcotest.(check int) "one metadata event" 1 (List.length metas);
+  Alcotest.(check bool) "process name travels" true
+    (J.path [ "args"; "name" ] (List.hd metas) = Some (J.String "unit"));
+  (* every event carries the required trace_event fields *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s event has %s" (ph e) k)
+            true
+            (J.member k e <> None))
+        [ "name"; "ph"; "pid"; "tid" ])
+    events;
+  let completes = List.filter (fun e -> ph e = "X") events in
+  let instants = List.filter (fun e -> ph e = "i") events in
+  Alcotest.(check int) "three complete spans" 3 (List.length completes);
+  Alcotest.(check int) "one instant" 1 (List.length instants);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "X events carry ts and dur" true
+        (J.member "ts" e <> None && J.member "dur" e <> None))
+    completes;
+  Alcotest.(check bool) "instants are thread-scoped" true
+    (J.member "s" (List.hd instants) = Some (J.String "t"));
+  (* tree edges survive: inner's parent_id is outer's span_id *)
+  let by_name n = List.find (fun e -> name e = n) completes in
+  let span_id e = J.path [ "args"; "span_id" ] e in
+  let parent_id e = J.path [ "args"; "parent_id" ] e in
+  Alcotest.(check bool) "inner points at outer" true
+    (parent_id (by_name "inner") = span_id (by_name "outer"));
+  Alcotest.(check bool) "open span flagged unfinished" true
+    (J.path [ "args"; "unfinished" ] (by_name "still-open")
+    = Some (J.Bool true))
+
+(* End to end: a traced optimize over one matching and one non-matching
+   view must produce the pipeline's spans — optimize / analyze / rule /
+   filter / per-view match spans — with the match verdicts attached. *)
+let test_traced_optimize () =
+  let registry = Mv_core.Registry.create schema in
+  let add name sql =
+    let _, vdef = Mv_sql.Parser.parse_view schema sql in
+    ignore (Mv_core.Registry.add_view registry ~name vdef)
+  in
+  add "span_hit"
+    {| create view span_hit with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 5 |};
+  add "span_miss"
+    {| create view span_miss with schemabinding as
+       select l_orderkey, l_quantity from dbo.lineitem
+       where l_quantity >= 50 |};
+  let q =
+    Mv_sql.Parser.parse_query schema
+      "select l_orderkey from lineitem where l_quantity >= 10"
+  in
+  let stats = Mv_tpch.Datagen.synthetic_stats () in
+  let col = Span.create () in
+  let r =
+    Mv_opt.Optimizer.optimize ~spans:(Span.root col) registry stats q
+  in
+  Alcotest.(check bool) "the matching view is used" true
+    r.Mv_opt.Optimizer.used_views;
+  let all = Span.spans col in
+  let find n = List.find_opt (fun s -> s.Span.name = n) all in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("span " ^ n ^ " recorded") true (find n <> None))
+    [ "optimize"; "analyze"; "rule"; "filter"; "match:span_hit"; "cost" ];
+  let attr s k = List.assoc_opt k s.Span.attrs in
+  let hit = Option.get (find "match:span_hit") in
+  Alcotest.(check bool) "hit verdict" true
+    (attr hit "result" = Some (Span.Str "matched"));
+  (* span_miss's range ([50,inf)) cannot cover the query's [10,inf): if it
+     survives the filter tree it must carry a reject verdict *)
+  (match find "match:span_miss" with
+  | None -> () (* pruned before matching — fine, the filter span saw it *)
+  | Some miss ->
+      Alcotest.(check bool) "miss verdict" true
+        (attr miss "result" = Some (Span.Str "rejected"));
+      Alcotest.(check bool) "miss carries the reject label" true
+        (attr miss "reject" <> None));
+  (* parenthood: rule under optimize, filter under rule *)
+  let optimize = Option.get (find "optimize") in
+  let rule = Option.get (find "rule") in
+  let filter = Option.get (find "filter") in
+  Alcotest.(check int) "rule under optimize" optimize.Span.id rule.Span.parent;
+  Alcotest.(check int) "filter under rule" rule.Span.id filter.Span.parent;
+  Alcotest.(check bool) "every span closed" true
+    (List.for_all (fun s -> s.Span.dur >= 0.0) all);
+  (* untraced same query: identical result, no collector involved *)
+  let r2 = Mv_opt.Optimizer.optimize registry stats q in
+  Alcotest.(check (float 1e-9)) "tracing does not change the plan cost"
+    r.Mv_opt.Optimizer.cost r2.Mv_opt.Optimizer.cost
+
+let suite =
+  [
+    ( "span",
+      [
+        Alcotest.test_case "collector lifecycle" `Quick test_lifecycle;
+        Alcotest.test_case "finish is idempotent, sink never throws" `Quick
+          test_finish_idempotent;
+        Alcotest.test_case "timestamps monotone" `Quick
+          test_monotone_timestamps;
+        Alcotest.test_case "disabled scope costs nothing" `Quick
+          test_wrap_none_is_free;
+        Alcotest.test_case "wrap builds the tree, survives raises" `Quick
+          test_wrap_tree_and_exceptions;
+        Alcotest.test_case "text rendering" `Quick test_render;
+        Alcotest.test_case "trace_event JSON export" `Quick
+          test_trace_event_json;
+        Alcotest.test_case "traced optimize carries the pipeline" `Quick
+          test_traced_optimize;
+      ] );
+  ]
