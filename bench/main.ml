@@ -18,9 +18,10 @@
 let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
-    \       [--ablation] [--filtertree] [--levels] [--serving] [--whynot]\n\
-    \       [--json FILE]\n\
-    \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]";
+    \       [--ablation] [--filtertree] [--levels] [--serving] [--serve]\n\
+    \       [--whynot] [--json FILE]\n\
+    \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]\n\
+    \       [--rate QPS] [--duration S] [--serve-trace FILE]";
   exit 1
 
 type what = {
@@ -32,6 +33,7 @@ type what = {
   levels : bool;
   scaling : bool;
   serving : bool;
+  serve : bool;
   whynot : bool;
 }
 
@@ -58,11 +60,17 @@ let () =
             levels = false;
             scaling = false;
             serving = false;
+            serve = false;
             whynot = false;
           }
     in
     sel := Some (w cur)
   in
+  let rate = ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.rate in
+  let duration =
+    ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.duration
+  in
+  let serve_trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -98,6 +106,18 @@ let () =
         parse rest
     | "--serving" :: rest ->
         add_sel (fun s -> { s with serving = true });
+        parse rest
+    | "--serve" :: rest ->
+        add_sel (fun s -> { s with serve = true });
+        parse rest
+    | "--rate" :: r :: rest ->
+        rate := float_of_string r;
+        parse rest
+    | "--duration" :: s :: rest ->
+        duration := max 0.05 (float_of_string s);
+        parse rest
+    | "--serve-trace" :: f :: rest ->
+        serve_trace := Some f;
         parse rest
     | "--whynot" :: rest ->
         add_sel (fun s -> { s with whynot = true });
@@ -138,6 +158,7 @@ let () =
             levels = true;
             scaling = true;
             serving = true;
+            serve = true;
             whynot = true;
           }
         else
@@ -150,6 +171,7 @@ let () =
             levels = true;
             scaling = false;
             serving = true;
+            serve = true;
             whynot = true;
           }
   in
@@ -163,7 +185,7 @@ let () =
   let need_sweep = what.figures <> [] || what.stats || what.ablation || what.levels in
   let need_workload =
     need_sweep || what.filtertree || what.scaling || what.serving
-    || what.whynot
+    || what.serve || what.whynot
   in
   let w =
     if need_workload then begin
@@ -226,6 +248,52 @@ let () =
         && m.Mv_experiments.Harness.churn_no_stale)
     then begin
       prerr_endline "serving benchmark: cache served a wrong or stale plan";
+      exit 3
+    end
+  end;
+  if what.serve then begin
+    (* the serving front end: an open-loop query stream over OCaml 5
+       domains against RCU registry snapshots, with add/drop churn; the
+       sampled observations are replayed sequentially (exit 3 on any
+       unexplainable observation) *)
+    let module S = Mv_experiments.Serve in
+    let cfg =
+      {
+        S.default_cfg with
+        S.nviews = !max_views;
+        domains = !domains;
+        rate = !rate;
+        duration = !duration;
+      }
+    in
+    let m = S.run ~cfg (Option.get w) in
+    Mv_experiments.Report.serve_table m;
+    add_section "serving_throughput" (Mv_experiments.Report.serve_json m);
+    (match !serve_trace with
+    | None -> ()
+    | Some file ->
+        (* one traced cold submission through a fresh front: the Perfetto
+           serve-phase artifact CI uploads *)
+        let w = Option.get w in
+        let registry = Mv_core.Registry.create w.Mv_experiments.Harness.schema in
+        List.iter
+          (Mv_core.Registry.add_prebuilt registry)
+          (Mv_experiments.Harness.take (min 50 !max_views)
+             w.Mv_experiments.Harness.views);
+        let f =
+          Mv_experiments.Serve.front registry w.Mv_experiments.Harness.stats
+        in
+        let col = Mv_obs.Span.create () in
+        ignore
+          (Mv_experiments.Serve.submit_traced f ~spans:(Mv_obs.Span.root col)
+             (List.hd w.Mv_experiments.Harness.queries));
+        Mv_experiments.Report.write_json file
+          (Mv_obs.Span.to_trace_event_json col);
+        Printf.printf "wrote %s\n" file);
+    if not m.S.sv_consistent then begin
+      prerr_endline
+        "serving throughput: an observation is not explainable by any \
+         registry state";
       exit 3
     end
   end;

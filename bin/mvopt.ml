@@ -12,6 +12,9 @@
       bench    measure batch optimization, optionally over several domains
       cache-stats  serve repeated queries through the match/plan cache and
                print its counters (hit/miss/eviction/invalidation)
+      serve    sustain an open-loop query stream over OCaml domains against
+               RCU registry snapshots under add/drop churn; print qps and
+               latency percentiles, replay sampled observations sequentially
       demo     a self-contained end-to-end demonstration
       generate print a random section-5 workload
 
@@ -509,6 +512,89 @@ let cache_stats_cmd =
           and warm-vs-cold latency")
     Term.(const run $ views $ queries $ passes $ domains $ capacity $ json_file)
 
+(* ---- serve ---- *)
+
+let serve_cmd =
+  let views =
+    Arg.(
+      value & opt int 200
+      & info [ "views" ] ~docv:"N" ~doc:"View population size.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 25
+      & info [ "queries" ] ~docv:"N" ~doc:"Distinct queries in the stream.")
+  in
+  let domains =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Serving domains (plus one churn mutator).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:"Target arrival rate across all domains; 0 = closed loop.")
+  in
+  let duration =
+    Arg.(
+      value & opt float 1.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Timed-window length.")
+  in
+  let fixed =
+    Arg.(
+      value & flag
+      & info [ "fixed" ]
+          ~doc:"Fixed-rate arrivals instead of the Poisson default.")
+  in
+  let churn =
+    Arg.(
+      value & opt float 0.12
+      & info [ "churn-period" ] ~docv:"SECONDS"
+          ~doc:"Seconds between add/drop mutations; 0 disables churn.")
+  in
+  let json_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also dump the measurement as JSON.")
+  in
+  let run views queries domains rate duration fixed churn json_file =
+    let w =
+      Mv_experiments.Harness.make_workload ~nviews:views ~nqueries:queries ()
+    in
+    let module S = Mv_experiments.Serve in
+    let cfg =
+      {
+        S.default_cfg with
+        S.nviews = views;
+        domains = max 1 domains;
+        rate;
+        poisson = not fixed;
+        duration = Float.max 0.05 duration;
+        churn_period = churn;
+      }
+    in
+    let m = S.run ~cfg w in
+    Mv_experiments.Report.serve_table m;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+        Mv_experiments.Report.write_json file
+          (Mv_obs.Json.Obj
+             [ ("serving_throughput", Mv_experiments.Report.serve_json m) ]);
+        Printf.printf "wrote %s\n" file);
+    if not m.S.sv_consistent then exit 3
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Sustain an open-loop query stream over OCaml domains against RCU \
+          registry snapshots under add/drop churn; print throughput and \
+          latency percentiles and replay sampled observations sequentially")
+    Term.(
+      const run $ views $ queries $ domains $ rate $ duration $ fixed $ churn
+      $ json_file)
+
 (* ---- demo ---- *)
 
 let demo_cmd =
@@ -563,6 +649,7 @@ let main =
       generate_cmd;
       bench_cmd;
       cache_stats_cmd;
+      serve_cmd;
       demo_cmd;
     ]
 

@@ -405,3 +405,4 @@ let rec node_count = function
         (Lattice.nodes l.lattice)
 
 let stats t = node_count t.root
+let plan t = t.plan

@@ -80,6 +80,11 @@ val candidates :
 val stats : t -> int
 (** Total lattice nodes across all levels. *)
 
+val plan : t -> plan
+(** The navigation plan this tree was created with — what a from-scratch
+    rebuild of the same population must use to index identically (the
+    registry's snapshot publication relies on this). *)
+
 (** {1 Rejection provenance ("why-not")}
 
     A pruning stage is either one of the indexed levels, the SPJ/aggregate

@@ -18,6 +18,18 @@ type stats = {
           is on the [rule.time] timer *)
 }
 
+(** An immutable, epoch-stamped view of the registry: the population and
+    a filter tree indexing exactly that population, consistent with each
+    other by construction (published together with one [Atomic.set]).
+    Nothing reachable from a snapshot is ever mutated — add/drop build and
+    publish a fresh one — so a reader may hold it across an arbitrary
+    amount of work with no lock (DESIGN.md §10). *)
+type snapshot = {
+  snap_epoch : int;  (** the registry epoch this state corresponds to *)
+  snap_views : View.t list;  (** insertion order, like [views] *)
+  snap_tree : Filter_tree.t;  (** a private tree over [snap_views] *)
+}
+
 type t = {
   schema : Mv_catalog.Schema.t;
   relaxed_nulls : bool;
@@ -39,6 +51,12 @@ type t = {
           it and treat a mismatch as stale, so an add/drop invalidates
           without a global rebuild ({!Mv_opt.Match_cache}, DESIGN.md §8).
           Read through {!val-epoch}. *)
+  snap : snapshot option Atomic.t;
+      (** the published snapshot; [None] until {!val-snapshot} first
+          activates RCU publication. Internal — read through
+          {!val-snapshot}. *)
+  write : Mutex.t;
+      (** serializes mutations; no read path ever takes it *)
 }
 
 exception Duplicate_view of string
@@ -58,6 +76,19 @@ val stats : t -> stats
 val epoch : t -> int
 (** The current registry epoch (0 for an empty registry). Monotonically
     increasing; changes exactly when the view population changes. *)
+
+val snapshot : t -> snapshot
+(** The current published snapshot — wait-free (one [Atomic.get]) on the
+    hot path. The first call activates RCU publication: it builds the
+    initial snapshot under the write lock, and from then on every
+    effective mutation rebuilds and republishes (writers pay the O(views)
+    rebuild, readers never block — DESIGN.md §10). Until that first call,
+    mutations stay O(delta) and reads run against the master state, so
+    purely sequential users pay nothing.
+
+    Pinning the result and passing it as [?snap] to the read operations
+    below runs them all against one registry state, regardless of
+    concurrent add/drop. *)
 
 val view_count : t -> int
 
@@ -81,12 +112,13 @@ val add_prebuilt : t -> View.t -> unit
 val remove_view : t -> string -> unit
 (** Drop a view by name: in-place filter-tree removal (empty lattice keys
     are deleted, no rebuild) plus an epoch bump. Unknown names are a no-op
-    and do not advance the epoch. *)
+    and do not advance the epoch (and do not republish). *)
 
-val candidates : t -> Mv_relalg.Analysis.t -> View.t list
+val candidates : ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> View.t list
 
 val match_with_candidates :
   ?spans:Mv_obs.Span.scope ->
+  ?snap:snapshot ->
   t ->
   Mv_relalg.Analysis.t ->
   View.t list * Substitute.t list
@@ -101,9 +133,18 @@ val match_with_candidates :
     search; untraced invocations are unchanged. *)
 
 val find_substitutes :
-  ?spans:Mv_obs.Span.scope -> t -> Mv_relalg.Analysis.t -> Substitute.t list
+  ?spans:Mv_obs.Span.scope ->
+  ?snap:snapshot ->
+  t ->
+  Mv_relalg.Analysis.t ->
+  Substitute.t list
 (** The view-matching rule body: filter, test every candidate, build one
-    substitute per matching view. Updates {!stats}. *)
+    substitute per matching view. Updates {!stats}.
+
+    Without [snap], each invocation runs against {!val-snapshot}'s current
+    value (or the master state before activation); with it, against
+    exactly the pinned state — what lets a whole optimization see one
+    consistent registry under concurrent churn. *)
 
 (** {2 Why-not} *)
 
@@ -113,7 +154,8 @@ type explanation =
   | Rejected of Reject.t  (** survived filtering, failed the matcher *)
   | Matched of Substitute.t
 
-val explain : t -> Mv_relalg.Analysis.t -> (View.t * explanation) list
+val explain :
+  ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> (View.t * explanation) list
 (** Account for every registered view, in registration order. Exact with
     respect to the rule: [Filtered] views are precisely the population
     minus {!candidates} (the filtering is replayed per view through
@@ -123,7 +165,8 @@ val explain : t -> Mv_relalg.Analysis.t -> (View.t * explanation) list
 
 val find_substitutes_spjg : t -> Mv_relalg.Spjg.t -> Substitute.t list
 
-val find_union_substitutes : t -> Mv_relalg.Analysis.t -> Union_substitute.t option
+val find_union_substitutes :
+  ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> Union_substitute.t option
 (** The section 7 union-substitute extension: views that individually fail
     only the range test, composed over disjoint slices of one class. Views
     are pre-filtered by the source-table condition only (the filter tree's

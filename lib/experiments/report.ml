@@ -300,6 +300,76 @@ let serving_json (m : Harness.serving_measurement) =
       ("churn_no_stale", J.Bool m.Harness.churn_no_stale);
     ]
 
+(* ---- serving-throughput report (RCU front end, open-loop driver) ---- *)
+
+let serve_table (m : Serve.measurement) =
+  pr "\n== Serving throughput: open-loop stream over RCU snapshots ==\n";
+  pr "(%d views, %d serving domains + 1 churn mutator; %s arrivals at\n"
+    m.Serve.sv_nviews m.Serve.sv_domains
+    (if m.Serve.sv_poisson then "Poisson" else "fixed-rate");
+  pr " %.0f qps target; readers pin wait-free snapshots, never a mutex)\n\n"
+    m.Serve.sv_rate;
+  pr "queries served:   %10d in %.3fs  =>  %.0f qps\n" m.Serve.sv_queries
+    m.Serve.sv_wall m.Serve.sv_qps;
+  pr "\n%-10s %12s %12s %12s\n" "" "p50" "p90" "p99";
+  pr "%-10s %11.4fs %11.4fs %11.4fs\n" "latency" m.Serve.sv_lat_p50
+    m.Serve.sv_lat_p90 m.Serve.sv_lat_p99;
+  pr "%-10s %11.4fs %11.4fs %11.4fs\n" "service" m.Serve.sv_srv_p50
+    m.Serve.sv_srv_p90 m.Serve.sv_srv_p99;
+  pr "(latency counts schedule lag: completion - scheduled arrival)\n";
+  pr "\n%-24s %10s %10s\n" "layer" "hits" "misses";
+  pr "%-24s %10d %10d\n" "cache.l1 (per-domain)" m.Serve.sv_l1_hits
+    m.Serve.sv_l1_misses;
+  pr "%-24s %10d %10d\n" "cache.plan (shared)" m.Serve.sv_plan_hits
+    m.Serve.sv_plan_misses;
+  pr "%-24s %10d %10d\n" "cache.match (shared)" m.Serve.sv_match_hits
+    m.Serve.sv_match_misses;
+  pr "%-24s %10d %10d\n" "single-flight (led/waited)"
+    m.Serve.sv_flight_leaders m.Serve.sv_flight_waits;
+  pr "\nchurn: %d mutations, epoch %d -> %d\n" m.Serve.sv_mutations
+    m.Serve.sv_epoch_lo m.Serve.sv_epoch_hi;
+  pr "sampled observations replayed sequentially: %d, consistent: %b\n"
+    m.Serve.sv_sampled m.Serve.sv_consistent
+
+let serve_json (m : Serve.measurement) =
+  let pct p50 p90 p99 =
+    J.Obj [ ("p50_s", J.Float p50); ("p90_s", J.Float p90);
+            ("p99_s", J.Float p99) ]
+  in
+  J.Obj
+    [
+      ("nviews", J.Int m.Serve.sv_nviews);
+      ("domains", J.Int m.Serve.sv_domains);
+      ("rate_qps", J.Float m.Serve.sv_rate);
+      ("poisson", J.Bool m.Serve.sv_poisson);
+      ("duration_s", J.Float m.Serve.sv_wall);
+      ("queries", J.Int m.Serve.sv_queries);
+      ("qps", J.Float m.Serve.sv_qps);
+      ("latency", pct m.Serve.sv_lat_p50 m.Serve.sv_lat_p90 m.Serve.sv_lat_p99);
+      ("service", pct m.Serve.sv_srv_p50 m.Serve.sv_srv_p90 m.Serve.sv_srv_p99);
+      ( "cache",
+        J.Obj
+          [
+            ("l1_hits", J.Int m.Serve.sv_l1_hits);
+            ("l1_misses", J.Int m.Serve.sv_l1_misses);
+            ("flight_leaders", J.Int m.Serve.sv_flight_leaders);
+            ("flight_waits", J.Int m.Serve.sv_flight_waits);
+            ("plan_hits", J.Int m.Serve.sv_plan_hits);
+            ("plan_misses", J.Int m.Serve.sv_plan_misses);
+            ("match_hits", J.Int m.Serve.sv_match_hits);
+            ("match_misses", J.Int m.Serve.sv_match_misses);
+          ] );
+      ( "churn",
+        J.Obj
+          [
+            ("mutations", J.Int m.Serve.sv_mutations);
+            ("epoch_lo", J.Int m.Serve.sv_epoch_lo);
+            ("epoch_hi", J.Int m.Serve.sv_epoch_hi);
+            ("sampled", J.Int m.Serve.sv_sampled);
+            ("consistent", J.Bool m.Serve.sv_consistent);
+          ] );
+    ]
+
 (* ---- why-not report (aggregate rejection provenance) ---- *)
 
 let whynot_table ~nviews ~nqueries (causes : (string * int) list) =

@@ -58,6 +58,16 @@ val serving_table : Harness.serving_measurement -> unit
 val serving_json : Harness.serving_measurement -> Mv_obs.Json.t
 (** The ["serving"] section of the trajectory. *)
 
+val serve_table : Serve.measurement -> unit
+(** The serving-throughput benchmark: qps, latency/service percentiles,
+    the three cache layers, single-flight dedup, and the churn +
+    linearizability-replay verdict. *)
+
+val serve_json : Serve.measurement -> Mv_obs.Json.t
+(** The ["serving_throughput"] section of the trajectory; the [latency]
+    and [service] objects carry the [p50_s/p90_s/p99_s] keys
+    json_check's percentile tolerance compares on. *)
+
 val whynot_table : nviews:int -> nqueries:int -> (string * int) list -> unit
 (** The aggregate why-not table from {!Harness.whynot}: one row per cause
     with its (query, view) pair count and share. *)

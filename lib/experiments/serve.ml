@@ -1,0 +1,457 @@
+(** The serving front end (DESIGN.md §10): an open-loop query stream over
+    OCaml 5 domains against one shared registry under add/drop churn.
+
+    Layering of one [submit], hot to cold:
+
+    - a per-domain L1 result cache ({!Mv_util.Lru} behind [Domain.DLS] —
+      unsynchronized by construction, one per domain), valid only at the
+      pinned snapshot's epoch;
+    - a lock-free probe of the shared plan layer
+      ({!Mv_opt.Match_cache.peek_plan} — one shard mutex, no compute);
+    - single-flight dedup: concurrent identical cold queries elect one
+      leader that optimizes while the rest wait on a condvar, so a herd of
+      K identical requests runs the optimizer exactly once;
+    - the leader runs {!Mv_opt.Optimizer.optimize} with the snapshot
+      pinned, so the whole optimization (every enumerated subexpression)
+      sees one registry state regardless of concurrent churn.
+
+    The registry snapshot is taken once per submit ([Registry.snapshot],
+    one [Atomic.get] on the hot path — no reader-side mutex), and the
+    (epoch, result) pair a submit returns is the linearizability
+    observation test/test_serve.ml replays against sequential
+    optimization. *)
+
+module R = Mv_core.Registry
+module MC = Mv_opt.Match_cache
+module Opt = Mv_opt.Optimizer
+module Plan = Mv_opt.Plan
+module Spjg = Mv_relalg.Spjg
+module Lru = Mv_util.Lru
+module Prng = Mv_util.Prng
+module I = Mv_obs.Instrument
+module Obs = Mv_obs.Registry
+
+(* ---- the front ---- *)
+
+type l1_slot = { l1_epoch : int; l1_entry : MC.plan_entry }
+
+type flight = {
+  fl_lock : Mutex.t;
+  fl_cond : Condition.t;
+  mutable fl_out : (int * MC.plan_entry, exn) result option;
+}
+
+type front = {
+  f_registry : R.t;
+  f_stats : Mv_catalog.Stats.t;
+  f_cache : MC.t;
+  f_l1 : (Spjg.t, l1_slot) Lru.t Domain.DLS.key;
+  f_flights : (Spjg.t, flight) Hashtbl.t;
+  f_flights_lock : Mutex.t;
+  (* counters are atomic ({!Mv_obs.Instrument.counter}), so per-domain L1
+     hits/misses sum exactly across domains — the lost-update qcheck in
+     test_serve.ml holds the totals to the submission count *)
+  c_l1_hits : I.counter;
+  c_l1_misses : I.counter;
+  c_leaders : I.counter;
+  c_waits : I.counter;
+  h_latency : I.histogram;  (** open-loop: completion - scheduled arrival *)
+  h_service : I.histogram;  (** submit call duration alone *)
+}
+
+let front ?(l1_capacity = 512) ?(capacity = 4096) registry stats =
+  let obs = registry.R.obs in
+  {
+    f_registry = registry;
+    f_stats = stats;
+    f_cache = MC.create ~capacity registry;
+    f_l1 = Domain.DLS.new_key (fun () -> Lru.create ~capacity:l1_capacity);
+    f_flights = Hashtbl.create 64;
+    f_flights_lock = Mutex.create ();
+    c_l1_hits = Obs.counter obs "cache.l1.hits";
+    c_l1_misses = Obs.counter obs "cache.l1.misses";
+    c_leaders = Obs.counter obs "serve.flight.leaders";
+    c_waits = Obs.counter obs "serve.flight.waits";
+    h_latency = Obs.histogram obs "serve.latency";
+    h_service = Obs.histogram obs "serve.service";
+  }
+
+let registry t = t.f_registry
+let cache t = t.f_cache
+
+let result_of_entry (e : MC.plan_entry) : Opt.result =
+  {
+    Opt.plan = e.MC.plan;
+    cost = e.MC.cost;
+    rows = e.MC.rows;
+    used_views = e.MC.used_views;
+  }
+
+(* Wait on a published flight; returns the leader's (epoch, entry). *)
+let await_flight fl =
+  Mutex.protect fl.fl_lock (fun () ->
+      while fl.fl_out = None do
+        Condition.wait fl.fl_cond fl.fl_lock
+      done;
+      Option.get fl.fl_out)
+
+(* Lead one flight: optimize with the snapshot pinned, publish the outcome
+   (wake every waiter), then retire the flight. The publication order
+   matters twice over: the plan layer is warm BEFORE the flight leaves the
+   table (a latecomer that missed the flight re-probes under the table
+   lock and hits), and the flight is published before removal (a waiter
+   never blocks on a retired flight). *)
+let lead t snap fl q =
+  I.incr t.c_leaders;
+  let out =
+    match
+      Opt.optimize ~cache:t.f_cache ~snap t.f_registry t.f_stats q
+    with
+    | r ->
+        Ok
+          ( snap.R.snap_epoch,
+            {
+              MC.plan = r.Opt.plan;
+              cost = r.Opt.cost;
+              rows = r.Opt.rows;
+              used_views = r.Opt.used_views;
+            } )
+    | exception e -> Error e
+  in
+  Mutex.protect fl.fl_lock (fun () ->
+      fl.fl_out <- Some out;
+      Condition.broadcast fl.fl_cond);
+  Mutex.protect t.f_flights_lock (fun () -> Hashtbl.remove t.f_flights q);
+  out
+
+(* Join or create the flight for [q]. The double probe of the plan layer
+   under the table lock closes the last race: a leader stores the plan
+   (shard lock) strictly before retiring its flight (table lock), so a
+   submitter that peeked too early and then finds no flight is guaranteed
+   to hit on the re-probe — a cold herd elects exactly one leader. *)
+let fly t snap q =
+  let ep = snap.R.snap_epoch in
+  let role =
+    Mutex.protect t.f_flights_lock (fun () ->
+        match Hashtbl.find_opt t.f_flights q with
+        | Some fl -> `Wait fl
+        | None -> (
+            match MC.peek_plan ~epoch:ep t.f_cache q with
+            | Some e -> `Hit e
+            | None ->
+                let fl =
+                  {
+                    fl_lock = Mutex.create ();
+                    fl_cond = Condition.create ();
+                    fl_out = None;
+                  }
+                in
+                Hashtbl.add t.f_flights q fl;
+                `Lead fl))
+  in
+  match role with
+  | `Hit e -> (ep, e)
+  | `Lead fl -> (
+      match lead t snap fl q with
+      | Ok out -> out
+      | Error e -> raise e)
+  | `Wait fl -> (
+      I.incr t.c_waits;
+      match await_flight fl with Ok out -> out | Error e -> raise e)
+
+let submit t (q : Spjg.t) : int * Opt.result =
+  let snap = R.snapshot t.f_registry in
+  let ep = snap.R.snap_epoch in
+  let l1 = Domain.DLS.get t.f_l1 in
+  match Lru.find l1 q with
+  | Some s when s.l1_epoch = ep ->
+      I.incr t.c_l1_hits;
+      (ep, result_of_entry s.l1_entry)
+  | _ ->
+      I.incr t.c_l1_misses;
+      let oep, entry =
+        match MC.peek_plan ~epoch:ep t.f_cache q with
+        | Some e -> (ep, e)
+        | None -> fly t snap q
+      in
+      ignore (Lru.set l1 q { l1_epoch = oep; l1_entry = entry });
+      (oep, result_of_entry entry)
+
+(* One traced submission through the L1-miss path (for the Perfetto
+   artifact): bypasses the caller's L1 so the spans always show the
+   shared-cache lookup and, when cold, the pinned optimization. *)
+let submit_traced t ~spans (q : Spjg.t) : int * Opt.result =
+  let snap = R.snapshot t.f_registry in
+  Mv_obs.Span.wrap (Some spans) "serve"
+    ~attrs:(fun () ->
+      [ ("epoch", Mv_obs.Span.Int snap.R.snap_epoch) ])
+    (fun sub ->
+      let r =
+        Opt.optimize ~cache:t.f_cache ~snap ?spans:sub t.f_registry t.f_stats
+          q
+      in
+      (snap.R.snap_epoch, r))
+
+(* ---- the open-loop driver ---- *)
+
+type cfg = {
+  nviews : int;
+  domains : int;
+  rate : float;  (** target queries/second across all domains; 0 = closed loop *)
+  poisson : bool;  (** exponential inter-arrivals instead of fixed *)
+  duration : float;  (** timed-window seconds *)
+  warmup : bool;  (** one sequential cache-filling pass before the clock *)
+  churn_period : float;  (** seconds between add/drop mutations; 0 = none *)
+  churn_pool : int;  (** how many tail views the mutator cycles *)
+  l1_capacity : int;
+  capacity : int;  (** shared match/plan cache capacity *)
+  sample : int;  (** observations kept per domain for the replay check *)
+  sample_stride : int;  (** keep every k-th observation *)
+  seed : int;
+}
+
+let default_cfg =
+  {
+    nviews = 1000;
+    domains = 2;
+    rate = 200.0;
+    poisson = true;
+    duration = 1.5;
+    warmup = true;
+    churn_period = 0.12;
+    churn_pool = 8;
+    l1_capacity = 512;
+    capacity = 4096;
+    sample = 32;
+    sample_stride = 13;
+    seed = 4242;
+  }
+
+type measurement = {
+  sv_nviews : int;
+  sv_domains : int;
+  sv_rate : float;
+  sv_poisson : bool;
+  sv_wall : float;  (** actual timed-window seconds *)
+  sv_queries : int;  (** submissions completed inside the window *)
+  sv_qps : float;
+  sv_lat_p50 : float;
+  sv_lat_p90 : float;
+  sv_lat_p99 : float;  (** open-loop latency: completion - scheduled arrival *)
+  sv_srv_p50 : float;
+  sv_srv_p90 : float;
+  sv_srv_p99 : float;  (** service time: the submit call alone *)
+  sv_l1_hits : int;
+  sv_l1_misses : int;
+  sv_flight_leaders : int;
+  sv_flight_waits : int;
+  sv_plan_hits : int;
+  sv_plan_misses : int;
+  sv_match_hits : int;
+  sv_match_misses : int;
+  sv_mutations : int;  (** add/drop operations the mutator applied *)
+  sv_epoch_lo : int;
+  sv_epoch_hi : int;  (** epoch range the run covered *)
+  sv_sampled : int;  (** observations replayed by the consistency check *)
+  sv_consistent : bool;
+      (** every sampled (epoch, query, plan) observation is byte-identical
+          to sequential optimization against a scratch registry rebuilt at
+          that epoch's population — the linearizability verdict *)
+}
+
+type observation = { ob_epoch : int; ob_query : int; ob_plan : string }
+
+let now = Unix.gettimeofday
+
+(* The view population at each epoch the run can have produced, from the
+   initial population and the mutator's (epoch, op) log. *)
+let populations ~views ~epoch0 ops =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.replace tbl epoch0 views;
+  let cur = ref views in
+  List.iter
+    (fun (ep, op) ->
+      (cur :=
+         match op with
+         | `Drop v ->
+             List.filter
+               (fun (x : Mv_core.View.t) ->
+                 x.Mv_core.View.name <> v.Mv_core.View.name)
+               !cur
+         | `Add v -> !cur @ [ v ]);
+      Hashtbl.replace tbl ep !cur)
+    ops;
+  tbl
+
+(* Replay one observation sequentially: a scratch registry holding exactly
+   the population of the observed epoch, no cache, no snapshot — the
+   plain PR-1 optimizer path. Registries are memoized per epoch. *)
+let consistency_check (w : Harness.workload) ~pops ~queries observations =
+  let regs = Hashtbl.create 8 in
+  let registry_at ep =
+    match Hashtbl.find_opt regs ep with
+    | Some r -> r
+    | None ->
+        let r = R.create w.Harness.schema in
+        List.iter (R.add_prebuilt r) (Hashtbl.find pops ep);
+        Hashtbl.replace regs ep r;
+        r
+  in
+  let plans = Hashtbl.create 64 in
+  let seq_plan ep qi =
+    match Hashtbl.find_opt plans (ep, qi) with
+    | Some p -> p
+    | None ->
+        let r = Opt.optimize (registry_at ep) w.Harness.stats queries.(qi) in
+        let p = Plan.to_string r.Opt.plan in
+        Hashtbl.replace plans (ep, qi) p;
+        p
+  in
+  List.for_all
+    (fun ob ->
+      Hashtbl.mem pops ob.ob_epoch
+      && String.equal ob.ob_plan (seq_plan ob.ob_epoch ob.ob_query))
+    observations
+
+let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
+  let registry = R.create w.Harness.schema in
+  let views = Harness.take cfg.nviews w.Harness.views in
+  List.iter (R.add_prebuilt registry) views;
+  Mv_relalg.Intern.freeze ();
+  let t =
+    front ~l1_capacity:cfg.l1_capacity ~capacity:cfg.capacity registry
+      w.Harness.stats
+  in
+  (* activate RCU publication before the clock starts: from here on,
+     readers are wait-free and every mutation republishes *)
+  ignore (R.snapshot registry);
+  let queries = Array.of_list w.Harness.queries in
+  let nq = Array.length queries in
+  if nq = 0 then invalid_arg "Serve.run: empty workload";
+  if cfg.warmup then
+    Array.iter (fun q -> ignore (submit t q)) queries;
+  let epoch0 = R.epoch registry in
+  let obs = registry.R.obs in
+  let cval name = Obs.counter_value obs name in
+  let counters0 =
+    List.map
+      (fun n -> (n, cval n))
+      [
+        "cache.l1.hits"; "cache.l1.misses"; "serve.flight.leaders";
+        "serve.flight.waits"; "cache.plan.hits"; "cache.plan.misses";
+        "cache.match.hits"; "cache.match.misses";
+      ]
+  in
+  let mlog = ref [] (* newest first; only the mutator writes *) in
+  let t_start = now () in
+  let t_stop = t_start +. cfg.duration in
+  let mutator () =
+    let pool =
+      Array.of_list
+        (if cfg.churn_pool <= 0 then []
+         else
+           List.filteri
+             (fun i _ -> i >= List.length views - cfg.churn_pool)
+             views)
+    in
+    let i = ref 0 in
+    if cfg.churn_period > 0.0 && Array.length pool > 0 then
+      while now () < t_stop do
+        Unix.sleepf cfg.churn_period;
+        if now () < t_stop then begin
+          let v = pool.(!i / 2 mod Array.length pool) in
+          let op =
+            if !i mod 2 = 0 then (
+              R.remove_view registry v.Mv_core.View.name;
+              `Drop v)
+            else (
+              R.add_prebuilt registry v;
+              `Add v)
+          in
+          mlog := (R.epoch registry, op) :: !mlog;
+          incr i
+        end
+      done;
+    (0, [])
+  in
+  let worker d () =
+    let prng = Prng.create (cfg.seed + (7919 * (d + 1))) in
+    let inter () =
+      if cfg.rate <= 0.0 then 0.0
+      else
+        let per = float_of_int cfg.domains /. cfg.rate in
+        if cfg.poisson then -.log (1.0 -. Prng.float prng) *. per else per
+    in
+    let next = ref (t_start +. inter ()) in
+    let count = ref 0 in
+    let sampled = ref [] in
+    let qi = ref d in
+    while now () < t_stop do
+      (if cfg.rate > 0.0 then
+         let n = now () in
+         if !next > n then Unix.sleepf (Float.min (!next -. n) 0.05));
+      (* open loop: latency is measured from the scheduled arrival, so
+         queueing delay (falling behind the schedule) counts against us *)
+      let t0 = now () in
+      let arrival = if cfg.rate > 0.0 then Float.min !next t0 else t0 in
+      let idx = !qi mod nq in
+      let ep, r = submit t queries.(idx) in
+      let t1 = now () in
+      I.observe t.h_latency (t1 -. arrival);
+      I.observe t.h_service (t1 -. t0);
+      if
+        !count mod cfg.sample_stride = 0
+        && List.length !sampled < cfg.sample
+      then
+        sampled :=
+          {
+            ob_epoch = ep;
+            ob_query = idx;
+            ob_plan = Plan.to_string r.Opt.plan;
+          }
+          :: !sampled;
+      incr count;
+      qi := !qi + cfg.domains;
+      next := !next +. inter ()
+    done;
+    (!count, !sampled)
+  in
+  let results =
+    Pool.run_each (mutator :: List.init (max 1 cfg.domains) worker)
+  in
+  let wall = now () -. t_start in
+  let total = List.fold_left (fun acc (c, _) -> acc + c) 0 results in
+  let observations = List.concat_map snd results in
+  let ops = List.rev !mlog in
+  let pops = populations ~views ~epoch0 ops in
+  let consistent = consistency_check w ~pops ~queries observations in
+  let q h p = I.quantile h p in
+  let d name = cval name - List.assoc name counters0 in
+  {
+    sv_nviews = cfg.nviews;
+    sv_domains = max 1 cfg.domains;
+    sv_rate = cfg.rate;
+    sv_poisson = cfg.poisson;
+    sv_wall = wall;
+    sv_queries = total;
+    sv_qps = (if wall > 0.0 then float_of_int total /. wall else 0.0);
+    sv_lat_p50 = q t.h_latency 0.5;
+    sv_lat_p90 = q t.h_latency 0.9;
+    sv_lat_p99 = q t.h_latency 0.99;
+    sv_srv_p50 = q t.h_service 0.5;
+    sv_srv_p90 = q t.h_service 0.9;
+    sv_srv_p99 = q t.h_service 0.99;
+    sv_l1_hits = d "cache.l1.hits";
+    sv_l1_misses = d "cache.l1.misses";
+    sv_flight_leaders = d "serve.flight.leaders";
+    sv_flight_waits = d "serve.flight.waits";
+    sv_plan_hits = d "cache.plan.hits";
+    sv_plan_misses = d "cache.plan.misses";
+    sv_match_hits = d "cache.match.hits";
+    sv_match_misses = d "cache.match.misses";
+    sv_mutations = List.length ops;
+    sv_epoch_lo = epoch0;
+    sv_epoch_hi = R.epoch registry;
+    sv_sampled = List.length observations;
+    sv_consistent = consistent;
+  }

@@ -25,9 +25,15 @@ let record t name fields =
         t.ring.(t.next mod t.cap) <- Some { seq = t.next; name; fields };
         t.next <- t.next + 1)
 
-let length t = min t.next t.cap
+(* [next] is mutated under the lock, so cross-domain readers must take it
+   too: an unsynchronized read of a plain mutable field is a data race
+   under OCaml 5 (it happens to stay well-defined, but the value could be
+   torn against a concurrent [clear]'s ring wipe). Capacity 0 never
+   records, so the disabled-by-default trace costs nothing even when
+   every optimization also feeds the always-on phase histograms. *)
+let length t = if t.cap = 0 then 0 else Mutex.protect t.lock (fun () -> min t.next t.cap)
 
-let total t = t.next
+let total t = if t.cap = 0 then 0 else Mutex.protect t.lock (fun () -> t.next)
 
 let events t =
   if t.cap = 0 then []

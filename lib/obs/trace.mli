@@ -23,10 +23,13 @@ val enabled : t -> bool
 val record : t -> string -> (string * Json.t) list -> unit
 
 val length : t -> int
-(** Events currently retained. *)
+(** Events currently retained. Safe to call from any domain while others
+    record (reads under the ring's mutex; constant-time 0 when capacity
+    is 0). *)
 
 val total : t -> int
-(** Events recorded since the last [clear], including dropped ones. *)
+(** Events recorded since the last [clear], including dropped ones. Same
+    domain-safety as {!length}. *)
 
 val events : t -> event list
 (** Oldest first. *)

@@ -106,8 +106,14 @@ let incr = Mv_obs.Instrument.incr
    BEFORE computing — an add/drop racing the computation leaves the entry
    stale-stamped, never stale-served. [layer]/[spans] only feed the span
    sink: a traced lookup notes [cache.<layer>.hit|miss] as an instant. *)
-let serve t ~layer ?spans ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
-  let ep = Registry.epoch t.registry in
+let serve t ~layer ?spans ?ep ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
+  (* [ep] is the validation epoch: the caller's pinned snapshot epoch, or
+     the live registry epoch. A pinned lookup during a churn window (pin
+     behind live) misses/recomputes against its snapshot and stores an
+     entry stamped with the pin — which the next live-epoch lookup kills,
+     exactly like an entry whose computation raced a mutation. Stale
+     entries are never served either way. *)
+  let ep = match ep with Some e -> e | None -> Registry.epoch t.registry in
   let shard = shard_for t key in
   let cache = cache_of shard in
   let cached =
@@ -136,15 +142,18 @@ let serve t ~layer ?spans ~ctrs ~cache_of key ~epoch_of ~fresh ~compute =
           | None -> ());
       e
 
-let find_substitutes ?spans t (qa : A.t) =
+let find_substitutes ?spans ?snap t (qa : A.t) =
   let e =
-    serve t ~layer:"match" ?spans ~ctrs:t.match_ctrs
+    serve t ~layer:"match" ?spans
+      ?ep:(Option.map (fun s -> s.Registry.snap_epoch) snap)
+      ~ctrs:t.match_ctrs
       ~cache_of:(fun s -> s.matches)
       (key_of_analysis qa)
       ~epoch_of:(fun e -> e.m_epoch)
       ~fresh:(fun ep (cands, subs) ->
         { m_epoch = ep; m_candidates = cands; m_substitutes = subs })
-      ~compute:(fun () -> Registry.match_with_candidates ?spans t.registry qa)
+      ~compute:(fun () ->
+        Registry.match_with_candidates ?spans ?snap t.registry qa)
   in
   e.m_substitutes
 
@@ -157,9 +166,9 @@ let cached_candidates t (qa : A.t) =
       | Some e when e.m_epoch = ep -> Some e.m_candidates
       | _ -> None)
 
-let with_plan ?spans t (block : Spjg.t) compute =
+let with_plan ?spans ?epoch t (block : Spjg.t) compute =
   let e =
-    serve t ~layer:"plan" ?spans ~ctrs:t.plan_ctrs
+    serve t ~layer:"plan" ?spans ?ep:epoch ~ctrs:t.plan_ctrs
       ~cache_of:(fun s -> s.plans)
       (key_of_spjg block)
       ~epoch_of:(fun s -> s.p_epoch)
@@ -167,6 +176,24 @@ let with_plan ?spans t (block : Spjg.t) compute =
       ~compute
   in
   e.p_entry
+
+(* Lookup-only plan probe for serving front ends: a fresh hit counts as a
+   plan-layer hit (the optimizer will not run at all); anything else
+   counts nothing — the caller goes on to [with_plan], which accounts the
+   miss exactly once. Never invalidates: a mismatched entry may be
+   perfectly fresh for a reader pinned at another epoch. *)
+let peek_plan ?epoch t (block : Spjg.t) =
+  let ep = match epoch with Some e -> e | None -> Registry.epoch t.registry in
+  let key = key_of_spjg block in
+  let shard = shard_for t key in
+  let hit =
+    Mutex.protect shard.lock (fun () ->
+        match Lru.find shard.plans key with
+        | Some s when s.p_epoch = ep -> Some s.p_entry
+        | _ -> None)
+  in
+  (match hit with Some _ -> incr t.plan_ctrs.hits | None -> ());
+  hit
 
 let stats t =
   let obs = t.registry.Registry.obs in

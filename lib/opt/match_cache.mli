@@ -36,6 +36,7 @@ val registry : t -> Mv_core.Registry.t
 
 val find_substitutes :
   ?spans:Mv_obs.Span.scope ->
+  ?snap:Mv_core.Registry.snapshot ->
   t ->
   Mv_relalg.Analysis.t ->
   Mv_core.Substitute.t list
@@ -43,7 +44,14 @@ val find_substitutes :
     fresh-epoch hit the rule does not run at all (its [rule.*] counters
     do not advance — the cache counters do instead). With [spans], the
     lookup notes a [cache.match.hit]/[cache.match.miss] instant and a
-    miss threads [spans] into the rule. *)
+    miss threads [spans] into the rule.
+
+    With [snap], entries validate against (and are stamped with) the
+    pinned snapshot's epoch, and a miss computes against the pinned
+    snapshot — so the whole lookup is consistent with one registry state
+    even while add/drop churns. A pin behind the live epoch only ever
+    costs extra misses, never a stale serve (the entry it stores dies at
+    the next live-epoch lookup, like any entry that raced a mutation). *)
 
 val cached_candidates :
   t -> Mv_relalg.Analysis.t -> Mv_core.View.t list option
@@ -61,13 +69,24 @@ type plan_entry = {
 
 val with_plan :
   ?spans:Mv_obs.Span.scope ->
+  ?epoch:int ->
   t ->
   Mv_relalg.Spjg.t ->
   (unit -> plan_entry) ->
   plan_entry
 (** Serve the query from the plan layer, or compute, store and return.
     The computation runs outside the shard lock. With [spans], the lookup
-    notes a [cache.plan.hit]/[cache.plan.miss] instant. *)
+    notes a [cache.plan.hit]/[cache.plan.miss] instant. [epoch] pins the
+    validation/stamping epoch to a snapshot's instead of the live
+    registry's (see {!find_substitutes}). *)
+
+val peek_plan :
+  ?epoch:int -> t -> Mv_relalg.Spjg.t -> plan_entry option
+(** Lookup-only probe of the plan layer ([Some] iff present and fresh at
+    the validation epoch). A hit counts one [cache.plan.hits]; a miss
+    counts nothing and never evicts — the caller is expected to follow up
+    with {!with_plan}, which accounts the miss. For serving front ends
+    that want to skip optimizer setup entirely on the warm path. *)
 
 val stats : t -> (string * int) list
 (** The eight [cache.*] counters, sorted by name. *)

@@ -211,7 +211,7 @@ let safe_preagg (qa : A.t) schema remaining =
         keys)
     remaining
 
-let optimize_body ~(config : config) ?cache ?spans
+let optimize_body ~(config : config) ?cache ?spans ?snap
     (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
     (query : Spjg.t) : result =
   let schema = registry.Mv_core.Registry.schema in
@@ -254,12 +254,14 @@ let optimize_body ~(config : config) ?cache ?spans
                 Hashtbl.add analyses key a;
                 a))
   in
-  (* the view-matching rule, through the match cache when serving *)
+  (* the view-matching rule, through the match cache when serving; the
+     pinned snapshot (if any) rides along into every rule invocation, so
+     all subexpressions of this optimization see one registry state *)
   let find_subs ?spans qa =
     Mv_obs.Instrument.time_hist h_match (fun () ->
         match cache with
-        | Some c -> Match_cache.find_substitutes ?spans c qa
-        | None -> Mv_core.Registry.find_substitutes ?spans registry qa)
+        | Some c -> Match_cache.find_substitutes ?spans ?snap c qa
+        | None -> Mv_core.Registry.find_substitutes ?spans ?snap registry qa)
   in
   (* invoke the view-matching rule on a block; returns leaf plans *)
   let rule_leaves block =
@@ -574,7 +576,7 @@ let optimize_body ~(config : config) ?cache ?spans
         used_views = Plan.uses_view plan;
       }
 
-let optimize ?(config = default_config) ?cache ?spans
+let optimize ?(config = default_config) ?cache ?spans ?snap
     (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
     (query : Spjg.t) : result =
   (match cache with
@@ -599,17 +601,25 @@ let optimize ?(config = default_config) ?cache ?spans
               (fun spans ->
                 let r =
                   match cache with
-                  | None -> optimize_body ~config ?spans registry stats query
+                  | None ->
+                      optimize_body ~config ?spans ?snap registry stats query
                   | Some c ->
                       (* plan layer: a warm hit skips enumeration and
                          matching entirely; a miss runs the normal
                          exploration with the rule routed through the match
-                         layer *)
+                         layer. A pinned snapshot also pins the plan
+                         layer's validation epoch. *)
                       let e =
-                        Match_cache.with_plan ?spans c query (fun () ->
+                        Match_cache.with_plan ?spans
+                          ?epoch:
+                            (Option.map
+                               (fun s -> s.Mv_core.Registry.snap_epoch)
+                               snap)
+                          c query
+                          (fun () ->
                             let r =
-                              optimize_body ~config ~cache:c ?spans registry
-                                stats query
+                              optimize_body ~config ~cache:c ?spans ?snap
+                                registry stats query
                             in
                             {
                               Match_cache.plan = r.plan;

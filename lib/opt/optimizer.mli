@@ -22,6 +22,7 @@ val optimize :
   ?config:config ->
   ?cache:Match_cache.t ->
   ?spans:Mv_obs.Span.scope ->
+  ?snap:Mv_core.Registry.snapshot ->
   Mv_core.Registry.t ->
   Mv_catalog.Stats.t ->
   Mv_relalg.Spjg.t ->
@@ -44,4 +45,12 @@ val optimize :
 
     Every call also feeds the [optimizer.phase.{analyze,match,cost,total}]
     latency histograms on the registry's obs instance (one wall-clock
-    sample per phase activity), traced or not. *)
+    sample per phase activity), traced or not.
+
+    With [snap] (a pinned {!Mv_core.Registry.snapshot} of [registry]),
+    every rule invocation across all enumerated subexpressions — and the
+    cache layers' epoch validation — runs against exactly that registry
+    state, so one optimization is atomic with respect to concurrent
+    add/drop churn: the result is what sequential optimization at the
+    snapshot's epoch would produce (the serving layer's linearizability
+    property, proved by test/test_serve.ml). *)

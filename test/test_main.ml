@@ -12,4 +12,5 @@ let () =
    @ Test_dimension_hierarchy.suite @ Test_obs.suite @ Test_span.suite
    @ Test_whynot.suite
    @ Test_prop_equivalence.suite @ Test_prop_filter.suite
-   @ Test_parallel.suite @ Test_dynamic.suite @ Test_cache.suite)
+   @ Test_parallel.suite @ Test_dynamic.suite @ Test_cache.suite
+   @ Test_serve.suite)
