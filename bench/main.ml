@@ -6,6 +6,7 @@
       dune exec bench/main.exe -- --figure 2   # a single figure
       dune exec bench/main.exe -- --micro      # bechamel micro suite only
       dune exec bench/main.exe -- --filtertree # per-level pruning breakdown
+      dune exec bench/main.exe -- --exec       # end-to-end execution bench
       dune exec bench/main.exe -- --quick --json BENCH_optimize.json
 
     [--json FILE] additionally dumps every measurement (per-config wall and
@@ -19,9 +20,10 @@ let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
     \       [--ablation] [--filtertree] [--levels] [--serving] [--serve]\n\
-    \       [--whynot] [--json FILE]\n\
+    \       [--whynot] [--exec] [--json FILE]\n\
     \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]\n\
-    \       [--rate QPS] [--duration S] [--serve-trace FILE]";
+    \       [--rate QPS] [--duration S] [--serve-trace FILE]\n\
+    \       [--scales S1,S2,...] [--reps N]";
   exit 1
 
 type what = {
@@ -35,6 +37,7 @@ type what = {
   serving : bool;
   serve : bool;
   whynot : bool;
+  exec : bool;
 }
 
 let () =
@@ -62,10 +65,13 @@ let () =
             serving = false;
             serve = false;
             whynot = false;
+            exec = false;
           }
     in
     sel := Some (w cur)
   in
+  let exec_scales = ref [ 1; 2; 4 ] in
+  let exec_reps = ref 5 in
   let rate = ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.rate in
   let duration =
     ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.duration
@@ -122,6 +128,16 @@ let () =
     | "--whynot" :: rest ->
         add_sel (fun s -> { s with whynot = true });
         parse rest
+    | "--exec" :: rest ->
+        add_sel (fun s -> { s with exec = true });
+        parse rest
+    | "--scales" :: s :: rest ->
+        exec_scales :=
+          List.map int_of_string (String.split_on_char ',' s);
+        parse rest
+    | "--reps" :: n :: rest ->
+        exec_reps := max 1 (int_of_string n);
+        parse rest
     | "--passes" :: n :: rest ->
         passes := max 1 (int_of_string n);
         parse rest
@@ -160,6 +176,7 @@ let () =
             serving = true;
             serve = true;
             whynot = true;
+            exec = true;
           }
         else
           {
@@ -173,6 +190,7 @@ let () =
             serving = true;
             serve = true;
             whynot = true;
+            exec = true;
           }
   in
   let nviews_list =
@@ -308,6 +326,31 @@ let () =
     add_section "whynot"
       (Mv_experiments.Report.whynot_json ~nviews:!max_views ~nqueries:nq
          causes)
+  end;
+  if what.exec then begin
+    (* the end-to-end execution benchmark: TPC-H-style data at growing
+       scales, hand-written views, the four (rewrite x adaptive) cells;
+       exits 3 if any cell's result is not bag-equal to direct legacy
+       execution *)
+    let ms =
+      List.map
+        (fun scale ->
+          Mv_experiments.Harness.exec_bench ~reps:!exec_reps ~scale ())
+        !exec_scales
+    in
+    Mv_experiments.Report.exec_table ms;
+    add_section "exec" (Mv_experiments.Report.exec_json ms);
+    if
+      not
+        (List.for_all
+           (fun m -> m.Mv_experiments.Harness.x_equivalent)
+           ms)
+    then begin
+      prerr_endline
+        "execution benchmark: a plan's result is not bag-equal to direct \
+         execution";
+      exit 3
+    end
   end;
   if what.filtertree then
     add_section "filter_tree"

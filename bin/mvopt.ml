@@ -210,13 +210,30 @@ let explain_cmd =
     Printf.printf "uses materialized views: %b (%s)\n"
       r.Mv_opt.Optimizer.used_views
       (String.concat "," (Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan));
+    (match r.Mv_opt.Optimizer.pruned_views with
+    | [] -> ()
+    | pruned ->
+        Printf.printf "cost-bound pruned candidates: %s\n"
+          (String.concat "," (List.sort_uniq compare pruned)));
     if execute then begin
       let db = Mv_tpch.Datagen.generate ~seed:1 ~scale:2 () in
+      let exec_stats = Mv_engine.Database.stats db in
       let direct = Mv_engine.Exec.execute db q in
-      let via = Mv_opt.Plan_exec.execute db q r.Mv_opt.Optimizer.plan in
+      let via, reports =
+        Mv_opt.Plan_exec.execute_report ~adaptive:true ~stats:exec_stats db q
+          r.Mv_opt.Optimizer.plan
+      in
       Printf.printf "\nexecution check: %d rows, plan matches direct: %b\n"
         (Mv_engine.Relation.cardinality direct)
-        (Mv_engine.Relation.same_bag direct via)
+        (Mv_engine.Relation.same_bag direct via);
+      Printf.printf "%-44s %-10s %12s %9s\n" "node" "strategy" "est rows"
+        "actual";
+      List.iter
+        (fun (n : Mv_opt.Plan_exec.node_report) ->
+          Printf.printf "%-44s %-10s %12.1f %9d\n" n.Mv_opt.Plan_exec.nr_label
+            n.Mv_opt.Plan_exec.nr_strategy n.Mv_opt.Plan_exec.nr_est
+            n.Mv_opt.Plan_exec.nr_actual)
+        reports
     end;
     if show_stats then begin
       let obs = registry.Mv_core.Registry.obs in
@@ -323,6 +340,12 @@ let whynot_cmd =
         let used = Mv_opt.Plan.views_used r.Mv_opt.Optimizer.plan in
         if List.mem target used then
           print_endline "the optimizer's final plan uses it"
+        else if List.mem target r.Mv_opt.Optimizer.pruned_views then
+          Printf.printf
+            "but its substitute was cost-bound pruned: a partial cost \
+             already exceeded the best complete plan (cost %.0f, uses: %s)\n"
+            r.Mv_opt.Optimizer.cost
+            (match used with [] -> "no views" | vs -> String.concat "," vs)
         else
           Printf.printf
             "but the optimizer's final plan does not use it (cost %.0f, uses: \

@@ -4,10 +4,18 @@
 
 open Mv_base
 
+type hist = {
+  h_lo : Value.t;
+  h_bounds : Value.t array;
+  h_counts : int array;
+}
+
 type col_stats = {
   min_v : Value.t;
   max_v : Value.t;
   ndv : int;  (** number of distinct values *)
+  hist : hist option;
+  mcvs : (Value.t * int) list;
 }
 
 type table_stats = {
@@ -19,54 +27,206 @@ type t = (string * table_stats) list
 
 let empty : t = []
 
+let default_row_count = 1000
+
+let make_col ?hist ?(mcvs = []) ~min_v ~max_v ~ndv () =
+  { min_v; max_v; ndv; hist; mcvs }
+
 let table t name : table_stats option = List.assoc_opt name t
 
+(* Looking up an unknown table is a cost-model blind spot worth seeing on a
+   dashboard, not a silent guess: bump [cost.stats.missing] on the global
+   registry each time the fallback fires. The handle is lazy so merely
+   linking mv_catalog never touches the registry mutex. *)
+let missing_counter =
+  lazy (Mv_obs.Registry.counter Mv_obs.Registry.global "cost.stats.missing")
+
 let row_count t name =
-  match table t name with Some ts -> ts.row_count | None -> 1000
+  match table t name with
+  | Some ts -> ts.row_count
+  | None ->
+      Mv_obs.Instrument.incr (Lazy.force missing_counter);
+      default_row_count
 
 let col_stats t (c : Col.t) =
   match table t c.Col.tbl with
   | None -> None
   | Some ts -> List.assoc_opt c.Col.col ts.columns
 
-(* Selectivity of [col op const] under a uniform-distribution assumption.
-   Falls back to fixed guesses when statistics are missing, like textbook
-   optimizers do. *)
-let range_selectivity t c (op : Pred.cmp) (v : Value.t) =
+(* ---- histogram construction ------------------------------------------- *)
+
+let hist_total h = Array.fold_left ( + ) 0 h.h_counts
+
+(* Ascending (value, multiplicity) runs of a sorted array. *)
+let runs_of_sorted arr =
+  let n = Array.length arr in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let v = arr.(i) in
+      let j = ref i in
+      while !j < n && Value.order arr.(!j) v = 0 do
+        incr j
+      done;
+      go !j ((v, !j - i) :: acc)
+  in
+  go 0 []
+
+let build_column ?(buckets = 16) ?(mcv_limit = 32) (values : Value.t list) :
+    col_stats =
+  let vs = List.filter (fun v -> not (Value.is_null v)) values in
+  match vs with
+  | [] -> make_col ~min_v:Value.Null ~max_v:Value.Null ~ndv:0 ()
+  | _ ->
+      let arr = Array.of_list vs in
+      Array.sort Value.order arr;
+      let n = Array.length arr in
+      let runs = runs_of_sorted arr in
+      let ndv = List.length runs in
+      let mcvs =
+        if ndv <= mcv_limit then
+          (* Exhaustive: every distinct value with its exact multiplicity,
+             heaviest first (ties broken by value order for determinism). *)
+          List.stable_sort (fun (_, a) (_, b) -> compare b a) runs
+        else []
+      in
+      let hist =
+        if ndv <= 1 then None
+        else begin
+          let nb = min buckets ndv in
+          let depth = (n + nb - 1) / nb in
+          let bounds = ref [] and counts = ref [] in
+          let acc = ref 0 in
+          List.iteri
+            (fun i (v, k) ->
+              acc := !acc + k;
+              let last = i = ndv - 1 in
+              if !acc >= depth || last then begin
+                bounds := v :: !bounds;
+                counts := !acc :: !counts;
+                acc := 0
+              end)
+            runs;
+          Some
+            {
+              h_lo = arr.(0);
+              h_bounds = Array.of_list (List.rev !bounds);
+              h_counts = Array.of_list (List.rev !counts);
+            }
+        end
+      in
+      make_col ?hist ~mcvs ~min_v:arr.(0) ~max_v:arr.(n - 1) ~ndv ()
+
+(* ---- selectivity ------------------------------------------------------ *)
+
+let clamp sel = Float.max 0.0001 (Float.min 1.0 sel)
+
+(* Position of [v] within [lo, hi] when the values interpolate (numeric or
+   date); [None] for strings/bools where only ordering is known. *)
+let frac_between lo hi v =
+  match (Value.as_float lo, Value.as_float hi, Value.as_float v) with
+  | Some l, Some h, Some x when h > l ->
+      Some (Float.max 0.0 (Float.min 1.0 ((x -. l) /. (h -. l))))
+  | _ -> (
+      match (lo, hi, v) with
+      | Value.Date l, Value.Date h, Value.Date x when h > l ->
+          Some
+            (Float.max 0.0
+               (Float.min 1.0 (float_of_int (x - l) /. float_of_int (h - l))))
+      | _ -> None)
+
+(* Fraction of histogrammed rows with value <= v. Bucket [i] covers
+   (bound[i-1], bound[i]] (bucket 0 starts at [h_lo], inclusive); within
+   the bucket containing [v] we interpolate, defaulting to half the bucket
+   when the domain does not interpolate. *)
+let hist_frac_le h v =
+  let total = float_of_int (max 1 (hist_total h)) in
+  if Value.order v h.h_lo < 0 then 0.0
+  else begin
+    let acc = ref 0 and lo = ref h.h_lo in
+    let result = ref None in
+    Array.iteri
+      (fun i b ->
+        if !result = None then
+          if Value.order b v <= 0 then begin
+            acc := !acc + h.h_counts.(i);
+            lo := b
+          end
+          else
+            let f =
+              match frac_between !lo b v with Some f -> f | None -> 0.5
+            in
+            result :=
+              Some
+                ((float_of_int !acc +. (f *. float_of_int h.h_counts.(i)))
+                /. total))
+      h.h_bounds;
+    match !result with Some r -> r | None -> 1.0
+  end
+
+(* Exact fraction for [col = v] when the MCV list is exhaustive. *)
+let mcv_frac cs v =
+  match cs.mcvs with
+  | [] -> None
+  | mcvs ->
+      let total =
+        float_of_int (max 1 (List.fold_left (fun a (_, k) -> a + k) 0 mcvs))
+      in
+      let hit =
+        List.find_opt (fun (m, _) -> Value.order m v = 0) mcvs
+      in
+      Some
+        (match hit with
+        | Some (_, k) -> float_of_int k /. total
+        | None -> 0.0 (* exhaustive list: the value does not occur *))
+
+(* The pre-histogram uniform-interpolation estimate, kept verbatim as the
+   fallback so tables with analytic stats (no histograms) cost exactly as
+   before. *)
+let uniform_selectivity cs (op : Pred.cmp) (v : Value.t) =
   let default =
     match op with Pred.Eq -> 0.05 | Pred.Ne -> 0.95 | _ -> 0.33
   in
-  match col_stats t c with
+  let interp frac =
+    let sel =
+      match op with
+      | Pred.Eq -> 1.0 /. float_of_int (max 1 cs.ndv)
+      | Pred.Ne -> 1.0 -. (1.0 /. float_of_int (max 1 cs.ndv))
+      | Pred.Lt | Pred.Le -> frac
+      | Pred.Gt | Pred.Ge -> 1.0 -. frac
+    in
+    clamp sel
+  in
+  match frac_between cs.min_v cs.max_v v with
+  | Some frac -> interp frac
   | None -> default
+
+let range_selectivity t c (op : Pred.cmp) (v : Value.t) =
+  match col_stats t c with
+  | None -> (
+      match op with Pred.Eq -> 0.05 | Pred.Ne -> 0.95 | _ -> 0.33)
   | Some cs -> (
-      match (Value.as_float cs.min_v, Value.as_float cs.max_v, Value.as_float v) with
-      | Some lo, Some hi, Some x when hi > lo ->
-          let frac = (x -. lo) /. (hi -. lo) in
-          let frac = Float.max 0.0 (Float.min 1.0 frac) in
+      let eq_sel () =
+        match mcv_frac cs v with
+        | Some f -> f
+        | None -> 1.0 /. float_of_int (max 1 cs.ndv)
+      in
+      match (op, cs.hist) with
+      | (Pred.Eq | Pred.Ne), _ when cs.mcvs <> [] || cs.hist <> None ->
+          let eq = eq_sel () in
+          clamp (match op with Pred.Eq -> eq | _ -> 1.0 -. eq)
+      | (Pred.Lt | Pred.Le | Pred.Gt | Pred.Ge), Some h ->
+          let le = hist_frac_le h v in
+          let eq = eq_sel () in
           let sel =
             match op with
-            | Pred.Eq -> 1.0 /. float_of_int (max 1 cs.ndv)
-            | Pred.Ne -> 1.0 -. (1.0 /. float_of_int (max 1 cs.ndv))
-            | Pred.Lt | Pred.Le -> frac
-            | Pred.Gt | Pred.Ge -> 1.0 -. frac
+            | Pred.Le -> le
+            | Pred.Lt -> le -. eq
+            | Pred.Gt -> 1.0 -. le
+            | Pred.Ge -> 1.0 -. le +. eq
+            | _ -> assert false
           in
-          Float.max 0.0001 (Float.min 1.0 sel)
-      | _ -> (
-          (* dates are Value.Date, not numeric through as_float *)
-          match (cs.min_v, cs.max_v, v) with
-          | Value.Date lo, Value.Date hi, Value.Date x when hi > lo ->
-              let frac =
-                float_of_int (x - lo) /. float_of_int (hi - lo)
-              in
-              let frac = Float.max 0.0 (Float.min 1.0 frac) in
-              let sel =
-                match op with
-                | Pred.Eq -> 1.0 /. float_of_int (max 1 cs.ndv)
-                | Pred.Ne -> 1.0 -. (1.0 /. float_of_int (max 1 cs.ndv))
-                | Pred.Lt | Pred.Le -> frac
-                | Pred.Gt | Pred.Ge -> 1.0 -. frac
-              in
-              Float.max 0.0001 (Float.min 1.0 sel)
-          | _ -> default))
+          clamp sel
+      | _ -> uniform_selectivity cs op v)
 
 let ndv t c = match col_stats t c with Some cs -> max 1 cs.ndv | None -> 100

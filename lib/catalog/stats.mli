@@ -3,10 +3,26 @@
 
 open Mv_base
 
+type hist = {
+  h_lo : Value.t;  (** inclusive lower bound of the first bucket *)
+  h_bounds : Value.t array;
+      (** strictly ascending inclusive upper bounds, one per bucket *)
+  h_counts : int array;  (** rows per bucket; same length as [h_bounds] *)
+}
+(** Equi-depth histogram. Bucket [i] covers [(h_bounds.(i-1), h_bounds.(i)]]
+    (bucket 0 starts at [h_lo], inclusive). A value never straddles a bucket
+    boundary, so bounds are strictly increasing and every count is positive;
+    counts sum to the number of non-null rows the histogram was built from. *)
+
 type col_stats = {
   min_v : Value.t;
   max_v : Value.t;
   ndv : int;  (** number of distinct values *)
+  hist : hist option;  (** equi-depth histogram, when built from data *)
+  mcvs : (Value.t * int) list;
+      (** most-common values with exact multiplicities. Non-empty only for
+          low-NDV columns, where it is {e exhaustive}: every distinct value
+          appears, so a miss means selectivity 0. Heaviest first. *)
 }
 
 type table_stats = {
@@ -18,15 +34,47 @@ type t = (string * table_stats) list
 
 val empty : t
 
+val default_row_count : int
+(** Row count assumed for tables with no statistics (1000). *)
+
+val make_col :
+  ?hist:hist ->
+  ?mcvs:(Value.t * int) list ->
+  min_v:Value.t ->
+  max_v:Value.t ->
+  ndv:int ->
+  unit ->
+  col_stats
+(** Analytic column stats; histogram and MCVs default to absent, which
+    keeps the uniform-interpolation selectivity path. *)
+
+val build_column : ?buckets:int -> ?mcv_limit:int -> Value.t list -> col_stats
+(** One-pass column statistics from raw values: min/max/ndv, an equi-depth
+    histogram with at most [buckets] buckets (default 16; omitted for
+    empty or constant columns), and an exhaustive MCV list when the column
+    has at most [mcv_limit] (default 32) distinct values. Nulls are
+    ignored; an all-null or empty column yields [ndv = 0] with [Null]
+    bounds. *)
+
 val table : t -> string -> table_stats option
 
 val row_count : t -> string -> int
-(** Defaults to 1000 when unknown. *)
+(** Row count of a table, or {!default_row_count} when the table has no
+    statistics. The fallback is an observable event: each firing bumps the
+    [cost.stats.missing] counter on [Mv_obs.Registry.global], so silent
+    cost-model blind spots show up in bench/serving snapshots. *)
 
 val col_stats : t -> Col.t -> col_stats option
 
+val hist_total : hist -> int
+(** Number of rows the histogram covers (sum of bucket counts). *)
+
 val range_selectivity : t -> Col.t -> Pred.cmp -> Value.t -> float
-(** Selectivity of [col op const] under uniformity, with textbook fallback
-    guesses when statistics are missing. *)
+(** Selectivity of [col op const]. Consults the MCV list (exact for
+    equality on low-NDV columns) and the equi-depth histogram
+    (bucket-sum plus within-bucket interpolation for ranges) when present,
+    and falls back to the original uniform-interpolation estimate — and
+    ultimately to textbook constant guesses — when statistics are absent.
+    Clamped to [[0.0001, 1.0]]. *)
 
 val ndv : t -> Col.t -> int

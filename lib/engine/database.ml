@@ -1,8 +1,6 @@
 (** A database instance: the catalog plus table contents (base tables and
     materialized views alike). *)
 
-open Mv_base
-
 type t = {
   schema : Mv_catalog.Schema.t;
   tables : (string, Table.t) Hashtbl.t;
@@ -79,30 +77,19 @@ let index t ~table ~cols : Index.t option =
 
 let row_count t name = Table.row_count (table_exn t name)
 
-(* Compute per-table, per-column statistics from the actual contents. *)
-let stats (t : t) : Mv_catalog.Stats.t =
+(* Compute per-table, per-column statistics from the actual contents,
+   including equi-depth histograms and exhaustive MCV lists for low-NDV
+   columns (Stats.build_column) — the one-pass [Stats.of_database] hook. *)
+let stats ?buckets (t : t) : Mv_catalog.Stats.t =
   Hashtbl.fold
     (fun name (tbl : Table.t) acc ->
       let cols = tbl.Table.def.Mv_catalog.Table_def.columns in
       let col_stats =
         List.mapi
           (fun i (c : Mv_catalog.Column.t) ->
-            let values =
-              List.filter_map
-                (fun row ->
-                  if Value.is_null row.(i) then None else Some row.(i))
-                tbl.Table.rows
-            in
-            let distinct =
-              List.sort_uniq Value.order values |> List.length
-            in
-            let min_v, max_v =
-              match List.sort Value.order values with
-              | [] -> (Value.Null, Value.Null)
-              | sorted -> (List.hd sorted, List.nth sorted (List.length sorted - 1))
-            in
+            let values = List.map (fun row -> row.(i)) tbl.Table.rows in
             (c.Mv_catalog.Column.name,
-             { Mv_catalog.Stats.min_v; max_v; ndv = distinct }))
+             Mv_catalog.Stats.build_column ?buckets values))
           cols
       in
       (name,

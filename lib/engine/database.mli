@@ -32,5 +32,8 @@ val index : t -> table:string -> cols:string list -> Index.t option
 
 val row_count : t -> string -> int
 
-val stats : t -> Mv_catalog.Stats.t
-(** Per-table, per-column statistics computed from the actual contents. *)
+val stats : ?buckets:int -> t -> Mv_catalog.Stats.t
+(** Per-table, per-column statistics computed from the actual contents in
+    one pass: min/max/ndv plus equi-depth histograms (at most [buckets]
+    buckets, default 16) and exhaustive MCV lists for low-NDV columns — see
+    {!Mv_catalog.Stats.build_column}. *)

@@ -5,10 +5,17 @@
     otherwise), applies each conjunct as soon as all its columns are bound,
     then groups and projects. It is deliberately simple: it exists to give
     ground truth for the matching algorithm's rewrites and to run the
-    examples, not to be fast. *)
+    examples, not to be fast.
+
+    With [~adaptive:true] (and optionally [~stats]) it additionally picks
+    the join order by estimated intermediate cardinality and a per-join
+    strategy — indexed or plain nested loop below a cardinality threshold,
+    hash join above — recording strategy counts and estimation error on the
+    global registry. All strategies produce the same bag. *)
 
 open Mv_base
 module Spjg = Mv_relalg.Spjg
+module Stats = Mv_catalog.Stats
 
 type bindings = Value.t Col.Map.t
 
@@ -20,6 +27,31 @@ let count_rows kind n =
   Mv_obs.Instrument.add
     (Mv_obs.Registry.counter Mv_obs.Registry.global ("exec.rows." ^ kind))
     n
+
+(* Strategy pick counters ([exec.join.strategy.hash|nlj|inlj]) and the
+   per-join q-error histogram (max(est/actual, actual/est); only recorded
+   when both sides are positive). Shared names with Plan_exec so bench
+   snapshots aggregate both executors. *)
+let count_strategy kind =
+  Mv_obs.Instrument.incr
+    (Mv_obs.Registry.counter Mv_obs.Registry.global
+       ("exec.join.strategy." ^ kind))
+
+let qerror_hist =
+  lazy
+    (Mv_obs.Registry.histogram Mv_obs.Registry.global "exec.estimation.qerror")
+
+let observe_qerror ~est ~actual =
+  if est > 0.0 && actual > 0 then
+    let a = float_of_int actual in
+    Mv_obs.Instrument.observe (Lazy.force qerror_hist)
+      (Float.max (est /. a) (a /. est))
+
+(* Below this many build-side rows a nested loop beats paying hash-table
+   construction; also the probe-count bound for preferring an index
+   lookup. *)
+let nlj_threshold = 64
+let nlj_budget = 16 * nlj_threshold
 
 let env_of (b : bindings) (c : Col.t) =
   match Col.Map.find_opt c b with
@@ -70,6 +102,97 @@ let join_keys conjuncts ~bound ~next =
 
 let key_repr (vs : Value.t list) =
   String.concat "\x01" (List.map Value.to_string vs)
+
+(* ---- cardinality estimation (adaptive mode) --------------------------- *)
+
+(* A deliberately coarse mirror of [Mv_opt.Cost]'s single-table selectivity
+   (the engine cannot depend on the optimizer): histograms/MCVs through
+   [Stats.range_selectivity], 1/max-ndv for same-table column equality,
+   fixed guesses for the rest. Only used to pick join orders. *)
+let est_local_rows stats conjuncts tname =
+  let local =
+    List.filter
+      (fun p ->
+        let cols = Pred.columns p in
+        cols <> []
+        && List.for_all (fun (c : Col.t) -> c.Col.tbl = tname) cols)
+      conjuncts
+  in
+  let sel =
+    List.fold_left
+      (fun acc p ->
+        acc
+        *.
+        match Mv_relalg.Classify.classify_one p with
+        | `Range (c, op, v) -> Stats.range_selectivity stats c op v
+        | `Col_eq (a, b) ->
+            1.0 /. float_of_int (max (Stats.ndv stats a) (Stats.ndv stats b))
+        | `Disj_range (_, ivs) ->
+            Float.min 1.0 (0.33 *. float_of_int (List.length ivs))
+        | `Residual _ -> 0.25)
+      1.0 local
+  in
+  Float.max 1.0 (float_of_int (Stats.row_count stats tname) *. sel)
+
+(* Selectivity of the equijoin between [next] and the bound set: containment
+   assumption, one term per key. 1.0 when unconnected (cross product). *)
+let join_selectivity stats conjuncts ~bound ~next =
+  List.fold_left
+    (fun acc (tc, oc) ->
+      acc /. float_of_int (max (Stats.ndv stats tc) (Stats.ndv stats oc)))
+    1.0
+    (join_keys conjuncts ~bound ~next)
+
+let table_connected conjuncts bound t =
+  List.exists
+    (fun p ->
+      match p with
+      | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
+          (a.Col.tbl = t && List.mem b.Col.tbl bound)
+          || (b.Col.tbl = t && List.mem a.Col.tbl bound)
+      | _ -> false)
+    conjuncts
+
+(* Greedy order by estimated intermediate cardinality: start at the table
+   with the fewest estimated post-filter rows, then repeatedly take the
+   connected table minimizing the estimated result of the next join
+   (falling back to any table when nothing connects). Returns the order and
+   the running estimate after each step. *)
+let order_tables_est stats conjuncts tables =
+  match tables with
+  | [] | [ _ ] ->
+      (* nothing to order and no join to instrument: skip estimation *)
+      (tables, [])
+  | _ ->
+      let base = List.map (fun t -> (t, est_local_rows stats conjuncts t)) tables in
+      let argmin f = function
+        | [] -> invalid_arg "argmin"
+        | x :: xs ->
+            List.fold_left (fun b y -> if f y < f b then y else b) x xs
+      in
+      let rec go bound cur remaining order ests =
+        match remaining with
+        | [] -> (List.rev order, List.rev ests)
+        | _ ->
+            let connected =
+              List.filter (fun (t, _) -> table_connected conjuncts bound t)
+                remaining
+            in
+            let pool =
+              if bound = [] || connected = [] then remaining else connected
+            in
+            let score (t, b) =
+              if bound = [] then b
+              else cur *. b *. join_selectivity stats conjuncts ~bound ~next:t
+            in
+            let ((t, _) as pick) = argmin score pool in
+            let cur' = score pick in
+            go (t :: bound)
+              (Float.max 1.0 cur')
+              (List.filter (fun (u, _) -> u <> t) remaining)
+              (t :: order) (cur' :: ests)
+      in
+      go [] 1.0 base [] []
 
 (* Candidate rows of [tname], narrowed through a declared index when one
    matches the table-local predicates: equality on an index prefix, or a
@@ -133,43 +256,124 @@ let table_source db conjuncts tname : Value.t array list =
   count_rows "scan" (List.length rows);
   rows
 
-(* Join [tbl] into the current tuples. *)
-let join_table db conjuncts ~bound (tuples : bindings list) tname :
-    string list * bindings list =
+(* Join [tbl] into the current tuples. In adaptive mode the strategy is
+   picked from the {e actual} cardinalities at hand: an index lookup when a
+   declared index leads with a join key and the probe side is small, a
+   nested loop when the comparison budget [n_src * n_probe] is within
+   [nlj_budget], a hash join otherwise. Every strategy compares full key tuples through [key_repr]
+   (NULLs never join), so they produce identical bags. *)
+let join_table ?(adaptive = false) db conjuncts ~bound (tuples : bindings list)
+    tname : string list * bindings list =
   let tbl = Database.table_exn db tname in
   let source_rows = table_source db conjuncts tname in
   let keys = join_keys conjuncts ~bound ~next:tname in
   let bound' = tname :: bound in
-  let joined =
-    if keys <> [] && tuples <> [] then begin
-      (* hash join: build on the new table, probe with current tuples *)
-      let build = Hashtbl.create 256 in
-      List.iter
+  let merge tup b = Col.Map.union (fun _ x _ -> Some x) tup b in
+  let build_key b = List.map (fun (tc, _) -> Col.Map.find tc b) keys in
+  let probe_key tup = List.map (fun (_, oc) -> Col.Map.find oc tup) keys in
+  let hash_join () =
+    (* build on the new table, probe with current tuples *)
+    let build = Hashtbl.create 256 in
+    List.iter
+      (fun row ->
+        let b = bind_row tbl row in
+        let kv = build_key b in
+        if not (List.exists Value.is_null kv) then
+          Hashtbl.add build (key_repr kv) b)
+      source_rows;
+    List.concat_map
+      (fun tup ->
+        let kv = probe_key tup in
+        if List.exists Value.is_null kv then []
+        else List.map (merge tup) (Hashtbl.find_all build (key_repr kv)))
+      tuples
+  in
+  let nested_loop () =
+    count_strategy "nlj";
+    let srcs =
+      List.filter_map
         (fun row ->
           let b = bind_row tbl row in
-          let kv = List.map (fun (tc, _) -> Col.Map.find tc b) keys in
-          if not (List.exists Value.is_null kv) then
-            Hashtbl.add build (key_repr kv) b)
-        source_rows;
-      List.concat_map
-        (fun tup ->
-          let kv = List.map (fun (_, oc) -> Col.Map.find oc tup) keys in
-          if List.exists Value.is_null kv then []
-          else
-            List.map
-              (fun b ->
-                Col.Map.union (fun _ x _ -> Some x) tup b)
-              (Hashtbl.find_all build (key_repr kv)))
-        tuples
-    end
+          let kv = build_key b in
+          if List.exists Value.is_null kv then None
+          else Some (key_repr kv, b))
+        source_rows
+    in
+    List.concat_map
+      (fun tup ->
+        let kv = probe_key tup in
+        if List.exists Value.is_null kv then []
+        else
+          let k = key_repr kv in
+          List.filter_map
+            (fun (bk, b) -> if String.equal bk k then Some (merge tup b) else None)
+            srcs)
+      tuples
+  in
+  (* Index nested loop through a declared index whose leading column is a
+     join key. The index serves the full table, possibly wider than the
+     narrowed [source_rows] — harmless, since the caller re-applies every
+     local predicate once the table is bound. *)
+  let indexed_loop ix oc0 =
+    count_strategy "inlj";
+    List.concat_map
+      (fun tup ->
+        let kv = probe_key tup in
+        if List.exists Value.is_null kv then []
+        else
+          let k = key_repr kv in
+          List.filter_map
+            (fun row ->
+              let b = bind_row tbl row in
+              let bk = build_key b in
+              if
+                (not (List.exists Value.is_null bk))
+                && String.equal (key_repr bk) k
+              then Some (merge tup b)
+              else None)
+            (Index.prefix_lookup ix [ Col.Map.find oc0 tup ]))
+      tuples
+  in
+  let join_index () =
+    List.find_map
+      (fun cols ->
+        match cols with
+        | lead :: _ -> (
+            match
+              List.find_opt (fun ((tc : Col.t), _) -> tc.Col.col = lead) keys
+            with
+            | Some (_, oc) -> (
+                match Database.index db ~table:tname ~cols with
+                | Some ix -> Some (ix, oc)
+                | None -> None)
+            | None -> None)
+        | [] -> None)
+      (Database.declared_indexes db tname)
+  in
+  let joined =
+    if keys <> [] && tuples <> [] then
+      if not adaptive then hash_join ()
+      else
+        let n_src = List.length source_rows in
+        let n_probe = List.length tuples in
+        match join_index () with
+        | Some (ix, oc0) when n_probe <= nlj_threshold && n_src > nlj_threshold
+          ->
+            indexed_loop ix oc0
+        | _ ->
+            (* a nested loop does [n_src * n_probe] key comparisons; a hash
+               join does [n_src + n_probe] hashtable operations — the loop
+               only wins when the comparison budget is small *)
+            if n_src * n_probe <= nlj_budget || n_probe <= 2 then
+              nested_loop ()
+            else begin
+              count_strategy "hash";
+              hash_join ()
+            end
     else
       (* cross product (filtered immediately below) *)
       List.concat_map
-        (fun tup ->
-          List.map
-            (fun row ->
-              Col.Map.union (fun _ x _ -> Some x) tup (bind_row tbl row))
-            source_rows)
+        (fun tup -> List.map (fun row -> merge tup (bind_row tbl row)) source_rows)
         tuples
   in
   count_rows "join" (List.length joined);
@@ -178,22 +382,12 @@ let join_table db conjuncts ~bound (tuples : bindings list) tname :
 (* Greedy join order: start anywhere, prefer tables connected to the bound
    set by a column-equality predicate. *)
 let order_tables conjuncts tables =
-  let connected bound t =
-    List.exists
-      (fun p ->
-        match p with
-        | Pred.Cmp (Pred.Eq, Expr.Col a, Expr.Col b) ->
-            (a.Col.tbl = t && List.mem b.Col.tbl bound)
-            || (b.Col.tbl = t && List.mem a.Col.tbl bound)
-        | _ -> false)
-      conjuncts
-  in
   let rec go bound remaining acc =
     match remaining with
     | [] -> List.rev acc
     | _ ->
         let next =
-          match List.find_opt (connected bound) remaining with
+          match List.find_opt (table_connected conjuncts bound) remaining with
           | Some t -> t
           | None -> List.hd remaining
         in
@@ -202,24 +396,37 @@ let order_tables conjuncts tables =
   go [] tables []
 
 (* The SPJ part: the bag of fully-joined, fully-filtered tuples. *)
-let spj_tuples db (block : Spjg.t) : bindings list =
+let spj_tuples ?(adaptive = false) ?stats db (block : Spjg.t) : bindings list =
   let conjuncts = block.Spjg.where in
-  let order = order_tables conjuncts block.Spjg.tables in
-  let rec go bound applied tuples = function
+  let order, ests =
+    match (adaptive, stats) with
+    | true, Some st -> order_tables_est st conjuncts block.Spjg.tables
+    | _ -> (order_tables conjuncts block.Spjg.tables, [])
+  in
+  let rec go i bound applied tuples = function
     | [] ->
         (* any conjunct never applied (e.g. constant-only) runs here *)
         let rest = List.filter (fun p -> not (List.memq p applied)) conjuncts in
         apply_preds rest tuples
     | t :: rest ->
-        let bound', tuples' = join_table db conjuncts ~bound tuples t in
+        let bound', tuples' =
+          join_table ~adaptive db conjuncts ~bound tuples t
+        in
         let ready =
           List.filter
             (fun p -> (not (List.memq p applied)) && applicable bound' p)
             conjuncts
         in
-        go bound' (ready @ applied) (apply_preds ready tuples') rest
+        let filtered = apply_preds ready tuples' in
+        (* estimation-error instrument: running estimate vs. the actual
+           intermediate result, per join (the first table is a scan) *)
+        (if i > 0 then
+           match List.nth_opt ests i with
+           | Some est -> observe_qerror ~est ~actual:(List.length filtered)
+           | None -> ());
+        go (i + 1) bound' (ready @ applied) filtered rest
   in
-  go [] [] [ Col.Map.empty ] order
+  go 0 [] [] [ Col.Map.empty ] order
 
 (* ---- aggregation ---- *)
 
@@ -261,8 +468,8 @@ let eval_agg (rows : bindings list) (a : Spjg.agg) : Value.t =
 let group_key gexprs (b : bindings) =
   List.map (fun g -> Eval.expr (env_of b) g) gexprs
 
-let execute db (block : Spjg.t) : Relation.t =
-  let tuples = spj_tuples db block in
+let execute ?adaptive ?stats db (block : Spjg.t) : Relation.t =
+  let tuples = spj_tuples ?adaptive ?stats db block in
   let cols = Spjg.out_names block in
   let finish (rel : Relation.t) =
     count_rows "output" (List.length rel.Relation.rows);
@@ -341,17 +548,19 @@ let materialize db (view : Mv_core.View.t) : Table.t =
 
 (* Execute a substitute: its block references the view's materialized
    table, which must exist in [db] (see [materialize]). *)
-let execute_substitute db (s : Mv_core.Substitute.t) : Relation.t =
-  execute db s.Mv_core.Substitute.block
+let execute_substitute ?adaptive ?stats db (s : Mv_core.Substitute.t) :
+    Relation.t =
+  execute ?adaptive ?stats db s.Mv_core.Substitute.block
 
 (* UNION ALL of a union substitute's parts (all views materialized). *)
-let execute_union db (u : Mv_core.Union_substitute.t) : Relation.t =
+let execute_union ?adaptive ?stats db (u : Mv_core.Union_substitute.t) :
+    Relation.t =
   match u.Mv_core.Union_substitute.parts with
   | [] -> invalid_arg "Exec.execute_union: empty union"
   | first :: rest ->
-      let r0 = execute_substitute db first in
+      let r0 = execute_substitute ?adaptive ?stats db first in
       List.fold_left
         (fun (acc : Relation.t) part ->
-          let r = execute_substitute db part in
+          let r = execute_substitute ?adaptive ?stats db part in
           { acc with Relation.rows = acc.Relation.rows @ r.Relation.rows })
         r0 rest

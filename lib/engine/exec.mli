@@ -1,11 +1,41 @@
 (** Direct execution of SPJG blocks with SQL bag semantics: greedy hash
     joins along column-equality predicates, each conjunct applied as soon
-    as its columns are bound, then grouping and projection. *)
+    as its columns are bound, then grouping and projection.
+
+    Adaptive mode ([~adaptive:true], optionally with [~stats]) picks the
+    join order by estimated intermediate cardinality and a per-join
+    strategy from the actual cardinalities at hand — an indexed nested
+    loop when a declared index leads with a join key and the probe side is
+    small, a plain nested loop below a build-side threshold, a hash join
+    above it. Strategy picks are counted as
+    [exec.join.strategy.hash|nlj|inlj] and per-join estimation error (the
+    q-error [max(est/actual, actual/est)]) is observed as
+    [exec.estimation.qerror], both on [Mv_obs.Registry.global]. All
+    strategies produce the same bag. *)
 
 open Mv_base
 module Spjg = Mv_relalg.Spjg
 
 type bindings = Value.t Col.Map.t
+
+val nlj_threshold : int
+(** Probe-side row-count bound for preferring an index nested loop (and
+    the side of the square that defines {!nlj_budget}). *)
+
+val nlj_budget : int
+(** A plain nested loop replaces the hash join when
+    [build_rows * probe_rows] is within this budget: the loop's total key
+    comparisons stay small enough to beat the hash join's per-row hashing
+    overhead (one hash operation costs roughly a dozen key
+    comparisons). *)
+
+val count_strategy : string -> unit
+(** Bump [exec.join.strategy.<kind>] on the global registry. Exposed so
+    [Mv_opt.Plan_exec] records its strategy picks under the same names. *)
+
+val observe_qerror : est:float -> actual:int -> unit
+(** Record [max(est/actual, actual/est)] in the [exec.estimation.qerror]
+    histogram (skipped unless both sides are positive). *)
 
 val env_of : bindings -> Col.t -> Value.t
 (** @raise Eval.Eval_error on unbound columns. *)
@@ -14,17 +44,39 @@ val eval_agg : bindings list -> Spjg.agg -> Value.t
 (** Aggregate over one group's rows; NULLs are skipped, empty sums are
     NULL (except [Sum0], which coalesces to 0). *)
 
-val spj_tuples : Database.t -> Spjg.t -> bindings list
-(** The fully-joined, fully-filtered bag of tuples of the SPJ part. *)
+val spj_tuples :
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Database.t ->
+  Spjg.t ->
+  bindings list
+(** The fully-joined, fully-filtered bag of tuples of the SPJ part.
+    [adaptive] defaults to [false]: the original greedy
+    connectivity-ordered hash-join pipeline. *)
 
-val execute : Database.t -> Spjg.t -> Relation.t
+val execute :
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Database.t ->
+  Spjg.t ->
+  Relation.t
 
 val materialize : Database.t -> Mv_core.View.t -> Table.t
 (** Compute the view's contents, register them as a table in the database,
     and record the row count on the view descriptor. *)
 
-val execute_substitute : Database.t -> Mv_core.Substitute.t -> Relation.t
+val execute_substitute :
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Database.t ->
+  Mv_core.Substitute.t ->
+  Relation.t
 (** The substitute's view must have been materialized first. *)
 
-val execute_union : Database.t -> Mv_core.Union_substitute.t -> Relation.t
+val execute_union :
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Database.t ->
+  Mv_core.Union_substitute.t ->
+  Relation.t
 (** UNION ALL of the parts; every part's view must be materialized. *)

@@ -46,6 +46,9 @@ type measurement = {
   matched : int;
   substitutes : int;
   plans_using_views : int;
+  cost_bound_prunes : int;
+      (** substitute leaves abandoned by branch-and-bound cost-bound
+          pruning ([opt.prune.cost_bound]), summed over the batch *)
   level_flow : level_flow list;
       (** candidates entering/surviving each filter-tree level, summed over
           the batch (empty in the NoFilter configurations) *)
@@ -148,7 +151,7 @@ let run ?(domains = 1) (w : workload) ~nviews ~(config : config) : measurement
   List.iter (Mv_core.Registry.add_prebuilt registry) (take nviews w.views);
   Mv_relalg.Intern.freeze ();
   let opt_config =
-    { Mv_opt.Optimizer.produce_substitutes = config.alt }
+    { Mv_opt.Optimizer.default_config with produce_substitutes = config.alt }
   in
   let queries = Array.of_list w.queries in
   let span = Mv_obs.Instrument.enter () in
@@ -182,6 +185,9 @@ let run ?(domains = 1) (w : workload) ~nviews ~(config : config) : measurement
     matched = s.Mv_core.Registry.matched;
     substitutes = s.Mv_core.Registry.substitutes;
     plans_using_views;
+    cost_bound_prunes =
+      Mv_obs.Registry.counter_value registry.Mv_core.Registry.obs
+        "opt.prune.cost_bound";
     level_flow = level_flow_of registry;
     phases = phases_of registry;
   }
@@ -350,6 +356,238 @@ let serving ?(domains = 1) ?(passes = 3) ?(capacity = 1024) (w : workload)
     churn_invalidations = inval () - inval_before;
     churn_consistent = consistent_after_drop && consistent_after_readd;
     churn_no_stale = no_stale;
+  }
+
+(* ---- the end-to-end execution benchmark (bench --exec) ---- *)
+
+type exec_cell = { xc_rewrite : bool; xc_adaptive : bool; xc_wall : float }
+
+type exec_node = {
+  xn_query : string;
+  xn_label : string;
+  xn_strategy : string;
+  xn_est : float;
+  xn_actual : int;
+}
+
+type exec_measurement = {
+  x_scale : int;
+  x_rows : int;
+  x_views : int;
+  x_queries : int;
+  x_reps : int;
+  x_cells : exec_cell list;
+  x_rewrite_speedup : float;
+  x_adaptive_speedup : float;
+  x_plans_with_views : int;
+  x_prunes : int;
+  x_stats_missing : int;
+  x_equivalent : bool;
+  x_strategies : (string * int) list;
+  x_nodes : exec_node list;
+}
+
+(* Hand-written views guaranteed to match some of the queries below: an
+   o_custkey revenue rollup, a quantity-filtered SPJ slice, and a brand
+   rollup. *)
+let exec_views =
+  [
+    "create view v_rev_cust with schemabinding as select o_custkey, \
+     count_big(*) as cnt, sum(l_extendedprice) as rev from dbo.lineitem, \
+     dbo.orders where l_orderkey = o_orderkey group by o_custkey";
+    "create view v_qtyship with schemabinding as select l_orderkey, \
+     l_partkey, l_quantity, l_extendedprice from dbo.lineitem where \
+     l_quantity >= 25";
+    "create view v_brand_qty with schemabinding as select p_brand, \
+     count_big(*) as cnt, sum(l_quantity) as sq from dbo.lineitem, \
+     dbo.part where l_partkey = p_partkey group by p_brand";
+  ]
+
+(* Four queries answerable from the views (exactly or with compensation)
+   plus two with no matching view, exercising the adaptive join pipeline
+   on base tables. *)
+let exec_queries =
+  [
+    ( "q_custrev",
+      "select o_custkey, sum(l_extendedprice) as rev from dbo.lineitem, \
+       dbo.orders where l_orderkey = o_orderkey group by o_custkey" );
+    ( "q_bigcust",
+      "select o_custkey, count_big(*) as cnt from dbo.lineitem, \
+       dbo.orders where l_orderkey = o_orderkey and o_custkey <= 10 \
+       group by o_custkey" );
+    ( "q_qty",
+      "select l_orderkey, l_extendedprice from dbo.lineitem where \
+       l_quantity >= 30" );
+    ( "q_brand",
+      "select p_brand, sum(l_quantity) as sq from dbo.lineitem, dbo.part \
+       where l_partkey = p_partkey group by p_brand" );
+    ( "q_dims",
+      "select n_name, count_big(*) as cnt from dbo.supplier, dbo.nation, \
+       dbo.region where s_nationkey = n_nationkey and n_regionkey = \
+       r_regionkey group by n_name" );
+    ( "q_pricey",
+      "select o_orderkey, p_name from dbo.lineitem, dbo.orders, dbo.part \
+       where l_orderkey = o_orderkey and l_partkey = p_partkey and \
+       p_size >= 40 and o_totalprice >= 400000" );
+  ]
+
+(* One scale point of the end-to-end benchmark: generate data, register
+   and materialize the views, compute statistics (with histograms) from
+   the actual contents, optimize the query set with and without view
+   substitutes, then time plan execution in the four (rewrite x adaptive)
+   cells. Every cell's result is checked bag-equal against direct legacy
+   execution of the original query; plans are computed outside the timing
+   loop, so the cells measure execution only. *)
+let exec_bench ?(seed = 42) ?(reps = 5) ~scale () : exec_measurement =
+  let schema = Mv_tpch.Schema.schema in
+  let db = Mv_tpch.Datagen.generate ~seed ~scale () in
+  let base_rows =
+    Hashtbl.fold
+      (fun name _ acc -> acc + Mv_engine.Database.row_count db name)
+      db.Mv_engine.Database.tables 0
+  in
+  (* primary-key indexes give the adaptive executor its INLJ option *)
+  List.iter
+    (fun (table, cols) -> Mv_engine.Database.declare_index db ~table ~cols)
+    [
+      ("lineitem", [ "l_orderkey" ]);
+      ("orders", [ "o_orderkey" ]);
+      ("part", [ "p_partkey" ]);
+      ("nation", [ "n_nationkey" ]);
+      ("region", [ "r_regionkey" ]);
+    ];
+  let views =
+    List.map
+      (fun src ->
+        let name, spjg = Mv_sql.Parser.parse_view schema src in
+        Mv_core.View.create schema ~name spjg)
+      exec_views
+  in
+  List.iter (fun v -> ignore (Mv_engine.Exec.materialize db v)) views;
+  (* statistics AFTER materialization, so the views get histograms too *)
+  let stats = Mv_engine.Database.stats db in
+  let registry = Mv_core.Registry.create schema in
+  List.iter (Mv_core.Registry.add_prebuilt registry) views;
+  let queries =
+    List.map
+      (fun (n, src) -> (n, Mv_sql.Parser.parse_query schema src))
+      exec_queries
+  in
+  let gval = Mv_obs.Registry.counter_value Mv_obs.Registry.global in
+  let missing0 = gval "cost.stats.missing" in
+  let strat0 =
+    List.map
+      (fun k -> (k, gval ("exec.join.strategy." ^ k)))
+      [ "hash"; "nlj"; "inlj" ]
+  in
+  let opt cfg =
+    List.map (fun (_, q) -> Mv_opt.Optimizer.optimize ~config:cfg registry stats q) queries
+  in
+  let rw = opt Mv_opt.Optimizer.default_config in
+  let nr =
+    opt
+      { Mv_opt.Optimizer.default_config with produce_substitutes = false }
+  in
+  let plans_with_views =
+    List.fold_left
+      (fun n (r : Mv_opt.Optimizer.result) ->
+        if r.Mv_opt.Optimizer.used_views then n + 1 else n)
+      0 rw
+  in
+  let prunes =
+    Mv_obs.Registry.counter_value registry.Mv_core.Registry.obs
+      "opt.prune.cost_bound"
+  in
+  (* reference results: the legacy executor straight off the query *)
+  let direct = List.map (fun (_, q) -> Mv_engine.Exec.execute db q) queries in
+  let equivalent = ref true in
+  let exec ~adaptive (_, q) (r : Mv_opt.Optimizer.result) =
+    if adaptive then
+      Mv_opt.Plan_exec.execute ~adaptive:true ~stats db q
+        r.Mv_opt.Optimizer.plan
+    else Mv_opt.Plan_exec.execute ~force_hash:true db q r.Mv_opt.Optimizer.plan
+  in
+  let grid = [ (false, false); (false, true); (true, false); (true, true) ] in
+  (* correctness first (also a discarded warmup pass per cell) *)
+  List.iter
+    (fun (rewrite, adaptive) ->
+      List.iter2
+        (fun got want ->
+          if not (Mv_engine.Relation.same_bag got want) then
+            equivalent := false)
+        (List.map2 (exec ~adaptive) queries (if rewrite then rw else nr))
+        direct)
+    grid;
+  (* the cells' passes are interleaved so GC and allocator drift over the
+     run is shared evenly instead of biasing whichever cell runs last *)
+  let acc = Array.make (List.length grid) 0.0 in
+  for _ = 1 to reps do
+    List.iteri
+      (fun i (rewrite, adaptive) ->
+        let plans = if rewrite then rw else nr in
+        let span = Mv_obs.Instrument.enter () in
+        List.iter2 (fun qp rp -> ignore (exec ~adaptive qp rp)) queries plans;
+        let wall, _ = Mv_obs.Instrument.elapsed span in
+        acc.(i) <- acc.(i) +. wall)
+      grid
+  done;
+  let cells =
+    List.mapi
+      (fun i (rewrite, adaptive) ->
+        { xc_rewrite = rewrite; xc_adaptive = adaptive; xc_wall = acc.(i) })
+      grid
+  in
+  let wall ~rewrite ~adaptive =
+    match
+      List.find_opt
+        (fun c -> c.xc_rewrite = rewrite && c.xc_adaptive = adaptive)
+        cells
+    with
+    | Some c -> c.xc_wall
+    | None -> 0.0
+  in
+  let ratio a b = if b > 0.0 then a /. b else 1.0 in
+  (* per-node estimated-vs-actual rows, from the rewrite+adaptive arm *)
+  let nodes =
+    List.concat
+      (List.map2
+         (fun (qn, q) (r : Mv_opt.Optimizer.result) ->
+           let _, reports =
+             Mv_opt.Plan_exec.execute_report ~adaptive:true ~stats db q
+               r.Mv_opt.Optimizer.plan
+           in
+           List.map
+             (fun (nr : Mv_opt.Plan_exec.node_report) ->
+               {
+                 xn_query = qn;
+                 xn_label = nr.Mv_opt.Plan_exec.nr_label;
+                 xn_strategy = nr.Mv_opt.Plan_exec.nr_strategy;
+                 xn_est = nr.Mv_opt.Plan_exec.nr_est;
+                 xn_actual = nr.Mv_opt.Plan_exec.nr_actual;
+               })
+             reports)
+         queries rw)
+  in
+  {
+    x_scale = scale;
+    x_rows = base_rows;
+    x_views = List.length views;
+    x_queries = List.length queries;
+    x_reps = reps;
+    x_cells = cells;
+    x_rewrite_speedup =
+      ratio (wall ~rewrite:false ~adaptive:true)
+        (wall ~rewrite:true ~adaptive:true);
+    x_adaptive_speedup =
+      ratio (wall ~rewrite:true ~adaptive:false)
+        (wall ~rewrite:true ~adaptive:true);
+    x_plans_with_views = plans_with_views;
+    x_prunes = prunes;
+    x_stats_missing = gval "cost.stats.missing" - missing0;
+    x_equivalent = !equivalent;
+    x_strategies =
+      List.map (fun (k, v0) -> (k, gval ("exec.join.strategy." ^ k) - v0)) strat0;
+    x_nodes = nodes;
   }
 
 (* The full grid for the figures. A discarded warmup run first: the very

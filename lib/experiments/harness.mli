@@ -40,6 +40,11 @@ type measurement = {
   matched : int;
   substitutes : int;
   plans_using_views : int;
+  cost_bound_prunes : int;
+      (** substitute leaves abandoned by branch-and-bound cost-bound
+          pruning ([opt.prune.cost_bound]), summed over the batch — plan
+          choices are provably unaffected (strict [>] against the best
+          complete plan) *)
   level_flow : level_flow list;
       (** per-filter-tree-level candidates in/out, summed over the batch *)
   phases : phase_stats list;
@@ -128,6 +133,54 @@ type serving_measurement = {
   churn_no_stale : bool;
       (** no post-drop plan references the dropped view *)
 }
+
+(** One (rewrite x adaptive) timing cell of the execution benchmark:
+    elapsed seconds for [x_reps] passes over the whole query set. *)
+type exec_cell = { xc_rewrite : bool; xc_adaptive : bool; xc_wall : float }
+
+(** One plan node's estimated-vs-actual row count from the
+    rewrite+adaptive arm ({!Mv_opt.Plan_exec.node_report} tagged with its
+    query). *)
+type exec_node = {
+  xn_query : string;
+  xn_label : string;
+  xn_strategy : string;
+  xn_est : float;
+  xn_actual : int;
+}
+
+(** One scale point of the end-to-end execution benchmark ([bench
+    --exec]): TPC-H-style data, three hand-written views, six queries
+    (four answerable from the views, two not), timed in the four
+    (rewrite x adaptive) cells. *)
+type exec_measurement = {
+  x_scale : int;
+  x_rows : int;  (** total base-table rows generated *)
+  x_views : int;
+  x_queries : int;
+  x_reps : int;
+  x_cells : exec_cell list;
+  x_rewrite_speedup : float;
+      (** wall(no rewrite, adaptive) / wall(rewrite, adaptive) *)
+  x_adaptive_speedup : float;
+      (** wall(rewrite, always-hash) / wall(rewrite, adaptive) *)
+  x_plans_with_views : int;  (** of [x_queries], with substitutes on *)
+  x_prunes : int;  (** [opt.prune.cost_bound] over both optimize passes *)
+  x_stats_missing : int;  (** [cost.stats.missing] delta over the run *)
+  x_equivalent : bool;
+      (** every cell's every result was bag-equal to direct legacy
+          execution of the original query *)
+  x_strategies : (string * int) list;
+      (** [exec.join.strategy.{hash,nlj,inlj}] deltas over the run *)
+  x_nodes : exec_node list;
+}
+
+val exec_bench : ?seed:int -> ?reps:int -> scale:int -> unit -> exec_measurement
+(** One scale point: generate data, materialize the views, compute
+    statistics (histograms included) from the actual contents, optimize
+    with and without substitutes, then time plan execution per cell
+    (plans are built outside the timing loop — the cells measure
+    execution only, each preceded by one discarded correctness pass). *)
 
 val serving :
   ?domains:int ->

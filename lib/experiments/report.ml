@@ -197,6 +197,7 @@ let measurement_json (m : Harness.measurement) =
       ("matched", J.Int m.Harness.matched);
       ("substitutes", J.Int m.Harness.substitutes);
       ("plans_using_views", J.Int m.Harness.plans_using_views);
+      ("cost_bound_prunes", J.Int m.Harness.cost_bound_prunes);
       ("levels", level_flow_json m.Harness.level_flow);
       ("phases", phases_json m.Harness.phases);
     ]
@@ -398,6 +399,110 @@ let whynot_json ~nviews ~nqueries (causes : (string * int) list) =
                J.Obj [ ("cause", J.String cause); ("pairs", J.Int n) ])
              causes) );
     ]
+
+(* ---- execution report (bench --exec: views + adaptive joins) ---- *)
+
+let exec_table (ms : Harness.exec_measurement list) =
+  pr "\n== Execution: view rewrites + adaptive joins, end to end ==\n";
+  pr "(TPC-H-style data; 3 hand-written views, 6 queries — 4 answerable\n";
+  pr " from a view, 2 not; every cell bag-checked against direct legacy\n";
+  pr " execution; wall seconds are totals over reps x queries)\n\n";
+  pr "%7s %9s %5s %12s %12s %12s %12s %9s %9s\n" "scale" "rows" "reps"
+    "base/hash" "base/adapt" "views/hash" "views/adapt" "rw-spdup"
+    "ad-spdup";
+  List.iter
+    (fun (m : Harness.exec_measurement) ->
+      let wall rw ad =
+        match
+          List.find_opt
+            (fun (c : Harness.exec_cell) ->
+              c.Harness.xc_rewrite = rw && c.Harness.xc_adaptive = ad)
+            m.Harness.x_cells
+        with
+        | Some c -> c.Harness.xc_wall
+        | None -> 0.0
+      in
+      pr "%7d %9d %5d %11.4fs %11.4fs %11.4fs %11.4fs %8.2fx %8.2fx\n"
+        m.Harness.x_scale m.Harness.x_rows m.Harness.x_reps
+        (wall false false) (wall false true) (wall true false)
+        (wall true true) m.Harness.x_rewrite_speedup
+        m.Harness.x_adaptive_speedup)
+    ms;
+  List.iter
+    (fun (m : Harness.exec_measurement) ->
+      pr "\nscale %d: %d/%d plans use a view; strategies " m.Harness.x_scale
+        m.Harness.x_plans_with_views m.Harness.x_queries;
+      List.iter
+        (fun (k, n) -> pr "%s=%d " k n)
+        m.Harness.x_strategies;
+      pr "; prunes=%d stats-missing=%d equivalent=%b\n" m.Harness.x_prunes
+        m.Harness.x_stats_missing m.Harness.x_equivalent)
+    ms;
+  (* the estimation-error table, largest scale only (one row per node) *)
+  match List.rev ms with
+  | [] -> ()
+  | m :: _ ->
+      pr "\nEstimated vs actual rows per plan node (scale %d, views+adaptive):\n"
+        m.Harness.x_scale;
+      pr "  %-10s %-34s %-9s %12s %9s %8s\n" "query" "node" "strategy" "est"
+        "actual" "q-err";
+      List.iter
+        (fun (n : Harness.exec_node) ->
+          let e = n.Harness.xn_est and a = float_of_int n.Harness.xn_actual in
+          let q = if e > 0.0 && a > 0.0 then Float.max (e /. a) (a /. e) else 0.0 in
+          pr "  %-10s %-34s %-9s %12.1f %9d %8.2f\n" n.Harness.xn_query
+            n.Harness.xn_label n.Harness.xn_strategy n.Harness.xn_est
+            n.Harness.xn_actual q)
+        m.Harness.x_nodes
+
+let exec_json (ms : Harness.exec_measurement list) =
+  J.List
+    (List.map
+       (fun (m : Harness.exec_measurement) ->
+         J.Obj
+           [
+             ("scale", J.Int m.Harness.x_scale);
+             ("rows", J.Int m.Harness.x_rows);
+             ("views", J.Int m.Harness.x_views);
+             ("queries", J.Int m.Harness.x_queries);
+             ("reps", J.Int m.Harness.x_reps);
+             ( "cells",
+               J.List
+                 (List.map
+                    (fun (c : Harness.exec_cell) ->
+                      J.Obj
+                        [
+                          ("rewrite", J.Bool c.Harness.xc_rewrite);
+                          ("adaptive", J.Bool c.Harness.xc_adaptive);
+                          ("wall_s", J.Float c.Harness.xc_wall);
+                        ])
+                    m.Harness.x_cells) );
+             ("rewrite_speedup", J.Float m.Harness.x_rewrite_speedup);
+             ("adaptive_speedup", J.Float m.Harness.x_adaptive_speedup);
+             ("plans_with_views", J.Int m.Harness.x_plans_with_views);
+             ("cost_bound_prunes", J.Int m.Harness.x_prunes);
+             ("stats_missing", J.Int m.Harness.x_stats_missing);
+             ("equivalent", J.Bool m.Harness.x_equivalent);
+             ( "strategies",
+               J.Obj
+                 (List.map
+                    (fun (k, n) -> (k, J.Int n))
+                    m.Harness.x_strategies) );
+             ( "nodes",
+               J.List
+                 (List.map
+                    (fun (n : Harness.exec_node) ->
+                      J.Obj
+                        [
+                          ("query", J.String n.Harness.xn_query);
+                          ("node", J.String n.Harness.xn_label);
+                          ("strategy", J.String n.Harness.xn_strategy);
+                          ("est_rows", J.Float n.Harness.xn_est);
+                          ("actual_rows", J.Int n.Harness.xn_actual);
+                        ])
+                    m.Harness.x_nodes) );
+           ])
+       ms)
 
 let write_json file (j : J.t) =
   let oc = open_out file in

@@ -75,5 +75,14 @@ val whynot_table : nviews:int -> nqueries:int -> (string * int) list -> unit
 val whynot_json : nviews:int -> nqueries:int -> (string * int) list -> Mv_obs.Json.t
 (** The ["whynot"] section of the trajectory. *)
 
+val exec_table : Harness.exec_measurement list -> unit
+(** The end-to-end execution benchmark: one timing row per scale (four
+    rewrite x adaptive cells plus the two speedups), per-scale strategy
+    and counter lines, and the estimated-vs-actual-rows table of the
+    largest scale. *)
+
+val exec_json : Harness.exec_measurement list -> Mv_obs.Json.t
+(** The ["exec"] section of the trajectory, one object per scale. *)
+
 val write_json : string -> Mv_obs.Json.t -> unit
 (** Write one JSON document (plus trailing newline). *)

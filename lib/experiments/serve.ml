@@ -85,6 +85,8 @@ let result_of_entry (e : MC.plan_entry) : Opt.result =
     cost = e.MC.cost;
     rows = e.MC.rows;
     used_views = e.MC.used_views;
+    (* prune provenance is per-exploration and not cached *)
+    pruned_views = [];
   }
 
 (* Wait on a published flight; returns the leader's (epoch, entry). *)

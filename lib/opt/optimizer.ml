@@ -18,16 +18,29 @@ open Mv_base
 module Spjg = Mv_relalg.Spjg
 module A = Mv_relalg.Analysis
 
-type config = { produce_substitutes : bool }
+type config = { produce_substitutes : bool; prune_cost_bound : bool }
 
-let default_config = { produce_substitutes = true }
+let default_config = { produce_substitutes = true; prune_cost_bound = true }
 
 type result = {
   plan : Plan.t;
   cost : float;
   rows : float;
   used_views : bool;
+  pruned_views : string list;
 }
+
+(* Join strategy picked at plan time from the estimated cardinalities of
+   both sides: a nested loop does [left * right] key comparisons and only
+   beats the hash join's per-row hashing overhead when that budget is
+   small (the executor's [nlj_budget]). Purely physical — never affects
+   cost comparisons or the result bag. *)
+let strategy_for left right =
+  if
+    Plan.est_rows left *. Plan.est_rows right
+    <= float_of_int Mv_engine.Exec.nlj_budget
+  then Plan.Nlj
+  else Plan.Hash
 
 (* binding spec of a leaf: bare-column outputs rebind to their base column,
    everything else to a synthetic #agg column *)
@@ -55,7 +68,17 @@ let scan_leaf stats (block : Spjg.t) =
       est_cost = base +. rows;
     }
 
-let view_leaf schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) =
+(* Substitute leaf costing with branch-and-bound: every term is
+   nonnegative, so any partial sum is a lower bound on the final cost —
+   as soon as it exceeds [bound] (the best complete plan so far) the
+   candidate cannot win and costing stops. [Error view_name] reports the
+   prune; the strict [>] keeps exact ties alive, so pruning never changes
+   which plan is chosen. *)
+let view_leaf ?bound schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) :
+    (Plan.t, string) Result.t =
+  let over =
+    match bound with Some b -> fun partial -> partial > b | None -> fun _ -> false
+  in
   let view = s.Mv_core.Substitute.view in
   let rows = Cost.block_rows stats block in
   let vrows = float_of_int (max 1 view.Mv_core.View.row_count) in
@@ -110,23 +133,31 @@ let view_leaf schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) =
       (Float.log2 (vrows +. 2.0) +. Float.min vrows (rows *. 2.0)) *. width
     else vrows *. width
   in
-  let group_extra =
-    if Mv_core.Substitute.uses_regrouping s then scan_cost else 0.0
-  in
-  (* backjoined base tables are re-scanned *)
-  let backjoin_extra =
-    List.fold_left
-      (fun acc t ->
-        acc +. float_of_int (max 1 (Mv_catalog.Stats.row_count stats t)))
-      0.0 s.Mv_core.Substitute.backjoins
-  in
-  Plan.Leaf
-    {
-      source = Plan.Via s;
-      binds = leaf_binds block;
-      est_rows = rows;
-      est_cost = scan_cost +. group_extra +. backjoin_extra +. rows;
-    }
+  if over scan_cost then Error view.Mv_core.View.name
+  else
+    let group_extra =
+      if Mv_core.Substitute.uses_regrouping s then scan_cost else 0.0
+    in
+    if over (scan_cost +. group_extra) then Error view.Mv_core.View.name
+    else
+      (* backjoined base tables are re-scanned *)
+      let backjoin_extra =
+        List.fold_left
+          (fun acc t ->
+            acc +. float_of_int (max 1 (Mv_catalog.Stats.row_count stats t)))
+          0.0 s.Mv_core.Substitute.backjoins
+      in
+      let total = scan_cost +. group_extra +. backjoin_extra +. rows in
+      if over total then Error view.Mv_core.View.name
+      else
+        Ok
+          (Plan.Leaf
+             {
+               source = Plan.Via s;
+               binds = leaf_binds block;
+               est_rows = rows;
+               est_cost = total;
+             })
 
 (* ---- join graph over the query's tables ---- *)
 
@@ -263,18 +294,37 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
         | Some c -> Match_cache.find_substitutes ?spans ?snap c qa
         | None -> Mv_core.Registry.find_substitutes ?spans ?snap registry qa)
   in
-  (* invoke the view-matching rule on a block; returns leaf plans *)
-  let rule_leaves block =
+  (* Branch-and-bound accounting: pruned candidate names (for provenance)
+     and the [opt.prune.cost_bound] counter, distinct from matcher
+     rejects. *)
+  let pruned_acc = ref [] in
+  let prune_ctr = Mv_obs.Registry.counter obs "opt.prune.cost_bound" in
+  (* invoke the view-matching rule on a block; returns leaf plans.
+     [bound] is sampled once on entry (the best complete plan so far, if
+     any) and handed to substitute costing as a branch-and-bound upper
+     bound. *)
+  let rule_leaves ?(bound = fun () -> None) block =
     Mv_obs.Instrument.incr (octr "subexpressions");
     Mv_obs.Span.wrap spans "rule"
       ~attrs:(fun () ->
         [ ("tables", Mv_obs.Span.Str (String.concat "," block.Spjg.tables)) ])
       (fun sub ->
         let subs = find_subs ?spans:sub (analyze block) in
-        Mv_obs.Span.wrap sub "cost" (fun _ ->
+        Mv_obs.Span.wrap sub "cost" (fun costs ->
             Mv_obs.Instrument.time_hist h_cost (fun () ->
                 if config.produce_substitutes then
-                  List.map (view_leaf schema stats block) subs
+                  let b = if config.prune_cost_bound then bound () else None in
+                  List.filter_map
+                    (fun s ->
+                      match view_leaf ?bound:b schema stats block s with
+                      | Ok p -> Some p
+                      | Error vname ->
+                          Mv_obs.Instrument.incr prune_ctr;
+                          pruned_acc := vname :: !pruned_acc;
+                          Mv_obs.Span.note costs "prune.cost_bound" (fun () ->
+                              [ ("view", Mv_obs.Span.Str vname) ]);
+                          None)
+                    subs
                 else [])))
   in
   (* substitute leaves competed on cost against [winner]: score them *)
@@ -349,6 +399,7 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
                          right = eb.plan;
                          keys;
                          post;
+                         strategy = strategy_for ea.plan eb.plan;
                          est_rows = rows;
                          est_cost = cost;
                        })
@@ -359,7 +410,9 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
         done
       end;
       if is_conn then begin
-        let vleaves = rule_leaves block in
+        let vleaves =
+          rule_leaves ~bound:(fun () -> Option.map Plan.est_cost !best) block
+        in
         List.iter consider vleaves;
         score_substitutes vleaves !best
       end;
@@ -382,6 +435,7 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
         cost = Plan.est_cost plan;
         rows = Plan.est_rows plan;
         used_views = Plan.uses_view plan;
+        pruned_views = List.rev !pruned_acc;
       }
   | Some gq ->
       let qa = analyze query in
@@ -401,8 +455,10 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
       let best = ref baseline in
       let agg_considered = ref 0 in
       let consider p = if Plan.est_cost p < Plan.est_cost !best then best := p in
-      (* whole-query substitutes *)
-      (let vleaves = rule_leaves query in
+      (* whole-query substitutes; the aggregate baseline bounds the search *)
+      (let vleaves =
+         rule_leaves ~bound:(fun () -> Some (Plan.est_cost !best)) query
+       in
        agg_considered := !agg_considered + List.length vleaves;
        List.iter consider vleaves);
       (* preaggregated alternatives *)
@@ -435,7 +491,14 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
                     est_cost = base +. inner_rows;
                   }
               in
-              let inner_views = rule_leaves pa.Block.block in
+              (* a preaggregated leaf only grows through joins and the
+                 outer aggregation, so the current best's full cost is a
+                 valid bound on the leaf alone *)
+              let inner_views =
+                rule_leaves
+                  ~bound:(fun () -> Some (Plan.est_cost !best))
+                  pa.Block.block
+              in
               agg_considered := !agg_considered + List.length inner_views;
               List.iter
                 (fun inner ->
@@ -503,6 +566,7 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
                                   right = rplan;
                                   keys;
                                   post;
+                                  strategy = strategy_for plan rplan;
                                   est_rows = rows;
                                   est_cost =
                                     Plan.est_cost plan +. Plan.est_cost rplan
@@ -574,6 +638,7 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
         cost = Plan.est_cost plan;
         rows = Plan.est_rows plan;
         used_views = Plan.uses_view plan;
+        pruned_views = List.rev !pruned_acc;
       }
 
 let optimize ?(config = default_config) ?cache ?spans ?snap
@@ -608,7 +673,9 @@ let optimize ?(config = default_config) ?cache ?spans ?snap
                          matching entirely; a miss runs the normal
                          exploration with the rule routed through the match
                          layer. A pinned snapshot also pins the plan
-                         layer's validation epoch. *)
+                         layer's validation epoch. Prune provenance is not
+                         cached: warm hits report none. *)
+                      let pruned = ref [] in
                       let e =
                         Match_cache.with_plan ?spans
                           ?epoch:
@@ -621,6 +688,7 @@ let optimize ?(config = default_config) ?cache ?spans ?snap
                               optimize_body ~config ~cache:c ?spans ?snap
                                 registry stats query
                             in
+                            pruned := r.pruned_views;
                             {
                               Match_cache.plan = r.plan;
                               cost = r.cost;
@@ -633,6 +701,7 @@ let optimize ?(config = default_config) ?cache ?spans ?snap
                         cost = e.Match_cache.cost;
                         rows = e.Match_cache.rows;
                         used_views = e.Match_cache.used_views;
+                        pruned_views = !pruned;
                       }
                 in
                 Mv_obs.Span.annotate spans (fun () ->

@@ -7,7 +7,15 @@
     when off, for the NoAlt measurement mode); the registry's [use_filter]
     is the "Filter" switch. *)
 
-type config = { produce_substitutes : bool }
+type config = {
+  produce_substitutes : bool;
+  prune_cost_bound : bool;
+      (** branch-and-bound pruning of substitute leaves against the best
+          complete plan found so far (default on). Pruning never changes
+          the chosen plan — it is conservative (partial sums of
+          nonnegative cost terms, strict [>]) — only the work done; off
+          exists for differential testing of exactly that claim. *)
+}
 
 val default_config : config
 
@@ -16,6 +24,15 @@ type result = {
   cost : float;
   rows : float;
   used_views : bool;
+  pruned_views : string list;
+      (** views whose substitutes were abandoned by branch-and-bound
+          cost-bound pruning (duplicates possible when a view matched
+          several subexpressions). Pruning is conservative — partial sums
+          of nonnegative cost terms against the best complete plan, strict
+          [>] — so the chosen plan is identical to an unbounded search.
+          Each prune bumps [opt.prune.cost_bound] on the registry's obs
+          and emits a [prune.cost_bound] span instant. Empty when the
+          result came from a warm plan-cache hit. *)
 }
 
 val optimize :

@@ -14,6 +14,10 @@ type source =
   | Computed of Spjg.t
   | Via of Mv_core.Substitute.t  (** read from a materialized view *)
 
+type join_strategy = Hash | Nlj
+
+let strategy_name = function Hash -> "hash" | Nlj -> "nlj"
+
 type t =
   | Leaf of {
       source : source;
@@ -27,6 +31,8 @@ type t =
       right : t;
       keys : (Col.t * Col.t) list;  (** (left col, right col) equijoin keys *)
       post : Pred.t list;  (** residual predicates applied after the join *)
+      strategy : join_strategy;
+          (** picked at plan time from the estimated build-side rows *)
       est_rows : float;
       est_cost : float;
     }
@@ -72,8 +78,9 @@ let rec pp ?(indent = 0) ppf t =
   | Leaf { source = Via s; est_rows; est_cost; _ } ->
       Fmt.pf ppf "%sViewScan[%s] (rows=%.0f cost=%.0f)@." pad
         s.Mv_core.Substitute.view.Mv_core.View.name est_rows est_cost
-  | Join { left; right; keys; est_rows; est_cost; _ } ->
-      Fmt.pf ppf "%sHashJoin on %s (rows=%.0f cost=%.0f)@.%a%a" pad
+  | Join { left; right; keys; strategy; est_rows; est_cost; _ } ->
+      Fmt.pf ppf "%s%s on %s (rows=%.0f cost=%.0f)@.%a%a" pad
+        (match strategy with Hash -> "HashJoin" | Nlj -> "NestedLoopJoin")
         (String.concat ", "
            (List.map
               (fun (a, b) -> Col.to_string a ^ "=" ^ Col.to_string b)

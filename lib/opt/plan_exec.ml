@@ -1,11 +1,25 @@
 (** Execution of optimizer plans against an in-memory database, for
     validating that every plan the optimizer emits (with or without views)
-    computes the same relation as direct execution of the query. *)
+    computes the same relation as direct execution of the query.
+
+    Join nodes honor the strategy the optimizer recorded at plan time
+    (hash or nested loop; [~force_hash:true] overrides to always-hash for
+    A/B runs — the strategy never changes the result bag). Leaves execute
+    through [Mv_engine.Exec], optionally in adaptive mode. Per-node
+    estimated-vs-actual row counts can be collected with
+    {!execute_report}. *)
 
 open Mv_base
 module Spjg = Mv_relalg.Spjg
 
 type bindings = Value.t Col.Map.t
+
+type node_report = {
+  nr_label : string;
+  nr_strategy : string;  (** "hash" | "nlj" | "scan" | "view" | "aggregate" *)
+  nr_est : float;
+  nr_actual : int;
+}
 
 let env_of (b : bindings) (c : Col.t) =
   match Col.Map.find_opt c b with
@@ -13,14 +27,31 @@ let env_of (b : bindings) (c : Col.t) =
   | None -> raise (Eval.Eval_error ("unbound column " ^ Col.to_string c))
 
 (* Views used by the plan must be materialized in [db] beforehand. *)
-let rec run db (plan : Plan.t) : bindings list =
+let rec run ?(force_hash = false) ?adaptive ?stats ?record db (plan : Plan.t) :
+    bindings list =
+  let rerun p = run ~force_hash ?adaptive ?stats ?record db p in
+  let report label strategy est actual =
+    Mv_engine.Exec.observe_qerror ~est ~actual;
+    match record with
+    | Some f -> f { nr_label = label; nr_strategy = strategy; nr_est = est; nr_actual = actual }
+    | None -> ()
+  in
   match plan with
-  | Plan.Leaf { source; binds; _ } ->
+  | Plan.Leaf { source; binds; est_rows; _ } ->
       let rel =
         match source with
-        | Plan.Computed b -> Mv_engine.Exec.execute db b
-        | Plan.Via s -> Mv_engine.Exec.execute_substitute db s
+        | Plan.Computed b -> Mv_engine.Exec.execute ?adaptive ?stats db b
+        | Plan.Via s -> Mv_engine.Exec.execute_substitute ?adaptive ?stats db s
       in
+      let label, kind =
+        match source with
+        | Plan.Computed b ->
+            ("Scan[" ^ String.concat "," b.Spjg.tables ^ "]", "scan")
+        | Plan.Via s ->
+            ( "ViewScan[" ^ s.Mv_core.Substitute.view.Mv_core.View.name ^ "]",
+              "view" )
+      in
+      report label kind est_rows (List.length rel.Mv_engine.Relation.rows);
       let keys =
         List.map
           (fun name ->
@@ -35,39 +66,71 @@ let rec run db (plan : Plan.t) : bindings list =
             (fun acc c v -> Col.Map.add c v acc)
             Col.Map.empty keys (Array.to_list row))
         rel.Mv_engine.Relation.rows
-  | Plan.Join { left; right; keys; post; _ } ->
-      let ls = run db left and rs = run db right in
+  | Plan.Join { left; right; keys; post; strategy; est_rows; _ } ->
+      let ls = rerun left and rs = rerun right in
+      let merge l r = Col.Map.union (fun _ x _ -> Some x) l r in
+      let repr vs = String.concat "\x01" (List.map Value.to_string vs) in
+      let strategy = if force_hash then Plan.Hash else strategy in
       let joined =
         if keys = [] then
-          List.concat_map
-            (fun l ->
-              List.map (fun r -> Col.Map.union (fun _ x _ -> Some x) l r) rs)
-            ls
+          List.concat_map (fun l -> List.map (merge l) rs) ls
         else begin
-          let repr vs = String.concat "\x01" (List.map Value.to_string vs) in
-          let build = Hashtbl.create 256 in
-          List.iter
-            (fun r ->
-              let kv = List.map (fun (_, rc) -> env_of r rc) keys in
-              if not (List.exists Value.is_null kv) then
-                Hashtbl.add build (repr kv) r)
-            rs;
-          List.concat_map
-            (fun l ->
-              let kv = List.map (fun (lc, _) -> env_of l lc) keys in
-              if List.exists Value.is_null kv then []
-              else
-                List.map
-                  (fun r -> Col.Map.union (fun _ x _ -> Some x) l r)
-                  (Hashtbl.find_all build (repr kv)))
-            ls
+          Mv_engine.Exec.count_strategy (Plan.strategy_name strategy);
+          match strategy with
+          | Plan.Hash ->
+              let build = Hashtbl.create 256 in
+              List.iter
+                (fun r ->
+                  let kv = List.map (fun (_, rc) -> env_of r rc) keys in
+                  if not (List.exists Value.is_null kv) then
+                    Hashtbl.add build (repr kv) r)
+                rs;
+              List.concat_map
+                (fun l ->
+                  let kv = List.map (fun (lc, _) -> env_of l lc) keys in
+                  if List.exists Value.is_null kv then []
+                  else List.map (merge l) (Hashtbl.find_all build (repr kv)))
+                ls
+          | Plan.Nlj ->
+              (* same key representation and NULL semantics as the hash
+                 path, so the bag is identical *)
+              let srcs =
+                List.filter_map
+                  (fun r ->
+                    let kv = List.map (fun (_, rc) -> env_of r rc) keys in
+                    if List.exists Value.is_null kv then None
+                    else Some (repr kv, r))
+                  rs
+              in
+              List.concat_map
+                (fun l ->
+                  let kv = List.map (fun (lc, _) -> env_of l lc) keys in
+                  if List.exists Value.is_null kv then []
+                  else
+                    let k = repr kv in
+                    List.filter_map
+                      (fun (rk, r) ->
+                        if String.equal rk k then Some (merge l r) else None)
+                      srcs)
+                ls
         end
       in
-      List.filter
-        (fun b -> List.for_all (Eval.pred_holds (env_of b)) post)
-        joined
-  | Plan.Aggregate { input; group_by; out; _ } ->
-      let rows = run db input in
+      let out =
+        List.filter
+          (fun b -> List.for_all (Eval.pred_holds (env_of b)) post)
+          joined
+      in
+      report
+        ("Join on "
+        ^ String.concat ", "
+            (List.map
+               (fun (a, b) -> Col.to_string a ^ "=" ^ Col.to_string b)
+               keys))
+        (Plan.strategy_name strategy)
+        est_rows (List.length out);
+      out
+  | Plan.Aggregate { input; group_by; out; est_rows; _ } ->
+      let rows = rerun input in
       let repr vs = String.concat "\x01" (List.map Value.to_string vs) in
       let groups = Hashtbl.create 64 in
       let order = ref [] in
@@ -84,23 +147,27 @@ let rec run db (plan : Plan.t) : bindings list =
         if rows = [] && group_by = [] then [ `Empty ]
         else List.rev_map (fun k -> `Group k) !order
       in
-      List.map
-        (fun key ->
-          let grp =
-            match key with `Empty -> [] | `Group k -> Hashtbl.find groups k
-          in
-          let witness = match grp with b :: _ -> Some b | [] -> None in
-          List.fold_left
-            (fun acc (o : Spjg.out_item) ->
-              let v =
-                match (o.Spjg.def, witness) with
-                | Spjg.Scalar e, Some b -> Eval.expr (env_of b) e
-                | Spjg.Scalar _, None -> Value.Null
-                | Spjg.Aggregate a, _ -> Mv_engine.Exec.eval_agg grp a
-              in
-              Col.Map.add (Col.make "#out" o.Spjg.name) v acc)
-            Col.Map.empty out)
-        keys
+      let result =
+        List.map
+          (fun key ->
+            let grp =
+              match key with `Empty -> [] | `Group k -> Hashtbl.find groups k
+            in
+            let witness = match grp with b :: _ -> Some b | [] -> None in
+            List.fold_left
+              (fun acc (o : Spjg.out_item) ->
+                let v =
+                  match (o.Spjg.def, witness) with
+                  | Spjg.Scalar e, Some b -> Eval.expr (env_of b) e
+                  | Spjg.Scalar _, None -> Value.Null
+                  | Spjg.Aggregate a, _ -> Mv_engine.Exec.eval_agg grp a
+                in
+                Col.Map.add (Col.make "#out" o.Spjg.name) v acc)
+              Col.Map.empty out)
+          keys
+      in
+      report "GroupAggregate" "aggregate" est_rows (List.length result);
+      result
 
 (* Materialize every view the plan reads. *)
 let prepare db (plan : Plan.t) =
@@ -117,10 +184,11 @@ let prepare db (plan : Plan.t) =
     (views plan)
 
 (* Produce the final relation with the query's output names. *)
-let execute db (query : Spjg.t) (plan : Plan.t) : Mv_engine.Relation.t =
+let execute_common ?force_hash ?adaptive ?stats ?record db (query : Spjg.t)
+    (plan : Plan.t) : Mv_engine.Relation.t =
   prepare db plan;
   let cols = Spjg.out_names query in
-  let rows = run db plan in
+  let rows = run ?force_hash ?adaptive ?stats ?record db plan in
   let final b (o : Spjg.out_item) : Value.t =
     (* aggregation plans bind final outputs to #out; leaf-only plans bind
        computed outputs to #agg; otherwise evaluate over base columns *)
@@ -139,3 +207,18 @@ let execute db (query : Spjg.t) (plan : Plan.t) : Mv_engine.Relation.t =
     Mv_engine.Relation.cols;
     rows = List.map (fun b -> Array.of_list (List.map (final b) query.Spjg.out)) rows;
   }
+
+let execute ?force_hash ?adaptive ?stats db query plan =
+  execute_common ?force_hash ?adaptive ?stats db query plan
+
+(* Same, collecting one report per plan node in post-order (children before
+   parents) — the estimation-error table behind [mvopt explain --execute]
+   and [bench --exec]. *)
+let execute_report ?force_hash ?adaptive ?stats db query plan =
+  let acc = ref [] in
+  let rel =
+    execute_common ?force_hash ?adaptive ?stats
+      ~record:(fun r -> acc := r :: !acc)
+      db query plan
+  in
+  (rel, List.rev !acc)

@@ -1,10 +1,42 @@
 (** Execution of optimizer plans against an in-memory database — the test
-    bridge proving every emitted plan computes the query's relation. *)
+    bridge proving every emitted plan computes the query's relation, and
+    the runtime behind [bench --exec]. Join nodes honor the strategy the
+    optimizer recorded (hash or nested loop); the strategy never changes
+    the result bag. *)
+
+type node_report = {
+  nr_label : string;  (** e.g. ["ViewScan[v12]"], ["Join on a.x=b.y"] *)
+  nr_strategy : string;
+      (** ["hash"] / ["nlj"] for joins; ["scan"] / ["view"] /
+          ["aggregate"] for the other nodes *)
+  nr_est : float;  (** optimizer's estimated output rows *)
+  nr_actual : int;  (** rows actually produced *)
+}
 
 val prepare : Mv_engine.Database.t -> Plan.t -> unit
 (** Materialize every view the plan reads (idempotent). *)
 
 val execute :
-  Mv_engine.Database.t -> Mv_relalg.Spjg.t -> Plan.t -> Mv_engine.Relation.t
+  ?force_hash:bool ->
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Mv_engine.Database.t ->
+  Mv_relalg.Spjg.t ->
+  Plan.t ->
+  Mv_engine.Relation.t
 (** Run the plan (materializing views first) and produce the final
-    relation with the query's output names. *)
+    relation with the query's output names. [force_hash] overrides every
+    join node's strategy to hash (the pre-adaptive behavior); [adaptive]
+    and [stats] are forwarded to {!Mv_engine.Exec} for leaf blocks. *)
+
+val execute_report :
+  ?force_hash:bool ->
+  ?adaptive:bool ->
+  ?stats:Mv_catalog.Stats.t ->
+  Mv_engine.Database.t ->
+  Mv_relalg.Spjg.t ->
+  Plan.t ->
+  Mv_engine.Relation.t * node_report list
+(** Same, also collecting one estimated-vs-actual report per plan node in
+    post-order (children before parents). Every report feeds the
+    [exec.estimation.qerror] histogram. *)

@@ -189,15 +189,22 @@ let generate ?(seed = 42) ?(scale = 1) () : Mv_engine.Database.t =
    these statistics directly. *)
 let synthetic_stats ?(sf = 0.5) () : Mv_catalog.Stats.t =
   let n x = int_of_float (float_of_int x *. sf) in
-  let key_col name count = (name, { Mv_catalog.Stats.min_v = Value.Int 1; max_v = Value.Int count; ndv = count }) in
+  let mk ~min_v ~max_v ~ndv =
+    Mv_catalog.Stats.make_col ~min_v ~max_v ~ndv ()
+  in
+  let key_col name count =
+    (name, mk ~min_v:(Value.Int 1) ~max_v:(Value.Int count) ~ndv:count)
+  in
   let int_col name lo hi ndv =
-    (name, { Mv_catalog.Stats.min_v = Value.Int lo; max_v = Value.Int hi; ndv })
+    (name, mk ~min_v:(Value.Int lo) ~max_v:(Value.Int hi) ~ndv)
   in
   let date_col name =
-    (name, { Mv_catalog.Stats.min_v = Value.Date date_lo; max_v = Value.Date date_hi; ndv = date_hi - date_lo })
+    (name,
+     mk ~min_v:(Value.Date date_lo) ~max_v:(Value.Date date_hi)
+       ~ndv:(date_hi - date_lo))
   in
   let str_col name ndv =
-    (name, { Mv_catalog.Stats.min_v = Value.Str "A"; max_v = Value.Str "z"; ndv })
+    (name, mk ~min_v:(Value.Str "A") ~max_v:(Value.Str "z") ~ndv)
   in
   let customers = n 150_000
   and orders = n 1_500_000

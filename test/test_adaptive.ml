@@ -1,0 +1,215 @@
+(** Adaptive execution differentials: every join strategy — legacy hash,
+    adaptive (NLJ / hash / indexed NLJ), and plan-level strategy nodes —
+    must produce the identical bag; rewritten queries stay equivalent to
+    the originals under the adaptive executor; and branch-and-bound
+    cost-bound pruning never changes the chosen plan, only the work done. *)
+
+module Spjg = Mv_relalg.Spjg
+
+let schema = Mv_tpch.Schema.schema
+
+(* One shared database with statistics built from its actual contents
+   (histograms included), plus the declared indexes the adaptive executor
+   can pick for indexed nested loops. *)
+let db =
+  lazy
+    (let db = Mv_tpch.Datagen.generate ~seed:57 ~scale:2 () in
+     List.iter
+       (fun (table, cols) -> Mv_engine.Database.declare_index db ~table ~cols)
+       [
+         ("lineitem", [ "l_orderkey" ]);
+         ("lineitem", [ "l_partkey" ]);
+         ("orders", [ "o_orderkey" ]);
+         ("part", [ "p_partkey" ]);
+       ];
+     db)
+
+let stats = lazy (Mv_engine.Database.stats (Lazy.force db))
+
+let gen_query seed =
+  let rng = Mv_util.Prng.create seed in
+  Mv_workload.Generator.generate_query schema (Lazy.force stats) rng
+
+(* Adaptive direct execution computes the same bag as the legacy
+   hash-pipeline for random section-5 queries. *)
+let adaptive_exec_prop =
+  QCheck.Test.make ~name:"adaptive: direct execution is bag-identical"
+    ~count:(Helpers.qcheck_count 150) QCheck.small_int (fun seed ->
+      let q = gen_query ((seed * 7919) + 1) in
+      let db = Lazy.force db in
+      let legacy = Mv_engine.Exec.execute db q in
+      let adaptive =
+        Mv_engine.Exec.execute ~adaptive:true ~stats:(Lazy.force stats) db q
+      in
+      let ok = Mv_engine.Relation.same_bag legacy adaptive in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "adaptive execution diverged!\nquery:\n%s\nlegacy=%d rows \
+           adaptive=%d rows"
+          (Spjg.to_sql q)
+          (Mv_engine.Relation.cardinality legacy)
+          (Mv_engine.Relation.cardinality adaptive);
+      ok)
+
+(* Optimizer plans (strategy nodes honored vs forced to hash) both equal
+   direct execution. *)
+let plan_strategy_prop =
+  QCheck.Test.make ~name:"adaptive: plan strategies are bag-identical"
+    ~count:(Helpers.qcheck_count 100) QCheck.small_int (fun seed ->
+      let q = gen_query ((seed * 104729) + 2) in
+      let db = Lazy.force db in
+      let stats = Lazy.force stats in
+      let registry = Mv_core.Registry.create schema in
+      let r = Mv_opt.Optimizer.optimize registry stats q in
+      let direct = Mv_engine.Exec.execute db q in
+      let hash =
+        Mv_opt.Plan_exec.execute ~force_hash:true db q r.Mv_opt.Optimizer.plan
+      in
+      let adaptive =
+        Mv_opt.Plan_exec.execute ~adaptive:true ~stats db q
+          r.Mv_opt.Optimizer.plan
+      in
+      let ok =
+        Mv_engine.Relation.same_bag direct hash
+        && Mv_engine.Relation.same_bag direct adaptive
+      in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "plan execution diverged!\nquery:\n%s\nplan:\n%s" (Spjg.to_sql q)
+          (Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan);
+      ok)
+
+(* Matched rewrites stay equivalent to the original when the substitute
+   is executed through the adaptive path. Samples the matcher-accepted
+   (query, substitute) pool built by {!Test_prop_equivalence} — random
+   pairs almost never match, the pool guarantees real rewrites. *)
+let adaptive_rewrite_prop =
+  QCheck.Test.make
+    ~name:"adaptive: rewritten queries equal originals under new executor"
+    ~count:(Helpers.qcheck_count 150)
+    QCheck.(pair (int_bound 1_000_000) (int_range 1 4))
+    (fun (pick, db_seed) ->
+      let pairs = Lazy.force Test_prop_equivalence.matched_pairs in
+      let query, s = List.nth pairs (pick mod List.length pairs) in
+      let db = Mv_tpch.Datagen.generate ~seed:db_seed ~scale:1 () in
+      let direct = Mv_engine.Exec.execute db query in
+      ignore (Mv_engine.Exec.materialize db s.Mv_core.Substitute.view);
+      let stats = Mv_engine.Database.stats db in
+      let via =
+        Mv_engine.Exec.execute_substitute ~adaptive:true ~stats db s
+      in
+      let ok = Mv_engine.Relation.same_bag direct via in
+      if not ok then
+        QCheck.Test.fail_reportf
+          "adaptive rewrite diverged!\nquery:\n%s\nsubstitute:\n%s\ndirect=%d \
+           via=%d"
+          (Spjg.to_sql query)
+          (Mv_core.Substitute.to_sql s)
+          (Mv_engine.Relation.cardinality direct)
+          (Mv_engine.Relation.cardinality via);
+      ok)
+
+(* The indexed nested loop actually fires on a small-probe / large-build
+   join with a declared index, and computes the same bag. *)
+let test_inlj_fires () =
+  let db = Lazy.force db in
+  let stats = Lazy.force stats in
+  let q =
+    Helpers.parse_q
+      "select p_brand, l_quantity from lineitem, part where l_partkey = \
+       p_partkey and p_size >= 40"
+  in
+  let gval = Mv_obs.Registry.counter_value Mv_obs.Registry.global in
+  let before = gval "exec.join.strategy.inlj" in
+  let legacy = Mv_engine.Exec.execute db q in
+  let adaptive = Mv_engine.Exec.execute ~adaptive:true ~stats db q in
+  Alcotest.(check bool)
+    "bag-identical" true
+    (Mv_engine.Relation.same_bag legacy adaptive);
+  Alcotest.(check bool)
+    "indexed nested loop fired" true
+    (gval "exec.join.strategy.inlj" > before)
+
+(* Cost-bound pruning fires on a real view population and the chosen
+   plans are identical with pruning on and off. *)
+let test_prune_plans_unchanged () =
+  let w =
+    Mv_experiments.Harness.make_workload ~nviews:200 ~nqueries:25 ()
+  in
+  let make () =
+    let registry = Mv_core.Registry.create w.Mv_experiments.Harness.schema in
+    List.iter
+      (Mv_core.Registry.add_prebuilt registry)
+      w.Mv_experiments.Harness.views;
+    registry
+  in
+  let plans config registry =
+    List.map
+      (fun q ->
+        let r =
+          Mv_opt.Optimizer.optimize ~config registry
+            w.Mv_experiments.Harness.stats q
+        in
+        ( Mv_opt.Plan.to_string r.Mv_opt.Optimizer.plan,
+          r.Mv_opt.Optimizer.cost ))
+      w.Mv_experiments.Harness.queries
+  in
+  let reg_on = make () and reg_off = make () in
+  let with_prune = plans Mv_opt.Optimizer.default_config reg_on in
+  let without_prune =
+    plans
+      { Mv_opt.Optimizer.default_config with prune_cost_bound = false }
+      reg_off
+  in
+  Alcotest.(check bool)
+    "identical plans and costs" true
+    (with_prune = without_prune);
+  let prunes =
+    Mv_obs.Registry.counter_value reg_on.Mv_core.Registry.obs
+      "opt.prune.cost_bound"
+  in
+  Alcotest.(check bool) "pruning fired" true (prunes > 0);
+  Alcotest.(check int)
+    "no pruning when disabled" 0
+    (Mv_obs.Registry.counter_value reg_off.Mv_core.Registry.obs
+       "opt.prune.cost_bound")
+
+(* The pruned views are reported in the result's provenance. *)
+let test_pruned_views_reported () =
+  let w =
+    Mv_experiments.Harness.make_workload ~nviews:200 ~nqueries:25 ()
+  in
+  let registry = Mv_core.Registry.create w.Mv_experiments.Harness.schema in
+  List.iter
+    (Mv_core.Registry.add_prebuilt registry)
+    w.Mv_experiments.Harness.views;
+  let total =
+    List.fold_left
+      (fun acc q ->
+        let r =
+          Mv_opt.Optimizer.optimize registry w.Mv_experiments.Harness.stats q
+        in
+        acc + List.length r.Mv_opt.Optimizer.pruned_views)
+      0 w.Mv_experiments.Harness.queries
+  in
+  let counted =
+    Mv_obs.Registry.counter_value registry.Mv_core.Registry.obs
+      "opt.prune.cost_bound"
+  in
+  Alcotest.(check int) "provenance matches the counter" counted total;
+  Alcotest.(check bool) "some prunes happened" true (total > 0)
+
+let suite =
+  [
+    ( "prop_adaptive",
+      [
+        Helpers.qtest adaptive_exec_prop;
+        Helpers.qtest plan_strategy_prop;
+        Helpers.qtest adaptive_rewrite_prop;
+        Alcotest.test_case "indexed nested loop fires" `Quick test_inlj_fires;
+        Alcotest.test_case "cost-bound pruning keeps plans" `Quick
+          test_prune_plans_unchanged;
+        Alcotest.test_case "pruned views reported" `Quick
+          test_pruned_views_reported;
+      ] );
+  ]
