@@ -20,10 +20,11 @@ let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
     \       [--ablation] [--filtertree] [--levels] [--serving] [--serve]\n\
-    \       [--whynot] [--exec] [--json FILE]\n\
+    \       [--whynot] [--exec] [--maintain] [--json FILE]\n\
     \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]\n\
     \       [--rate QPS] [--duration S] [--serve-trace FILE]\n\
-    \       [--scales S1,S2,...] [--reps N]";
+    \       [--scales S1,S2,...] [--reps N] [--batches N]\n\
+    \       [--maintain-views S1,S2,...] [--batch-rows S1,S2,...]";
   exit 1
 
 type what = {
@@ -38,6 +39,7 @@ type what = {
   serve : bool;
   whynot : bool;
   exec : bool;
+  maintain : bool;
 }
 
 let () =
@@ -66,12 +68,16 @@ let () =
             serve = false;
             whynot = false;
             exec = false;
+            maintain = false;
           }
     in
     sel := Some (w cur)
   in
   let exec_scales = ref [ 1; 2; 4 ] in
   let exec_reps = ref 5 in
+  let batches = ref 10 in
+  let maintain_views = ref [ 10; 50; 100 ] in
+  let batch_rows = ref [ 4; 32 ] in
   let rate = ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.rate in
   let duration =
     ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.duration
@@ -131,6 +137,19 @@ let () =
     | "--exec" :: rest ->
         add_sel (fun s -> { s with exec = true });
         parse rest
+    | "--maintain" :: rest ->
+        add_sel (fun s -> { s with maintain = true });
+        parse rest
+    | "--batches" :: n :: rest ->
+        batches := max 1 (int_of_string n);
+        parse rest
+    | "--maintain-views" :: s :: rest ->
+        maintain_views :=
+          List.map int_of_string (String.split_on_char ',' s);
+        parse rest
+    | "--batch-rows" :: s :: rest ->
+        batch_rows := List.map int_of_string (String.split_on_char ',' s);
+        parse rest
     | "--scales" :: s :: rest ->
         exec_scales :=
           List.map int_of_string (String.split_on_char ',' s);
@@ -177,6 +196,7 @@ let () =
             serve = true;
             whynot = true;
             exec = true;
+            maintain = true;
           }
         else
           {
@@ -191,6 +211,7 @@ let () =
             serve = true;
             whynot = true;
             exec = true;
+            maintain = true;
           }
   in
   let nviews_list =
@@ -349,6 +370,28 @@ let () =
       prerr_endline
         "execution benchmark: a plan's result is not bag-equal to direct \
          execution";
+      exit 3
+    end
+  end;
+  if what.maintain then begin
+    (* incremental view maintenance vs rematerialize-on-write: identical
+       random batches through both arms per (view count, batch size) cell;
+       exits 3 unless the maintained contents stay bag-equal and the
+       refreshed view statistics track the actual cardinalities *)
+    let m =
+      Mv_experiments.Harness.maintain ~batches:!batches
+        ~nviews_list:!maintain_views ~batch_sizes:!batch_rows ()
+    in
+    Mv_experiments.Report.maintenance_table m;
+    add_section "maintenance" (Mv_experiments.Report.maintenance_json m);
+    if
+      not
+        (m.Mv_experiments.Harness.mm_equivalent
+        && m.Mv_experiments.Harness.mm_stats_fresh)
+    then begin
+      prerr_endline
+        "maintenance benchmark: delta-maintained contents or statistics \
+         diverged from rematerialization";
       exit 3
     end
   end;

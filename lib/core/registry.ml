@@ -270,7 +270,7 @@ let record_stage_notes snap sub (q : A.t) =
    build one substitute per view. Returns the candidate set alongside the
    substitutes so the match cache can store both (the candidates are what
    the model-based tests compare against a from-scratch rebuild). *)
-let match_with_candidates ?spans ?snap t (q : A.t) :
+let match_with_candidates ?spans ?snap ?(fresh_only = false) t (q : A.t) :
     View.t list * Substitute.t list =
   (* one snapshot per invocation: the candidate search, the population
      counts and the traced stage replay all see the same registry state *)
@@ -299,7 +299,7 @@ let match_with_candidates ?spans ?snap t (q : A.t) :
         Mv_obs.Span.wrap spans ("match:" ^ v.View.name) (fun sub ->
             match
               Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
-                ~backjoins:t.backjoins ?spans:sub ~query:q v
+                ~backjoins:t.backjoins ~fresh_only ?spans:sub ~query:q v
             with
             | Ok s -> Some s
             | Error _ -> None))
@@ -328,8 +328,29 @@ let match_with_candidates ?spans ?snap t (q : A.t) :
   end;
   (cands, subs)
 
-let find_substitutes ?spans ?snap t (q : A.t) : Substitute.t list =
-  snd (match_with_candidates ?spans ?snap t q)
+let find_substitutes ?spans ?snap ?fresh_only t (q : A.t) :
+    Substitute.t list =
+  snd (match_with_candidates ?spans ?snap ?fresh_only t q)
+
+(* ---- freshness (DESIGN.md §12) ----
+
+   Staleness marks live on the shared [View.t] descriptors (an atomic
+   bool), so marking needs no epoch bump or republication: snapshots share
+   the descriptors and the population did not change. Matching behavior is
+   unchanged unless a caller opts into [fresh_only]. *)
+
+let mark_stale t ~tables : int =
+  let hit (v : View.t) =
+    List.exists (fun tn -> Mv_util.Sset.mem tn v.View.source_tables) tables
+  in
+  List.fold_left
+    (fun n v ->
+      if hit v && not (View.is_stale v) then begin
+        View.mark_stale v;
+        n + 1
+      end
+      else n)
+    0 t.views
 
 (* ---- why-not ---- *)
 
@@ -345,7 +366,8 @@ type explanation =
    real matcher. Deliberately bumps NO [rule.*] counters — explanation is a
    diagnostic read, not a rule invocation. With [use_filter] off every view
    goes straight to the matcher, mirroring the "No Filter" configuration. *)
-let explain ?snap t (q : A.t) : (View.t * explanation) list =
+let explain ?snap ?(fresh_only = false) t (q : A.t) :
+    (View.t * explanation) list =
   let s = current ?snap t in
   let qi = Filter_tree.query_info q in
   List.map
@@ -359,7 +381,7 @@ let explain ?snap t (q : A.t) : (View.t * explanation) list =
       | Filter_tree.Passed -> (
           match
             Matcher.match_view ~relaxed_nulls:t.relaxed_nulls
-              ~backjoins:t.backjoins ~query:q v
+              ~backjoins:t.backjoins ~fresh_only ~query:q v
           with
           | Ok sub -> (v, Matched sub)
           | Error e -> (v, Rejected e)))
@@ -372,11 +394,13 @@ let find_substitutes_spjg t (spjg : Mv_relalg.Spjg.t) =
    the range test are pruned by the filter tree's range level, so the
    union finder scans the full population restricted by the cheap table
    condition. *)
-let find_union_substitutes ?snap t (q : A.t) : Union_substitute.t option =
+let find_union_substitutes ?snap ?(fresh_only = false) t (q : A.t) :
+    Union_substitute.t option =
   let coarse =
     List.filter
       (fun v ->
-        Mv_util.Bitset.subset q.A.table_key v.View.keys.View.source_tables)
+        Mv_util.Bitset.subset q.A.table_key v.View.keys.View.source_tables
+        && not (fresh_only && View.is_stale v))
       (current ?snap t).snap_views
   in
   Union_match.find ~relaxed_nulls:t.relaxed_nulls ~backjoins:t.backjoins q

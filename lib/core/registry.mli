@@ -116,9 +116,18 @@ val remove_view : t -> string -> unit
 
 val candidates : ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> View.t list
 
+val mark_stale : t -> tables:string list -> int
+(** Set the staleness mark on every registered view sourcing one of
+    [tables]; returns how many views newly became stale. Marks live on the
+    shared descriptors (an atomic bool), so no epoch bump or snapshot
+    republication happens — matching is unchanged unless a caller passes
+    [fresh_only]. Clear per view with {!View.mark_fresh} after a refresh
+    (see [Mv_engine.Ivm]). *)
+
 val match_with_candidates :
   ?spans:Mv_obs.Span.scope ->
   ?snap:snapshot ->
+  ?fresh_only:bool ->
   t ->
   Mv_relalg.Analysis.t ->
   View.t list * Substitute.t list
@@ -135,6 +144,7 @@ val match_with_candidates :
 val find_substitutes :
   ?spans:Mv_obs.Span.scope ->
   ?snap:snapshot ->
+  ?fresh_only:bool ->
   t ->
   Mv_relalg.Analysis.t ->
   Substitute.t list
@@ -144,7 +154,10 @@ val find_substitutes :
     Without [snap], each invocation runs against {!val-snapshot}'s current
     value (or the master state before activation); with it, against
     exactly the pinned state — what lets a whole optimization see one
-    consistent registry under concurrent churn. *)
+    consistent registry under concurrent churn.
+
+    [fresh_only] (default [false]) additionally rejects stale views with
+    {!Reject.Stale} — the freshness-aware matcher mode of DESIGN.md §12. *)
 
 (** {2 Why-not} *)
 
@@ -155,22 +168,32 @@ type explanation =
   | Matched of Substitute.t
 
 val explain :
-  ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> (View.t * explanation) list
+  ?snap:snapshot ->
+  ?fresh_only:bool ->
+  t ->
+  Mv_relalg.Analysis.t ->
+  (View.t * explanation) list
 (** Account for every registered view, in registration order. Exact with
     respect to the rule: [Filtered] views are precisely the population
     minus {!candidates} (the filtering is replayed per view through
     {!Filter_tree.provenance}), and the rest are re-tested through the
-    real matcher. Bumps no [rule.*] counters. With [use_filter] off,
+    real matcher (with [fresh_only] passed along, so stale views report
+    [Rejected Stale]). Bumps no [rule.*] counters. With [use_filter] off,
     every view goes straight to the matcher. *)
 
 val find_substitutes_spjg : t -> Mv_relalg.Spjg.t -> Substitute.t list
 
 val find_union_substitutes :
-  ?snap:snapshot -> t -> Mv_relalg.Analysis.t -> Union_substitute.t option
+  ?snap:snapshot ->
+  ?fresh_only:bool ->
+  t ->
+  Mv_relalg.Analysis.t ->
+  Union_substitute.t option
 (** The section 7 union-substitute extension: views that individually fail
     only the range test, composed over disjoint slices of one class. Views
     are pre-filtered by the source-table condition only (the filter tree's
-    range level would prune exactly the views a union needs). *)
+    range level would prune exactly the views a union needs); [fresh_only]
+    drops stale views from the pool. *)
 
 val reset_stats : t -> unit
 (** Zero every instrument on {!field-obs} (including the filter-tree

@@ -11,6 +11,7 @@ type t =
   | Output_not_computable of string
   | Grouping_incompatible of string
   | View_more_aggregated
+  | Stale
 
 let to_string = function
   | Missing_tables -> "view lacks tables required by the query"
@@ -25,6 +26,8 @@ let to_string = function
       "query output not computable from view output: " ^ s
   | Grouping_incompatible s -> "grouping lists incompatible: " ^ s
   | View_more_aggregated -> "view is more aggregated than the query"
+  | Stale ->
+      "view is stale: base tables changed since it was last refreshed"
 
 (* Stable machine-readable labels: one per constructor, detail payloads
    dropped. Used as aggregation keys (why-not tables, span attributes), so
@@ -39,5 +42,6 @@ let label = function
   | Output_not_computable _ -> "output-not-computable"
   | Grouping_incompatible _ -> "grouping-incompatible"
   | View_more_aggregated -> "view-more-aggregated"
+  | Stale -> "stale"
 
 let pp ppf t = Fmt.string ppf (to_string t)

@@ -10,6 +10,9 @@ type t =
   | Output_not_computable of string
   | Grouping_incompatible of string
   | View_more_aggregated
+  | Stale
+      (** the view's base tables changed since it was last refreshed and
+          the caller asked for fresh views only (IVM, DESIGN.md §12) *)
 
 val to_string : t -> string
 
@@ -19,6 +22,6 @@ val label : t -> string
     ["equijoin-subsumption"], ["range-subsumption"],
     ["residual-subsumption"], ["compensation-not-computable"],
     ["output-not-computable"], ["grouping-incompatible"],
-    ["view-more-aggregated"]. *)
+    ["view-more-aggregated"], ["stale"]. *)
 
 val pp : Format.formatter -> t -> unit

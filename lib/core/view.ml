@@ -46,6 +46,14 @@ type t = {
       (** secondary indexes over output columns (Example 1 creates one on
           (gross_revenue, p_name)); considered automatically by the cost
           model and built at materialization time *)
+  stale : bool Atomic.t;
+      (** freshness mark (DESIGN.md §12): set when a base table is written
+          without the view's contents being maintained, cleared by
+          materialize/refresh. Atomic so write-side marking and a
+          [fresh_only] matcher on another domain never race. *)
+  mutable base_epochs : (string * int) list;
+      (** per-base-table database write epochs recorded at the last
+          materialize/refresh — the provenance behind the staleness mark *)
 }
 
 let cols_to_strings (s : Col.Set.t) =
@@ -124,9 +132,19 @@ let create ?(relaxed_nulls = false) ?(row_count = 0) ?(indexes = []) schema
     keys;
     row_count;
     indexes;
+    stale = Atomic.make false;
+    base_epochs = [];
   }
 
 let spjg t = t.analysis.Mv_relalg.Analysis.spjg
+
+let is_stale t = Atomic.get t.stale
+
+let mark_stale t = Atomic.set t.stale true
+
+let mark_fresh ?epochs t =
+  (match epochs with Some e -> t.base_epochs <- e | None -> ());
+  Atomic.set t.stale false
 
 let is_aggregate t = Mv_relalg.Spjg.is_aggregate (spjg t)
 

@@ -40,6 +40,11 @@ type t = {
   mutable indexes : string list list;
       (** secondary indexes over output columns; considered automatically
           by the cost model and built at materialization time *)
+  stale : bool Atomic.t;
+      (** freshness mark: set when a base table is written without the
+          view being maintained; read through {!is_stale} *)
+  mutable base_epochs : (string * int) list;
+      (** per-base-table database write epochs at the last refresh *)
 }
 
 exception Rejected of string
@@ -58,6 +63,17 @@ val create :
     @raise Rejected when the definition is not indexable. *)
 
 val spjg : t -> Mv_relalg.Spjg.t
+
+val is_stale : t -> bool
+(** [true] once a base-table write outran the view's contents. Stale views
+    still match by default; a [fresh_only] matcher rejects them with
+    {!Reject.Stale}. *)
+
+val mark_stale : t -> unit
+
+val mark_fresh : ?epochs:(string * int) list -> t -> unit
+(** Clear the staleness mark, optionally recording the base-table write
+    epochs the contents now correspond to. *)
 
 val is_aggregate : t -> bool
 

@@ -7,7 +7,10 @@ type t = {
   declared_indexes : (string, string list list) Hashtbl.t;
       (** table -> declared index column lists *)
   index_cache : (string * string list, Index.t) Hashtbl.t;
-      (** built lazily; invalidated on insert *)
+      (** built lazily; invalidated on insert/delete *)
+  epochs : (string, int) Hashtbl.t;
+      (** per-table write epoch, bumped by every insert/delete batch —
+          what view freshness marks are recorded against (DESIGN.md §12) *)
 }
 
 let create schema =
@@ -17,6 +20,7 @@ let create schema =
       tables = Hashtbl.create 16;
       declared_indexes = Hashtbl.create 8;
       index_cache = Hashtbl.create 8;
+      epochs = Hashtbl.create 8;
     }
   in
   List.iter
@@ -35,13 +39,27 @@ let table_exn t name =
 (* Register a derived table (e.g. a materialized view's contents). *)
 let add_table t (tbl : Table.t) = Hashtbl.replace t.tables (Table.name tbl) tbl
 
-let insert t name row =
-  Table.insert (table_exn t name) row;
-  (* built indexes over this table are stale now *)
+let table_epoch t name =
+  match Hashtbl.find_opt t.epochs name with Some e -> e | None -> 0
+
+(* A write happened to [name]: built indexes over it are stale and its
+   write epoch advances. Also used by [Ivm] after rewriting a materialized
+   view's rows in place. *)
+let touch t name =
   Hashtbl.iter
     (fun (tbl, cols) _ ->
       if tbl = name then Hashtbl.remove t.index_cache (tbl, cols))
-    (Hashtbl.copy t.index_cache)
+    (Hashtbl.copy t.index_cache);
+  Hashtbl.replace t.epochs name (table_epoch t name + 1)
+
+let insert t name row =
+  Table.insert (table_exn t name) row;
+  touch t name
+
+let delete t name row =
+  if not (Table.delete (table_exn t name) row) then
+    invalid_arg ("Database.delete: no such row in " ^ name);
+  touch t name
 
 (* Declare a (secondary) index; it is built lazily on first use. *)
 let declare_index t ~table ~cols =
@@ -77,22 +95,44 @@ let index t ~table ~cols : Index.t option =
 
 let row_count t name = Table.row_count (table_exn t name)
 
+(* An independent instance with the same contents: table row lists are
+   immutable values, so sharing them is safe — each copy mutates its own
+   Table.t records. Declared indexes carry over; built indexes and write
+   epochs start empty. *)
+let copy (t : t) : t =
+  let c =
+    {
+      schema = t.schema;
+      tables = Hashtbl.create (Hashtbl.length t.tables);
+      declared_indexes = Hashtbl.copy t.declared_indexes;
+      index_cache = Hashtbl.create 8;
+      epochs = Hashtbl.create 8;
+    }
+  in
+  Hashtbl.iter
+    (fun name (tbl : Table.t) ->
+      Hashtbl.replace c.tables name
+        (Table.of_rows (Table.def_of tbl) tbl.Table.rows))
+    t.tables;
+  c
+
+(* Per-column statistics of one table's actual contents. *)
+let table_stats ?buckets (t : t) name : Mv_catalog.Stats.table_stats =
+  let tbl = table_exn t name in
+  let cols = tbl.Table.def.Mv_catalog.Table_def.columns in
+  let col_stats =
+    List.mapi
+      (fun i (c : Mv_catalog.Column.t) ->
+        let values = List.map (fun row -> row.(i)) tbl.Table.rows in
+        (c.Mv_catalog.Column.name, Mv_catalog.Stats.build_column ?buckets values))
+      cols
+  in
+  { Mv_catalog.Stats.row_count = Table.row_count tbl; columns = col_stats }
+
 (* Compute per-table, per-column statistics from the actual contents,
    including equi-depth histograms and exhaustive MCV lists for low-NDV
    columns (Stats.build_column) — the one-pass [Stats.of_database] hook. *)
 let stats ?buckets (t : t) : Mv_catalog.Stats.t =
   Hashtbl.fold
-    (fun name (tbl : Table.t) acc ->
-      let cols = tbl.Table.def.Mv_catalog.Table_def.columns in
-      let col_stats =
-        List.mapi
-          (fun i (c : Mv_catalog.Column.t) ->
-            let values = List.map (fun row -> row.(i)) tbl.Table.rows in
-            (c.Mv_catalog.Column.name,
-             Mv_catalog.Stats.build_column ?buckets values))
-          cols
-      in
-      (name,
-       { Mv_catalog.Stats.row_count = Table.row_count tbl; columns = col_stats })
-      :: acc)
+    (fun name (_ : Table.t) acc -> (name, table_stats ?buckets t name) :: acc)
     t.tables []

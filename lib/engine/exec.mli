@@ -63,7 +63,8 @@ val execute :
 
 val materialize : Database.t -> Mv_core.View.t -> Table.t
 (** Compute the view's contents, register them as a table in the database,
-    and record the row count on the view descriptor. *)
+    and record the row count on the view descriptor — which is also marked
+    fresh at the base tables' current write epochs (DESIGN.md §12). *)
 
 val execute_substitute :
   ?adaptive:bool ->

@@ -1,0 +1,482 @@
+(** Incremental view maintenance: counting-based bag deltas through SPJG
+    (DESIGN.md §12). The join delta telescopes over the view's tables —
+
+      ΔQ = Σᵢ  T1ⁿᵉʷ ⋈ … ⋈ Tᵢ₋₁ⁿᵉʷ ⋈ ΔTᵢ ⋈ Tᵢ₊₁ᵒˡᵈ ⋈ … ⋈ Tnᵒˡᵈ
+
+    — and each term runs through the ordinary executor against a scratch
+    database holding the right old/delta/new slice per table, with
+    synthetic statistics that make the (tiny) delta table the cheapest so
+    adaptive ordering starts the join there. SPJ deltas edit the view's
+    bag directly; aggregation deltas fold into the stored grouping
+    columns, count_big( * ) and SUMs through a per-group sidecar that also
+    tracks non-null SUM contributions (NULL vs 0 on all-NULL groups). *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+module Stats = Mv_catalog.Stats
+module View = Mv_core.View
+module Sset = Mv_util.Sset
+
+type delta = { ins : Value.t array list; del : Value.t array list }
+
+type batch = (string * delta) list
+
+exception Unsupported of string
+
+exception Inconsistent of string
+
+let counter name = Mv_obs.Registry.counter Mv_obs.Registry.global ("ivm." ^ name)
+
+let bump name n = if n <> 0 then Mv_obs.Instrument.add (counter name) n
+
+let tick name = Mv_obs.Instrument.incr (counter name)
+
+(* ---- aggregate view shape -------------------------------------------- *)
+
+type sum_spec = { s_expr : Expr.t; s_zero : bool  (** Sum0: render 0 *) }
+
+(* Where each output column of an aggregation view comes from. *)
+type slot =
+  | Key of int  (** i-th grouping (scalar) output *)
+  | Count_slot
+  | Sum_slot of int
+
+type agg_shape = {
+  scalars : Expr.t list;  (** grouping outputs, in output order *)
+  sums : sum_spec array;
+  layout : slot array;  (** one per output column *)
+  key_cols : int array;  (** column position of each grouping output *)
+  scalar_only : bool;  (** [group_by = Some []]: the single row never dies *)
+}
+
+(* Indexable aggregation views ([View.create] enforces [check_indexable])
+   output every grouping expression and a count column and never AVG, so
+   the scalar outputs determine the group and counts/sums are foldable —
+   exactly the property that makes them maintainable. *)
+let shape_of (name : string) (sp : Spjg.t) : agg_shape =
+  let scalars = ref [] and sums = ref [] in
+  let layout =
+    List.map
+      (fun (o : Spjg.out_item) ->
+        match o.Spjg.def with
+        | Spjg.Scalar e ->
+            scalars := e :: !scalars;
+            Key (List.length !scalars - 1)
+        | Spjg.Aggregate Spjg.Count_star -> Count_slot
+        | Spjg.Aggregate (Spjg.Sum e) ->
+            sums := { s_expr = e; s_zero = false } :: !sums;
+            Sum_slot (List.length !sums - 1)
+        | Spjg.Aggregate (Spjg.Sum0 e) ->
+            sums := { s_expr = e; s_zero = true } :: !sums;
+            Sum_slot (List.length !sums - 1)
+        | Spjg.Aggregate (Spjg.Avg _ | Spjg.Sum_div_sum _) ->
+            raise
+              (Unsupported
+                 (name ^ ": AVG / SUM-ratio outputs are not maintainable")))
+      sp.Spjg.out
+    |> Array.of_list
+  in
+  let key_cols =
+    Array.to_list layout
+    |> List.mapi (fun col s -> (col, s))
+    |> List.filter_map (fun (col, s) ->
+           match s with Key _ -> Some col | _ -> None)
+    |> Array.of_list
+  in
+  {
+    scalars = List.rev !scalars;
+    sums = Array.of_list (List.rev !sums);
+    layout;
+    key_cols;
+    scalar_only = sp.Spjg.group_by = Some [];
+  }
+
+(* One group's running state: stored count, raw signed sums (independent
+   of NULL rendering) and non-null contribution counts per SUM. The same
+   record doubles as a batch-delta accumulator, where [g_count] and
+   [g_nn] may go negative. *)
+type group = {
+  g_key : Value.t list;
+  mutable g_count : int;
+  g_sums : Value.t array;
+  g_nn : int array;
+}
+
+type vstate = Spj_state | Agg_state of agg_shape * (string, group) Hashtbl.t
+
+type entry = { view : View.t; state : vstate; mutable dirty : bool }
+
+type t = { db : Database.t; mutable entries : entry list }
+
+let create db = { db; entries = [] }
+
+let database t = t.db
+
+let attached t = List.map (fun e -> e.view) t.entries
+
+let dirty_views t =
+  List.filter_map
+    (fun e -> if e.dirty then Some e.view.View.name else None)
+    t.entries
+
+let detach t name =
+  t.entries <- List.filter (fun e -> e.view.View.name <> name) t.entries
+
+(* ---- value arithmetic ------------------------------------------------- *)
+
+(* Mirrors [Exec.add_value]: Null is the identity, Int + Int stays Int. *)
+let add a b =
+  match (a, b) with
+  | Value.Null, v | v, Value.Null -> v
+  | Value.Int x, Value.Int y -> Value.Int (x + y)
+  | _ -> (
+      match (Value.as_float a, Value.as_float b) with
+      | Some x, Some y -> Value.Float (x +. y)
+      | _ ->
+          raise (Inconsistent ("Ivm: sum of non-numeric " ^ Value.to_string b)))
+
+let neg = function
+  | Value.Null -> Value.Null
+  | Value.Int i -> Value.Int (-i)
+  | Value.Float f -> Value.Float (-.f)
+  | v -> raise (Inconsistent ("Ivm: sum of non-numeric " ^ Value.to_string v))
+
+let is_zero = function
+  | Value.Null | Value.Int 0 -> true
+  | Value.Float f -> f = 0.
+  | _ -> false
+
+let key_repr (vs : Value.t list) =
+  String.concat "\x01" (List.map Value.to_string vs)
+
+let eval b e = Eval.expr (Exec.env_of b) e
+
+(* Fold one signed SPJ tuple into a group table (sidecar at attach time,
+   sign +1 only; batch-delta accumulator during apply, either sign). *)
+let fold_signed shape (groups : (string, group) Hashtbl.t) b sign =
+  let key = List.map (eval b) shape.scalars in
+  let k = key_repr key in
+  let g =
+    match Hashtbl.find_opt groups k with
+    | Some g -> g
+    | None ->
+        let g =
+          {
+            g_key = key;
+            g_count = 0;
+            g_sums = Array.make (Array.length shape.sums) Value.Null;
+            g_nn = Array.make (Array.length shape.sums) 0;
+          }
+        in
+        Hashtbl.replace groups k g;
+        g
+  in
+  g.g_count <- g.g_count + sign;
+  Array.iteri
+    (fun j spec ->
+      let v = eval b spec.s_expr in
+      if not (Value.is_null v) then begin
+        g.g_nn.(j) <- g.g_nn.(j) + sign;
+        g.g_sums.(j) <- add g.g_sums.(j) (if sign < 0 then neg v else v)
+      end)
+    shape.sums
+
+let row_of_group shape (g : group) : Value.t array =
+  Array.map
+    (function
+      | Key i -> List.nth g.g_key i
+      | Count_slot -> Value.Int g.g_count
+      | Sum_slot j ->
+          if g.g_nn.(j) = 0 then
+            if shape.sums.(j).s_zero then Value.Int 0 else Value.Null
+          else g.g_sums.(j))
+    shape.layout
+
+(* ---- attach ----------------------------------------------------------- *)
+
+let record_fresh t (view : View.t) =
+  let epochs =
+    List.map
+      (fun tn -> (tn, Database.table_epoch t.db tn))
+      (Sset.elements view.View.source_tables)
+  in
+  View.mark_fresh ~epochs view
+
+let attach t (view : View.t) =
+  let name = view.View.name in
+  if List.exists (fun e -> e.view.View.name = name) t.entries then
+    invalid_arg ("Ivm.attach: view " ^ name ^ " already attached");
+  (match Database.table t.db name with
+  | Some _ -> ()
+  | None -> invalid_arg ("Ivm.attach: view " ^ name ^ " is not materialized"));
+  let sp = View.spjg view in
+  let state =
+    if Spjg.is_aggregate sp then begin
+      let shape = shape_of name sp in
+      let groups = Hashtbl.create 64 in
+      List.iter
+        (fun b -> fold_signed shape groups b 1)
+        (Exec.spj_tuples t.db sp);
+      (* a scalar aggregate's single row exists even over empty input *)
+      if shape.scalar_only && Hashtbl.length groups = 0 then
+        Hashtbl.replace groups (key_repr [])
+          {
+            g_key = [];
+            g_count = 0;
+            g_sums = Array.make (Array.length shape.sums) Value.Null;
+            g_nn = Array.make (Array.length shape.sums) 0;
+          };
+      Agg_state (shape, groups)
+    end
+    else Spj_state
+  in
+  record_fresh t view;
+  t.entries <- t.entries @ [ { view; state; dirty = false } ]
+
+(* ---- delta evaluation ------------------------------------------------- *)
+
+(* The signed SPJ tuple bag of the view's delta under [batch], with
+   [old_rows] the pre-batch contents of every written table (the database
+   already holds the post-batch state). Each telescoping term runs the
+   executor over a scratch database: tables before the delta position see
+   new rows, the delta position sees just the insert (or delete) slice,
+   tables after it see old rows. Synthetic row-count-only statistics make
+   the delta slice the smallest table so adaptive ordering leads with it. *)
+let signed_tuples t (view : View.t) (batch : batch)
+    (old_rows : (string * Value.t array list) list) :
+    (Exec.bindings * int) list =
+  let sp = View.spjg view in
+  let tables = sp.Spjg.tables in
+  let old_of v =
+    match List.assoc_opt v old_rows with
+    | Some rows -> rows
+    | None -> (Database.table_exn t.db v).Table.rows
+  in
+  let acc = ref [] in
+  List.iteri
+    (fun i u ->
+      match List.assoc_opt u batch with
+      | None -> ()
+      | Some d ->
+          let term rows sign =
+            if rows <> [] then begin
+              let scratch = Database.create t.db.Database.schema in
+              let stats = ref [] in
+              List.iteri
+                (fun j v ->
+                  let src =
+                    if j = i then rows
+                    else if j < i then (Database.table_exn t.db v).Table.rows
+                    else old_of v
+                  in
+                  (Database.table_exn scratch v).Table.rows <- src;
+                  stats :=
+                    (v, { Stats.row_count = List.length src; columns = [] })
+                    :: !stats)
+                tables;
+              List.iter
+                (fun b -> acc := (b, sign) :: !acc)
+                (Exec.spj_tuples ~adaptive:true ~stats:!stats scratch sp)
+            end
+          in
+          term d.ins 1;
+          term d.del (-1))
+    tables;
+  !acc
+
+(* ---- applying deltas to the stored contents --------------------------- *)
+
+let apply_spj t (entry : entry) signed : bool =
+  let sp = View.spjg entry.view in
+  let scalars =
+    List.map
+      (fun (o : Spjg.out_item) ->
+        match o.Spjg.def with
+        | Spjg.Scalar e -> e
+        | Spjg.Aggregate _ -> assert false (* SPJ block *))
+      sp.Spjg.out
+  in
+  let plus = ref [] and minus = Hashtbl.create 16 and n_minus = ref 0 in
+  List.iter
+    (fun (b, sign) ->
+      let row = Array.of_list (List.map (eval b) scalars) in
+      if sign > 0 then plus := row :: !plus
+      else begin
+        let k = key_repr (Array.to_list row) in
+        let n = match Hashtbl.find_opt minus k with Some n -> n | None -> 0 in
+        Hashtbl.replace minus k (n + 1);
+        incr n_minus
+      end)
+    signed;
+  if !plus = [] && !n_minus = 0 then false
+  else begin
+    let tbl = Database.table_exn t.db entry.view.View.name in
+    let removed = ref 0 in
+    let rows' =
+      if !n_minus = 0 then tbl.Table.rows
+      else
+        List.filter
+          (fun row ->
+            match Hashtbl.find_opt minus (key_repr (Array.to_list row)) with
+            | Some n when n > 0 ->
+                Hashtbl.replace minus (key_repr (Array.to_list row)) (n - 1);
+                incr removed;
+                false
+            | _ -> true)
+          tbl.Table.rows
+    in
+    if !removed < !n_minus then
+      raise
+        (Inconsistent
+           (entry.view.View.name
+          ^ ": delta deletes a row the view does not contain"));
+    tbl.Table.rows <- List.rev_append !plus rows';
+    bump "rows.plus" (List.length !plus);
+    bump "rows.minus" !removed;
+    true
+  end
+
+let apply_agg t (entry : entry) shape groups signed : bool =
+  let name = entry.view.View.name in
+  let d = Hashtbl.create 16 in
+  List.iter (fun (b, sign) -> fold_signed shape d b sign) signed;
+  if Hashtbl.length d = 0 then false
+  else begin
+    let died = Hashtbl.create 8 in
+    let updated = Hashtbl.create 8 in
+    let born = ref [] in
+    Hashtbl.iter
+      (fun k (dg : group) ->
+        match Hashtbl.find_opt groups k with
+        | None ->
+            if dg.g_count > 0 then begin
+              if Array.exists (fun n -> n < 0) dg.g_nn then
+                raise
+                  (Inconsistent (name ^ ": negative SUM input count at birth"));
+              Hashtbl.replace groups k dg;
+              born := dg :: !born
+            end
+            else if
+              dg.g_count = 0
+              && Array.for_all (( = ) 0) dg.g_nn
+              && Array.for_all is_zero dg.g_sums
+            then () (* the batch fully cancels within an unborn group *)
+            else
+              raise
+                (Inconsistent
+                   (name ^ ": delta shrinks a group the view does not have"))
+        | Some g ->
+            let count' = g.g_count + dg.g_count in
+            if count' < 0 then
+              raise (Inconsistent (name ^ ": group count went negative"));
+            if count' = 0 && not shape.scalar_only then begin
+              Hashtbl.remove groups k;
+              Hashtbl.replace died k ()
+            end
+            else begin
+              g.g_count <- count';
+              Array.iteri
+                (fun j _ ->
+                  g.g_sums.(j) <- add g.g_sums.(j) dg.g_sums.(j);
+                  g.g_nn.(j) <- g.g_nn.(j) + dg.g_nn.(j);
+                  if g.g_nn.(j) < 0 then
+                    raise
+                      (Inconsistent (name ^ ": SUM input count went negative")))
+                shape.sums;
+              Hashtbl.replace updated k g
+            end)
+      d;
+    let tbl = Database.table_exn t.db name in
+    let key_of_row row =
+      key_repr (Array.to_list (Array.map (fun c -> row.(c)) shape.key_cols))
+    in
+    let rows' =
+      List.filter_map
+        (fun row ->
+          let k = key_of_row row in
+          if Hashtbl.mem died k then None
+          else
+            match Hashtbl.find_opt updated k with
+            | Some g ->
+                Hashtbl.remove updated k;
+                Some (row_of_group shape g)
+            | None -> Some row)
+        tbl.Table.rows
+    in
+    if Hashtbl.length updated > 0 then
+      raise
+        (Inconsistent (name ^ ": stored rows diverged from the group sidecar"));
+    tbl.Table.rows <- rows' @ List.rev_map (row_of_group shape) !born;
+    bump "rows.plus" (List.length !born);
+    bump "rows.minus" (Hashtbl.length died);
+    bump "groups.born" (List.length !born);
+    bump "groups.died" (Hashtbl.length died);
+    true
+  end
+
+(* ---- the batch entry point ------------------------------------------- *)
+
+let apply t (batch : batch) =
+  if batch <> [] then begin
+    List.iter
+      (fun (name, d) ->
+        if List.exists (fun e -> e.view.View.name = name) t.entries then
+          invalid_arg ("Ivm.apply: " ^ name ^ " is an attached view's table");
+        let td = Table.def_of (Database.table_exn t.db name) in
+        let arity = List.length td.Mv_catalog.Table_def.columns in
+        List.iter
+          (fun r ->
+            if Array.length r <> arity then
+              invalid_arg ("Ivm.apply: row arity mismatch for " ^ name))
+          (d.ins @ d.del))
+      batch;
+    let old_rows =
+      List.map
+        (fun (name, _) -> (name, (Database.table_exn t.db name).Table.rows))
+        batch
+    in
+    List.iter
+      (fun (name, d) ->
+        List.iter (fun r -> Database.insert t.db name r) d.ins;
+        List.iter (fun r -> Database.delete t.db name r) d.del)
+      batch;
+    let written = List.map fst batch in
+    tick "batches";
+    List.iter
+      (fun entry ->
+        let affected =
+          List.exists
+            (fun tn -> Sset.mem tn entry.view.View.source_tables)
+            written
+        in
+        if affected then begin
+          let signed = signed_tuples t entry.view batch old_rows in
+          let changed =
+            match entry.state with
+            | Spj_state -> apply_spj t entry signed
+            | Agg_state (shape, groups) -> apply_agg t entry shape groups signed
+          in
+          if changed then begin
+            Database.touch t.db entry.view.View.name;
+            entry.view.View.row_count <-
+              Database.row_count t.db entry.view.View.name;
+            entry.dirty <- true
+          end;
+          tick "views.updated";
+          record_fresh t entry.view
+        end)
+      t.entries
+  end
+
+let refresh_stats ?buckets t (stats : Stats.t) : Stats.t =
+  let dirty = List.filter (fun e -> e.dirty) t.entries in
+  let stats' =
+    List.fold_left
+      (fun acc e ->
+        let name = e.view.View.name in
+        (name, Database.table_stats ?buckets t.db name)
+        :: List.remove_assoc name acc)
+      stats dirty
+  in
+  List.iter (fun e -> e.dirty <- false) dirty;
+  stats'

@@ -1,0 +1,100 @@
+(** Incremental view maintenance (IVM): counting-based bag deltas
+    propagated through SPJG view definitions on base-table insert/delete
+    batches (DESIGN.md §12).
+
+    The delta of a join is the telescoping sum over the view's tables
+    [T1 .. Tn]:
+
+    {v ΔQ = Σᵢ  T1ⁿᵉʷ ⋈ … ⋈ Tᵢ₋₁ⁿᵉʷ ⋈ ΔTᵢ ⋈ Tᵢ₊₁ᵒˡᵈ ⋈ … ⋈ Tnᵒˡᵈ v}
+
+    where [ΔTᵢ = inserts − deletes] as a signed bag. Each term is
+    evaluated by the ordinary executor against a scratch database with the
+    delta part substituted for table [i] (insert and delete parts run
+    separately; the sign multiplies through). For SPJ views the signed
+    output tuples apply directly to the materialized table as bag
+    inserts/deletes; for aggregation views they are grouped and folded
+    into the stored [count_big( * )] and [SUM] columns — a group is born
+    when its count first becomes positive and dies when it returns to
+    zero (the indexability rules of section 2 guarantee every grouping
+    expression and a count column are stored, which is exactly what makes
+    this maintainable). A per-group sidecar of non-null SUM contribution
+    counts (rebuilt at {!attach}) keeps NULL semantics exact: a SUM whose
+    surviving inputs are all NULL returns to NULL, indistinguishable from
+    0 by the stored value alone.
+
+    Progress is observable on [Mv_obs.Registry.global]: [ivm.batches],
+    [ivm.views.updated], [ivm.rows.plus], [ivm.rows.minus],
+    [ivm.groups.born], [ivm.groups.died].
+
+    Floating-point caveat: SUM over [Float] expressions is maintained by
+    incremental addition/subtraction, which can drift from a from-scratch
+    rematerialization by rounding (summation order differs). Integer sums
+    are exact. *)
+
+type delta = {
+  ins : Mv_base.Value.t array list;  (** rows inserted *)
+  del : Mv_base.Value.t array list;  (** row instances deleted *)
+}
+
+type batch = (string * delta) list
+(** One write batch: per-base-table inserts and deletes, applied
+    atomically with respect to maintenance (every attached view sees the
+    whole batch). *)
+
+exception Unsupported of string
+(** The view definition cannot be maintained incrementally (an [AVG] or
+    [SUM]/[SUM] output — never produced by {!Mv_core.View.create}, which
+    enforces indexability). *)
+
+exception Inconsistent of string
+(** Maintenance derived an impossible state (negative group count, a
+    delete of a row the view does not contain): the batch contradicts the
+    database contents the view was attached over. *)
+
+type t
+(** A maintenance engine bound to one database: the set of attached views
+    plus their aggregate sidecars. *)
+
+val create : Database.t -> t
+
+val database : t -> Database.t
+
+val attach : t -> Mv_core.View.t -> unit
+(** Register a materialized view for maintenance. The view's table must
+    already exist in the database ({!Exec.materialize}); aggregation
+    views pay one evaluation of their SPJ part here to build the
+    non-null-count sidecar. Records the current base-table write epochs
+    on the descriptor and clears its staleness mark.
+    @raise Invalid_argument when the view is not materialized or already
+    attached.
+    @raise Unsupported on a definition IVM cannot maintain. *)
+
+val detach : t -> string -> unit
+(** Forget a view by name (no-op when unknown). Its table is left as-is. *)
+
+val attached : t -> Mv_core.View.t list
+(** Attachment order. *)
+
+val apply : t -> batch -> unit
+(** Apply the batch to the base tables, then propagate deltas into every
+    attached view whose sources intersect the written tables: rewrite
+    their materialized rows in place, update {!Mv_core.View.row_count},
+    bump the view tables' write epochs (invalidating built indexes) and
+    re-stamp freshness ({!Mv_core.View.mark_fresh} with the new base
+    epochs). Views sourcing none of the written tables are untouched.
+    @raise Invalid_argument when a batch table is unknown, is an attached
+    view's own table, a row has the wrong arity, or a delete names a row
+    the base table does not contain.
+    @raise Inconsistent when propagation contradicts the attached state. *)
+
+val refresh_stats :
+  ?buckets:int -> t -> Mv_catalog.Stats.t -> Mv_catalog.Stats.t
+(** Mark-and-rebuild view statistics (ROADMAP item 4): return [stats]
+    with the entry of every view updated by {!apply} since the last call
+    rebuilt from its current contents ({!Database.table_stats} — row
+    count and histograms), leaving every other entry untouched. Clears
+    the dirty marks. *)
+
+val dirty_views : t -> string list
+(** Views updated by {!apply} since the last {!refresh_stats} — whose
+    statistics entries are out of date. *)

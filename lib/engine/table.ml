@@ -38,6 +38,23 @@ let insert t row =
     invalid_arg "Table.insert: row arity mismatch";
   t.rows <- row :: t.rows
 
+(* Remove exactly one instance equal to [row] (bag semantics: duplicates
+   lose a single copy). Returns [false], leaving the table untouched, when
+   no instance matches. *)
+let delete t row =
+  if Array.length row <> List.length t.def.Mv_catalog.Table_def.columns then
+    invalid_arg "Table.delete: row arity mismatch";
+  let rec go acc = function
+    | [] -> false
+    | r :: rest ->
+        if r = row then begin
+          t.rows <- List.rev_append acc rest;
+          true
+        end
+        else go (r :: acc) rest
+  in
+  go [] t.rows
+
 (* Verify the table's CHECK constraints over the data; returns the
    predicates that some row violates. *)
 let check_violations t =

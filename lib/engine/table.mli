@@ -25,6 +25,12 @@ val col_index_exn : t -> string -> int
 val insert : t -> Value.t array -> unit
 (** @raise Invalid_argument on arity mismatch. *)
 
+val delete : t -> Value.t array -> bool
+(** Remove exactly one instance structurally equal to the row (bag
+    semantics: duplicates lose a single copy). [false] when no instance
+    matches (the table is left untouched).
+    @raise Invalid_argument on arity mismatch. *)
+
 val check_violations : t -> Pred.t list
 (** CHECK constraints some row violates. *)
 

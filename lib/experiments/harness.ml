@@ -590,6 +590,201 @@ let exec_bench ?(seed = 42) ?(reps = 5) ~scale () : exec_measurement =
     x_nodes = nodes;
   }
 
+(* ---- maintenance benchmark (bench --maintain) ------------------------ *)
+
+type maintain_cell = {
+  m_nviews : int;
+  m_batch_rows : int;  (** base rows written per batch (inserts + deletes) *)
+  m_batches : int;
+  m_rows_written : int;  (** total base rows written over the cell *)
+  m_delta_wall : float;  (** total seconds, incremental-maintenance arm *)
+  m_remat_wall : float;  (** total seconds, full-rematerialization arm *)
+  m_delta_p50 : float;
+  m_delta_p90 : float;
+  m_delta_p99 : float;  (** per-batch seconds, delta arm *)
+  m_remat_p50 : float;
+  m_remat_p90 : float;
+  m_remat_p99 : float;  (** per-batch seconds, rematerialization arm *)
+  m_speedup : float;  (** [m_remat_wall /. m_delta_wall] *)
+  m_equivalent : bool;
+      (** every view's delta-maintained contents ended bag-equal (floats
+          within tolerance) to the rematerialized arm's *)
+  m_stats_fresh : bool;
+      (** [Ivm.refresh_stats] row counts match the actual contents *)
+}
+
+type maintain_measurement = {
+  mm_scale : int;
+  mm_base_rows : int;
+  mm_pool : int;  (** generator view pool size *)
+  mm_batches : int;
+  mm_cells : maintain_cell list;
+  mm_equivalent : bool;  (** conjunction over the cells *)
+  mm_stats_fresh : bool;
+}
+
+(* Near-equality of view contents: float columns compare within a relative
+   tolerance, because incremental SUM maintenance reorders float additions
+   and may drift by rounding from a from-scratch fold (DESIGN.md §12);
+   everything else is exact. *)
+let value_close a b =
+  match (a, b) with
+  | Mv_base.Value.Float x, Mv_base.Value.Float y ->
+      x = y
+      || abs_float (x -. y) <= 1e-9 *. (abs_float x +. abs_float y +. 1.0)
+  | _ -> Mv_base.Value.order a b = 0
+
+let bag_close rows_a rows_b =
+  List.length rows_a = List.length rows_b
+  && List.for_all2
+       (fun (x : Mv_base.Value.t array) y ->
+         Array.length x = Array.length y
+         && Array.for_all2 value_close x y)
+       (List.sort Mv_engine.Relation.row_order rows_a)
+       (List.sort Mv_engine.Relation.row_order rows_b)
+
+(* One (nviews, batch size) cell: materialize the first [nviews] pool
+   views over two copies of the generated database, then push the same
+   write batches through incremental maintenance on one copy and through
+   full rematerialization of the affected views on the other, timing each
+   batch in both arms. Batches duplicate randomly picked existing rows
+   (foreign keys keep holding, join deltas fire) and delete randomly
+   picked distinct row instances of one randomly chosen source table. *)
+let maintain_cell ~seed ~batches ~db0 ~stats0 ~pool ~nviews ~batch_rows :
+    maintain_cell =
+  let views = take nviews pool in
+  let dba = Mv_engine.Database.copy db0 in
+  let dbb = Mv_engine.Database.copy db0 in
+  List.iter (fun v -> ignore (Mv_engine.Exec.materialize dba v)) views;
+  List.iter (fun v -> ignore (Mv_engine.Exec.materialize dbb v)) views;
+  let ivm = Mv_engine.Ivm.create dba in
+  List.iter (Mv_engine.Ivm.attach ivm) views;
+  let sources =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun (v : Mv_core.View.t) ->
+           Mv_util.Sset.elements v.Mv_core.View.source_tables)
+         views)
+  in
+  let rng = Mv_util.Prng.create (seed + (7919 * nviews) + batch_rows) in
+  let delta_h = Mv_obs.Instrument.histogram () in
+  let remat_h = Mv_obs.Instrument.histogram () in
+  let rows_written = ref 0 in
+  for _ = 1 to batches do
+    if sources <> [] then begin
+      let tn = Mv_util.Prng.pick rng sources in
+      let tbl = Mv_engine.Database.table_exn dba tn in
+      let rows = tbl.Mv_engine.Table.rows in
+      let n = List.length rows in
+      if n > 0 then begin
+        let n_ins = max 1 (batch_rows / 2) in
+        let n_del = min (max 0 (batch_rows - n_ins)) (n / 2) in
+        let ins =
+          List.init n_ins (fun _ -> List.nth rows (Mv_util.Prng.int rng n))
+        in
+        let del = take n_del (Mv_util.Prng.shuffle rng rows) in
+        let batch = [ (tn, { Mv_engine.Ivm.ins; del }) ] in
+        rows_written := !rows_written + n_ins + n_del;
+        Mv_obs.Instrument.time_hist delta_h (fun () ->
+            Mv_engine.Ivm.apply ivm batch);
+        Mv_obs.Instrument.time_hist remat_h (fun () ->
+            List.iter (fun r -> Mv_engine.Database.insert dbb tn r) ins;
+            List.iter (fun r -> Mv_engine.Database.delete dbb tn r) del;
+            List.iter
+              (fun (v : Mv_core.View.t) ->
+                if Mv_util.Sset.mem tn v.Mv_core.View.source_tables then
+                  ignore (Mv_engine.Exec.materialize dbb v))
+              views)
+      end
+    end
+  done;
+  let equivalent =
+    List.for_all
+      (fun (v : Mv_core.View.t) ->
+        bag_close
+          (Mv_engine.Database.table_exn dba v.Mv_core.View.name)
+            .Mv_engine.Table.rows
+          (Mv_engine.Database.table_exn dbb v.Mv_core.View.name)
+            .Mv_engine.Table.rows)
+      views
+  in
+  let stats' = Mv_engine.Ivm.refresh_stats ivm stats0 in
+  let stats_fresh =
+    List.for_all
+      (fun (v : Mv_core.View.t) ->
+        match List.assoc_opt v.Mv_core.View.name stats' with
+        | Some ts ->
+            ts.Mv_catalog.Stats.row_count
+            = Mv_engine.Database.row_count dba v.Mv_core.View.name
+        | None ->
+            (* untouched by every batch: no entry is required *)
+            not
+              (List.mem v.Mv_core.View.name
+                 (Mv_engine.Ivm.dirty_views ivm)))
+      views
+  in
+  let q h p = Mv_obs.Instrument.quantile h p in
+  let delta_wall = Mv_obs.Instrument.sum delta_h in
+  let remat_wall = Mv_obs.Instrument.sum remat_h in
+  {
+    m_nviews = nviews;
+    m_batch_rows = batch_rows;
+    m_batches = Mv_obs.Instrument.count delta_h;
+    m_rows_written = !rows_written;
+    m_delta_wall = delta_wall;
+    m_remat_wall = remat_wall;
+    m_delta_p50 = q delta_h 0.5;
+    m_delta_p90 = q delta_h 0.9;
+    m_delta_p99 = q delta_h 0.99;
+    m_remat_p50 = q remat_h 0.5;
+    m_remat_p90 = q remat_h 0.9;
+    m_remat_p99 = q remat_h 0.99;
+    m_speedup = (if delta_wall > 0.0 then remat_wall /. delta_wall else 1.0);
+    m_equivalent = equivalent;
+    m_stats_fresh = stats_fresh;
+  }
+
+let maintain ?(seed = 42) ?(batches = 12) ?(scale = 1) ~nviews_list
+    ~batch_sizes () : maintain_measurement =
+  let schema = Mv_tpch.Schema.schema in
+  let db0 = Mv_tpch.Datagen.generate ~seed ~scale () in
+  let base_rows =
+    Hashtbl.fold
+      (fun name _ acc -> acc + Mv_engine.Database.row_count db0 name)
+      db0.Mv_engine.Database.tables 0
+  in
+  (* statistics from the actual contents drive both the view generator's
+     cardinality bands and the maintained-view stats-refresh check *)
+  let stats0 = Mv_engine.Database.stats db0 in
+  let pool_n = List.fold_left max 1 nviews_list in
+  let pool =
+    List.filter_map
+      (fun (name, spjg) ->
+        match Mv_core.View.create schema ~name spjg with
+        | v -> Some v
+        | exception Mv_core.View.Rejected _ -> None)
+      (Mv_workload.Generator.views ~seed:(seed + 7) schema stats0 pool_n)
+  in
+  let cells =
+    List.concat_map
+      (fun nviews ->
+        List.map
+          (fun batch_rows ->
+            maintain_cell ~seed ~batches ~db0 ~stats0 ~pool ~nviews
+              ~batch_rows)
+          batch_sizes)
+      nviews_list
+  in
+  {
+    mm_scale = scale;
+    mm_base_rows = base_rows;
+    mm_pool = List.length pool;
+    mm_batches = batches;
+    mm_cells = cells;
+    mm_equivalent = List.for_all (fun c -> c.m_equivalent) cells;
+    mm_stats_fresh = List.for_all (fun c -> c.m_stats_fresh) cells;
+  }
+
 (* The full grid for the figures. A discarded warmup run first: the very
    first measurement otherwise pays one-time allocation/GC costs. *)
 let sweep ?(domains = 1) (w : workload) ~nviews_list ~configs :

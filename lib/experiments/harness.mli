@@ -182,6 +182,64 @@ val exec_bench : ?seed:int -> ?reps:int -> scale:int -> unit -> exec_measurement
     (plans are built outside the timing loop — the cells measure
     execution only, each preceded by one discarded correctness pass). *)
 
+(** One (view count x batch size) cell of the maintenance benchmark: the
+    same random write batches pushed through incremental maintenance
+    ({!Mv_engine.Ivm}) on one database copy and through full
+    rematerialization of the affected views on another, per-batch wall
+    seconds collected per arm. *)
+type maintain_cell = {
+  m_nviews : int;
+  m_batch_rows : int;  (** base rows written per batch (inserts + deletes) *)
+  m_batches : int;
+  m_rows_written : int;  (** total base rows written over the cell *)
+  m_delta_wall : float;  (** total seconds, incremental-maintenance arm *)
+  m_remat_wall : float;  (** total seconds, full-rematerialization arm *)
+  m_delta_p50 : float;
+  m_delta_p90 : float;
+  m_delta_p99 : float;  (** per-batch seconds, delta arm *)
+  m_remat_p50 : float;
+  m_remat_p90 : float;
+  m_remat_p99 : float;  (** per-batch seconds, rematerialization arm *)
+  m_speedup : float;  (** [m_remat_wall /. m_delta_wall] *)
+  m_equivalent : bool;
+      (** every view's delta-maintained contents ended bag-equal (float
+          columns within a relative tolerance — incremental SUMs reorder
+          float additions) to the rematerialized arm's *)
+  m_stats_fresh : bool;
+      (** [Ivm.refresh_stats] row counts match the actual contents *)
+}
+
+type maintain_measurement = {
+  mm_scale : int;
+  mm_base_rows : int;
+  mm_pool : int;  (** generator view pool size *)
+  mm_batches : int;
+  mm_cells : maintain_cell list;
+  mm_equivalent : bool;  (** conjunction over the cells *)
+  mm_stats_fresh : bool;
+}
+
+val bag_close :
+  Mv_base.Value.t array list -> Mv_base.Value.t array list -> bool
+(** Near-equality of view contents as bags: float columns compare within a
+    relative tolerance (incremental SUM maintenance reorders float
+    additions and may drift by rounding from a from-scratch fold —
+    DESIGN.md §12); everything else is exact. *)
+
+val maintain :
+  ?seed:int ->
+  ?batches:int ->
+  ?scale:int ->
+  nviews_list:int list ->
+  batch_sizes:int list ->
+  unit ->
+  maintain_measurement
+(** The maintenance benchmark ([bench --maintain]): generate TPC-H-style
+    data, draw a generator view pool over its actual statistics, then for
+    every (view count, batch size) cell feed identical random insert/delete
+    batches to a delta-maintained copy and a rematerialize-on-write copy,
+    timing each batch in both arms and checking the final contents agree. *)
+
 val serving :
   ?domains:int ->
   ?passes:int ->

@@ -329,6 +329,9 @@ let serve_table (m : Serve.measurement) =
     m.Serve.sv_flight_leaders m.Serve.sv_flight_waits;
   pr "\nchurn: %d mutations, epoch %d -> %d\n" m.Serve.sv_mutations
     m.Serve.sv_epoch_lo m.Serve.sv_epoch_hi;
+  if m.Serve.sv_maint_batches > 0 then
+    pr "write traffic: %d delta batches, maintained == recomputed: %b\n"
+      m.Serve.sv_maint_batches m.Serve.sv_maint_consistent;
   pr "sampled observations replayed sequentially: %d, consistent: %b\n"
     m.Serve.sv_sampled m.Serve.sv_consistent
 
@@ -364,6 +367,8 @@ let serve_json (m : Serve.measurement) =
         J.Obj
           [
             ("mutations", J.Int m.Serve.sv_mutations);
+            ("maint_batches", J.Int m.Serve.sv_maint_batches);
+            ("maint_consistent", J.Bool m.Serve.sv_maint_consistent);
             ("epoch_lo", J.Int m.Serve.sv_epoch_lo);
             ("epoch_hi", J.Int m.Serve.sv_epoch_hi);
             ("sampled", J.Int m.Serve.sv_sampled);
@@ -503,6 +508,66 @@ let exec_json (ms : Harness.exec_measurement list) =
                     m.Harness.x_nodes) );
            ])
        ms)
+
+(* ---- maintenance report (bench --maintain: IVM vs rematerialize) ---- *)
+
+let maintenance_table (m : Harness.maintain_measurement) =
+  pr "\n== Maintenance: incremental deltas vs full rematerialization ==\n";
+  pr "(TPC-H-style data at scale %d, %d base rows; generator view pool of\n"
+    m.Harness.mm_scale m.Harness.mm_base_rows;
+  pr " %d; per cell, %d identical insert/delete batches pushed through\n"
+    m.Harness.mm_pool m.Harness.mm_batches;
+  pr " Ivm.apply on one database copy and through rematerialization of\n";
+  pr " the affected views on another; final contents bag-checked)\n\n";
+  pr "%7s %7s %8s %11s %11s %11s %11s %8s\n" "views" "batch" "written"
+    "delta-total" "remat-total" "delta-p50" "remat-p50" "speedup";
+  List.iter
+    (fun (c : Harness.maintain_cell) ->
+      pr "%7d %7d %8d %10.4fs %10.4fs %10.5fs %10.5fs %7.2fx\n"
+        c.Harness.m_nviews c.Harness.m_batch_rows c.Harness.m_rows_written
+        c.Harness.m_delta_wall c.Harness.m_remat_wall c.Harness.m_delta_p50
+        c.Harness.m_remat_p50 c.Harness.m_speedup)
+    m.Harness.mm_cells;
+  pr "\nequivalent=%b stats_fresh=%b\n" m.Harness.mm_equivalent
+    m.Harness.mm_stats_fresh
+
+let maintenance_json (m : Harness.maintain_measurement) =
+  let pct p50 p90 p99 =
+    J.Obj
+      [ ("p50_s", J.Float p50); ("p90_s", J.Float p90); ("p99_s", J.Float p99) ]
+  in
+  J.Obj
+    [
+      ("scale", J.Int m.Harness.mm_scale);
+      ("base_rows", J.Int m.Harness.mm_base_rows);
+      ("pool", J.Int m.Harness.mm_pool);
+      ("batches", J.Int m.Harness.mm_batches);
+      ( "cells",
+        J.List
+          (List.map
+             (fun (c : Harness.maintain_cell) ->
+               J.Obj
+                 [
+                   ("nviews", J.Int c.Harness.m_nviews);
+                   ("batch_rows", J.Int c.Harness.m_batch_rows);
+                   ("batches", J.Int c.Harness.m_batches);
+                   ("rows_written", J.Int c.Harness.m_rows_written);
+                   ("delta_wall_s", J.Float c.Harness.m_delta_wall);
+                   ("remat_wall_s", J.Float c.Harness.m_remat_wall);
+                   ( "delta",
+                     pct c.Harness.m_delta_p50 c.Harness.m_delta_p90
+                       c.Harness.m_delta_p99 );
+                   ( "remat",
+                     pct c.Harness.m_remat_p50 c.Harness.m_remat_p90
+                       c.Harness.m_remat_p99 );
+                   ("speedup", J.Float c.Harness.m_speedup);
+                   ("equivalent", J.Bool c.Harness.m_equivalent);
+                   ("stats_fresh", J.Bool c.Harness.m_stats_fresh);
+                 ])
+             m.Harness.mm_cells) );
+      ("equivalent", J.Bool m.Harness.mm_equivalent);
+      ("stats_fresh", J.Bool m.Harness.mm_stats_fresh);
+    ]
 
 let write_json file (j : J.t) =
   let oc = open_out file in

@@ -84,5 +84,15 @@ val exec_table : Harness.exec_measurement list -> unit
 val exec_json : Harness.exec_measurement list -> Mv_obs.Json.t
 (** The ["exec"] section of the trajectory, one object per scale. *)
 
+val maintenance_table : Harness.maintain_measurement -> unit
+(** The maintenance benchmark: per (view count, batch size) cell, total
+    and per-batch p50 wall seconds of the delta arm vs the
+    rematerialization arm, the speedup, and the equivalence verdicts. *)
+
+val maintenance_json : Harness.maintain_measurement -> Mv_obs.Json.t
+(** The ["maintenance"] section of the trajectory; the per-cell [delta]
+    and [remat] objects carry the [p50_s/p90_s/p99_s] keys json_check's
+    percentile tolerance compares on. *)
+
 val write_json : string -> Mv_obs.Json.t -> unit
 (** Write one JSON document (plus trailing newline). *)

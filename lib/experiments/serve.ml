@@ -209,6 +209,10 @@ type cfg = {
   capacity : int;  (** shared match/plan cache capacity *)
   sample : int;  (** observations kept per domain for the replay check *)
   sample_stride : int;  (** keep every k-th observation *)
+  maintain_batch : int;
+      (** base rows per delta batch the mutator pushes through
+          {!Mv_engine.Ivm} each churn tick; 0 = no write traffic *)
+  maintain_views : int;  (** view clones the write traffic maintains *)
   seed : int;
 }
 
@@ -226,6 +230,8 @@ let default_cfg =
     capacity = 4096;
     sample = 32;
     sample_stride = 13;
+    maintain_batch = 0;
+    maintain_views = 8;
     seed = 4242;
   }
 
@@ -252,6 +258,11 @@ type measurement = {
   sv_match_hits : int;
   sv_match_misses : int;
   sv_mutations : int;  (** add/drop operations the mutator applied *)
+  sv_maint_batches : int;  (** delta batches the mutator applied *)
+  sv_maint_consistent : bool;
+      (** every maintained view clone ended bag-equal (floats within
+          tolerance) to a from-scratch recomputation; [true] when write
+          traffic is disabled *)
   sv_epoch_lo : int;
   sv_epoch_hi : int;  (** epoch range the run covered *)
   sv_sampled : int;  (** observations replayed by the consistency check *)
@@ -264,6 +275,93 @@ type measurement = {
 type observation = { ob_epoch : int; ob_query : int; ob_plan : string }
 
 let now = Unix.gettimeofday
+
+(* ---- write traffic (the serve-under-writes stress) ----
+
+   The mutator's delta batches run against a PRIVATE database and PRIVATE
+   view clones: serving plans depend on the registry population and the
+   immutable workload statistics, so maintaining the live descriptors
+   concurrently would change plan costs mid-run and invalidate the
+   replay. What the stress proves instead is that maintenance work and
+   registry staleness flips interleaved with the serving loop leave the
+   linearizability replay and the flight accounting intact, while the
+   maintained contents still end bag-equal to a from-scratch
+   recomputation. *)
+
+type maint = {
+  mt_db : Mv_engine.Database.t;
+  mt_ivm : Mv_engine.Ivm.t;
+  mt_views : Mv_core.View.t list;  (** attached clones *)
+}
+
+let maint_fixture (w : Harness.workload) views cfg =
+  if cfg.maintain_batch <= 0 then None
+  else begin
+    let db = Mv_tpch.Datagen.generate ~seed:cfg.seed ~scale:1 () in
+    let clones =
+      List.filter_map
+        (fun (v : Mv_core.View.t) ->
+          match
+            Mv_core.View.create w.Harness.schema
+              ~name:(v.Mv_core.View.name ^ "__w")
+              (Mv_core.View.spjg v)
+          with
+          | c -> Some c
+          | exception Mv_core.View.Rejected _ -> None)
+        (Harness.take cfg.maintain_views views)
+    in
+    List.iter (fun c -> ignore (Mv_engine.Exec.materialize db c)) clones;
+    let ivm = Mv_engine.Ivm.create db in
+    let attached =
+      List.filter
+        (fun c ->
+          match Mv_engine.Ivm.attach ivm c with
+          | () -> true
+          | exception Mv_engine.Ivm.Unsupported _ -> false)
+        clones
+    in
+    if attached = [] then None
+    else Some { mt_db = db; mt_ivm = ivm; mt_views = attached }
+  end
+
+(* One random batch over a random source table of the maintained clones:
+   duplicate-reinserts of existing rows (foreign keys keep holding, so
+   join deltas fire) plus deletes of distinct existing instances. *)
+let maint_batch prng mt nrows : Mv_engine.Ivm.batch =
+  let tables =
+    Mv_util.Sset.elements
+      (List.fold_left
+         (fun acc (v : Mv_core.View.t) ->
+           Mv_util.Sset.union acc v.Mv_core.View.source_tables)
+         Mv_util.Sset.empty mt.mt_views)
+  in
+  match tables with
+  | [] -> []
+  | _ -> (
+      let tn = Prng.pick prng tables in
+      let rows = (Mv_engine.Database.table_exn mt.mt_db tn).Mv_engine.Table.rows in
+      let n = List.length rows in
+      if n = 0 then []
+      else
+        let n_ins = max 1 (nrows / 2) in
+        let ins = List.init n_ins (fun _ -> List.nth rows (Prng.int prng n)) in
+        let n_del = min (max 0 (nrows - n_ins)) (n / 2) in
+        let del =
+          List.filteri (fun i _ -> i < n_del) (Prng.shuffle prng rows)
+        in
+        [ (tn, { Mv_engine.Ivm.ins; del }) ])
+
+let maint_consistent = function
+  | None -> true
+  | Some mt ->
+      List.for_all
+        (fun (c : Mv_core.View.t) ->
+          Harness.bag_close
+            (Mv_engine.Database.table_exn mt.mt_db c.Mv_core.View.name)
+              .Mv_engine.Table.rows
+            (Mv_engine.Exec.execute mt.mt_db (Mv_core.View.spjg c))
+              .Mv_engine.Relation.rows)
+        mt.mt_views
 
 (* The view population at each epoch the run can have produced, from the
    initial population and the mutator's (epoch, op) log. *)
@@ -345,6 +443,8 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
       ]
   in
   let mlog = ref [] (* newest first; only the mutator writes *) in
+  let maint = maint_fixture w views cfg in
+  let maint_batches = ref 0 (* only the mutator writes *) in
   let t_start = now () in
   let t_stop = t_start +. cfg.duration in
   let mutator () =
@@ -356,21 +456,41 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
              (fun i _ -> i >= List.length views - cfg.churn_pool)
              views)
     in
+    let mprng = Prng.create (cfg.seed + 31) in
     let i = ref 0 in
-    if cfg.churn_period > 0.0 && Array.length pool > 0 then
+    if cfg.churn_period > 0.0 && (Array.length pool > 0 || maint <> None)
+    then
       while now () < t_stop do
         Unix.sleepf cfg.churn_period;
         if now () < t_stop then begin
-          let v = pool.(!i / 2 mod Array.length pool) in
-          let op =
-            if !i mod 2 = 0 then (
-              R.remove_view registry v.Mv_core.View.name;
-              `Drop v)
-            else (
-              R.add_prebuilt registry v;
-              `Add v)
-          in
-          mlog := (R.epoch registry, op) :: !mlog;
+          if Array.length pool > 0 then begin
+            let v = pool.(!i / 2 mod Array.length pool) in
+            let op =
+              if !i mod 2 = 0 then (
+                R.remove_view registry v.Mv_core.View.name;
+                `Drop v)
+              else (
+                R.add_prebuilt registry v;
+                `Add v)
+            in
+            mlog := (R.epoch registry, op) :: !mlog
+          end;
+          (match maint with
+          | None -> ()
+          | Some mt ->
+              let batch = maint_batch mprng mt cfg.maintain_batch in
+              if batch <> [] then begin
+                Mv_engine.Ivm.apply mt.mt_ivm batch;
+                incr maint_batches;
+                (* staleness flips on the LIVE registry ride along: the
+                   default matcher ignores the stale bit, so serving
+                   plans — and the replay — cannot change. The epoch does
+                   not move either (only add/drop republishes). *)
+                let tn = fst (List.hd batch) in
+                if !maint_batches mod 2 = 0 then
+                  ignore (R.mark_stale registry ~tables:[ tn ])
+                else List.iter (fun v -> Mv_core.View.mark_fresh v) views
+              end);
           incr i
         end
       done;
@@ -452,6 +572,8 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
     sv_match_hits = d "cache.match.hits";
     sv_match_misses = d "cache.match.misses";
     sv_mutations = List.length ops;
+    sv_maint_batches = !maint_batches;
+    sv_maint_consistent = maint_consistent maint;
     sv_epoch_lo = epoch0;
     sv_epoch_hi = R.epoch registry;
     sv_sampled = List.length observations;

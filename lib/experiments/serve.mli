@@ -73,6 +73,14 @@ type cfg = {
   capacity : int;
   sample : int;  (** observations kept per domain for the replay check *)
   sample_stride : int;  (** keep every k-th observation *)
+  maintain_batch : int;
+      (** base rows per delta batch the mutator pushes through
+          {!Mv_engine.Ivm} every churn tick, against a private database
+          and private view clones (serving plans must not depend on the
+          write traffic or the replay would be unsound); [0] disables
+          write traffic. Staleness flips on the live registry ride along
+          — invisible to the default matcher, so serving is unaffected. *)
+  maintain_views : int;  (** view clones the write traffic maintains *)
   seed : int;  (** arrival-process PRNG seed (deterministic schedules) *)
 }
 
@@ -106,6 +114,11 @@ type measurement = {
   sv_match_hits : int;
   sv_match_misses : int;  (** counter deltas over the timed window *)
   sv_mutations : int;
+  sv_maint_batches : int;  (** delta batches applied during the window *)
+  sv_maint_consistent : bool;
+      (** every maintained view clone ended bag-equal (floats within
+          tolerance) to a from-scratch recomputation; [true] when
+          [maintain_batch = 0] *)
   sv_epoch_lo : int;
   sv_epoch_hi : int;
   sv_sampled : int;

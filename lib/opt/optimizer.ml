@@ -243,8 +243,8 @@ let safe_preagg (qa : A.t) schema remaining =
     remaining
 
 let optimize_body ~(config : config) ?cache ?spans ?snap
-    (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
-    (query : Spjg.t) : result =
+    ?(fresh_only = false) (registry : Mv_core.Registry.t)
+    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
   let schema = registry.Mv_core.Registry.schema in
   let obs = registry.Mv_core.Registry.obs in
   let octr name = Mv_obs.Registry.counter obs ("optimizer." ^ name) in
@@ -292,7 +292,9 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
     Mv_obs.Instrument.time_hist h_match (fun () ->
         match cache with
         | Some c -> Match_cache.find_substitutes ?spans ?snap c qa
-        | None -> Mv_core.Registry.find_substitutes ?spans ?snap registry qa)
+        | None ->
+            Mv_core.Registry.find_substitutes ?spans ?snap ~fresh_only
+              registry qa)
   in
   (* Branch-and-bound accounting: pruned candidate names (for provenance)
      and the [opt.prune.cost_bound] counter, distinct from matcher
@@ -642,12 +644,17 @@ let optimize_body ~(config : config) ?cache ?spans ?snap
       }
 
 let optimize ?(config = default_config) ?cache ?spans ?snap
-    (registry : Mv_core.Registry.t) (stats : Mv_catalog.Stats.t)
-    (query : Spjg.t) : result =
+    ?(fresh_only = false) (registry : Mv_core.Registry.t)
+    (stats : Mv_catalog.Stats.t) (query : Spjg.t) : result =
   (match cache with
   | Some c when Match_cache.registry c != registry ->
       invalid_arg "Optimizer.optimize: cache belongs to another registry"
   | _ -> ());
+  (* cached candidates/plans were computed without the freshness gate (a
+     staleness mark does not bump the registry epoch), so the fresh-only
+     mode bypasses the cache entirely rather than risk serving a plan
+     built over a view that has since gone stale *)
+  let cache = if fresh_only then None else cache in
   let obs = registry.Mv_core.Registry.obs in
   let r =
     Mv_obs.Instrument.time
@@ -667,7 +674,8 @@ let optimize ?(config = default_config) ?cache ?spans ?snap
                 let r =
                   match cache with
                   | None ->
-                      optimize_body ~config ?spans ?snap registry stats query
+                      optimize_body ~config ?spans ?snap ~fresh_only registry
+                        stats query
                   | Some c ->
                       (* plan layer: a warm hit skips enumeration and
                          matching entirely; a miss runs the normal

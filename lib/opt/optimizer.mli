@@ -40,6 +40,7 @@ val optimize :
   ?cache:Match_cache.t ->
   ?spans:Mv_obs.Span.scope ->
   ?snap:Mv_core.Registry.snapshot ->
+  ?fresh_only:bool ->
   Mv_core.Registry.t ->
   Mv_catalog.Stats.t ->
   Mv_relalg.Spjg.t ->
@@ -70,4 +71,10 @@ val optimize :
     state, so one optimization is atomic with respect to concurrent
     add/drop churn: the result is what sequential optimization at the
     snapshot's epoch would produce (the serving layer's linearizability
-    property, proved by test/test_serve.ml). *)
+    property, proved by test/test_serve.ml).
+
+    With [fresh_only] (default [false]), every rule invocation rejects
+    stale views with {!Mv_core.Reject.Stale} (freshness-aware mode,
+    DESIGN.md §12). Staleness marks do not bump the registry epoch, so
+    [cache] is bypassed in this mode rather than risk serving a plan
+    built over a view that has since gone stale. *)

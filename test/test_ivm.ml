@@ -1,0 +1,474 @@
+(** Differential tests for incremental view maintenance ([Mv_engine.Ivm]):
+    every batch-maintained view must end bag-equal to a from-scratch
+    rematerialization of the same definition over the same (mutated) base
+    tables.
+
+    Two layers:
+    - deterministic units over a tiny integer-valued star schema, where
+      equality is exact: SPJ projection duplicates, join deltas (including
+      a batch writing both join sides at once), count/sum groups with NULL
+      inputs, group birth, deletion-to-zero removal, the scalar-aggregate
+      single row, freshness epochs, statistics refresh, and the error
+      paths;
+    - a randomized property over section-5 generator views and TPC-H-style
+      data, where float SUM columns compare within a relative tolerance
+      (incremental maintenance reorders float additions; integer sums stay
+      exact — DESIGN.md §12).
+
+    [MVIEW_IVM_QUICK] shrinks the property case count for the CI quick
+    pass. *)
+
+module Spjg = Mv_relalg.Spjg
+module Ivm = Mv_engine.Ivm
+module DB = Mv_engine.Database
+module Exec = Mv_engine.Exec
+module Table = Mv_engine.Table
+module V = Mv_base.Value
+module Expr = Mv_base.Expr
+module Pred = Mv_base.Pred
+
+let quick = Sys.getenv_opt "MVIEW_IVM_QUICK" <> None
+
+let col = Mv_base.Col.make
+
+(* ---- the tiny star schema: integer-valued, one nullable column ---- *)
+
+let tiny_schema =
+  let open Mv_catalog in
+  Schema.make
+    ~tables:
+      [
+        Table_def.make ~name:"dim"
+          ~columns:
+            [ Column.make "d_id" Mv_base.Dtype.Int;
+              Column.make "d_grp" Mv_base.Dtype.Str ]
+          ~primary_key:[ "d_id" ] ();
+        Table_def.make ~name:"fact"
+          ~columns:
+            [ Column.make "f_id" Mv_base.Dtype.Int;
+              Column.make "f_dim" Mv_base.Dtype.Int;
+              Column.make ~nullable:true "f_val" Mv_base.Dtype.Int;
+              Column.make "f_qty" Mv_base.Dtype.Int ]
+          ~primary_key:[ "f_id" ] ();
+      ]
+    ~foreign_keys:
+      [
+        Foreign_key.make ~from_tbl:"fact" ~from_cols:[ "f_dim" ] ~to_tbl:"dim"
+          ~to_cols:[ "d_id" ];
+      ]
+
+let dim_rows =
+  [
+    [| V.Int 1; V.Str "a" |]; [| V.Int 2; V.Str "b" |]; [| V.Int 3; V.Str "c" |];
+  ]
+
+let fact_rows =
+  [
+    [| V.Int 1; V.Int 1; V.Int 10; V.Int 2 |];
+    [| V.Int 2; V.Int 1; V.Null; V.Int 3 |];
+    [| V.Int 3; V.Int 2; V.Int 5; V.Int 1 |];
+    [| V.Int 4; V.Int 2; V.Int 7; V.Int 4 |];
+  ]
+
+let tiny_db () =
+  let db = DB.create tiny_schema in
+  List.iter (DB.insert db "dim") dim_rows;
+  List.iter (DB.insert db "fact") fact_rows;
+  db
+
+let mkview name ~tables ~where ~group_by ~out =
+  Mv_core.View.create tiny_schema ~name
+    (Spjg.make ~tables ~where ~group_by ~out)
+
+let eq a b = Pred.Cmp (Pred.Eq, a, b)
+
+let c_dgrp = Expr.Col (col "dim" "d_grp")
+let c_did = Expr.Col (col "dim" "d_id")
+let c_fdim = Expr.Col (col "fact" "f_dim")
+let c_fval = Expr.Col (col "fact" "f_val")
+let c_fqty = Expr.Col (col "fact" "f_qty")
+
+(* ---- differential scaffolding ---- *)
+
+let view_rows db name = (DB.table_exn db name).Table.rows
+
+(* Apply the batch the rematerialization way: write the base tables, then
+   recompute every affected view from scratch. *)
+let remat_apply db views (batch : Ivm.batch) =
+  List.iter
+    (fun (tn, (d : Ivm.delta)) ->
+      List.iter (DB.insert db tn) d.Ivm.ins;
+      List.iter (DB.delete db tn) d.Ivm.del)
+    batch;
+  List.iter
+    (fun (v : Mv_core.View.t) ->
+      if
+        List.exists
+          (fun (tn, _) -> Mv_util.Sset.mem tn v.Mv_core.View.source_tables)
+          batch
+      then ignore (Exec.materialize db v))
+    views
+
+let check_exact msg dba dbb name =
+  let rel rows = { Mv_engine.Relation.cols = []; rows } in
+  Alcotest.(check bool) msg true
+    (Mv_engine.Relation.same_bag
+       (rel (view_rows dba name))
+       (rel (view_rows dbb name)))
+
+(* Run the same batches through both arms over twin tiny databases,
+   checking the view after every batch; returns the delta-arm engine and
+   database for extra assertions. *)
+let differential view (batches : Ivm.batch list) =
+  let dba = tiny_db () and dbb = tiny_db () in
+  ignore (Exec.materialize dba view);
+  ignore (Exec.materialize dbb view);
+  let ivm = Ivm.create dba in
+  Ivm.attach ivm view;
+  List.iteri
+    (fun i batch ->
+      Ivm.apply ivm batch;
+      remat_apply dbb [ view ] batch;
+      check_exact
+        (Printf.sprintf "%s: batch %d maintained = rematerialized"
+           view.Mv_core.View.name i)
+        dba dbb view.Mv_core.View.name)
+    batches;
+  (ivm, dba)
+
+let ins rows = { Ivm.ins = rows; del = [] }
+let del rows = { Ivm.ins = []; del = rows }
+
+(* ---- SPJ: projection duplicates, bag deletes ---- *)
+
+let test_spj_duplicates () =
+  (* projecting f_id away makes duplicates: rows 1 and 2 both emit
+     (1, ...) patterns once filtered *)
+  let view =
+    mkview "iv_spj" ~tables:[ "fact" ]
+      ~where:[ Pred.Cmp (Pred.Ge, c_fqty, Expr.Const (V.Int 2)) ]
+      ~group_by:None
+      ~out:
+        [ Spjg.scalar "f_dim" c_fdim; Spjg.scalar "f_qty" c_fqty ]
+  in
+  let dup = [| V.Int 9; V.Int 1; V.Int 99; V.Int 2 |] in
+  let ivm, dba =
+    differential view
+      [
+        (* two inserts producing identical output rows: the view must gain
+           two instances *)
+        [ ("fact", ins [ dup; [| V.Int 10; V.Int 1; V.Null; V.Int 2 |] ]) ];
+        (* delete one of the two (1, 2) sources: exactly one instance goes *)
+        [ ("fact", del [ dup ]) ];
+        (* a row below the predicate threshold must not surface *)
+        [ ("fact", ins [ [| V.Int 11; V.Int 3; V.Int 1; V.Int 1 |] ]) ];
+      ]
+  in
+  Alcotest.(check int) "two (1,2) instances after the dup batch remain one" 2
+    (List.length
+       (List.filter (fun r -> r = [| V.Int 1; V.Int 2 |]) (view_rows dba "iv_spj")));
+  Alcotest.(check bool) "view stays fresh" false
+    (Mv_core.View.is_stale (List.hd (Ivm.attached ivm)))
+
+(* ---- join deltas, including both sides written in one batch ---- *)
+
+let test_join_delta () =
+  let view =
+    mkview "iv_join" ~tables:[ "dim"; "fact" ]
+      ~where:[ eq c_fdim c_did ]
+      ~group_by:None
+      ~out:[ Spjg.scalar "d_grp" c_dgrp; Spjg.scalar "f_qty" c_fqty ]
+  in
+  ignore
+    (differential view
+       [
+         (* fact-side delta joins existing dim rows *)
+         [ ("fact", ins [ [| V.Int 20; V.Int 2; V.Int 1; V.Int 7 |] ]) ];
+         (* dim-side delta joins existing fact rows (d_id 1 has two) *)
+         [ ("dim", del [ [| V.Int 3; V.Str "c" |] ]) ];
+         (* both sides in one batch: the new fact references the new dim —
+            only the telescoping cross term produces this pair *)
+         [
+           ("dim", ins [ [| V.Int 4; V.Str "d" |] ]);
+           ("fact", ins [ [| V.Int 21; V.Int 4; V.Int 2; V.Int 8 |] ]);
+         ];
+         (* and tear the pair down again in one batch *)
+         [
+           ("fact", del [ [| V.Int 21; V.Int 4; V.Int 2; V.Int 8 |] ]);
+           ("dim", del [ [| V.Int 4; V.Str "d" |] ]);
+         ];
+       ])
+
+(* ---- aggregation: counts, NULL-skipping sums, birth and death ---- *)
+
+let agg_view name =
+  mkview name ~tables:[ "dim"; "fact" ]
+    ~where:[ eq c_fdim c_did ]
+    ~group_by:(Some [ c_dgrp ])
+    ~out:
+      [
+        Spjg.scalar "d_grp" c_dgrp;
+        Spjg.aggregate "cnt" Spjg.Count_star;
+        Spjg.aggregate "sv" (Spjg.Sum c_fval);
+        Spjg.aggregate "sq" (Spjg.Sum c_fqty);
+      ]
+
+let find_group db name key =
+  List.find_opt (fun r -> r.(0) = key) (view_rows db name)
+
+let test_agg_groups () =
+  let view = agg_view "iv_agg" in
+  let _, dba =
+    differential view
+      [
+        (* count up, sum up: group "a" gains a row with a NULL f_val — the
+           count moves, the sum must not *)
+        [ ("fact", ins [ [| V.Int 30; V.Int 1; V.Null; V.Int 5 |] ]) ];
+        (* delete group "a"'s only non-null f_val contributor: the stored
+           SUM returns to NULL while the count stays positive *)
+        [ ("fact", del [ [| V.Int 1; V.Int 1; V.Int 10; V.Int 2 |] ]) ];
+        (* group birth: dim "c" has no facts until this batch *)
+        [ ("fact", ins [ [| V.Int 31; V.Int 3; V.Int 4; V.Int 6 |] ]) ];
+        (* deletion to zero: both of group "b"'s facts go; the row must
+           vanish, not linger with count 0 *)
+        [
+          ("fact",
+           del
+             [
+               [| V.Int 3; V.Int 2; V.Int 5; V.Int 1 |];
+               [| V.Int 4; V.Int 2; V.Int 7; V.Int 4 |];
+             ]);
+        ];
+      ]
+  in
+  (match find_group dba "iv_agg" (V.Str "a") with
+  | Some r ->
+      Alcotest.(check bool) "a: count 2, sum NULL (all inputs NULL)" true
+        (r.(1) = V.Int 2 && r.(2) = V.Null && r.(3) = V.Int 8)
+  | None -> Alcotest.fail "group a must survive");
+  (match find_group dba "iv_agg" (V.Str "c") with
+  | Some r ->
+      Alcotest.(check bool) "c: born with count 1" true (r.(1) = V.Int 1)
+  | None -> Alcotest.fail "group c must be born");
+  Alcotest.(check bool) "b: removed at count zero" true
+    (find_group dba "iv_agg" (V.Str "b") = None)
+
+(* ---- the scalar aggregate: its single row never dies ---- *)
+
+let test_scalar_agg () =
+  let view =
+    mkview "iv_scalar" ~tables:[ "fact" ] ~where:[] ~group_by:(Some [])
+      ~out:
+        [
+          Spjg.aggregate "cnt" Spjg.Count_star;
+          Spjg.aggregate "sv" (Spjg.Sum c_fval);
+        ]
+  in
+  let _, dba =
+    differential view
+      [
+        [ ("fact", ins [ [| V.Int 40; V.Int 1; V.Int 100; V.Int 1 |] ]) ];
+        (* empty the table entirely: SQL still returns one row,
+           count 0 and a NULL sum *)
+        [
+          ("fact",
+           del ([ [| V.Int 40; V.Int 1; V.Int 100; V.Int 1 |] ] @ fact_rows));
+        ];
+      ]
+  in
+  match view_rows dba "iv_scalar" with
+  | [ r ] ->
+      Alcotest.(check bool) "count 0, sum NULL over empty input" true
+        (r.(0) = V.Int 0 && r.(1) = V.Null)
+  | rows ->
+      Alcotest.failf "scalar aggregate must keep exactly one row, got %d"
+        (List.length rows)
+
+(* ---- freshness epochs and view-level statistics refresh ---- *)
+
+let test_freshness_and_stats () =
+  let view = agg_view "iv_stats" in
+  let dba = tiny_db () in
+  ignore (Exec.materialize dba view);
+  let stats0 = DB.stats dba in
+  let ivm = Ivm.create dba in
+  Ivm.attach ivm view;
+  Alcotest.(check bool) "fresh after attach" false (Mv_core.View.is_stale view);
+  let e0 = DB.table_epoch dba "fact" in
+  Ivm.apply ivm
+    [ ("fact", ins [ [| V.Int 50; V.Int 3; V.Int 2; V.Int 9 |] ]) ];
+  Alcotest.(check bool) "base epoch advanced" true (DB.table_epoch dba "fact" > e0);
+  Alcotest.(check int) "freshness re-stamped at the new epochs"
+    (DB.table_epoch dba "fact")
+    (List.assoc "fact" view.Mv_core.View.base_epochs);
+  Alcotest.(check bool) "still fresh after maintenance" false
+    (Mv_core.View.is_stale view);
+  (* the descriptor's row count tracks the maintained contents (group "c"
+     was just born) *)
+  Alcotest.(check int) "descriptor row count tracks the delta"
+    (DB.row_count dba "iv_stats")
+    view.Mv_core.View.row_count;
+  (* mark-and-rebuild statistics: the dirty view gets a rebuilt entry *)
+  Alcotest.(check (list string)) "dirty after apply" [ "iv_stats" ]
+    (Ivm.dirty_views ivm);
+  let stats1 = Ivm.refresh_stats ivm stats0 in
+  Alcotest.(check int) "stats row count tracks post-delta cardinality"
+    (DB.row_count dba "iv_stats")
+    (Mv_catalog.Stats.row_count stats1 "iv_stats");
+  Alcotest.(check bool) "refreshed entry carries column stats" true
+    (Mv_catalog.Stats.col_stats stats1 (col "iv_stats" "cnt") <> None);
+  Alcotest.(check (list string)) "refresh clears the dirty set" []
+    (Ivm.dirty_views ivm);
+  (* untouched base entries pass through unchanged *)
+  Alcotest.(check int) "base entries untouched"
+    (Mv_catalog.Stats.row_count stats0 "dim")
+    (Mv_catalog.Stats.row_count stats1 "dim")
+
+(* ---- error paths ---- *)
+
+let test_errors () =
+  let view = agg_view "iv_err" in
+  let dba = tiny_db () in
+  let ivm = Ivm.create dba in
+  Alcotest.check_raises "attach requires materialization"
+    (Invalid_argument "Ivm.attach: view iv_err is not materialized")
+    (fun () -> Ivm.attach ivm view);
+  ignore (Exec.materialize dba view);
+  Ivm.attach ivm view;
+  Alcotest.check_raises "no double attach"
+    (Invalid_argument "Ivm.attach: view iv_err already attached") (fun () ->
+      Ivm.attach ivm view);
+  Alcotest.check_raises "a view's own table cannot be written"
+    (Invalid_argument "Ivm.apply: iv_err is an attached view's table")
+    (fun () -> Ivm.apply ivm [ ("iv_err", ins [ [||] ]) ]);
+  Alcotest.check_raises "arity is validated before any write"
+    (Invalid_argument "Ivm.apply: row arity mismatch for fact") (fun () ->
+      Ivm.apply ivm [ ("fact", ins [ [| V.Int 1 |] ]) ]);
+  (match
+     Ivm.apply ivm
+       [ ("fact", del [ [| V.Int 99; V.Int 1; V.Null; V.Int 1 |] ]) ]
+   with
+  | () -> Alcotest.fail "deleting an absent row must raise"
+  | exception Invalid_argument _ -> ());
+  Ivm.detach ivm "iv_err";
+  Alcotest.(check int) "detached" 0 (List.length (Ivm.attached ivm))
+
+(* ---- the randomized differential property ---- *)
+
+let tpch_schema = Helpers.schema
+
+let gen_views =
+  lazy
+    (List.filter_map
+       (fun (name, spjg) ->
+         match Mv_core.View.create tpch_schema ~name spjg with
+         | v -> Some v
+         | exception Mv_core.View.Rejected _ -> None)
+       (Mv_workload.Generator.views ~seed:909 tpch_schema
+          (Mv_tpch.Datagen.synthetic_stats ())
+          50))
+
+(* Float SUM columns may drift by rounding between the incremental and the
+   from-scratch arm; compare with a relative tolerance. *)
+let value_close a b =
+  match (a, b) with
+  | V.Float x, V.Float y ->
+      x = y || abs_float (x -. y) <= 1e-9 *. (abs_float x +. abs_float y +. 1.0)
+  | _ -> V.order a b = 0
+
+let bag_close rows_a rows_b =
+  List.length rows_a = List.length rows_b
+  && List.for_all2
+       (fun (x : V.t array) y ->
+         Array.length x = Array.length y && Array.for_all2 value_close x y)
+       (List.sort Mv_engine.Relation.row_order rows_a)
+       (List.sort Mv_engine.Relation.row_order rows_b)
+
+(* A random batch over one of the view's source tables: duplicates of
+   existing rows (foreign keys keep holding — join deltas fire), mutated
+   duplicates (fresh values birth new groups), and deletes of distinct
+   existing row instances. *)
+let random_batch prng db (view : Mv_core.View.t) : Ivm.batch =
+  let tn = Mv_util.Prng.pick prng (Mv_util.Sset.elements view.Mv_core.View.source_tables) in
+  let tbl = DB.table_exn db tn in
+  let rows = tbl.Table.rows in
+  let n = List.length rows in
+  if n = 0 then []
+  else begin
+    let pick () = List.nth rows (Mv_util.Prng.int prng n) in
+    let mutate row =
+      let row = Array.copy row in
+      let ints =
+        tbl.Table.def.Mv_catalog.Table_def.columns
+        |> List.mapi (fun i (c : Mv_catalog.Column.t) -> (i, c))
+        |> List.filter (fun (_, (c : Mv_catalog.Column.t)) ->
+               c.Mv_catalog.Column.dtype = Mv_base.Dtype.Int)
+      in
+      (match ints with
+      | [] -> ()
+      | _ ->
+          let i, _ = Mv_util.Prng.pick prng ints in
+          row.(i) <- V.Int (Mv_util.Prng.int prng 1000));
+      row
+    in
+    let n_ins = 1 + Mv_util.Prng.int prng 4 in
+    let ins =
+      List.init n_ins (fun _ ->
+          let r = pick () in
+          if Mv_util.Prng.chance prng 0.3 then mutate r else r)
+    in
+    let n_del = Mv_util.Prng.int prng (1 + (n / 4)) in
+    let del =
+      List.filteri (fun i _ -> i < n_del) (Mv_util.Prng.shuffle prng rows)
+    in
+    [ (tn, { Ivm.ins; del }) ]
+  end
+
+let count = Helpers.qcheck_count (if quick then 10 else 40)
+
+let differential_prop =
+  QCheck.Test.make ~name:"random views: maintained = rematerialized" ~count
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 3) (int_bound 1_000_000))
+    (fun (pick, db_seed, batch_seed) ->
+      let views = Lazy.force gen_views in
+      let view = List.nth views (pick mod List.length views) in
+      let db0 = Mv_tpch.Datagen.generate ~seed:db_seed ~scale:1 () in
+      let dba = DB.copy db0 and dbb = DB.copy db0 in
+      ignore (Exec.materialize dba view);
+      ignore (Exec.materialize dbb view);
+      let ivm = Ivm.create dba in
+      Ivm.attach ivm view;
+      let prng = Mv_util.Prng.create batch_seed in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let batch = random_batch prng dba view in
+        Ivm.apply ivm batch;
+        remat_apply dbb [ view ] batch;
+        if
+          not
+            (bag_close
+               (view_rows dba view.Mv_core.View.name)
+               (view_rows dbb view.Mv_core.View.name))
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "ivm_units",
+      [
+        Alcotest.test_case "SPJ projection duplicates" `Quick
+          test_spj_duplicates;
+        Alcotest.test_case "join deltas, both sides in one batch" `Quick
+          test_join_delta;
+        Alcotest.test_case "aggregate groups: NULL sums, birth, death" `Quick
+          test_agg_groups;
+        Alcotest.test_case "scalar aggregate keeps its single row" `Quick
+          test_scalar_agg;
+        Alcotest.test_case "freshness epochs + statistics refresh" `Quick
+          test_freshness_and_stats;
+        Alcotest.test_case "error paths" `Quick test_errors;
+      ] );
+    ( "ivm_diff",
+      [ Helpers.qtest differential_prop ] );
+  ]

@@ -78,6 +78,67 @@ let test_linearizable () =
     domain_counts
 
 (* ---------------------------------------------------------------- *)
+(* Serving under write traffic: delta batches ride the mutator      *)
+(* ---------------------------------------------------------------- *)
+
+(* The churn mutator also pushes IVM delta batches (against a private
+   database + view clones) and flips staleness bits on the live registry
+   between ticks. Everything the read side guarantees must survive:
+   the linearizability replay, the epoch accounting, and the per-submit
+   cache/flight identities — while the maintained contents stay equal to
+   a from-scratch recomputation. *)
+let test_serve_under_writes () =
+  let w = Lazy.force wl in
+  List.iter
+    (fun domains ->
+      let cfg =
+        {
+          S.default_cfg with
+          S.nviews = 100;
+          domains;
+          rate = 0.0;
+          duration = (if quick then 0.3 else 0.6);
+          warmup = false;
+          churn_period = 0.02;
+          churn_pool = 4;
+          sample = 96;
+          sample_stride = 3;
+          maintain_batch = 8;
+          maintain_views = 8;
+        }
+      in
+      let m = S.run ~cfg w in
+      let lbl what = Printf.sprintf "%d domains: %s" domains what in
+      Alcotest.(check bool) (lbl "served queries") true (m.S.sv_queries > 0);
+      Alcotest.(check bool) (lbl "delta batches applied") true
+        (m.S.sv_maint_batches > 0);
+      Alcotest.(check bool)
+        (lbl "maintained views == from-scratch recomputation")
+        true m.S.sv_maint_consistent;
+      (* maintenance and staleness flips never move the registry epoch:
+         the add/drop log still accounts for every epoch step *)
+      Alcotest.(check int)
+        (lbl "epoch delta = add/drop mutations")
+        m.S.sv_mutations
+        (m.S.sv_epoch_hi - m.S.sv_epoch_lo);
+      Alcotest.(check bool)
+        (lbl "linearizability replay still passes under writes")
+        true m.S.sv_consistent;
+      (* single-flight accounting identities over the whole run: every
+         submit is exactly one of an L1 hit or an L1 miss, and every L1
+         miss resolves exactly one way — plan-layer hit, flight leader,
+         or flight waiter *)
+      Alcotest.(check int)
+        (lbl "l1 hits + misses = submissions")
+        m.S.sv_queries
+        (m.S.sv_l1_hits + m.S.sv_l1_misses);
+      Alcotest.(check int)
+        (lbl "plan hits + leaders + waits = l1 misses")
+        m.S.sv_l1_misses
+        (m.S.sv_plan_hits + m.S.sv_flight_leaders + m.S.sv_flight_waits))
+    domain_counts
+
+(* ---------------------------------------------------------------- *)
 (* Single-flight: a cold herd optimizes exactly once                *)
 (* ---------------------------------------------------------------- *)
 
@@ -268,6 +329,12 @@ let suite =
         Alcotest.test_case
           "observations under churn replay against their epoch's state"
           `Quick test_linearizable;
+      ] );
+    ( "serve_writes",
+      [
+        Alcotest.test_case
+          "delta batches + staleness flips under concurrent serving" `Quick
+          test_serve_under_writes;
       ] );
     ( "serve_flight",
       [
