@@ -20,11 +20,13 @@ let usage () =
   print_endline
     "usage: main.exe [--full|--quick] [--figure N] [--stats] [--micro]\n\
     \       [--ablation] [--filtertree] [--levels] [--serving] [--serve]\n\
-    \       [--whynot] [--exec] [--maintain] [--json FILE]\n\
+    \       [--whynot] [--exec] [--maintain] [--advise] [--json FILE]\n\
     \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]\n\
     \       [--rate QPS] [--duration S] [--serve-trace FILE]\n\
     \       [--scales S1,S2,...] [--reps N] [--batches N]\n\
-    \       [--maintain-views S1,S2,...] [--batch-rows S1,S2,...]";
+    \       [--maintain-views S1,S2,...] [--batch-rows S1,S2,...]\n\
+    \       [--advise-candidates S1,S2,...] [--advise-trials N]\n\
+    \       [--advise-budget FRAC]";
   exit 1
 
 type what = {
@@ -40,6 +42,7 @@ type what = {
   whynot : bool;
   exec : bool;
   maintain : bool;
+  advise : bool;
 }
 
 let () =
@@ -69,6 +72,7 @@ let () =
             whynot = false;
             exec = false;
             maintain = false;
+            advise = false;
           }
     in
     sel := Some (w cur)
@@ -78,6 +82,9 @@ let () =
   let batches = ref 10 in
   let maintain_views = ref [ 10; 50; 100 ] in
   let batch_rows = ref [ 4; 32 ] in
+  let advise_candidates = ref [ 100; 1000 ] in
+  let advise_trials = ref 5 in
+  let advise_budget = ref 0.05 in
   let rate = ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.rate in
   let duration =
     ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.duration
@@ -140,6 +147,19 @@ let () =
     | "--maintain" :: rest ->
         add_sel (fun s -> { s with maintain = true });
         parse rest
+    | "--advise" :: rest ->
+        add_sel (fun s -> { s with advise = true });
+        parse rest
+    | "--advise-candidates" :: s :: rest ->
+        advise_candidates :=
+          List.map int_of_string (String.split_on_char ',' s);
+        parse rest
+    | "--advise-trials" :: n :: rest ->
+        advise_trials := max 1 (int_of_string n);
+        parse rest
+    | "--advise-budget" :: f :: rest ->
+        advise_budget := float_of_string f;
+        parse rest
     | "--batches" :: n :: rest ->
         batches := max 1 (int_of_string n);
         parse rest
@@ -197,6 +217,7 @@ let () =
             whynot = true;
             exec = true;
             maintain = true;
+            advise = true;
           }
         else
           {
@@ -212,6 +233,7 @@ let () =
             whynot = true;
             exec = true;
             maintain = true;
+            advise = true;
           }
   in
   let nviews_list =
@@ -392,6 +414,36 @@ let () =
       prerr_endline
         "maintenance benchmark: delta-maintained contents or statistics \
          diverged from rematerialization";
+      exit 3
+    end
+  end;
+  if what.advise then begin
+    (* the view advisor: mine candidates from a generated workload, select
+       under a storage budget, compare against random-equal-budget sets on
+       real optimizer cost; exits 3 if the advised set ever loses or blows
+       the budget — the comparison is purely model-cost-driven, so the
+       verdict is deterministic for fixed arguments *)
+    let ms =
+      List.map
+        (fun candidates ->
+          let nqueries = max 16 (candidates / 8) in
+          Mv_experiments.Harness.advise ~trials:!advise_trials
+            ~budget_frac:!advise_budget ~candidates ~nqueries ())
+        !advise_candidates
+    in
+    Mv_experiments.Report.advise_table ms;
+    add_section "advise" (Mv_experiments.Report.advise_json ms);
+    if
+      not
+        (List.for_all
+           (fun m ->
+             m.Mv_experiments.Harness.a_beats_random
+             && m.Mv_experiments.Harness.a_within_budget)
+           ms)
+    then begin
+      prerr_endline
+        "advisor benchmark: an advised view set lost to a random \
+         equal-budget set or exceeded the budget";
       exit 3
     end
   end;

@@ -20,6 +20,10 @@
                and incremental maintenance (Ivm.apply) restoring freshness
       demo     a self-contained end-to-end demonstration
       generate print a random section-5 workload
+      advise   mine view candidates from a generated workload, select a set
+               under a storage budget (greedy + local-search with a
+               maintenance-cost term), register the picks, and report
+               workload cost before/after
 
     All commands run against the built-in TPC-H catalog. Statements can be
     given inline or in files (one statement per file). *)
@@ -397,6 +401,114 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Print a random section-5 workload (views or queries)")
     Term.(const run $ n $ kind $ seed)
+
+(* ---- advise ---- *)
+
+let advise_cmd =
+  let queries =
+    Arg.(
+      value & opt int 40
+      & info [ "queries" ] ~docv:"N" ~doc:"Workload query batch size.")
+  in
+  let candidates =
+    Arg.(
+      value & opt int 200
+      & info [ "candidates" ] ~docv:"N"
+          ~doc:"Cap on the mined candidate pool offered to the selector.")
+  in
+  let budget =
+    Arg.(
+      value & opt float 0.05
+      & info [ "budget" ] ~docv:"FRAC"
+          ~doc:
+            "Storage budget as a fraction of the candidate pool's total \
+             estimated size.")
+  in
+  let seed =
+    Arg.(value & opt int 2002 & info [ "seed" ] ~doc:"Workload PRNG seed.")
+  in
+  let write_fraction =
+    Arg.(
+      value & opt float 0.1
+      & info [ "write-fraction" ] ~docv:"F"
+          ~doc:
+            "Maintenance events per workload query: higher values penalize \
+             wide views through the maintenance-cost term.")
+  in
+  let run nqueries candidates budget_frac seed write_fraction =
+    let stats = Mv_tpch.Datagen.synthetic_stats () in
+    let qs = Mv_workload.Generator.queries ~seed schema stats nqueries in
+    let mined = Mv_workload.Miner.mine qs in
+    let defs =
+      List.filteri (fun i _ -> i < candidates) (Mv_workload.Miner.definitions mined)
+    in
+    Printf.printf "mined %d candidates from %d queries (offering %d)\n"
+      (List.length mined) nqueries (List.length defs);
+    let total_size =
+      List.fold_left
+        (fun acc (name, spjg) ->
+          acc
+          +. float_of_int (Mv_opt.Cost.estimate_view_rows ~name stats spjg))
+        0.0 defs
+    in
+    let config =
+      {
+        Mv_opt.Advisor.default_config with
+        budget = budget_frac *. total_size;
+        write_fraction;
+      }
+    in
+    let advice =
+      Mv_opt.Advisor.advise ~config schema stats ~candidates:defs ~queries:qs
+    in
+    Printf.printf
+      "budget %.0f rows (%.0f%% of pool), %d considered, %d rejected\n\n"
+      config.Mv_opt.Advisor.budget (100.0 *. budget_frac)
+      advice.Mv_opt.Advisor.considered advice.Mv_opt.Advisor.rejected;
+    Printf.printf "%-9s %10s %12s %12s  definition\n" "pick" "rows" "benefit"
+      "maint";
+    List.iter
+      (fun (p : Mv_opt.Advisor.pick) ->
+        let sql = Mv_relalg.Spjg.to_sql p.Mv_opt.Advisor.spjg in
+        let first_line =
+          match String.index_opt sql '\n' with
+          | Some i -> String.sub sql 0 i ^ " ..."
+          | None -> sql
+        in
+        Printf.printf "%-9s %10d %12.0f %12.0f  %s\n" p.Mv_opt.Advisor.name
+          p.Mv_opt.Advisor.rows p.Mv_opt.Advisor.benefit
+          p.Mv_opt.Advisor.maint first_line)
+      advice.Mv_opt.Advisor.picks;
+    (* register the picks through the dynamic registry and verify the
+       modeled improvement against the real optimizer *)
+    let registry = Mv_core.Registry.create schema in
+    let total reg =
+      List.fold_left
+        (fun acc q ->
+          acc +. (Mv_opt.Optimizer.optimize reg stats q).Mv_opt.Optimizer.cost)
+        0.0 qs
+    in
+    let before = total registry in
+    let epoch0 = Mv_core.Registry.epoch registry in
+    Mv_opt.Advisor.register_picks registry advice;
+    let after = total registry in
+    Printf.printf
+      "\nregistered %d picks (registry epoch %d -> %d)\n\
+       workload cost before %.0f, after %.0f (%.2fx); model said %.0f -> %.0f\n"
+      (List.length advice.Mv_opt.Advisor.picks)
+      epoch0
+      (Mv_core.Registry.epoch registry)
+      before after
+      (if after > 0.0 then before /. after else 1.0)
+      advice.Mv_opt.Advisor.cost_before advice.Mv_opt.Advisor.cost_after
+  in
+  Cmd.v
+    (Cmd.info "advise"
+       ~doc:
+         "Mine view candidates from a generated workload, select a set under \
+          a storage budget (greedy + local search with a maintenance-cost \
+          term), register the picks, and report workload cost before/after")
+    Term.(const run $ queries $ candidates $ budget $ seed $ write_fraction)
 
 (* ---- bench ---- *)
 
@@ -796,6 +908,7 @@ let main =
       explain_cmd;
       whynot_cmd;
       generate_cmd;
+      advise_cmd;
       bench_cmd;
       cache_stats_cmd;
       serve_cmd;

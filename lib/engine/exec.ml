@@ -552,6 +552,17 @@ let materialize db (view : Mv_core.View.t) : Table.t =
     view.Mv_core.View.indexes;
   tbl
 
+(* Materialize and return the statistics extended with an entry for the
+   view's actual contents, so estimate_view_rows and the optimizer's
+   substitute costing see measured numbers instead of the analytic
+   estimate (ROADMAP item 4: view-level statistics for unmaintained
+   views; maintained ones go through Ivm.refresh_stats). *)
+let materialize_stats ?buckets db (view : Mv_core.View.t) stats :
+    Table.t * Mv_catalog.Stats.t =
+  let tbl = materialize db view in
+  let ts = Database.table_stats ?buckets db view.Mv_core.View.name in
+  (tbl, (view.Mv_core.View.name, ts) :: stats)
+
 (* Execute a substitute: its block references the view's materialized
    table, which must exist in [db] (see [materialize]). *)
 let execute_substitute ?adaptive ?stats db (s : Mv_core.Substitute.t) :

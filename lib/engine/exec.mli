@@ -66,6 +66,18 @@ val materialize : Database.t -> Mv_core.View.t -> Table.t
     and record the row count on the view descriptor — which is also marked
     fresh at the base tables' current write epochs (DESIGN.md §12). *)
 
+val materialize_stats :
+  ?buckets:int ->
+  Database.t ->
+  Mv_core.View.t ->
+  Mv_catalog.Stats.t ->
+  Table.t * Mv_catalog.Stats.t
+(** {!materialize}, additionally returning [stats] extended with a
+    statistics entry built from the view's actual contents (shadowing any
+    earlier entry of the same name), so
+    {!Mv_opt.Cost.estimate_view_rows} and substitute costing use measured
+    numbers for unmaintained views. *)
+
 val execute_substitute :
   ?adaptive:bool ->
   ?stats:Mv_catalog.Stats.t ->

@@ -21,6 +21,14 @@ type delta = { ins : Value.t array list; del : Value.t array list }
 
 type batch = (string * delta) list
 
+(* UPDATE as delete+insert sugar: the bag difference of the before/after
+   rows, in pair order. *)
+let updates pairs =
+  {
+    del = List.map fst pairs;
+    ins = List.map snd pairs;
+  }
+
 exception Unsupported of string
 
 exception Inconsistent of string

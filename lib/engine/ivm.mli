@@ -41,6 +41,13 @@ type batch = (string * delta) list
     atomically with respect to maintenance (every attached view sees the
     whole batch). *)
 
+val updates : (Mv_base.Value.t array * Mv_base.Value.t array) list -> delta
+(** UPDATE as delete+insert sugar (ROADMAP item 2 follow-up): each
+    [(before, after)] pair contributes [before] to {!field-del} and
+    [after] to {!field-ins}, so counting-based maintenance treats an
+    update exactly as the bag difference it is. Identical pairs are kept —
+    a no-op update round-trips through maintenance unchanged. *)
+
 exception Unsupported of string
 (** The view definition cannot be maintained incrementally (an [AVG] or
     [SUM]/[SUM] output — never produced by {!Mv_core.View.create}, which

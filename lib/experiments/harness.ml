@@ -804,3 +804,139 @@ let scaling (w : workload) ~nviews ~domains_list : measurement list =
   let config = { alt = true; filter = true } in
   ignore (run w ~nviews ~config);
   List.map (fun domains -> run w ~domains ~nviews ~config) domains_list
+
+(* ---- the view-advisor benchmark (bench --advise) ---- *)
+
+type advise_measurement = {
+  a_candidates : int;
+  a_mined : int;
+  a_queries : int;
+  a_budget : float;
+  a_used : float;
+  a_picks : int;
+  a_considered : int;
+  a_rejected : int;
+  a_cost_none : float;
+  a_cost_advised : float;
+  a_cost_random : float list;
+  a_model_before : float;
+  a_model_after : float;
+  a_plans_using_views : int;
+  a_p50 : float;
+  a_p90 : float;
+  a_p99 : float;
+  a_wall : float;
+  a_beats_random : bool;
+  a_within_budget : bool;
+}
+
+let advise ?(seed = 0) ?(trials = 5) ?(write_fraction = 0.1)
+    ?(budget_frac = 0.05) ~candidates ~nqueries () : advise_measurement =
+  let span = Mv_obs.Instrument.enter () in
+  (* a different query workload per candidate scale, so the scales are
+     independent observations *)
+  let w =
+    make_workload ~nviews:0 ~query_seed:(2002 + (17 * seed) + candidates)
+      ~nqueries ()
+  in
+  let mined = Mv_workload.Miner.mine w.queries in
+  let defs = take candidates (Mv_workload.Miner.definitions mined) in
+  (* the storage budget admits a fixed fraction of the whole pool, so
+     selection is a real choice at every scale *)
+  let size_of (name, spjg) =
+    float_of_int (Mv_opt.Cost.estimate_view_rows ~name w.stats spjg)
+  in
+  let total_size = List.fold_left (fun acc d -> acc +. size_of d) 0.0 defs in
+  let budget = budget_frac *. total_size in
+  let config =
+    { Mv_opt.Advisor.default_config with budget; write_fraction }
+  in
+  let advice =
+    Mv_opt.Advisor.advise ~config w.schema w.stats ~candidates:defs
+      ~queries:w.queries
+  in
+  (* evaluation is the real optimizer, not the advisor's model: total
+     workload cost = summed best-plan cost under the registered set plus
+     the same maintenance term both arms are charged *)
+  let eval defs =
+    let registry = Mv_core.Registry.create w.schema in
+    let maint = ref 0.0 in
+    List.iter
+      (fun (name, spjg) ->
+        let rows = Mv_opt.Cost.estimate_view_rows ~name w.stats spjg in
+        match Mv_core.Registry.add_view registry ~row_count:rows ~name spjg with
+        | (_ : Mv_core.View.t) ->
+            maint :=
+              !maint
+              +. Mv_opt.Advisor.maintenance_cost config w.stats spjg ~rows
+                   ~nqueries:(List.length w.queries)
+        | exception Mv_core.View.Rejected _ -> ()
+        | exception Mv_core.Registry.Duplicate_view _ -> ())
+      defs;
+    let cost =
+      List.fold_left
+        (fun acc q ->
+          acc +. (Mv_opt.Optimizer.optimize registry w.stats q).Mv_opt.Optimizer.cost)
+        0.0 w.queries
+    in
+    (cost +. !maint, registry)
+  in
+  let cost_none, _ = eval [] in
+  let advised_defs =
+    List.map (fun p -> (p.Mv_opt.Advisor.name, p.Mv_opt.Advisor.spjg)) advice.Mv_opt.Advisor.picks
+  in
+  let cost_advised, advised_registry = eval advised_defs in
+  (* random-equal-budget baselines: shuffle the pool, fill to the budget *)
+  let random_set t =
+    let rng = Mv_util.Prng.create ((7919 * (t + 1)) + seed) in
+    let shuffled = Mv_util.Prng.shuffle rng defs in
+    let used = ref 0.0 in
+    List.filter
+      (fun d ->
+        let s = size_of d in
+        if !used +. s <= budget then (
+          used := !used +. s;
+          true)
+        else false)
+      shuffled
+  in
+  let cost_random =
+    List.init trials (fun t -> fst (eval (random_set t)))
+  in
+  (* per-query optimize latency under the advised registry *)
+  let h = Mv_obs.Instrument.histogram () in
+  let plans_using_views =
+    List.fold_left
+      (fun n q ->
+        let s = Mv_obs.Instrument.enter () in
+        let r = Mv_opt.Optimizer.optimize advised_registry w.stats q in
+        let wall, _ = Mv_obs.Instrument.elapsed s in
+        Mv_obs.Instrument.observe h wall;
+        if r.Mv_opt.Optimizer.used_views then n + 1 else n)
+      0 w.queries
+  in
+  let wall, _ = Mv_obs.Instrument.elapsed span in
+  let tol = 1e-9 *. (1.0 +. cost_none) in
+  {
+    a_candidates = candidates;
+    a_mined = List.length mined;
+    a_queries = List.length w.queries;
+    a_budget = budget;
+    a_used = advice.Mv_opt.Advisor.used_budget;
+    a_picks = List.length advice.Mv_opt.Advisor.picks;
+    a_considered = advice.Mv_opt.Advisor.considered;
+    a_rejected = advice.Mv_opt.Advisor.rejected;
+    a_cost_none = cost_none;
+    a_cost_advised = cost_advised;
+    a_cost_random = cost_random;
+    a_model_before = advice.Mv_opt.Advisor.cost_before;
+    a_model_after = advice.Mv_opt.Advisor.cost_after;
+    a_plans_using_views = plans_using_views;
+    a_p50 = Mv_obs.Instrument.quantile h 0.5;
+    a_p90 = Mv_obs.Instrument.quantile h 0.9;
+    a_p99 = Mv_obs.Instrument.quantile h 0.99;
+    a_wall = wall;
+    a_beats_random =
+      List.for_all (fun c -> cost_advised <= c +. tol) cost_random;
+    a_within_budget = advice.Mv_opt.Advisor.used_budget <= budget +. tol;
+  }

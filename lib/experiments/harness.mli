@@ -251,3 +251,49 @@ val serving :
     view with cached-vs-uncached agreement checked after each mutation.
     [domains > 1] shards every pass over that many OCaml domains against
     the one shared cache (mutex-sharded). *)
+
+(** One candidate-scale point of the advisor benchmark ([bench --advise]):
+    mine candidates from a generated workload, select under a storage
+    budget, then compare the advised set against random-equal-budget sets
+    on real optimizer cost. Entirely model-driven and deterministic except
+    the latency fields — the verdict booleans never depend on timing. *)
+type advise_measurement = {
+  a_candidates : int;  (** candidate pool size offered to the advisor *)
+  a_mined : int;  (** distinct candidates mined before truncation *)
+  a_queries : int;
+  a_budget : float;  (** storage budget (estimated rows) *)
+  a_used : float;  (** budget consumed by the picks *)
+  a_picks : int;
+  a_considered : int;  (** candidates accepted into the pricing pool *)
+  a_rejected : int;  (** candidates the registry would not index *)
+  a_cost_none : float;
+      (** real total workload cost (optimizer cost + maintenance term)
+          with no views registered *)
+  a_cost_advised : float;  (** the same under the advised set *)
+  a_cost_random : float list;  (** one per random-equal-budget trial *)
+  a_model_before : float;  (** the advisor's own modeled before-cost *)
+  a_model_after : float;  (** ... and modeled after-cost *)
+  a_plans_using_views : int;  (** queries rewritten under the advised set *)
+  a_p50 : float;
+  a_p90 : float;
+  a_p99 : float;  (** per-query optimize wall seconds, advised registry *)
+  a_wall : float;  (** end-to-end mine+advise+evaluate seconds *)
+  a_beats_random : bool;
+      (** advised cost <= every random trial's (the acceptance gate) *)
+  a_within_budget : bool;
+}
+
+val advise :
+  ?seed:int ->
+  ?trials:int ->
+  ?write_fraction:float ->
+  ?budget_frac:float ->
+  candidates:int ->
+  nqueries:int ->
+  unit ->
+  advise_measurement
+(** One scale point: generate [nqueries] queries (a different seed per
+    candidate scale), mine, keep the first [candidates] candidates, advise
+    under a budget of [budget_frac] of the pool's total estimated size,
+    and evaluate advised vs [trials] random-equal-budget sets with the
+    real optimizer. *)

@@ -569,6 +569,65 @@ let maintenance_json (m : Harness.maintain_measurement) =
       ("stats_fresh", J.Bool m.Harness.mm_stats_fresh);
     ]
 
+let advise_table (ms : Harness.advise_measurement list) =
+  pr "\n== Advisor: advised vs random-equal-budget view sets ==\n";
+  pr "(candidates mined from the workload's own queries; selection under\n";
+  pr " a storage budget; costs are real optimizer totals over the whole\n";
+  pr " query batch plus the shared maintenance term)\n\n";
+  pr "%6s %6s %5s %10s %10s %12s %12s %12s %6s %6s\n" "cands" "mined" "picks"
+    "budget" "used" "cost-none" "cost-advised" "best-random" "beats" "inbdg";
+  List.iter
+    (fun (a : Harness.advise_measurement) ->
+      let best_random =
+        List.fold_left Float.min infinity a.Harness.a_cost_random
+      in
+      pr "%6d %6d %5d %10.0f %10.0f %12.0f %12.0f %12.0f %6b %6b\n"
+        a.Harness.a_candidates a.Harness.a_mined a.Harness.a_picks
+        a.Harness.a_budget a.Harness.a_used a.Harness.a_cost_none
+        a.Harness.a_cost_advised best_random a.Harness.a_beats_random
+        a.Harness.a_within_budget)
+    ms;
+  pr "\n"
+
+let advise_json (ms : Harness.advise_measurement list) =
+  J.List
+    (List.map
+       (fun (a : Harness.advise_measurement) ->
+         J.Obj
+           [
+             ("candidates", J.Int a.Harness.a_candidates);
+             ("mined", J.Int a.Harness.a_mined);
+             ("queries", J.Int a.Harness.a_queries);
+             ("budget_rows", J.Float a.Harness.a_budget);
+             ("used_rows", J.Float a.Harness.a_used);
+             ("picks", J.Int a.Harness.a_picks);
+             ("considered", J.Int a.Harness.a_considered);
+             ("rejected", J.Int a.Harness.a_rejected);
+             ("cost_none", J.Float a.Harness.a_cost_none);
+             ("cost_advised", J.Float a.Harness.a_cost_advised);
+             ( "cost_random",
+               J.List
+                 (List.map (fun c -> J.Float c) a.Harness.a_cost_random) );
+             ( "cost_random_best",
+               J.Float
+                 (List.fold_left Float.min infinity a.Harness.a_cost_random)
+             );
+             ("model_before", J.Float a.Harness.a_model_before);
+             ("model_after", J.Float a.Harness.a_model_after);
+             ("plans_using_views", J.Int a.Harness.a_plans_using_views);
+             ( "latency",
+               J.Obj
+                 [
+                   ("p50_s", J.Float a.Harness.a_p50);
+                   ("p90_s", J.Float a.Harness.a_p90);
+                   ("p99_s", J.Float a.Harness.a_p99);
+                 ] );
+             ("wall_s", J.Float a.Harness.a_wall);
+             ("beats_random", J.Bool a.Harness.a_beats_random);
+             ("within_budget", J.Bool a.Harness.a_within_budget);
+           ])
+       ms)
+
 let write_json file (j : J.t) =
   let oc = open_out file in
   output_string oc (J.to_string j);

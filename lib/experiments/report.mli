@@ -94,5 +94,14 @@ val maintenance_json : Harness.maintain_measurement -> Mv_obs.Json.t
     and [remat] objects carry the [p50_s/p90_s/p99_s] keys json_check's
     percentile tolerance compares on. *)
 
+val advise_table : Harness.advise_measurement list -> unit
+(** One row per candidate scale: budget use, advised vs best-random real
+    workload cost, and the two acceptance verdicts. *)
+
+val advise_json : Harness.advise_measurement list -> Mv_obs.Json.t
+(** One object per candidate scale; [beats_random] and [within_budget]
+    are the acceptance gate, [latency] the percentile-gated per-query
+    optimize times under the advised registry. *)
+
 val write_json : string -> Mv_obs.Json.t -> unit
 (** Write one JSON document (plus trailing newline). *)

@@ -1,0 +1,529 @@
+(** Workload-driven view selection (ROADMAP item 1): estimate each
+    candidate's size and per-query benefit with the existing cost model,
+    then pick a set under a storage budget with greedy seeding plus
+    local-search add/drop/swap/merge moves, following the local-search
+    selection literature (PAPERS.md). A maintenance-cost term derived from
+    the measured [bench --maintain] delta-vs-rematerialize crossover makes
+    write-heavy workloads penalize wide views.
+
+    The selection core ({!Selection}) is deliberately self-contained and
+    purely numeric so it can be property-tested in isolation
+    (test/test_advisor.ml): within-budget by construction, local search
+    never worse than greedy, and brute-force-optimal on small instances. *)
+
+module Spjg = Mv_relalg.Spjg
+module Stats = Mv_catalog.Stats
+module A = Mv_relalg.Analysis
+
+module Selection = struct
+  type candidate = {
+    id : string;
+    size : float;
+    maint : float;
+    saves : (int * float) list;
+        (* (query index, cost of that query when answered via this
+           candidate); entries not strictly below the base cost are
+           dropped by {!instance} *)
+  }
+
+  type instance = {
+    base : float array;
+    budget : float;
+    cands : candidate array;
+    tol : float;
+  }
+
+  exception Invalid of string
+
+  let invalid fmt = Format.kasprintf (fun s -> raise (Invalid s)) fmt
+
+  let instance ~base ~budget cands =
+    if Float.is_nan budget || budget < 0.0 then
+      invalid "budget must be nonnegative";
+    Array.iteri
+      (fun i b ->
+        if not (Float.is_finite b) || b < 0.0 then
+          invalid "base cost %d must be finite and nonnegative" i)
+      base;
+    let nq = Array.length base in
+    let clean c =
+      if not (Float.is_finite c.size) || c.size < 0.0 then
+        invalid "candidate %s: size must be finite and nonnegative" c.id;
+      if not (Float.is_finite c.maint) || c.maint < 0.0 then
+        invalid "candidate %s: maint must be finite and nonnegative" c.id;
+      List.iter
+        (fun (i, q) ->
+          if i < 0 || i >= nq then
+            invalid "candidate %s: save index %d out of range" c.id i;
+          if Float.is_nan q then invalid "candidate %s: NaN save" c.id)
+        c.saves;
+      (* keep only genuine improvements, one (minimal) entry per query,
+         sorted by query index for determinism *)
+      let best = Hashtbl.create 8 in
+      List.iter
+        (fun (i, q) ->
+          let q = Float.max 0.0 q in
+          if q < base.(i) then
+            match Hashtbl.find_opt best i with
+            | Some q' when q' <= q -> ()
+            | _ -> Hashtbl.replace best i q)
+        c.saves;
+      let saves =
+        Hashtbl.fold (fun i q acc -> (i, q) :: acc) best []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+      in
+      { c with saves }
+    in
+    let cands = Array.of_list (List.map clean cands) in
+    let mass =
+      Array.fold_left (fun acc b -> acc +. b) 0.0 base
+      +. Array.fold_left (fun acc c -> acc +. c.maint) 0.0 cands
+    in
+    { base; budget; cands; tol = 1e-9 *. (1.0 +. mass) }
+
+  let n_candidates inst = Array.length inst.cands
+
+  let to_mask inst sel =
+    let n = Array.length inst.cands in
+    let chosen = Array.make n false in
+    List.iter
+      (fun j ->
+        if j < 0 || j >= n then invalid "candidate index %d out of range" j;
+        chosen.(j) <- true)
+      sel;
+    chosen
+
+  let of_mask chosen =
+    let acc = ref [] in
+    for j = Array.length chosen - 1 downto 0 do
+      if chosen.(j) then acc := j :: !acc
+    done;
+    !acc
+
+  (* Per-query cost under a chosen set: base, improved by the best chosen
+     candidate covering the query. *)
+  let query_costs inst chosen =
+    let cur = Array.copy inst.base in
+    Array.iteri
+      (fun j c ->
+        if chosen.(j) then
+          List.iter (fun (i, q) -> if q < cur.(i) then cur.(i) <- q) c.saves)
+      inst.cands;
+    cur
+
+  let objective_arr inst chosen =
+    let cur = query_costs inst chosen in
+    let s = ref 0.0 in
+    Array.iter (fun v -> s := !s +. v) cur;
+    Array.iteri
+      (fun j c -> if chosen.(j) then s := !s +. c.maint)
+      inst.cands;
+    !s
+
+  let size_arr inst chosen =
+    let s = ref 0.0 in
+    Array.iteri
+      (fun j c -> if chosen.(j) then s := !s +. c.size)
+      inst.cands;
+    !s
+
+  let objective inst sel = objective_arr inst (to_mask inst sel)
+  let size_of inst sel = size_arr inst (to_mask inst sel)
+  let within_budget inst sel = size_of inst sel <= inst.budget
+
+  (* ---- greedy seeding ---- *)
+
+  let greedy_arr inst =
+    let n = Array.length inst.cands in
+    let chosen = Array.make n false in
+    let cur = Array.copy inst.base in
+    let used = ref 0.0 in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let best = ref (-1) and best_g = ref inst.tol in
+      for j = 0 to n - 1 do
+        let c = inst.cands.(j) in
+        if (not chosen.(j)) && !used +. c.size <= inst.budget then begin
+          let g =
+            List.fold_left
+              (fun acc (i, q) -> acc +. Float.max 0.0 (cur.(i) -. q))
+              0.0 c.saves
+            -. c.maint
+          in
+          (* strict > keeps the lowest index on ties: deterministic *)
+          if g > !best_g then begin
+            best := j;
+            best_g := g
+          end
+        end
+      done;
+      if !best >= 0 then begin
+        let c = inst.cands.(!best) in
+        chosen.(!best) <- true;
+        used := !used +. c.size;
+        List.iter
+          (fun (i, q) -> if q < cur.(i) then cur.(i) <- q)
+          c.saves;
+        progress := true
+      end
+    done;
+    chosen
+
+  let greedy inst = of_mask (greedy_arr inst)
+
+  (* ---- local search ---- *)
+
+  (* For the current set: per query, the best chosen cost [b1] (base when
+     nothing covers it), which candidate provides it [b1a], and the
+     second-best [b2] (base included) — enough to price drops and swaps
+     without re-evaluating from scratch. *)
+  let bests inst chosen =
+    let nq = Array.length inst.base in
+    let b1 = Array.copy inst.base in
+    let b1a = Array.make nq (-1) in
+    let b2 = Array.copy inst.base in
+    Array.iteri
+      (fun j c ->
+        if chosen.(j) then
+          List.iter
+            (fun (i, q) ->
+              if q < b1.(i) then begin
+                b2.(i) <- b1.(i);
+                b1.(i) <- q;
+                b1a.(i) <- j
+              end
+              else if q < b2.(i) then b2.(i) <- q)
+            c.saves)
+      inst.cands;
+    (b1, b1a, b2)
+
+  let max_moves = 256
+
+  let local_search_arr inst chosen =
+    let n = Array.length inst.cands in
+    let chosen = Array.copy chosen in
+    if size_arr inst chosen > inst.budget then
+      invalid "local_search: starting set exceeds the budget";
+    let used = ref (size_arr inst chosen) in
+    let moves = ref 0 in
+    let progress = ref true in
+    while !progress && !moves < max_moves do
+      progress := false;
+      let b1, b1a, b2 = bests inst chosen in
+      (* cost increase from dropping j (its maintenance not included) *)
+      let drop_cost j =
+        List.fold_left
+          (fun acc (i, _) ->
+            if b1a.(i) = j then acc +. (b2.(i) -. b1.(i)) else acc)
+          0.0 inst.cands.(j).saves
+      in
+      let apply j on =
+        chosen.(j) <- on;
+        used :=
+          !used +. (if on then inst.cands.(j).size else -.inst.cands.(j).size);
+        incr moves;
+        progress := true
+      in
+      (* add: first unchosen candidate that pays for itself *)
+      let j = ref 0 in
+      while (not !progress) && !j < n do
+        let c = inst.cands.(!j) in
+        if (not chosen.(!j)) && !used +. c.size <= inst.budget then begin
+          let delta =
+            c.maint
+            -. List.fold_left
+                 (fun acc (i, q) -> acc +. Float.max 0.0 (b1.(i) -. q))
+                 0.0 c.saves
+          in
+          if delta < -.inst.tol then apply !j true
+        end;
+        incr j
+      done;
+      (* drop: first chosen candidate whose maintenance outweighs it *)
+      let j = ref 0 in
+      while (not !progress) && !j < n do
+        if chosen.(!j) then begin
+          let delta = drop_cost !j -. inst.cands.(!j).maint in
+          if delta < -.inst.tol then apply !j false
+        end;
+        incr j
+      done;
+      (* swap: drop one chosen, add one unchosen, priced incrementally via
+         the per-query costs with j removed *)
+      let j = ref 0 in
+      while (not !progress) && !j < n do
+        if chosen.(!j) then begin
+          let cj = inst.cands.(!j) in
+          let curw = Array.copy b1 in
+          List.iter
+            (fun (i, _) -> if b1a.(i) = !j then curw.(i) <- b2.(i))
+            cj.saves;
+          let dc = drop_cost !j in
+          let k = ref 0 in
+          while (not !progress) && !k < n do
+            let ck = inst.cands.(!k) in
+            if
+              (not chosen.(!k))
+              && !k <> !j
+              && !used -. cj.size +. ck.size <= inst.budget
+            then begin
+              let delta =
+                ck.maint -. cj.maint +. dc
+                -. List.fold_left
+                     (fun acc (i, q) -> acc +. Float.max 0.0 (curw.(i) -. q))
+                     0.0 ck.saves
+              in
+              if delta < -.inst.tol then begin
+                apply !j false;
+                apply !k true
+              end
+            end;
+            incr k
+          done
+        end;
+        incr j
+      done;
+      (* merge: replace two chosen candidates by one wider one (2 -> 1);
+         scanned last — it is the expensive, rarely-firing move *)
+      let sum_b1 = Array.fold_left (fun acc v -> acc +. v) 0.0 b1 in
+      let j1 = ref 0 in
+      while (not !progress) && !j1 < n do
+        if chosen.(!j1) then begin
+          let j2 = ref (!j1 + 1) in
+          while (not !progress) && !j2 < n do
+            if chosen.(!j2) then begin
+              let c1 = inst.cands.(!j1) and c2 = inst.cands.(!j2) in
+              chosen.(!j1) <- false;
+              chosen.(!j2) <- false;
+              let curw = query_costs inst chosen in
+              chosen.(!j1) <- true;
+              chosen.(!j2) <- true;
+              let sum_curw =
+                Array.fold_left (fun acc v -> acc +. v) 0.0 curw
+              in
+              let k = ref 0 in
+              while (not !progress) && !k < n do
+                let ck = inst.cands.(!k) in
+                if
+                  (not chosen.(!k))
+                  && !used -. c1.size -. c2.size +. ck.size <= inst.budget
+                then begin
+                  let delta =
+                    sum_curw -. sum_b1
+                    -. List.fold_left
+                         (fun acc (i, q) ->
+                           acc +. Float.max 0.0 (curw.(i) -. q))
+                         0.0 ck.saves
+                    +. ck.maint -. c1.maint -. c2.maint
+                  in
+                  if delta < -.inst.tol then begin
+                    apply !j1 false;
+                    apply !j2 false;
+                    apply !k true
+                  end
+                end;
+                incr k
+              done
+            end;
+            incr j2
+          done
+        end;
+        incr j1
+      done
+    done;
+    chosen
+
+  let local_search inst sel = of_mask (local_search_arr inst (to_mask inst sel))
+
+  (* ---- exhaustive search for small instances ---- *)
+
+  let exhaustive_limit = 12
+
+  let brute_force_arr inst =
+    let n = Array.length inst.cands in
+    if n > exhaustive_limit then
+      invalid "brute_force: %d candidates exceed the exhaustive limit" n;
+    let best_mask = ref 0 and best_obj = ref infinity in
+    for mask = 0 to (1 lsl n) - 1 do
+      let sz = ref 0.0 in
+      for j = 0 to n - 1 do
+        if mask land (1 lsl j) <> 0 then sz := !sz +. inst.cands.(j).size
+      done;
+      if !sz <= inst.budget then begin
+        let chosen = Array.init n (fun j -> mask land (1 lsl j) <> 0) in
+        let obj = objective_arr inst chosen in
+        (* strict improvement beyond tol: the lowest mask wins ties *)
+        if obj < !best_obj -. inst.tol then begin
+          best_obj := obj;
+          best_mask := mask
+        end
+      end
+    done;
+    Array.init n (fun j -> !best_mask land (1 lsl j) <> 0)
+
+  let brute_force inst = of_mask (brute_force_arr inst)
+
+  let select inst =
+    if Array.length inst.cands <= exhaustive_limit then brute_force inst
+    else of_mask (local_search_arr inst (greedy_arr inst))
+end
+
+(* ---- workload costing glue ---- *)
+
+type config = {
+  budget : float;
+  write_fraction : float;
+  batch_fraction : float;
+  maintain_speedup : float;
+}
+
+let default_config =
+  {
+    budget = infinity;
+    write_fraction = 0.1;
+    batch_fraction = 0.05;
+    (* measured bench --maintain delta-vs-rematerialize advantage at small
+       batches (EXPERIMENTS.md: 1.6-1.8x); the policy term below caps the
+       per-event cost at a full rematerialization *)
+    maintain_speedup = 1.7;
+  }
+
+type pick = {
+  name : string;
+  spjg : Spjg.t;
+  rows : int;
+  benefit : float;
+  maint : float;
+}
+
+type advice = {
+  picks : pick list;
+  cost_before : float;
+  cost_after : float;
+  budget : float;
+  used_budget : float;
+  considered : int;
+  rejected : int;
+}
+
+(* Per-maintenance-event cost of keeping [spjg] fresh: a delta pass reads
+   the changed fraction of the joined base tables at the measured
+   delta-vs-rematerialize advantage, never worse than rebuilding from
+   scratch (the maintain-vs-rematerialize policy, ROADMAP item 2). *)
+let maintenance_cost config stats (spjg : Spjg.t) ~rows ~nqueries =
+  let remat =
+    List.fold_left
+      (fun acc t -> acc +. float_of_int (max 1 (Stats.row_count stats t)))
+      (float_of_int rows) spjg.Spjg.tables
+  in
+  let delta = config.batch_fraction *. remat /. config.maintain_speedup in
+  config.write_fraction *. float_of_int nqueries *. Float.min delta remat
+
+let advise ?(config = default_config) schema stats
+    ~(candidates : (string * Spjg.t) list) ~(queries : Spjg.t list) : advice =
+  (* one pooled registry of every candidate: the filter tree keeps the
+     per-block matching cheap even at 1000 candidates *)
+  let pool = Mv_core.Registry.create schema in
+  let rejected = ref 0 in
+  let accepted =
+    List.filter_map
+      (fun (name, spjg) ->
+        let rows = Cost.estimate_view_rows ~name stats spjg in
+        match Mv_core.Registry.add_view pool ~row_count:rows ~name spjg with
+        | (_ : Mv_core.View.t) -> Some (name, spjg, rows)
+        | exception Mv_core.View.Rejected _ ->
+            incr rejected;
+            None
+        | exception Mv_core.Registry.Duplicate_view _ ->
+            incr rejected;
+            None)
+      candidates
+  in
+  let accepted = Array.of_list accepted in
+  let index_of = Hashtbl.create (Array.length accepted) in
+  Array.iteri (fun j (name, _, _) -> Hashtbl.replace index_of name j) accepted;
+  let qarr = Array.of_list queries in
+  let nq = Array.length qarr in
+  (* base cost: the best view-free plan for each query *)
+  let empty = Mv_core.Registry.create schema in
+  let base =
+    Array.map (fun q -> (Optimizer.optimize empty stats q).Optimizer.cost) qarr
+  in
+  (* benefit model mirroring the memo's enumeration: for every SPJG
+     subexpression the optimizer would invoke the rule on, price each
+     substitute and credit the block-level saving against the query *)
+  let saves = Array.make (Array.length accepted) [] in
+  Array.iteri
+    (fun i q ->
+      List.iter
+        (fun block ->
+          let analysis = A.analyze schema block in
+          let subs = Mv_core.Registry.find_substitutes pool analysis in
+          if subs <> [] then begin
+            let dcost = Optimizer.direct_cost stats block in
+            List.iter
+              (fun s ->
+                let sc, _ = Optimizer.substitute_cost schema stats block s in
+                let saving = dcost -. sc in
+                if saving > 0.0 then begin
+                  let qcost = Float.max sc (base.(i) -. saving) in
+                  match
+                    Hashtbl.find_opt index_of
+                      s.Mv_core.Substitute.view.Mv_core.View.name
+                  with
+                  | Some j when qcost < base.(i) ->
+                      saves.(j) <- (i, qcost) :: saves.(j)
+                  | _ -> ()
+                end)
+              subs
+          end)
+        (Optimizer.enumerate_blocks q))
+    qarr;
+  let cands =
+    Array.to_list
+      (Array.mapi
+         (fun j (name, spjg, rows) ->
+           {
+             Selection.id = name;
+             size = float_of_int rows;
+             maint = maintenance_cost config stats spjg ~rows ~nqueries:nq;
+             saves = saves.(j);
+           })
+         accepted)
+  in
+  let inst = Selection.instance ~base ~budget:config.budget cands in
+  let sel = Selection.select inst in
+  let cost_before = Array.fold_left (fun acc b -> acc +. b) 0.0 base in
+  let cost_after = Selection.objective inst sel in
+  let carr = Array.of_list cands in
+  let picks =
+    List.map
+      (fun j ->
+        let name, spjg, rows = accepted.(j) in
+        let c = carr.(j) in
+        let benefit =
+          List.fold_left
+            (fun acc (i, q) -> acc +. Float.max 0.0 (base.(i) -. q))
+            0.0 c.Selection.saves
+        in
+        { name; spjg; rows; benefit; maint = c.Selection.maint })
+      sel
+  in
+  {
+    picks;
+    cost_before;
+    cost_after;
+    budget = config.budget;
+    used_budget = Selection.size_of inst sel;
+    considered = Array.length accepted;
+    rejected = !rejected;
+  }
+
+let register_picks registry advice =
+  List.iter
+    (fun p ->
+      ignore
+        (Mv_core.Registry.add_view registry ~row_count:p.rows ~name:p.name
+           p.spjg))
+    advice.picks

@@ -79,6 +79,17 @@ let block_rows (stats : Stats.t) (b : Spjg.t) : float =
   | Some gs -> group_rows stats ~input:spj gs
 
 (* Estimated row count used when registering a view without materializing
-   it (the benches run against statistics only). *)
-let estimate_view_rows stats (spjg : Spjg.t) : int =
-  int_of_float (block_rows stats spjg)
+   it (the benches run against statistics only). With [name], a statistics
+   entry built from the view's actual contents — at materialization time or
+   by [Ivm.refresh_stats] — takes precedence over the analytic model
+   (ROADMAP item 4: view-level statistics). *)
+let estimate_view_rows ?name stats (spjg : Spjg.t) : int =
+  let measured =
+    Option.bind name (fun n ->
+        Option.map
+          (fun (ts : Stats.table_stats) -> ts.Stats.row_count)
+          (Stats.table stats n))
+  in
+  match measured with
+  | Some n -> n
+  | None -> int_of_float (block_rows stats spjg)

@@ -14,4 +14,9 @@ val group_rows : Stats.t -> input:float -> Expr.t list -> float
 
 val block_rows : Stats.t -> Spjg.t -> float
 
-val estimate_view_rows : Stats.t -> Spjg.t -> int
+val estimate_view_rows : ?name:string -> Stats.t -> Spjg.t -> int
+(** Estimated row count of a view definition from base-table statistics.
+    With [name], a statistics entry for the view itself (built from its
+    actual contents at materialization time, or mark-and-rebuilt by
+    [Mv_engine.Ivm.refresh_stats]) takes precedence over the analytic
+    model. *)

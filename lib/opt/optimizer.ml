@@ -80,7 +80,18 @@ let view_leaf ?bound schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) :
     match bound with Some b -> fun partial -> partial > b | None -> fun _ -> false
   in
   let view = s.Mv_core.Substitute.view in
-  let rows = Cost.block_rows stats block in
+  (* Leaf output estimate: with a statistics entry for the view itself
+     (built from its actual contents at materialization time or refreshed
+     by IVM), estimate from the substitute's own block — compensating
+     predicates then see the view's histograms instead of base-table
+     selectivities (ROADMAP item 4; the q_bigcust q-error of the exec
+     bench came from exactly this gap). Without view-level statistics the
+     base-table estimate is used, so statistics-only runs are unchanged. *)
+  let rows =
+    if Mv_catalog.Stats.table stats view.Mv_core.View.name <> None then
+      Cost.block_rows stats s.Mv_core.Substitute.block
+    else Cost.block_rows stats block
+  in
   let vrows = float_of_int (max 1 view.Mv_core.View.row_count) in
   (* cost unit = rows x relative row width: the view projects a subset of
      its tables' columns, so scanning it moves proportionally less data
@@ -159,6 +170,19 @@ let view_leaf ?bound schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) :
                est_cost = total;
              })
 
+(* The numbers the memo competes on, exposed for the advisor's benefit
+   model ([Advisor]): a substitute leaf's estimated (cost, rows) without
+   any branch-and-bound bound (costing never prunes), and the direct
+   computed-leaf cost of the same block. *)
+let substitute_cost schema stats (block : Spjg.t) (s : Mv_core.Substitute.t) :
+    float * float =
+  match view_leaf schema stats block s with
+  | Ok p -> (Plan.est_cost p, Plan.est_rows p)
+  | Error _ -> assert false (* unreachable: no bound was passed *)
+
+let direct_cost stats (block : Spjg.t) : float =
+  Plan.est_cost (scan_leaf stats block)
+
 (* ---- join graph over the query's tables ---- *)
 
 let table_edges (query : Spjg.t) =
@@ -200,6 +224,25 @@ let popcount m =
 
 let tables_of_mask tables mask =
   List.filteri (fun i _ -> mask land (1 lsl i) <> 0) (Array.to_list tables)
+
+(* The SPJG subexpressions the memo invokes the view-matching rule on: one
+   SPJ block per connected table subset, plus the whole query when it
+   aggregates (preaggregated inner blocks are left out — the advisor's
+   benefit model, which mirrors this enumeration, stays conservative:
+   the real optimizer can only do better than the model predicts). *)
+let enumerate_blocks (query : Spjg.t) : Spjg.t list =
+  let spj = Block.spj_part query in
+  let tables = Array.of_list spj.Spjg.tables in
+  let n = Array.length tables in
+  let edges = table_edges query in
+  let full = (1 lsl n) - 1 in
+  let blocks = ref [] in
+  for mask = full downto 1 do
+    let ts = tables_of_mask tables mask in
+    if connected edges ts || popcount mask = 1 then
+      blocks := Block.sub_block spj ts :: !blocks
+  done;
+  if query.Spjg.group_by = None then !blocks else !blocks @ [ query ]
 
 (* crossing column-equality conjuncts between two table sets *)
 let cross_keys (query : Spjg.t) left_tables right_tables =

@@ -35,6 +35,28 @@ type result = {
           result came from a warm plan-cache hit. *)
 }
 
+val enumerate_blocks : Mv_relalg.Spjg.t -> Mv_relalg.Spjg.t list
+(** The SPJG subexpressions the memo invokes the view-matching rule on:
+    one SPJ block per connected table subset (single tables included),
+    plus the whole query when it aggregates. The advisor's benefit model
+    mirrors this enumeration so its per-query saving estimates line up
+    with what {!optimize} can actually exploit. *)
+
+val substitute_cost :
+  Mv_catalog.Schema.t ->
+  Mv_catalog.Stats.t ->
+  Mv_relalg.Spjg.t ->
+  Mv_core.Substitute.t ->
+  float * float
+(** [(est_cost, est_rows)] of the substitute leaf the optimizer would
+    build for [block] from this substitute — scan of the view (index-aware)
+    plus any regrouping and backjoin surcharges. Exposed for the advisor's
+    benefit model. *)
+
+val direct_cost : Mv_catalog.Stats.t -> Mv_relalg.Spjg.t -> float
+(** Cost of answering [block] directly from base tables (the scan leaf the
+    memo starts from), for comparison against {!substitute_cost}. *)
+
 val optimize :
   ?config:config ->
   ?cache:Match_cache.t ->

@@ -1,0 +1,130 @@
+(** Candidate mining for the view advisor (ROADMAP item 1): enumerate the
+    SPJG subexpressions the optimizer's memo would invoke the
+    view-matching rule on ({!Mv_opt.Optimizer.enumerate_blocks}) and turn
+    each into an indexable view definition. Every candidate is built from
+    a concrete workload query, so by construction it matches at least that
+    query — no dead candidates (asserted by test/test_advisor.ml). *)
+
+open Mv_base
+module Spjg = Mv_relalg.Spjg
+module Block = Mv_opt.Block
+
+type candidate = { name : string; spjg : Spjg.t; sources : int list }
+
+(* A conjunct spanning two tables is a join predicate; everything else is
+   a local (selection) predicate the view can either bake in (exact
+   slice) or leave out (general slice). *)
+let is_join_pred p =
+  let tbls =
+    List.sort_uniq compare (List.map (fun c -> c.Col.tbl) (Pred.columns p))
+  in
+  List.length tbls > 1
+
+(* Every column the query touches on [tables] — outputs, grouping,
+   predicate and crossing join columns — so a slice outputting them can
+   serve the query (and likely its siblings) however the rest of the plan
+   is shaped. *)
+let touched_cols (q : Spjg.t) tables =
+  Col.Set.elements
+    (Col.Set.filter
+       (fun c -> List.mem c.Col.tbl tables)
+       (Spjg.referenced_columns q))
+
+(* SPJ slices of a multi-table block: the exact slice keeps the query's
+   local predicates, the general one only the join predicates (serving
+   sibling queries with different constants at the price of a wider
+   view). *)
+let spj_slices (q : Spjg.t) (block : Spjg.t) : Spjg.t list =
+  let tables = block.Spjg.tables in
+  let out = Block.out_of_cols (touched_cols q tables) in
+  if out = [] then []
+  else
+    let joins = List.filter is_join_pred block.Spjg.where in
+    let mk where =
+      match Spjg.make ~tables ~where ~group_by:None ~out with
+      | spjg -> Some spjg
+      | exception Spjg.Invalid _ -> None
+    in
+    List.filter_map mk [ block.Spjg.where; joins ]
+
+(* Aggregation candidates of an aggregate query: the perfect aggregate
+   (the query's own grouping and predicates) and a general one grouped
+   additionally by the local-predicate columns with those predicates
+   dropped, so the matcher can re-apply them and regroup. Both carry the
+   count_big the indexability rule requires and a SUM per aggregate
+   argument (AVG decomposes into SUM + the count). *)
+let agg_candidates (q : Spjg.t) : Spjg.t list =
+  match q.Spjg.group_by with
+  | None -> []
+  | Some gs ->
+      let sums =
+        List.filter_map
+          (fun (o : Spjg.out_item) ->
+            match o.Spjg.def with
+            | Spjg.Aggregate (Spjg.Sum e) -> Some (o.Spjg.name, e)
+            | Spjg.Aggregate (Spjg.Avg e) -> Some ("sum_" ^ o.Spjg.name, e)
+            | _ -> None)
+          q.Spjg.out
+      in
+      let scalar_of i g =
+        match g with
+        | Expr.Col c -> Spjg.scalar c.Col.col (Expr.Col c)
+        | e -> Spjg.scalar (Printf.sprintf "g%d" i) e
+      in
+      let mk ~where ~group_by =
+        let out =
+          List.mapi scalar_of group_by
+          @ List.map (fun (n, e) -> Spjg.aggregate n (Spjg.Sum e)) sums
+          @ [ Spjg.aggregate "cnt" Spjg.Count_star ]
+        in
+        match
+          Spjg.make ~tables:q.Spjg.tables ~where ~group_by:(Some group_by)
+            ~out
+        with
+        | spjg -> Some spjg
+        | exception Spjg.Invalid _ -> None
+      in
+      let joins, locals = List.partition is_join_pred q.Spjg.where in
+      let extra =
+        List.concat_map (fun p -> Pred.columns p) locals
+        |> List.sort_uniq Col.compare
+        |> List.map (fun c -> Expr.Col c)
+        |> List.filter (fun e -> not (List.exists (Expr.equal e) gs))
+      in
+      List.filter_map Fun.id
+        [ mk ~where:q.Spjg.where ~group_by:gs;
+          mk ~where:joins ~group_by:(gs @ extra) ]
+
+let mine (queries : Spjg.t list) : candidate list =
+  let seen = Hashtbl.create 256 in
+  let order = ref [] (* SQL keys, reversed first-appearance order *) in
+  let record qi spjg =
+    let key = Spjg.to_sql spjg in
+    match Hashtbl.find_opt seen key with
+    | Some (s, sources) ->
+        if not (List.mem qi !sources) then sources := qi :: !sources;
+        ignore s
+    | None ->
+        Hashtbl.replace seen key (spjg, ref [ qi ]);
+        order := key :: !order
+  in
+  List.iteri
+    (fun qi q ->
+      List.iter
+        (fun block ->
+          if block.Spjg.group_by <> None then
+            List.iter (record qi) (agg_candidates q)
+          else if List.length block.Spjg.tables >= 2 then
+            List.iter (record qi) (spj_slices q block))
+        (Mv_opt.Optimizer.enumerate_blocks q))
+    queries;
+  List.rev !order
+  |> List.mapi (fun i key ->
+         let spjg, sources = Hashtbl.find seen key in
+         {
+           name = Printf.sprintf "cand%04d" i;
+           spjg;
+           sources = List.sort compare !sources;
+         })
+
+let definitions cands = List.map (fun c -> (c.name, c.spjg)) cands

@@ -1,0 +1,24 @@
+(** Candidate mining for the view advisor: shared SPJG subexpressions and
+    grouped-aggregate candidates, enumerated from a workload's queries
+    through the optimizer's own block enumeration so every candidate can
+    actually be matched. *)
+
+module Spjg = Mv_relalg.Spjg
+
+type candidate = {
+  name : string;  (** ["cand%04d"], first-appearance order *)
+  spjg : Spjg.t;
+  sources : int list;  (** indices of the workload queries that seeded it *)
+}
+
+val mine : Spjg.t list -> candidate list
+(** Deduplicated (by SQL rendering) candidate definitions, deterministic
+    for a fixed query list: per multi-table connected block, an exact
+    slice (local predicates baked in) and a general slice (join
+    predicates only); per aggregate query, the perfect aggregate and a
+    generalized regroupable one. Every candidate derives from a concrete
+    query, so each matches at least one workload query. *)
+
+val definitions : candidate list -> (string * Spjg.t) list
+(** Name/definition pairs in mining order, as {!Mv_opt.Advisor.advise}
+    expects. *)

@@ -1,0 +1,316 @@
+(* Property tests for the view-selection advisor. The numeric selection
+   core is exercised in isolation on randomized instances (feasibility,
+   local-search dominance, a brute-force differential against an
+   independent subset enumeration written here), then the candidate
+   miner and the advise glue are checked end-to-end on generated
+   workloads: every mined candidate must register through the dynamic
+   registry and match at least one of its source queries. *)
+
+module Sel = Mv_opt.Advisor.Selection
+module Advisor = Mv_opt.Advisor
+module Optimizer = Mv_opt.Optimizer
+module Miner = Mv_workload.Miner
+module Registry = Mv_core.Registry
+module A = Mv_relalg.Analysis
+module Spjg = Mv_relalg.Spjg
+module Prng = Mv_util.Prng
+
+let quick = Sys.getenv_opt "MVIEW_ADVISE_QUICK" <> None
+let count = Helpers.qcheck_count (if quick then 15 else 60)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized selection instances. Everything is derived from one seed
+   through the repo's own PRNG so shrinking stays meaningful and every
+   failure reproduces bit-for-bit. *)
+
+type raw = {
+  base : float array;
+  cands : Sel.candidate list;
+  budget : float;
+}
+
+let raw_instance ?(max_n = 10) seed =
+  let prng = Prng.create seed in
+  let nq = 1 + Prng.int prng 6 in
+  let n = 1 + Prng.int prng max_n in
+  let base =
+    Array.init nq (fun _ -> 10. +. float_of_int (Prng.int prng 1000))
+  in
+  let cands =
+    List.init n (fun i ->
+        let saves =
+          List.concat
+            (List.init nq (fun q ->
+                 if Prng.chance prng 0.5 then
+                   (* deliberately sometimes at or above base: the
+                      constructor must drop useless entries without
+                      changing the objective *)
+                   [ (q, Prng.float prng *. base.(q) *. 1.2) ]
+                 else []))
+        in
+        {
+          Sel.id = Printf.sprintf "c%d" i;
+          size = 1. +. float_of_int (Prng.int prng 100);
+          maint = float_of_int (Prng.int prng 40);
+          saves;
+        })
+  in
+  let budget = float_of_int (Prng.int prng 260) in
+  { base; cands; budget }
+
+let instance_of_raw r = Sel.instance ~base:r.base ~budget:r.budget r.cands
+
+let tol_of r =
+  let s = Array.fold_left ( +. ) 0. r.base in
+  let m = List.fold_left (fun a c -> a +. c.Sel.maint) s r.cands in
+  1e-6 *. (1. +. m)
+
+(* Independent reference: objective and exhaustive optimum computed
+   straight from the raw data, sharing no code with the implementation. *)
+
+let ref_objective r sel =
+  let qcost = Array.copy r.base in
+  let maint = ref 0. in
+  List.iter
+    (fun j ->
+      let c = List.nth r.cands j in
+      maint := !maint +. c.Sel.maint;
+      List.iter
+        (fun (q, v) -> if v < qcost.(q) then qcost.(q) <- v)
+        c.Sel.saves)
+    sel;
+  Array.fold_left ( +. ) !maint qcost
+
+let ref_size r sel =
+  List.fold_left (fun a j -> a +. (List.nth r.cands j).Sel.size) 0. sel
+
+let ref_best r =
+  let n = List.length r.cands in
+  let best = ref (ref_objective r []) in
+  for mask = 1 to (1 lsl n) - 1 do
+    let sel =
+      List.filter (fun j -> mask land (1 lsl j) <> 0) (List.init n Fun.id)
+    in
+    if ref_size r sel <= r.budget then begin
+      let o = ref_objective r sel in
+      if o < !best then best := o
+    end
+  done;
+  !best
+
+let seed_arb _name = QCheck.small_int
+
+(* ------------------------------------------------------------------ *)
+(* Selection-core properties. *)
+
+let prop_within_budget =
+  QCheck.Test.make ~count ~name:"select stays within budget"
+    (seed_arb "seed")
+    (fun seed ->
+      let r = raw_instance seed in
+      let inst = instance_of_raw r in
+      let sel = Sel.select inst in
+      Sel.within_budget inst sel
+      && ref_size r sel <= r.budget +. tol_of r
+      && Sel.within_budget inst (Sel.greedy inst))
+
+let prop_local_search_dominates =
+  QCheck.Test.make ~count
+    ~name:"local search never worse than greedy alone" (seed_arb "seed")
+    (fun seed ->
+      let r = raw_instance seed in
+      let inst = instance_of_raw r in
+      let g = Sel.greedy inst in
+      let ls = Sel.local_search inst g in
+      Sel.objective inst ls <= Sel.objective inst g +. tol_of r)
+
+let prop_beats_empty =
+  QCheck.Test.make ~count ~name:"selected cost <= empty-set cost"
+    (seed_arb "seed")
+    (fun seed ->
+      let r = raw_instance seed in
+      let inst = instance_of_raw r in
+      Sel.objective inst (Sel.select inst)
+      <= Sel.objective inst [] +. tol_of r)
+
+let prop_deterministic =
+  QCheck.Test.make ~count ~name:"selection deterministic for a fixed seed"
+    (seed_arb "seed")
+    (fun seed ->
+      let a = Sel.select (instance_of_raw (raw_instance seed)) in
+      let b = Sel.select (instance_of_raw (raw_instance seed)) in
+      a = b)
+
+let prop_objective_matches_reference =
+  QCheck.Test.make ~count ~name:"objective matches reference computation"
+    (seed_arb "seed")
+    (fun seed ->
+      let r = raw_instance seed in
+      let inst = instance_of_raw r in
+      let prng = Prng.create (seed lxor 0x5ca1ab1e) in
+      let n = List.length r.cands in
+      let sel =
+        List.filter (fun _ -> Prng.bool prng) (List.init n Fun.id)
+      in
+      Float.abs (Sel.objective inst sel -. ref_objective r sel)
+      <= tol_of r)
+
+let prop_brute_force_differential =
+  QCheck.Test.make ~count
+    ~name:"brute force optimal on small instances (differential)"
+    (seed_arb "seed")
+    (fun seed ->
+      let r = raw_instance ~max_n:6 seed in
+      let inst = instance_of_raw r in
+      let bf = Sel.brute_force inst in
+      let sel = Sel.select inst in
+      (* small instances route select through brute force: both must hit
+         the independently computed optimum *)
+      Float.abs (Sel.objective inst bf -. ref_best r) <= tol_of r
+      && Float.abs (Sel.objective inst sel -. ref_best r) <= tol_of r
+      && Sel.within_budget inst bf)
+
+let test_rejects_infeasible_start () =
+  let r =
+    {
+      base = [| 100. |];
+      cands =
+        [
+          { Sel.id = "a"; size = 10.; maint = 0.; saves = [ (0, 50.) ] };
+          { Sel.id = "b"; size = 10.; maint = 0.; saves = [ (0, 40.) ] };
+        ];
+      budget = 10.;
+    }
+  in
+  let inst = instance_of_raw r in
+  (match Sel.local_search inst [ 0; 1 ] with
+  | _ -> Alcotest.fail "local_search accepted an over-budget start"
+  | exception Sel.Invalid _ -> ());
+  match Sel.instance ~base:[| Float.nan |] ~budget:1. [] with
+  | _ -> Alcotest.fail "instance accepted a NaN base cost"
+  | exception Sel.Invalid _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Miner: registration round-trip and no dead candidates. *)
+
+let schema = Helpers.schema
+let stats = Mv_tpch.Datagen.synthetic_stats ()
+
+let workload n seed = Mv_workload.Generator.queries ~seed schema stats n
+
+let test_miner_no_dead_candidates () =
+  let queries = workload (if quick then 6 else 12) 11 in
+  let qarr = Array.of_list queries in
+  let cands = Miner.mine queries in
+  Alcotest.(check bool) "mined something" true (cands <> []);
+  List.iter
+    (fun (c : Miner.candidate) ->
+      (* round-trip: the dynamic registry must accept (and index) the
+         candidate under its mined name *)
+      let reg = Registry.create schema in
+      (try ignore (Registry.add_view reg ~name:c.Miner.name c.Miner.spjg)
+       with exn ->
+         Alcotest.failf "candidate %s rejected by the registry: %s"
+           c.Miner.name (Printexc.to_string exn));
+      Alcotest.(check bool)
+        (c.Miner.name ^ " has a source") true (c.Miner.sources <> []);
+      let matches_source =
+        List.exists
+          (fun i ->
+            List.exists
+              (fun block ->
+                Registry.find_substitutes reg (A.analyze schema block) <> [])
+              (Optimizer.enumerate_blocks qarr.(i)))
+          c.Miner.sources
+      in
+      Alcotest.(check bool)
+        (c.Miner.name ^ " matches a source query")
+        true matches_source)
+    cands
+
+let test_miner_deterministic () =
+  let queries = workload 8 23 in
+  let fp cands =
+    List.map
+      (fun (c : Miner.candidate) ->
+        (c.Miner.name, Spjg.to_sql c.Miner.spjg, c.Miner.sources))
+      cands
+  in
+  Alcotest.(check bool)
+    "same candidates on re-mine" true
+    (fp (Miner.mine queries) = fp (Miner.mine queries))
+
+(* ------------------------------------------------------------------ *)
+(* Advise glue end-to-end on a generated workload. *)
+
+let test_advise_end_to_end () =
+  let nq = if quick then 8 else 16 in
+  let queries = workload nq 42 in
+  let cands = Miner.definitions (Miner.mine queries) in
+  let pool_rows =
+    List.fold_left
+      (fun a (name, spjg) ->
+        a + Mv_opt.Cost.estimate_view_rows ~name stats spjg)
+      0 cands
+  in
+  let budget = 0.05 *. float_of_int pool_rows in
+  let config = { Advisor.default_config with budget } in
+  let advice = Advisor.advise ~config schema stats ~candidates:cands
+      ~queries in
+  Alcotest.(check bool) "has picks" true (advice.Advisor.picks <> []);
+  let used =
+    List.fold_left
+      (fun a (p : Advisor.pick) -> a +. float_of_int p.Advisor.rows)
+      0. advice.Advisor.picks
+  in
+  Alcotest.(check bool) "within budget" true (used <= budget +. 1e-6);
+  Alcotest.(check (float 1e-6)) "used_budget consistent" used
+    advice.Advisor.used_budget;
+  Alcotest.(check bool)
+    "advised cost <= view-free cost" true
+    (advice.Advisor.cost_after <= advice.Advisor.cost_before +. 1e-6);
+  Alcotest.(check int) "considered+rejected covers the pool"
+    (List.length cands)
+    (advice.Advisor.considered + advice.Advisor.rejected);
+  (* registration bumps the epoch once per pick *)
+  let reg = Registry.create schema in
+  let e0 = Registry.epoch reg in
+  Advisor.register_picks reg advice;
+  Alcotest.(check int) "epoch bump per pick"
+    (e0 + List.length advice.Advisor.picks)
+    (Registry.epoch reg);
+  (* determinism of the whole pipeline *)
+  let advice' =
+    Advisor.advise ~config schema stats ~candidates:cands ~queries
+  in
+  Alcotest.(check (list string)) "same picks on re-advise"
+    (List.map (fun (p : Advisor.pick) -> p.Advisor.name) advice.Advisor.picks)
+    (List.map (fun (p : Advisor.pick) -> p.Advisor.name)
+       advice'.Advisor.picks)
+
+let suite =
+  [
+    ( "advise_selection",
+      [
+        Alcotest.test_case "infeasible inputs rejected" `Quick
+          test_rejects_infeasible_start;
+        Helpers.qtest prop_within_budget;
+        Helpers.qtest prop_local_search_dominates;
+        Helpers.qtest prop_beats_empty;
+        Helpers.qtest prop_deterministic;
+        Helpers.qtest prop_objective_matches_reference;
+        Helpers.qtest prop_brute_force_differential;
+      ] );
+    ( "advise_miner",
+      [
+        Alcotest.test_case "no dead candidates" `Quick
+          test_miner_no_dead_candidates;
+        Alcotest.test_case "mining deterministic" `Quick
+          test_miner_deterministic;
+      ] );
+    ( "advise_advisor",
+      [
+        Alcotest.test_case "end-to-end advise" `Quick
+          test_advise_end_to_end;
+      ] );
+  ]

@@ -253,6 +253,41 @@ let test_agg_groups () =
   Alcotest.(check bool) "b: removed at count zero" true
     (find_group dba "iv_agg" (V.Str "b") = None)
 
+(* ---- UPDATE as delete+insert sugar (Ivm.updates) ---- *)
+
+let test_updates () =
+  let r1 = [| V.Int 1; V.Int 1; V.Int 10; V.Int 2 |] in
+  let r1' = [| V.Int 1; V.Int 1; V.Int 99; V.Int 2 |] in
+  let r3 = [| V.Int 3; V.Int 2; V.Int 5; V.Int 1 |] in
+  let r3' = [| V.Int 3; V.Int 1; V.Int 5; V.Int 1 |] in
+  let r4 = [| V.Int 4; V.Int 2; V.Int 7; V.Int 4 |] in
+  (* field mapping: del carries the before-images, ins the after-images;
+     identical (no-op) pairs are kept on both sides *)
+  let d = Ivm.updates [ (r1, r1'); (r4, r4) ] in
+  Alcotest.(check bool) "del = befores, ins = afters" true
+    (d.Ivm.del = [ r1; r4 ] && d.Ivm.ins = [ r1'; r4 ]);
+  let view = agg_view "iv_upd" in
+  let _, dba =
+    differential view
+      [
+        (* in-place value change: group "a"'s sum must move 10 -> 99 *)
+        [ ("fact", Ivm.updates [ (r1, r1') ]) ];
+        (* cross-group move: fact 3 migrates from dim 2 to dim 1; a no-op
+           pair rides along and must change nothing *)
+        [ ("fact", Ivm.updates [ (r3, r3'); (r4, r4) ]) ];
+      ]
+  in
+  (match find_group dba "iv_upd" (V.Str "a") with
+  | Some r ->
+      Alcotest.(check bool) "a: count 3, sum 99+5, qty 2+3+1" true
+        (r.(1) = V.Int 3 && r.(2) = V.Int 104 && r.(3) = V.Int 6)
+  | None -> Alcotest.fail "group a must survive the updates");
+  match find_group dba "iv_upd" (V.Str "b") with
+  | Some r ->
+      Alcotest.(check bool) "b: down to fact 4 only" true
+        (r.(1) = V.Int 1 && r.(2) = V.Int 7 && r.(3) = V.Int 4)
+  | None -> Alcotest.fail "group b must keep fact 4"
+
 (* ---- the scalar aggregate: its single row never dies ---- *)
 
 let test_scalar_agg () =
@@ -384,6 +419,23 @@ let bag_close rows_a rows_b =
        (List.sort Mv_engine.Relation.row_order rows_a)
        (List.sort Mv_engine.Relation.row_order rows_b)
 
+(* Mutate one random Int column of the row — shared by the insert and
+   update batch generators below. *)
+let mutate_row prng (tbl : Table.t) row =
+  let row = Array.copy row in
+  let ints =
+    tbl.Table.def.Mv_catalog.Table_def.columns
+    |> List.mapi (fun i (c : Mv_catalog.Column.t) -> (i, c))
+    |> List.filter (fun (_, (c : Mv_catalog.Column.t)) ->
+           c.Mv_catalog.Column.dtype = Mv_base.Dtype.Int)
+  in
+  (match ints with
+  | [] -> ()
+  | _ ->
+      let i, _ = Mv_util.Prng.pick prng ints in
+      row.(i) <- V.Int (Mv_util.Prng.int prng 1000));
+  row
+
 (* A random batch over one of the view's source tables: duplicates of
    existing rows (foreign keys keep holding — join deltas fire), mutated
    duplicates (fresh values birth new groups), and deletes of distinct
@@ -396,21 +448,7 @@ let random_batch prng db (view : Mv_core.View.t) : Ivm.batch =
   if n = 0 then []
   else begin
     let pick () = List.nth rows (Mv_util.Prng.int prng n) in
-    let mutate row =
-      let row = Array.copy row in
-      let ints =
-        tbl.Table.def.Mv_catalog.Table_def.columns
-        |> List.mapi (fun i (c : Mv_catalog.Column.t) -> (i, c))
-        |> List.filter (fun (_, (c : Mv_catalog.Column.t)) ->
-               c.Mv_catalog.Column.dtype = Mv_base.Dtype.Int)
-      in
-      (match ints with
-      | [] -> ()
-      | _ ->
-          let i, _ = Mv_util.Prng.pick prng ints in
-          row.(i) <- V.Int (Mv_util.Prng.int prng 1000));
-      row
-    in
+    let mutate = mutate_row prng tbl in
     let n_ins = 1 + Mv_util.Prng.int prng 4 in
     let ins =
       List.init n_ins (fun _ ->
@@ -422,6 +460,30 @@ let random_batch prng db (view : Mv_core.View.t) : Ivm.batch =
       List.filteri (fun i _ -> i < n_del) (Mv_util.Prng.shuffle prng rows)
     in
     [ (tn, { Ivm.ins; del }) ]
+  end
+
+(* A random UPDATE batch: distinct existing row instances as the
+   before-images, each after-image a mutation of its before-image (or
+   sometimes the identity, exercising the kept no-op pairs). *)
+let random_update_batch prng db (view : Mv_core.View.t) : Ivm.batch =
+  let tn = Mv_util.Prng.pick prng (Mv_util.Sset.elements view.Mv_core.View.source_tables) in
+  let tbl = DB.table_exn db tn in
+  let rows = tbl.Table.rows in
+  let n = List.length rows in
+  if n = 0 then []
+  else begin
+    let k = 1 + Mv_util.Prng.int prng (min 4 n) in
+    let befores =
+      List.filteri (fun i _ -> i < k) (Mv_util.Prng.shuffle prng rows)
+    in
+    let pairs =
+      List.map
+        (fun r ->
+          if Mv_util.Prng.chance prng 0.2 then (r, r)
+          else (r, mutate_row prng tbl r))
+        befores
+    in
+    [ (tn, Ivm.updates pairs) ]
   end
 
 let count = Helpers.qcheck_count (if quick then 10 else 40)
@@ -453,6 +515,33 @@ let differential_prop =
       done;
       !ok)
 
+let updates_prop =
+  QCheck.Test.make ~name:"random updates: maintained = rematerialized" ~count
+    QCheck.(triple (int_bound 1_000_000) (int_range 1 3) (int_bound 1_000_000))
+    (fun (pick, db_seed, batch_seed) ->
+      let views = Lazy.force gen_views in
+      let view = List.nth views (pick mod List.length views) in
+      let db0 = Mv_tpch.Datagen.generate ~seed:db_seed ~scale:1 () in
+      let dba = DB.copy db0 and dbb = DB.copy db0 in
+      ignore (Exec.materialize dba view);
+      ignore (Exec.materialize dbb view);
+      let ivm = Ivm.create dba in
+      Ivm.attach ivm view;
+      let prng = Mv_util.Prng.create batch_seed in
+      let ok = ref true in
+      for _ = 1 to 3 do
+        let batch = random_update_batch prng dba view in
+        Ivm.apply ivm batch;
+        remat_apply dbb [ view ] batch;
+        if
+          not
+            (bag_close
+               (view_rows dba view.Mv_core.View.name)
+               (view_rows dbb view.Mv_core.View.name))
+        then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     ( "ivm_units",
@@ -463,6 +552,8 @@ let suite =
           test_join_delta;
         Alcotest.test_case "aggregate groups: NULL sums, birth, death" `Quick
           test_agg_groups;
+        Alcotest.test_case "UPDATE as delete+insert sugar" `Quick
+          test_updates;
         Alcotest.test_case "scalar aggregate keeps its single row" `Quick
           test_scalar_agg;
         Alcotest.test_case "freshness epochs + statistics refresh" `Quick
@@ -470,5 +561,5 @@ let suite =
         Alcotest.test_case "error paths" `Quick test_errors;
       ] );
     ( "ivm_diff",
-      [ Helpers.qtest differential_prop ] );
+      [ Helpers.qtest differential_prop; Helpers.qtest updates_prop ] );
   ]
