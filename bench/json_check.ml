@@ -5,9 +5,15 @@
       json_check.exe --compare FRESH BASELINE \
         [--tolerance F] [--structure-only] \
         [--percentile-tolerance F] \
-        [--ignore KEY]...                       # fresh run vs committed
+        [--ignore KEY]... \
+        [--require PATH]...                     # fresh run vs committed
 
     Path segments are object fields; a numeric segment indexes a list.
+
+    [--require PATH] (repeatable, [--compare] mode) asserts the dotted
+    path is present in FRESH regardless of the baseline's contents — how
+    CI pins sections newer than the committed baseline (the [timeline] /
+    [health] observability exports) without regenerating it.
 
     [--compare] walks every key path of BASELINE and requires it in FRESH
     with the same JSON kind (lists are sampled by their first element, so a
@@ -160,6 +166,14 @@ let () =
         in
         collect opts
       in
+      let required =
+        let rec collect = function
+          | "--require" :: p :: rest -> p :: collect rest
+          | _ :: rest -> collect rest
+          | [] -> []
+        in
+        collect opts
+      in
       let parse file =
         match J.of_string (read_file file) with
         | j -> j
@@ -170,14 +184,28 @@ let () =
         compare_trees ~structure_only ~tolerance ~percentile_tolerance ~ignored
           fresh baseline
       in
+      let errors =
+        errors
+        @ List.filter_map
+            (fun p ->
+              match lookup fresh p with
+              | Some _ -> None
+              | None ->
+                  Some
+                    (Printf.sprintf "%s: required key missing in fresh run" p))
+            required
+      in
       if errors <> [] then begin
         List.iter prerr_endline errors;
         fail "%s vs %s: %d check(s) failed" fresh_file baseline_file
           (List.length errors)
       end;
-      Printf.printf "%s vs %s: %d path(s) agree%s\n" fresh_file baseline_file
+      Printf.printf "%s vs %s: %d path(s) agree%s%s\n" fresh_file baseline_file
         checked
         (if structure_only then " (structure only)" else "")
+        (match List.length required with
+        | 0 -> ""
+        | n -> Printf.sprintf ", %d required key(s) present" n)
   | "--contains" :: file :: needles ->
       let body = read_file file in
       let contains needle =
@@ -211,5 +239,6 @@ let () =
       prerr_endline
         "usage: json_check.exe FILE key... | json_check.exe --contains FILE \
          str... | json_check.exe --compare FRESH BASELINE [--tolerance F] \
-         [--percentile-tolerance F] [--structure-only] [--ignore KEY]...";
+         [--percentile-tolerance F] [--structure-only] [--ignore KEY]... \
+         [--require PATH]...";
       exit 1

@@ -23,6 +23,7 @@ let usage () =
     \       [--whynot] [--exec] [--maintain] [--advise] [--json FILE]\n\
     \       [--domains N] [--passes N] [--queries N] [--max-views N] [--step N]\n\
     \       [--rate QPS] [--duration S] [--serve-trace FILE]\n\
+    \       [--serve-advise N]\n\
     \       [--scales S1,S2,...] [--reps N] [--batches N]\n\
     \       [--maintain-views S1,S2,...] [--batch-rows S1,S2,...]\n\
     \       [--advise-candidates S1,S2,...] [--advise-trials N]\n\
@@ -90,6 +91,7 @@ let () =
     ref Mv_experiments.Serve.default_cfg.Mv_experiments.Serve.duration
   in
   let serve_trace = ref None in
+  let serve_advise = ref 4 in
   let rec parse = function
     | [] -> ()
     | "--full" :: rest ->
@@ -137,6 +139,9 @@ let () =
         parse rest
     | "--serve-trace" :: f :: rest ->
         serve_trace := Some f;
+        parse rest
+    | "--serve-advise" :: n :: rest ->
+        serve_advise := max 0 (int_of_string n);
         parse rest
     | "--whynot" :: rest ->
         add_sel (fun s -> { s with whynot = true });
@@ -325,6 +330,7 @@ let () =
         domains = !domains;
         rate = !rate;
         duration = !duration;
+        advise = !serve_advise;
       }
     in
     let m = S.run ~cfg (Option.get w) in
@@ -355,6 +361,13 @@ let () =
       prerr_endline
         "serving throughput: an observation is not explainable by any \
          registry state";
+      exit 3
+    end;
+    if m.S.sv_dead <> [] then begin
+      Printf.eprintf
+        "serving throughput: advised view(s) never matched during the run \
+         (dead-view gate): %s\n"
+        (String.concat ", " m.S.sv_dead);
       exit 3
     end
   end;
@@ -406,6 +419,10 @@ let () =
     in
     Mv_experiments.Report.maintenance_table m;
     add_section "maintenance" (Mv_experiments.Report.maintenance_json m);
+    (* the per-window obs timeline the sampler domain collected over the
+       maintenance grid, surfaced top-level so json_check --require can pin
+       it without reading into the maintenance section *)
+    add_section "timeline" m.Mv_experiments.Harness.mm_timeline;
     if
       not
         (m.Mv_experiments.Harness.mm_equivalent

@@ -15,6 +15,12 @@
       serve    sustain an open-loop query stream over OCaml domains against
                RCU registry snapshots under add/drop churn; print qps and
                latency percentiles, replay sampled observations sequentially
+      top      run a ledger-observed workload and print the per-view health
+               table (times candidate/matched/chosen, estimated benefit,
+               maintenance seconds) sorted by net benefit, dead views flagged
+      metrics  the same run exported in OpenMetrics text format: obs
+               counters/timers/histograms, the per-view ledger and the
+               timeline windows
       refresh  demonstrate the freshness protocol: stale marks on
                unmaintained writes, fresh-only rejection, rematerialization
                and incremental maintenance (Ivm.apply) restoring freshness
@@ -40,6 +46,21 @@ let read_arg s =
     close_in ic;
     b)
   else s
+
+(* Every registry/metrics JSON dump below goes through
+   [Mv_obs.Export.registry_json], so all subcommands emit the one schema:
+   {"metrics": <obs registry>, "timeline"?: ..., "health"?: ...,
+    <command section>...}. *)
+let dump_registry ?timeline ?health ?(extra = []) obs file =
+  let extra =
+    (match health with
+    | None -> []
+    | Some h -> [ ("health", Mv_core.Health.to_json h) ])
+    @ extra
+  in
+  Mv_experiments.Report.write_json file
+    (Mv_obs.Export.registry_json ?timeline ~extra obs);
+  Printf.printf "wrote %s\n" file
 
 (* ---- parse ---- *)
 
@@ -194,7 +215,16 @@ let explain_cmd =
              $(docv) (open in ui.perfetto.dev or chrome://tracing). Implies \
              span recording.")
   in
-  let run views query execute show_stats trace trace_out =
+  let json_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:
+            "Dump the obs registry (rule/filter-tree/optimizer instruments) \
+             and the per-view health ledger as JSON — the same schema every \
+             other subcommand's --json emits.")
+  in
+  let run views query execute show_stats trace trace_out json_file =
     let registry = Mv_core.Registry.create ~tracing:show_stats schema in
     let stats = Mv_tpch.Datagen.synthetic_stats () in
     List.iter
@@ -258,6 +288,11 @@ let explain_cmd =
           (Mv_obs.Trace.events tr)
       end
     end;
+    (match json_file with
+    | None -> ()
+    | Some file ->
+        dump_registry ~health:registry.Mv_core.Registry.health
+          registry.Mv_core.Registry.obs file);
     match collector with
     | None -> ()
     | Some col ->
@@ -275,7 +310,8 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain" ~doc:"Optimize a query against views; print the plan")
     Term.(
-      const run $ views $ query $ execute $ stats_flag $ trace_flag $ trace_out)
+      const run $ views $ query $ execute $ stats_flag $ trace_flag $ trace_out
+      $ json_file)
 
 (* ---- why-not ---- *)
 
@@ -435,7 +471,21 @@ let advise_cmd =
             "Maintenance events per workload query: higher values penalize \
              wide views through the maintenance-cost term.")
   in
-  let run nqueries candidates budget_frac seed write_fraction =
+  let from_ledger =
+    Arg.(
+      value & flag
+      & info [ "from-ledger" ]
+          ~doc:
+            "Re-price the candidates with observed per-query frequencies: a \
+             skewed trace of the workload is optimized first so the \
+             registry's health ledger records how often each query actually \
+             arrives, then selection runs once uniformly and once with the \
+             ledger frequencies as weights, and both selections are costed \
+             with the real optimizer on the observed trace. Exits 3 if the \
+             ledger-driven selection loses to the uniform one or breaks the \
+             budget.")
+  in
+  let run nqueries candidates budget_frac seed write_fraction from_ledger =
     let stats = Mv_tpch.Datagen.synthetic_stats () in
     let qs = Mv_workload.Generator.queries ~seed schema stats nqueries in
     let mined = Mv_workload.Miner.mine qs in
@@ -458,57 +508,147 @@ let advise_cmd =
         write_fraction;
       }
     in
+    let print_picks (advice : Mv_opt.Advisor.advice) =
+      Printf.printf
+        "budget %.0f rows (%.0f%% of pool), %d considered, %d rejected\n\n"
+        config.Mv_opt.Advisor.budget (100.0 *. budget_frac)
+        advice.Mv_opt.Advisor.considered advice.Mv_opt.Advisor.rejected;
+      Printf.printf "%-9s %10s %12s %12s  definition\n" "pick" "rows" "benefit"
+        "maint";
+      List.iter
+        (fun (p : Mv_opt.Advisor.pick) ->
+          let sql = Mv_relalg.Spjg.to_sql p.Mv_opt.Advisor.spjg in
+          let first_line =
+            match String.index_opt sql '\n' with
+            | Some i -> String.sub sql 0 i ^ " ..."
+            | None -> sql
+          in
+          Printf.printf "%-9s %10d %12.0f %12.0f  %s\n" p.Mv_opt.Advisor.name
+            p.Mv_opt.Advisor.rows p.Mv_opt.Advisor.benefit
+            p.Mv_opt.Advisor.maint first_line)
+        advice.Mv_opt.Advisor.picks
+    in
     let advice =
       Mv_opt.Advisor.advise ~config schema stats ~candidates:defs ~queries:qs
     in
-    Printf.printf
-      "budget %.0f rows (%.0f%% of pool), %d considered, %d rejected\n\n"
-      config.Mv_opt.Advisor.budget (100.0 *. budget_frac)
-      advice.Mv_opt.Advisor.considered advice.Mv_opt.Advisor.rejected;
-    Printf.printf "%-9s %10s %12s %12s  definition\n" "pick" "rows" "benefit"
-      "maint";
-    List.iter
-      (fun (p : Mv_opt.Advisor.pick) ->
-        let sql = Mv_relalg.Spjg.to_sql p.Mv_opt.Advisor.spjg in
-        let first_line =
-          match String.index_opt sql '\n' with
-          | Some i -> String.sub sql 0 i ^ " ..."
-          | None -> sql
-        in
-        Printf.printf "%-9s %10d %12.0f %12.0f  %s\n" p.Mv_opt.Advisor.name
-          p.Mv_opt.Advisor.rows p.Mv_opt.Advisor.benefit
-          p.Mv_opt.Advisor.maint first_line)
-      advice.Mv_opt.Advisor.picks;
-    (* register the picks through the dynamic registry and verify the
-       modeled improvement against the real optimizer *)
-    let registry = Mv_core.Registry.create schema in
-    let total reg =
-      List.fold_left
-        (fun acc q ->
-          acc +. (Mv_opt.Optimizer.optimize reg stats q).Mv_opt.Optimizer.cost)
-        0.0 qs
-    in
-    let before = total registry in
-    let epoch0 = Mv_core.Registry.epoch registry in
-    Mv_opt.Advisor.register_picks registry advice;
-    let after = total registry in
-    Printf.printf
-      "\nregistered %d picks (registry epoch %d -> %d)\n\
-       workload cost before %.0f, after %.0f (%.2fx); model said %.0f -> %.0f\n"
-      (List.length advice.Mv_opt.Advisor.picks)
-      epoch0
-      (Mv_core.Registry.epoch registry)
-      before after
-      (if after > 0.0 then before /. after else 1.0)
-      advice.Mv_opt.Advisor.cost_before advice.Mv_opt.Advisor.cost_after
+    if not from_ledger then begin
+      print_picks advice;
+      (* register the picks through the dynamic registry and verify the
+         modeled improvement against the real optimizer *)
+      let registry = Mv_core.Registry.create schema in
+      let total reg =
+        List.fold_left
+          (fun acc q ->
+            acc
+            +. (Mv_opt.Optimizer.optimize reg stats q).Mv_opt.Optimizer.cost)
+          0.0 qs
+      in
+      let before = total registry in
+      let epoch0 = Mv_core.Registry.epoch registry in
+      Mv_opt.Advisor.register_picks registry advice;
+      let after = total registry in
+      Printf.printf
+        "\nregistered %d picks (registry epoch %d -> %d)\n\
+         workload cost before %.0f, after %.0f (%.2fx); model said %.0f -> \
+         %.0f\n"
+        (List.length advice.Mv_opt.Advisor.picks)
+        epoch0
+        (Mv_core.Registry.epoch registry)
+        before after
+        (if after > 0.0 then before /. after else 1.0)
+        advice.Mv_opt.Advisor.cost_before advice.Mv_opt.Advisor.cost_after
+    end
+    else begin
+      (* ---- --from-ledger: observe a skewed trace, re-price, compare ----
+         The trace repeats query i roughly zipf-fashion, so the observed
+         frequencies genuinely differ from the generator's uniform
+         assumption; the ledger (not the trace list) is the only source of
+         the weights, exactly as a live server would use it. *)
+      let trace_reg = Mv_core.Registry.create schema in
+      let trace =
+        List.concat
+          (List.mapi
+             (fun i q -> List.init (max 1 (16 / (i + 1))) (fun _ -> q))
+             qs)
+      in
+      List.iter
+        (fun q -> ignore (Mv_opt.Optimizer.optimize trace_reg stats q))
+        trace;
+      let health = trace_reg.Mv_core.Registry.health in
+      let freq = Hashtbl.create 64 in
+      List.iter
+        (fun (q, n) -> Hashtbl.replace freq (Mv_relalg.Spjg.to_sql q) n)
+        (Mv_core.Health.query_frequencies health);
+      let weight q =
+        float_of_int
+          (Option.value ~default:0
+             (Hashtbl.find_opt freq (Mv_relalg.Spjg.to_sql q)))
+      in
+      let weights = Array.of_list (List.map weight qs) in
+      Printf.printf
+        "observed trace: %d submissions over %d distinct queries (ledger)\n"
+        (Mv_core.Health.queries_total health)
+        (List.length (Mv_core.Health.query_frequencies health));
+      let ledger_advice =
+        Mv_opt.Advisor.advise ~config ~weights schema stats ~candidates:defs
+          ~queries:qs
+      in
+      print_picks ledger_advice;
+      (* cost both selections with the real optimizer on the observed
+         trace: each query's plan cost times how often the ledger saw it *)
+      let trace_cost (advice : Mv_opt.Advisor.advice) =
+        let reg = Mv_core.Registry.create schema in
+        Mv_opt.Advisor.register_picks reg advice;
+        List.fold_left
+          (fun acc q ->
+            acc
+            +. weight q
+               *. (Mv_opt.Optimizer.optimize reg stats q).Mv_opt.Optimizer.cost)
+          0.0 qs
+      in
+      let uniform_cost = trace_cost advice in
+      let ledger_cost = trace_cost ledger_advice in
+      let used (a : Mv_opt.Advisor.advice) =
+        List.fold_left
+          (fun acc (p : Mv_opt.Advisor.pick) ->
+            acc +. float_of_int p.Mv_opt.Advisor.rows)
+          0.0 a.Mv_opt.Advisor.picks
+      in
+      let feasible =
+        used ledger_advice <= config.Mv_opt.Advisor.budget +. 1e-6
+      in
+      Printf.printf
+        "\nobserved-trace cost: generator-priced picks %.0f, ledger-priced \
+         picks %.0f (%d vs %d picks, ledger budget used %.0f/%.0f)\n"
+        uniform_cost ledger_cost
+        (List.length advice.Mv_opt.Advisor.picks)
+        (List.length ledger_advice.Mv_opt.Advisor.picks)
+        (used ledger_advice) config.Mv_opt.Advisor.budget;
+      if not feasible then begin
+        prerr_endline "from-ledger: selection exceeds the storage budget";
+        exit 3
+      end;
+      if ledger_cost > uniform_cost +. 1e-6 then begin
+        prerr_endline
+          "from-ledger: ledger-priced selection lost to the uniform one on \
+           the observed trace";
+        exit 3
+      end;
+      print_endline
+        "ledger-priced selection is feasible and never worse on the observed \
+         trace"
+    end
   in
   Cmd.v
     (Cmd.info "advise"
        ~doc:
          "Mine view candidates from a generated workload, select a set under \
           a storage budget (greedy + local search with a maintenance-cost \
-          term), register the picks, and report workload cost before/after")
-    Term.(const run $ queries $ candidates $ budget $ seed $ write_fraction)
+          term), register the picks, and report workload cost before/after; \
+          --from-ledger re-prices with observed query frequencies")
+    Term.(
+      const run $ queries $ candidates $ budget $ seed $ write_fraction
+      $ from_ledger)
 
 (* ---- bench ---- *)
 
@@ -573,10 +713,9 @@ let bench_cmd =
     match json_file with
     | None -> ()
     | Some file ->
-        Mv_experiments.Report.write_json file
-          (Mv_obs.Json.Obj
-             [ ("scaling", Mv_experiments.Report.scaling_json ms) ]);
-        Printf.printf "wrote %s\n" file
+        dump_registry
+          ~extra:[ ("scaling", Mv_experiments.Report.scaling_json ms) ]
+          Mv_obs.Registry.global file
   in
   Cmd.v
     (Cmd.info "bench"
@@ -631,10 +770,9 @@ let cache_stats_cmd =
     (match json_file with
     | None -> ()
     | Some file ->
-        Mv_experiments.Report.write_json file
-          (Mv_obs.Json.Obj
-             [ ("serving", Mv_experiments.Report.serving_json m) ]);
-        Printf.printf "wrote %s\n" file);
+        dump_registry
+          ~extra:[ ("serving", Mv_experiments.Report.serving_json m) ]
+          Mv_obs.Registry.global file);
     if
       not
         (m.Mv_experiments.Harness.warm_identical
@@ -717,10 +855,10 @@ let serve_cmd =
     (match json_file with
     | None -> ()
     | Some file ->
-        Mv_experiments.Report.write_json file
-          (Mv_obs.Json.Obj
-             [ ("serving_throughput", Mv_experiments.Report.serve_json m) ]);
-        Printf.printf "wrote %s\n" file);
+        dump_registry
+          ~extra:
+            [ ("serving_throughput", Mv_experiments.Report.serve_json m) ]
+          Mv_obs.Registry.global file);
     if not m.S.sv_consistent then exit 3
   in
   Cmd.v
@@ -732,6 +870,131 @@ let serve_cmd =
     Term.(
       const run $ views $ queries $ domains $ rate $ duration $ fixed $ churn
       $ json_file)
+
+(* ---- top / metrics ---- *)
+
+(* Optimize a generated workload against its view population [passes]
+   times with a timeline sampler running, so the registry's obs
+   instruments, the per-view health ledger and the window ring all carry
+   real data for `top` and `metrics` to surface. *)
+let ledger_run ~views ~queries ~passes =
+  let w =
+    Mv_experiments.Harness.make_workload ~nviews:views ~nqueries:queries ()
+  in
+  let registry = Mv_core.Registry.create schema in
+  List.iter
+    (Mv_core.Registry.add_prebuilt registry)
+    w.Mv_experiments.Harness.views;
+  let obs = registry.Mv_core.Registry.obs in
+  let tl = Mv_obs.Timeline.create ~capacity:240 obs in
+  let sampler = Mv_obs.Timeline.start ~period:0.02 tl in
+  for _ = 1 to max 1 passes do
+    List.iter
+      (fun q ->
+        ignore
+          (Mv_opt.Optimizer.optimize registry w.Mv_experiments.Harness.stats q))
+      w.Mv_experiments.Harness.queries
+  done;
+  Mv_obs.Timeline.stop sampler;
+  (registry, tl)
+
+let workload_args =
+  let views =
+    Arg.(
+      value & opt int 100
+      & info [ "views" ] ~docv:"N" ~doc:"View population size.")
+  in
+  let queries =
+    Arg.(
+      value & opt int 25
+      & info [ "queries" ] ~docv:"N" ~doc:"Query batch size.")
+  in
+  let passes =
+    Arg.(
+      value & opt int 2
+      & info [ "passes" ] ~docv:"N"
+          ~doc:"Optimize the batch this many times (warm ledger counts).")
+  in
+  (views, queries, passes)
+
+let top_cmd =
+  let views, queries, passes = workload_args in
+  let limit =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Keep only the first $(docv) rows (0 = all).")
+  in
+  let json_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Also dump the obs registry, timeline and ledger as JSON.")
+  in
+  let run views queries passes limit json_file =
+    let registry, tl = ledger_run ~views ~queries ~passes in
+    let health = registry.Mv_core.Registry.health in
+    Printf.printf
+      "per-view health over %d optimizations (%d passes x %d queries), by \
+       net benefit:\n"
+      (Mv_core.Health.queries_total health)
+      (max 1 passes) queries;
+    print_string
+      (Mv_core.Health.render
+         ?limit:(if limit > 0 then Some limit else None)
+         health);
+    let rows = Mv_core.Health.rows health in
+    let dead = List.filter Mv_core.Health.dead rows in
+    Printf.printf "%d view(s), %d matched at least once, %d dead\n"
+      (List.length rows)
+      (List.length rows - List.length dead)
+      (List.length dead);
+    match json_file with
+    | None -> ()
+    | Some file ->
+        dump_registry ~timeline:tl ~health registry.Mv_core.Registry.obs file
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Run a ledger-observed workload and print the per-view health \
+          table (times candidate/matched/chosen, estimated benefit, \
+          maintenance seconds) sorted by net benefit, dead views flagged")
+    Term.(const run $ views $ queries $ passes $ limit $ json_file)
+
+let metrics_cmd =
+  let views, queries, passes = workload_args in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write the OpenMetrics exposition to $(docv) instead of stdout.")
+  in
+  let run views queries passes out =
+    let registry, tl = ledger_run ~views ~queries ~passes in
+    let obs = registry.Mv_core.Registry.obs in
+    let families =
+      Mv_obs.Export.families_of_registry obs
+      @ Mv_obs.Export.timer_cpu_families obs
+      @ Mv_core.Health.families registry.Mv_core.Registry.health
+      @ Mv_obs.Export.families_of_timeline tl
+    in
+    let body = Mv_obs.Export.render families in
+    match out with
+    | None -> print_string body
+    | Some file ->
+        let oc = open_out file in
+        output_string oc body;
+        close_out oc;
+        Printf.printf "wrote %s\n" file
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a ledger-observed workload and export every obs instrument, \
+          the per-view health ledger and the timeline windows in \
+          OpenMetrics text format")
+    Term.(const run $ views $ queries $ passes $ out)
 
 (* ---- refresh ---- *)
 
@@ -912,6 +1175,8 @@ let main =
       bench_cmd;
       cache_stats_cmd;
       serve_cmd;
+      top_cmd;
+      metrics_cmd;
       refresh_cmd;
       demo_cmd;
     ]

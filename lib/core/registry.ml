@@ -39,6 +39,7 @@ type t = {
   mutable views : View.t list;  (** insertion order *)
   tree : Filter_tree.t;
   obs : Obs.t;
+  health : Health.t;
   tracing : bool;
   epoch : int Atomic.t;
       (** bumped by every effective add/drop; caches key their entries by
@@ -78,6 +79,7 @@ let create ?(relaxed_nulls = false) ?(backjoins = false) ?(use_filter = true)
            else Filter_tree.default_plan)
         ();
     obs;
+    health = Health.create ();
     tracing;
     epoch = Atomic.make 0;
     snap = Atomic.make None;
@@ -293,6 +295,7 @@ let match_with_candidates ?spans ?snap ?(fresh_only = false) t (q : A.t) :
   in
   Mv_obs.Instrument.add (Obs.counter t.obs "rule.candidates")
     (List.length cands);
+  List.iter (fun v -> Health.record_candidate t.health v.View.name) cands;
   let subs =
     List.filter_map
       (fun v ->
@@ -308,6 +311,10 @@ let match_with_candidates ?spans ?snap ?(fresh_only = false) t (q : A.t) :
   Mv_obs.Instrument.add (Obs.counter t.obs "rule.matched") (List.length subs);
   Mv_obs.Instrument.add (Obs.counter t.obs "rule.substitutes")
     (List.length subs);
+  List.iter
+    (fun (s : Substitute.t) ->
+      Health.record_matched t.health s.Substitute.view.View.name)
+    subs;
   Mv_obs.Instrument.exit_into (Obs.timer t.obs "rule.time") span;
   if t.tracing then begin
     let wall, _ = Mv_obs.Instrument.elapsed span in
@@ -347,6 +354,7 @@ let mark_stale t ~tables : int =
     (fun n v ->
       if hit v && not (View.is_stale v) then begin
         View.mark_stale v;
+        Health.record_stale t.health v.View.name;
         n + 1
       end
       else n)

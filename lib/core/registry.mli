@@ -42,6 +42,12 @@ type t = {
   mutable views : View.t list;
   tree : Filter_tree.t;
   obs : Mv_obs.Registry.t;
+  health : Health.t;
+      (** the per-view ledger: candidate/matched recorded here by the
+          rule, staleness flips by {!mark_stale}; higher layers attribute
+          chosen/benefit (optimizer), maintenance ([Mv_engine.Ivm]) and
+          cache hits (serving front end). Keyed by view name, so accounts
+          survive churn and republication. *)
   tracing : bool;
       (** append a [rule] trace event per invocation (requires an [obs]
           with a nonzero trace capacity; [create ~tracing:true] makes one) *)

@@ -114,9 +114,15 @@ type vstate = Spj_state | Agg_state of agg_shape * (string, group) Hashtbl.t
 
 type entry = { view : View.t; state : vstate; mutable dirty : bool }
 
-type t = { db : Database.t; mutable entries : entry list }
+type t = {
+  db : Database.t;
+  mutable entries : entry list;
+  health : Mv_core.Health.t option;
+      (* when present, every per-view delta application charges its wall
+         time to the view's ledger account (DESIGN.md §14) *)
+}
 
-let create db = { db; entries = [] }
+let create ?health db = { db; entries = []; health }
 
 let database t = t.db
 
@@ -458,6 +464,7 @@ let apply t (batch : batch) =
             written
         in
         if affected then begin
+          let t0 = Mv_obs.Instrument.now_wall () in
           let signed = signed_tuples t entry.view batch old_rows in
           let changed =
             match entry.state with
@@ -471,7 +478,13 @@ let apply t (batch : batch) =
             entry.dirty <- true
           end;
           tick "views.updated";
-          record_fresh t entry.view
+          record_fresh t entry.view;
+          match t.health with
+          | Some h ->
+              Mv_core.Health.record_maintenance h
+                ~wall:(Mv_obs.Instrument.now_wall () -. t0)
+                entry.view.View.name
+          | None -> ()
         end)
       t.entries
   end

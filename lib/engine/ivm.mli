@@ -62,7 +62,10 @@ type t
 (** A maintenance engine bound to one database: the set of attached views
     plus their aggregate sidecars. *)
 
-val create : Database.t -> t
+val create : ?health:Mv_core.Health.t -> Database.t -> t
+(** [health] is the owning registry's per-view ledger: when given, every
+    per-view delta application in {!apply} charges its wall time to that
+    view's account ([record_maintenance], DESIGN.md §14). *)
 
 val database : t -> Database.t
 

@@ -621,6 +621,9 @@ type maintain_measurement = {
   mm_cells : maintain_cell list;
   mm_equivalent : bool;  (** conjunction over the cells *)
   mm_stats_fresh : bool;
+  mm_timeline : Mv_obs.Json.t;
+      (** {!Mv_obs.Timeline} export: per-window maintain.delta/remat
+          histogram stats sampled by a dedicated domain across the grid *)
 }
 
 (* Near-equality of view contents: float columns compare within a relative
@@ -650,8 +653,8 @@ let bag_close rows_a rows_b =
    batch in both arms. Batches duplicate randomly picked existing rows
    (foreign keys keep holding, join deltas fire) and delete randomly
    picked distinct row instances of one randomly chosen source table. *)
-let maintain_cell ~seed ~batches ~db0 ~stats0 ~pool ~nviews ~batch_rows :
-    maintain_cell =
+let maintain_cell ?obs ~seed ~batches ~db0 ~stats0 ~pool ~nviews ~batch_rows ()
+    : maintain_cell =
   let views = take nviews pool in
   let dba = Mv_engine.Database.copy db0 in
   let dbb = Mv_engine.Database.copy db0 in
@@ -685,9 +688,30 @@ let maintain_cell ~seed ~batches ~db0 ~stats0 ~pool ~nviews ~batch_rows :
         let del = take n_del (Mv_util.Prng.shuffle rng rows) in
         let batch = [ (tn, { Mv_engine.Ivm.ins; del }) ] in
         rows_written := !rows_written + n_ins + n_del;
-        Mv_obs.Instrument.time_hist delta_h (fun () ->
+        (* observe both into the cell-local histograms (per-cell stats)
+           and, when given, a shared obs registry the timeline sampler
+           windows over *)
+        let timed h name f =
+          let t0 = Mv_obs.Instrument.now_wall () in
+          f ();
+          let d = Mv_obs.Instrument.now_wall () -. t0 in
+          Mv_obs.Instrument.observe h d;
+          match obs with
+          | Some o ->
+              Mv_obs.Instrument.observe (Mv_obs.Registry.histogram o name) d
+          | None -> ()
+        in
+        (match obs with
+        | Some o ->
+            Mv_obs.Instrument.incr
+              (Mv_obs.Registry.counter o "maintain.batches");
+            Mv_obs.Instrument.add
+              (Mv_obs.Registry.counter o "maintain.rows_written")
+              (n_ins + n_del)
+        | None -> ());
+        timed delta_h "maintain.delta" (fun () ->
             Mv_engine.Ivm.apply ivm batch);
-        Mv_obs.Instrument.time_hist remat_h (fun () ->
+        timed remat_h "maintain.remat" (fun () ->
             List.iter (fun r -> Mv_engine.Database.insert dbb tn r) ins;
             List.iter (fun r -> Mv_engine.Database.delete dbb tn r) del;
             List.iter
@@ -765,16 +789,22 @@ let maintain ?(seed = 42) ?(batches = 12) ?(scale = 1) ~nviews_list
         | exception Mv_core.View.Rejected _ -> None)
       (Mv_workload.Generator.views ~seed:(seed + 7) schema stats0 pool_n)
   in
+  (* the maintenance timeline: a scoped obs registry every cell reports
+     into, windowed by a dedicated sampler domain across the whole grid *)
+  let obs = Mv_obs.Registry.create () in
+  let tl = Mv_obs.Timeline.create ~capacity:240 obs in
+  let sampler = Mv_obs.Timeline.start ~period:0.05 tl in
   let cells =
     List.concat_map
       (fun nviews ->
         List.map
           (fun batch_rows ->
-            maintain_cell ~seed ~batches ~db0 ~stats0 ~pool ~nviews
-              ~batch_rows)
+            maintain_cell ~obs ~seed ~batches ~db0 ~stats0 ~pool ~nviews
+              ~batch_rows ())
           batch_sizes)
       nviews_list
   in
+  Mv_obs.Timeline.stop sampler;
   {
     mm_scale = scale;
     mm_base_rows = base_rows;
@@ -783,6 +813,7 @@ let maintain ?(seed = 42) ?(batches = 12) ?(scale = 1) ~nviews_list
     mm_cells = cells;
     mm_equivalent = List.for_all (fun c -> c.m_equivalent) cells;
     mm_stats_fresh = List.for_all (fun c -> c.m_stats_fresh) cells;
+    mm_timeline = Mv_obs.Timeline.to_json tl;
   }
 
 (* The full grid for the figures. A discarded warmup run first: the very

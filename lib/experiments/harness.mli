@@ -217,6 +217,11 @@ type maintain_measurement = {
   mm_cells : maintain_cell list;
   mm_equivalent : bool;  (** conjunction over the cells *)
   mm_stats_fresh : bool;
+  mm_timeline : Mv_obs.Json.t;
+      (** {!Mv_obs.Timeline} export over the grid: every cell reports its
+          per-batch [maintain.delta] / [maintain.remat] seconds into a
+          shared scoped obs registry, windowed by a dedicated sampler
+          domain *)
 }
 
 val bag_close :

@@ -333,7 +333,26 @@ let serve_table (m : Serve.measurement) =
     pr "write traffic: %d delta batches, maintained == recomputed: %b\n"
       m.Serve.sv_maint_batches m.Serve.sv_maint_consistent;
   pr "sampled observations replayed sequentially: %d, consistent: %b\n"
-    m.Serve.sv_sampled m.Serve.sv_consistent
+    m.Serve.sv_sampled m.Serve.sv_consistent;
+  (match m.Serve.sv_advised with
+  | [] -> ()
+  | advised ->
+      pr "advised views registered: %d (%s)\n" (List.length advised)
+        (String.concat ", " advised);
+      (match m.Serve.sv_dead with
+      | [] -> pr "dead-view gate: clean (every advised view matched)\n"
+      | dead ->
+          pr "dead-view gate: TRIPPED — never matched: %s\n"
+            (String.concat ", " dead)));
+  match m.Serve.sv_windows with
+  | [] -> ()
+  | windows ->
+      pr "\ntimeline (%d windows): %10s %10s %12s\n" (List.length windows)
+        "dur" "served" "p99-lat";
+      List.iteri
+        (fun i (dur, served, p99) ->
+          pr "  window %-3d            %9.3fs %10d %11.4fs\n" i dur served p99)
+        windows
 
 let serve_json (m : Serve.measurement) =
   let pct p50 p90 p99 =
@@ -374,6 +393,21 @@ let serve_json (m : Serve.measurement) =
             ("sampled", J.Int m.Serve.sv_sampled);
             ("consistent", J.Bool m.Serve.sv_consistent);
           ] );
+      ("advised", J.List (List.map (fun n -> J.String n) m.Serve.sv_advised));
+      ("dead", J.List (List.map (fun n -> J.String n) m.Serve.sv_dead));
+      ( "windows",
+        J.List
+          (List.map
+             (fun (dur, served, p99) ->
+               J.Obj
+                 [
+                   ("dur_s", J.Float dur);
+                   ("served", J.Int served);
+                   ("latency_p99_s", J.Float p99);
+                 ])
+             m.Serve.sv_windows) );
+      ("timeline", m.Serve.sv_timeline);
+      ("health", m.Serve.sv_health);
     ]
 
 (* ---- why-not report (aggregate rejection provenance) ---- *)
@@ -567,6 +601,7 @@ let maintenance_json (m : Harness.maintain_measurement) =
              m.Harness.mm_cells) );
       ("equivalent", J.Bool m.Harness.mm_equivalent);
       ("stats_fresh", J.Bool m.Harness.mm_stats_fresh);
+      ("timeline", m.Harness.mm_timeline);
     ]
 
 let advise_table (ms : Harness.advise_measurement list) =

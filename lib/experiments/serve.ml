@@ -152,14 +152,29 @@ let fly t snap q =
                 `Lead fl))
   in
   match role with
-  | `Hit e -> (ep, e)
+  | `Hit e -> (ep, e, false)
   | `Lead fl -> (
       match lead t snap fl q with
-      | Ok out -> out
+      | Ok (oep, e) -> (oep, e, true)
       | Error e -> raise e)
   | `Wait fl -> (
       I.incr t.c_waits;
-      match await_flight fl with Ok out -> out | Error e -> raise e)
+      match await_flight fl with
+      | Ok (oep, e) -> (oep, e, false)
+      | Error e -> raise e)
+
+(* Ledger attribution for a submission served WITHOUT optimizing (L1 hit,
+   plan-layer hit, or a waiter handed the leader's result): the optimizer
+   records the query and the chosen views itself on the cold path, so
+   these are the complementary paths — one [record_query] per submission
+   either way, and the served plan's views earn a cache hit. *)
+let record_served t q (entry : MC.plan_entry) =
+  let h = t.f_registry.R.health in
+  Mv_core.Health.record_query h q;
+  if entry.MC.used_views then
+    List.iter
+      (Mv_core.Health.record_cache_hit h)
+      (Plan.views_used entry.MC.plan)
 
 let submit t (q : Spjg.t) : int * Opt.result =
   let snap = R.snapshot t.f_registry in
@@ -168,13 +183,19 @@ let submit t (q : Spjg.t) : int * Opt.result =
   match Lru.find l1 q with
   | Some s when s.l1_epoch = ep ->
       I.incr t.c_l1_hits;
+      record_served t q s.l1_entry;
       (ep, result_of_entry s.l1_entry)
   | _ ->
       I.incr t.c_l1_misses;
       let oep, entry =
         match MC.peek_plan ~epoch:ep t.f_cache q with
-        | Some e -> (ep, e)
-        | None -> fly t snap q
+        | Some e ->
+            record_served t q e;
+            (ep, e)
+        | None ->
+            let oep, entry, led = fly t snap q in
+            if not led then record_served t q entry;
+            (oep, entry)
       in
       ignore (Lru.set l1 q { l1_epoch = oep; l1_entry = entry });
       (oep, result_of_entry entry)
@@ -213,6 +234,13 @@ type cfg = {
       (** base rows per delta batch the mutator pushes through
           {!Mv_engine.Ivm} each churn tick; 0 = no write traffic *)
   maintain_views : int;  (** view clones the write traffic maintains *)
+  advise : int;
+      (** mine up to this many candidates from the workload, advise under
+          the default budget and register the picks before the clock
+          starts; their health accounts feed the dead-view gate. 0 = off *)
+  timeline_period : float;
+      (** seconds between timeline sampler ticks (dedicated domain);
+          0 = sampler off *)
   seed : int;
 }
 
@@ -232,6 +260,8 @@ let default_cfg =
     sample_stride = 13;
     maintain_batch = 0;
     maintain_views = 8;
+    advise = 0;
+    timeline_period = 0.05;
     seed = 4242;
   }
 
@@ -270,6 +300,15 @@ type measurement = {
       (** every sampled (epoch, query, plan) observation is byte-identical
           to sequential optimization against a scratch registry rebuilt at
           that epoch's population — the linearizability verdict *)
+  sv_advised : string list;  (** advised-and-registered view names *)
+  sv_dead : string list;
+      (** advised views that never matched during the run (per the health
+          ledger) — the dead-view gate trips when non-empty *)
+  sv_windows : (float * int * float) list;
+      (** per timeline window: (length s, submissions completed, p99
+          open-loop latency) — empty when the sampler is off *)
+  sv_timeline : Mv_obs.Json.t;  (** full timeline export *)
+  sv_health : Mv_obs.Json.t;  (** health ledger export *)
 }
 
 type observation = { ob_epoch : int; ob_query : int; ob_plan : string }
@@ -415,8 +454,40 @@ let consistency_check (w : Harness.workload) ~pops ~queries observations =
 
 let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
   let registry = R.create w.Harness.schema in
-  let views = Harness.take cfg.nviews w.Harness.views in
-  List.iter (R.add_prebuilt registry) views;
+  let base_views = Harness.take cfg.nviews w.Harness.views in
+  List.iter (R.add_prebuilt registry) base_views;
+  (* advised views: mined from the workload's own queries, selected under
+     the default budget and registered before the clock starts. They are
+     part of the replayed population but excluded from the churn pool, so
+     a never-matching pick cannot hide behind a drop — the dead-view gate
+     reads their ledger accounts at the end. *)
+  let advised =
+    if cfg.advise <= 0 then []
+    else begin
+      let candidates =
+        List.filteri
+          (fun i _ -> i < cfg.advise)
+          (Mv_workload.Miner.definitions
+             (Mv_workload.Miner.mine w.Harness.queries))
+      in
+      let advice =
+        Mv_opt.Advisor.advise w.Harness.schema w.Harness.stats ~candidates
+          ~queries:w.Harness.queries
+      in
+      List.filter_map
+        (fun (p : Mv_opt.Advisor.pick) ->
+          match
+            R.add_view registry ~row_count:p.Mv_opt.Advisor.rows
+              ~name:("adv_" ^ p.Mv_opt.Advisor.name)
+              p.Mv_opt.Advisor.spjg
+          with
+          | v -> Some v
+          | exception Mv_core.View.Rejected _ -> None
+          | exception R.Duplicate_view _ -> None)
+        advice.Mv_opt.Advisor.picks
+    end
+  in
+  let views = base_views @ advised in
   Mv_relalg.Intern.freeze ();
   let t =
     front ~l1_capacity:cfg.l1_capacity ~capacity:cfg.capacity registry
@@ -443,8 +514,17 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
       ]
   in
   let mlog = ref [] (* newest first; only the mutator writes *) in
-  let maint = maint_fixture w views cfg in
+  let maint = maint_fixture w base_views cfg in
   let maint_batches = ref 0 (* only the mutator writes *) in
+  (* timeline sampler: a dedicated domain snapshotting the shared obs
+     registry every [timeline_period]; started after warmup so the
+     windows cover exactly the measured interval *)
+  let tl = Mv_obs.Timeline.create ~capacity:240 obs in
+  let sampler =
+    if cfg.timeline_period > 0.0 then
+      Some (Mv_obs.Timeline.start ~period:cfg.timeline_period tl)
+    else None
+  in
   let t_start = now () in
   let t_stop = t_start +. cfg.duration in
   let mutator () =
@@ -453,8 +533,8 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
         (if cfg.churn_pool <= 0 then []
          else
            List.filteri
-             (fun i _ -> i >= List.length views - cfg.churn_pool)
-             views)
+             (fun i _ -> i >= List.length base_views - cfg.churn_pool)
+             base_views)
     in
     let mprng = Prng.create (cfg.seed + 31) in
     let i = ref 0 in
@@ -542,6 +622,7 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
     Pool.run_each (mutator :: List.init (max 1 cfg.domains) worker)
   in
   let wall = now () -. t_start in
+  Option.iter Mv_obs.Timeline.stop sampler;
   let total = List.fold_left (fun acc (c, _) -> acc + c) 0 results in
   let observations = List.concat_map snd results in
   let ops = List.rev !mlog in
@@ -578,4 +659,33 @@ let run ?(cfg = default_cfg) (w : Harness.workload) : measurement =
     sv_epoch_hi = R.epoch registry;
     sv_sampled = List.length observations;
     sv_consistent = consistent;
+    sv_advised = List.map (fun (v : Mv_core.View.t) -> v.Mv_core.View.name) advised;
+    sv_dead =
+      List.filter_map
+        (fun (v : Mv_core.View.t) ->
+          let n = v.Mv_core.View.name in
+          match Mv_core.Health.find registry.R.health n with
+          | Some r when not (Mv_core.Health.dead r) -> None
+          | _ -> Some n)
+        advised;
+    sv_windows =
+      List.map
+        (fun (s : Mv_obs.Timeline.sample) ->
+          let hist name =
+            List.assoc_opt name s.Mv_obs.Timeline.histograms
+          in
+          let count =
+            match hist "serve.service" with
+            | Some w -> w.Mv_obs.Timeline.w_count
+            | None -> 0
+          in
+          let p99 =
+            match hist "serve.latency" with
+            | Some w -> w.Mv_obs.Timeline.w_p99
+            | None -> 0.0
+          in
+          (s.Mv_obs.Timeline.dur, count, p99))
+        (Mv_obs.Timeline.samples tl);
+    sv_timeline = Mv_obs.Timeline.to_json tl;
+    sv_health = Mv_core.Health.to_json registry.R.health;
   }

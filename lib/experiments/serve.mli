@@ -81,6 +81,17 @@ type cfg = {
           write traffic. Staleness flips on the live registry ride along
           — invisible to the default matcher, so serving is unaffected. *)
   maintain_views : int;  (** view clones the write traffic maintains *)
+  advise : int;
+      (** mine up to this many candidates from the workload's queries,
+          advise under the default budget and register the picks (names
+          prefixed [adv_]) before the clock starts. They join the
+          replayed population but not the churn pool; {!measurement}
+          reports them and the ones whose ledger account never matched
+          (the dead-view gate). [0] = off *)
+  timeline_period : float;
+      (** seconds between {!Mv_obs.Timeline} sampler ticks, taken by a
+          dedicated domain over the registry's obs instance; [0.] = no
+          sampler *)
   seed : int;  (** arrival-process PRNG seed (deterministic schedules) *)
 }
 
@@ -126,6 +137,15 @@ type measurement = {
       (** linearizability verdict: every sampled (epoch, query, plan)
           observation is byte-identical to sequential optimization
           against a scratch registry rebuilt at that epoch's population *)
+  sv_advised : string list;  (** advised-and-registered view names *)
+  sv_dead : string list;
+      (** advised views whose ledger account never matched — the
+          dead-view gate trips when non-empty *)
+  sv_windows : (float * int * float) list;
+      (** per timeline window: (length s, submissions completed, p99
+          open-loop latency); empty when [timeline_period = 0.] *)
+  sv_timeline : Mv_obs.Json.t;  (** {!Mv_obs.Timeline.to_json} export *)
+  sv_health : Mv_obs.Json.t;  (** {!Mv_core.Health.to_json} export *)
 }
 
 val run : ?cfg:cfg -> Harness.workload -> measurement

@@ -145,6 +145,117 @@ let quantile h q = quantile_impl ~interpolate:true h q
 
 let quantile_upper h q = quantile_impl ~interpolate:false h q
 
+(* ---- merge: fold per-domain instruments into one ---- *)
+
+(* Each source is read under its own lock so a merge taken while other
+   domains record sees each instrument consistently; the destination is
+   fresh and local, so no lock is needed on the write side. *)
+
+let merge_timers ts =
+  let m = timer () in
+  List.iter
+    (fun t ->
+      let w, c, n =
+        Mutex.protect t.t_lock (fun () -> (t.t_wall, t.t_cpu, t.t_count))
+      in
+      m.t_wall <- m.t_wall +. w;
+      m.t_cpu <- m.t_cpu +. c;
+      m.t_count <- m.t_count + n)
+    ts;
+  m
+
+let merge_histograms hs =
+  let m = histogram () in
+  List.iter
+    (fun h ->
+      Mutex.protect h.h_lock (fun () ->
+          m.h_count <- m.h_count + h.h_count;
+          m.h_sum <- m.h_sum +. h.h_sum;
+          if h.h_min < m.h_min then m.h_min <- h.h_min;
+          if h.h_max > m.h_max then m.h_max <- h.h_max;
+          Array.iteri
+            (fun i c -> m.h_buckets.(i) <- m.h_buckets.(i) + c)
+            h.h_buckets))
+    hs;
+  m
+
+(* ---- histogram snapshots: immutable copies for windowed reporting ---- *)
+
+type hsnap = {
+  hs_count : int;
+  hs_sum : float;
+  hs_min : float;
+  hs_max : float;
+  hs_buckets : int array;
+}
+
+let hsnap_empty =
+  {
+    hs_count = 0;
+    hs_sum = 0.0;
+    hs_min = Float.infinity;
+    hs_max = Float.neg_infinity;
+    hs_buckets = Array.make buckets 0;
+  }
+
+let snapshot h =
+  Mutex.protect h.h_lock (fun () ->
+      {
+        hs_count = h.h_count;
+        hs_sum = h.h_sum;
+        hs_min = h.h_min;
+        hs_max = h.h_max;
+        hs_buckets = Array.copy h.h_buckets;
+      })
+
+(* Window = later cumulative state minus an earlier one. The exact
+   min/max of just the window is unrecoverable from cumulative state, so
+   they are approximated by the bounds of the first/last bucket that saw
+   traffic in the window — tight to within one power-of-two bucket, which
+   matches the histogram's own resolution. *)
+let hsnap_diff ~prev cur =
+  let bs =
+    Array.init buckets (fun i -> max 0 (cur.hs_buckets.(i) - prev.hs_buckets.(i)))
+  in
+  let lo = ref Float.infinity and hi = ref Float.neg_infinity in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if !lo = Float.infinity then lo := bucket_lower i;
+        hi := bucket_upper i
+      end)
+    bs;
+  {
+    hs_count = max 0 (cur.hs_count - prev.hs_count);
+    hs_sum = Float.max 0.0 (cur.hs_sum -. prev.hs_sum);
+    hs_min = !lo;
+    hs_max = !hi;
+    hs_buckets = bs;
+  }
+
+let hsnap_quantile s q =
+  if s.hs_count = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.of_int s.hs_count *. q) in
+      max 0 (min (s.hs_count - 1) r)
+    in
+    let rec go i seen =
+      if i >= buckets then s.hs_max
+      else
+        let c = s.hs_buckets.(i) in
+        let seen' = seen + c in
+        if seen' > rank then begin
+          let lower = bucket_lower i and upper = bucket_upper i in
+          let frac = float_of_int (rank - seen + 1) /. float_of_int c in
+          let v = lower +. ((upper -. lower) *. frac) in
+          Float.max s.hs_min (Float.min s.hs_max v)
+        end
+        else go (i + 1) seen'
+    in
+    go 0 0
+  end
+
 let reset_histogram h =
   Mutex.protect h.h_lock (fun () ->
       h.h_count <- 0;

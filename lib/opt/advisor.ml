@@ -420,8 +420,23 @@ let maintenance_cost config stats (spjg : Spjg.t) ~rows ~nqueries =
   let delta = config.batch_fraction *. remat /. config.maintain_speedup in
   config.write_fraction *. float_of_int nqueries *. Float.min delta remat
 
-let advise ?(config = default_config) schema stats
+let advise ?(config = default_config) ?weights schema stats
     ~(candidates : (string * Spjg.t) list) ~(queries : Spjg.t list) : advice =
+  (* optional per-query weights (observed frequencies from the health
+     ledger): base costs and per-candidate savings are scaled per query,
+     so the selection minimizes the cost of the observed trace rather
+     than the uniform generator workload. Zero-weight queries drop out. *)
+  (match weights with
+  | None -> ()
+  | Some w ->
+      if Array.length w <> List.length queries then
+        invalid_arg "Advisor.advise: weights length mismatch";
+      Array.iter
+        (fun x ->
+          if not (Float.is_finite x) || x < 0.0 then
+            invalid_arg "Advisor.advise: weights must be finite and >= 0")
+        w);
+  let weight i = match weights with None -> 1.0 | Some w -> w.(i) in
   (* one pooled registry of every candidate: the filter tree keeps the
      per-block matching cheap even at 1000 candidates *)
   let pool = Mv_core.Registry.create schema in
@@ -445,11 +460,13 @@ let advise ?(config = default_config) schema stats
   Array.iteri (fun j (name, _, _) -> Hashtbl.replace index_of name j) accepted;
   let qarr = Array.of_list queries in
   let nq = Array.length qarr in
-  (* base cost: the best view-free plan for each query *)
+  (* base cost: the best view-free plan for each query (raw, then
+     weighted into the selection instance) *)
   let empty = Mv_core.Registry.create schema in
-  let base =
+  let base_raw =
     Array.map (fun q -> (Optimizer.optimize empty stats q).Optimizer.cost) qarr
   in
+  let base = Array.mapi (fun i b -> weight i *. b) base_raw in
   (* benefit model mirroring the memo's enumeration: for every SPJG
      subexpression the optimizer would invoke the rule on, price each
      substitute and credit the block-level saving against the query *)
@@ -466,20 +483,29 @@ let advise ?(config = default_config) schema stats
               (fun s ->
                 let sc, _ = Optimizer.substitute_cost schema stats block s in
                 let saving = dcost -. sc in
-                if saving > 0.0 then begin
-                  let qcost = Float.max sc (base.(i) -. saving) in
+                if saving > 0.0 && weight i > 0.0 then begin
+                  let qcost = Float.max sc (base_raw.(i) -. saving) in
                   match
                     Hashtbl.find_opt index_of
                       s.Mv_core.Substitute.view.Mv_core.View.name
                   with
-                  | Some j when qcost < base.(i) ->
-                      saves.(j) <- (i, qcost) :: saves.(j)
+                  | Some j when qcost < base_raw.(i) ->
+                      saves.(j) <- (i, weight i *. qcost) :: saves.(j)
                   | _ -> ()
                 end)
               subs
           end)
         (Optimizer.enumerate_blocks q))
     qarr;
+  (* the maintenance term scales with how many queries (writes ride along
+     at [write_fraction]) the workload sees: under weights that is the
+     trace length, not the number of distinct queries *)
+  let nq_eff =
+    match weights with
+    | None -> nq
+    | Some w ->
+        int_of_float (Float.round (Array.fold_left ( +. ) 0.0 w))
+  in
   let cands =
     Array.to_list
       (Array.mapi
@@ -487,7 +513,7 @@ let advise ?(config = default_config) schema stats
            {
              Selection.id = name;
              size = float_of_int rows;
-             maint = maintenance_cost config stats spjg ~rows ~nqueries:nq;
+             maint = maintenance_cost config stats spjg ~rows ~nqueries:nq_eff;
              saves = saves.(j);
            })
          accepted)

@@ -116,6 +116,7 @@ val maintenance_cost :
 
 val advise :
   ?config:config ->
+  ?weights:float array ->
   Mv_catalog.Schema.t ->
   Mv_catalog.Stats.t ->
   candidates:(string * Spjg.t) list ->
@@ -124,7 +125,15 @@ val advise :
 (** Price every candidate against every query (mirroring the memo's block
     enumeration so the modeled savings are ones {!Optimizer.optimize} can
     actually realize) and select under the budget. Purely model-driven and
-    deterministic: no wall-clock input. *)
+    deterministic: no wall-clock input.
+
+    [weights] (one per query, finite, [>= 0]) scales each query's base
+    cost and savings — pass observed per-query frequencies from the
+    health ledger ([Mv_core.Health.query_frequencies]) to select for an
+    observed trace instead of the uniform generator workload; the
+    maintenance term then scales with the trace length. [cost_before] /
+    [cost_after] are weighted accordingly.
+    @raise Invalid_argument on a length mismatch or bad weight. *)
 
 val register_picks : Mv_core.Registry.t -> advice -> unit
 (** Register every pick through the dynamic registry (one epoch bump

@@ -763,7 +763,24 @@ let optimize ?(config = default_config) ?cache ?spans ?snap
                 r)))
   in
   Mv_obs.Instrument.incr (Mv_obs.Registry.counter obs "optimizer.calls");
-  if r.used_views then
+  (* ledger attribution (DESIGN.md §14): every call logs the query it
+     optimized; a winning plan credits each view leaf with "chosen" plus
+     the estimated cost saved against computing the query directly. This
+     counts every final plan, warm plan-cache hits included — serving-side
+     L1/peek hits are attributed separately as cache hits. *)
+  let health = registry.Mv_core.Registry.health in
+  Mv_core.Health.record_query health query;
+  if r.used_views then begin
     Mv_obs.Instrument.incr
       (Mv_obs.Registry.counter obs "optimizer.plans.using_views");
+    let vnames = Plan.views_used r.plan in
+    let base = direct_cost stats query in
+    let benefit =
+      Float.max 0.0 (base -. r.cost)
+      /. float_of_int (max 1 (List.length vnames))
+    in
+    List.iter
+      (fun n -> Mv_core.Health.record_chosen health ~benefit n)
+      vnames
+  end;
   r

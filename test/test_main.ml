@@ -14,4 +14,4 @@ let () =
    @ Test_prop_equivalence.suite @ Test_prop_filter.suite
    @ Test_parallel.suite @ Test_dynamic.suite @ Test_cache.suite
    @ Test_serve.suite @ Test_stats.suite @ Test_adaptive.suite
-   @ Test_ivm.suite @ Test_advisor.suite)
+   @ Test_ivm.suite @ Test_advisor.suite @ Test_health.suite)

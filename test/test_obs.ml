@@ -203,6 +203,160 @@ let test_render () =
         (Helpers.contains ~needle table))
     [ "a.count"; "a.time"; "a.hist"; "wall"; "empty" ]
 
+(* ---- Instrument.merge: merging == interleaved observation ---- *)
+
+(* Deterministic value table: indices map to floats spanning ~24 binades
+   so bucket boundaries actually get exercised. *)
+let merge_value i =
+  ldexp (1.0 +. (float_of_int (i mod 7) /. 7.0)) ((i mod 25) - 12)
+
+(* Round-robin interleaving — a genuinely different observation order
+   than per-source concatenation. *)
+let rec interleave lists =
+  match List.filter (fun l -> l <> []) lists with
+  | [] -> []
+  | ls -> List.map List.hd ls @ interleave (List.map List.tl ls)
+
+let merge_hist_prop =
+  QCheck.Test.make
+    ~count:(Helpers.qcheck_count 200)
+    ~name:
+      "obs: merge_histograms == interleaved observation (quantiles within \
+       one bucket)"
+    QCheck.(list_of_size Gen.(1 -- 4) (list_of_size Gen.(0 -- 40) (int_bound 400)))
+    (fun raw ->
+      let parts = List.map (List.map merge_value) raw in
+      let sources =
+        List.map
+          (fun p ->
+            let h = I.histogram () in
+            List.iter (I.observe h) p;
+            h)
+          parts
+      in
+      let merged = I.merge_histograms sources in
+      let union = I.histogram () in
+      List.iter (I.observe union) (interleave parts);
+      let total = List.length (List.concat parts) in
+      if I.count merged <> total || I.count merged <> I.count union then
+        QCheck.Test.fail_reportf "count: merged %d union %d expected %d"
+          (I.count merged) (I.count union) total;
+      let su = I.sum union and sm = I.sum merged in
+      if Float.abs (sm -. su) > 1e-9 *. (Float.abs su +. 1.0) then
+        QCheck.Test.fail_reportf "sum: merged %.17g union %.17g" sm su;
+      if total > 0 then begin
+        if I.min_value merged <> I.min_value union then
+          QCheck.Test.fail_reportf "min: merged %g union %g"
+            (I.min_value merged) (I.min_value union);
+        if I.max_value merged <> I.max_value union then
+          QCheck.Test.fail_reportf "max: merged %g union %g"
+            (I.max_value merged) (I.max_value union)
+      end;
+      List.iter
+        (fun q ->
+          let qm = I.quantile merged q and qu = I.quantile union q in
+          if abs (I.bucket_of qm - I.bucket_of qu) > 1 then
+            QCheck.Test.fail_reportf
+              "p%g: merged %g (bucket %d) vs union %g (bucket %d)"
+              (100. *. q) qm (I.bucket_of qm) qu (I.bucket_of qu))
+        [ 0.01; 0.5; 0.9; 0.99 ];
+      true)
+
+let test_merge_timers () =
+  let a = I.timer () and b = I.timer () in
+  I.record a ~wall:1.5 ~cpu:0.5;
+  I.record a ~wall:0.5 ~cpu:0.25;
+  I.record b ~wall:2.0 ~cpu:1.0;
+  let m = I.merge_timers [ a; b ] in
+  Alcotest.(check (float 1e-12)) "wall" 4.0 (I.wall m);
+  Alcotest.(check (float 1e-12)) "cpu" 1.75 (I.cpu m);
+  Alcotest.(check int) "intervals" 3 (I.intervals m);
+  (* sources unchanged; the merge target is fresh *)
+  Alcotest.(check (float 1e-12)) "a untouched" 2.0 (I.wall a);
+  let e = I.merge_timers [] in
+  Alcotest.(check int) "empty merge" 0 (I.intervals e)
+
+let test_merge_empty_histograms () =
+  let m = I.merge_histograms [ I.histogram (); I.histogram () ] in
+  Alcotest.(check int) "count" 0 (I.count m);
+  Alcotest.(check (float 0.0)) "quantile" 0.0 (I.quantile m 0.5)
+
+(* ---- JSON non-finite policy and empty/reset registry surfaces ---- *)
+
+let test_json_nonfinite () =
+  List.iter
+    (fun f ->
+      match J.of_string (J.to_string (J.Float f)) with
+      | J.Null -> ()
+      | other ->
+          Alcotest.failf "%.17g should serialize as null, got %s" f
+            (J.to_string ~minify:true other))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  (* nested occurrences follow the same policy; finite floats survive *)
+  let doc =
+    J.Obj
+      [
+        ("a", J.Float Float.nan);
+        ("b", J.List [ J.Float Float.infinity; J.Int 1 ]);
+        ("c", J.Float 2.5);
+        ("d", J.Float Float.neg_infinity);
+      ]
+  in
+  let expected =
+    J.Obj
+      [
+        ("a", J.Null);
+        ("b", J.List [ J.Null; J.Int 1 ]);
+        ("c", J.Float 2.5);
+        ("d", J.Null);
+      ]
+  in
+  Alcotest.(check bool) "nested nan/inf -> null" true
+    (J.equal expected (J.of_string (J.to_string doc)));
+  Alcotest.(check bool) "minified too" true
+    (J.equal expected (J.of_string (J.to_string ~minify:true doc)))
+
+let test_empty_histogram_surfaces () =
+  let r = Obs.create () in
+  ignore (Obs.histogram r "h.empty");
+  (* min/max of an empty histogram are +/-inf internally; the JSON dump
+     must apply the null policy, and the whole snapshot must round-trip *)
+  let j = Obs.to_json r in
+  Alcotest.(check bool) "empty min is null" true
+    (J.path [ "histograms"; "h.empty"; "min" ] j = Some J.Null);
+  Alcotest.(check bool) "empty max is null" true
+    (J.path [ "histograms"; "h.empty"; "max" ] j = Some J.Null);
+  Alcotest.(check bool) "empty count" true
+    (J.path [ "histograms"; "h.empty"; "count" ] j = Some (J.Int 0));
+  Alcotest.(check bool) "round-trips" true
+    (J.equal j (J.of_string (J.to_string j)));
+  Alcotest.(check bool) "render mentions the empty histogram" true
+    (Helpers.contains ~needle:"h.empty" (Obs.render r))
+
+let test_reset_registry_surfaces () =
+  let r = Obs.create () in
+  I.add (Obs.counter r "c") 7;
+  let h = Obs.histogram r "h" in
+  List.iter (I.observe h) [ 0.5; 4.0 ];
+  I.record (Obs.timer r "t") ~wall:1.0 ~cpu:0.5;
+  Obs.reset r;
+  let j = Obs.to_json r in
+  Alcotest.(check bool) "counter back to 0" true
+    (J.path [ "counters"; "c" ] j = Some (J.Int 0));
+  Alcotest.(check bool) "histogram count back to 0" true
+    (J.path [ "histograms"; "h"; "count" ] j = Some (J.Int 0));
+  Alcotest.(check bool) "histogram min null again" true
+    (J.path [ "histograms"; "h"; "min" ] j = Some J.Null);
+  Alcotest.(check bool) "round-trips" true
+    (J.equal j (J.of_string (J.to_string j)));
+  (* instruments survive the reset by identity — render still lists them *)
+  let table = Obs.render r in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("reset render mentions " ^ needle) true
+        (Helpers.contains ~needle table))
+    [ "c"; "h"; "t" ]
+
 let suite =
   [
     ( "obs",
@@ -220,5 +374,22 @@ let suite =
         Alcotest.test_case "stats façade = instruments" `Quick
           test_stats_facade;
         Alcotest.test_case "table rendering" `Quick test_render;
+      ] );
+    ( "obs_merge",
+      [
+        Helpers.qtest merge_hist_prop;
+        Alcotest.test_case "merge_timers sums into a fresh timer" `Quick
+          test_merge_timers;
+        Alcotest.test_case "merging empty histograms" `Quick
+          test_merge_empty_histograms;
+      ] );
+    ( "obs_json",
+      [
+        Alcotest.test_case "non-finite floats serialize as null" `Quick
+          test_json_nonfinite;
+        Alcotest.test_case "empty-histogram JSON and render surfaces" `Quick
+          test_empty_histogram_surfaces;
+        Alcotest.test_case "freshly-reset registry surfaces" `Quick
+          test_reset_registry_surfaces;
       ] );
   ]
